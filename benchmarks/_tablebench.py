@@ -1,0 +1,35 @@
+"""Shared implementation for the per-table benchmark files."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.report import render_kary_table
+from repro.experiments.tables import TABLE_WORKLOAD, run_kary_table
+
+
+def kary_table_bench(benchmark, scale, record_table, table_number: int):
+    """Regenerate one of the paper's Tables 1-7 and record the rendering."""
+    workload = TABLE_WORKLOAD[table_number]
+
+    result = run_once(benchmark, lambda: run_kary_table(workload, scale=scale))
+
+    text = render_kary_table(
+        result,
+        title=(
+            f"Table {table_number} — k-ary SplayNet on {workload} "
+            f"(n={result.n}, m={result.m}, scale={scale.name})"
+        ),
+    )
+    record_table(f"table{table_number}_{workload}", text)
+
+    # Paper shape assertions (direction only; see DESIGN.md §3).
+    ks = sorted(result.ks)
+    assert result.splaynet_ratio(ks[-1]) < 1.0, "cost must fall with k"
+    monotone_violations = sum(
+        1
+        for a, b in zip(ks, ks[1:])
+        if result.splaynet[b] > result.splaynet[a]
+    )
+    assert monotone_violations <= 2, "cost-vs-k trend must be near-monotone"
+    return result

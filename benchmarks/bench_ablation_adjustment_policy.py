@@ -1,0 +1,69 @@
+"""Ablation: the reactive spectrum under different reconfiguration prices.
+
+Sweeps the adjustment policy (fully reactive / thresholded / probabilistic
+/ frozen) on a high-locality trace and evaluates the total cost under three
+rotation prices.  The expected crossover — the paper's Section 5.1 remark
+made quantitative — is that fully reactive splaying wins when rotations are
+free, while thresholded/probabilistic policies overtake it as physical
+reconfiguration gets expensive, and freezing is only competitive when the
+demand is stationary.
+"""
+
+from conftest import run_once
+
+from repro.core.splaynet import KArySplayNet
+from repro.network.cost import CostModel, ROUTING_ONLY
+from repro.network.policies import (
+    FrozenNetwork,
+    ProbabilisticNetwork,
+    ThresholdedNetwork,
+)
+from repro.network.simulator import simulate
+from repro.workloads.synthetic import temporal_trace
+
+PRICES = (("free", ROUTING_ONLY), ("unit", CostModel(rotation_cost=1.0)),
+          ("pricey", CostModel(rotation_cost=20.0)))
+
+
+def test_adjustment_policy_ablation(benchmark, scale, record_table):
+    n = 64 if scale.name == "smoke" else 200
+    m = 3_000 if scale.name == "smoke" else 30_000
+    trace = temporal_trace(n, m, 0.9, scale.seed)
+
+    def run():
+        policies = {
+            "reactive": lambda: KArySplayNet(n, 3),
+            "threshold-2": lambda: ThresholdedNetwork(KArySplayNet(n, 3), 2),
+            "threshold-4": lambda: ThresholdedNetwork(KArySplayNet(n, 3), 4),
+            "prob-0.5": lambda: ProbabilisticNetwork(
+                KArySplayNet(n, 3), 0.5, seed=scale.seed
+            ),
+            "prob-0.1": lambda: ProbabilisticNetwork(
+                KArySplayNet(n, 3), 0.1, seed=scale.seed
+            ),
+            "frozen": lambda: FrozenNetwork(KArySplayNet(n, 3)),
+        }
+        return {
+            name: simulate(make(), trace) for name, make in policies.items()
+        }
+
+    results = run_once(benchmark, run)
+
+    lines = [
+        f"Adjustment-policy ablation — temporal-0.9, n={n}, m={m}",
+        f"{'policy':14} " + " ".join(f"{label:>12}" for label, _ in PRICES)
+        + f" {'rotations':>10}",
+    ]
+    for name, result in results.items():
+        cells = " ".join(
+            f"{result.total_cost(model):>12.0f}" for _, model in PRICES
+        )
+        lines.append(f"{name:14} {cells} {result.total_rotations:>10d}")
+
+    # shape: reactive best at free rotations; some lazy policy best when pricey
+    free_costs = {k: v.total_cost(ROUTING_ONLY) for k, v in results.items()}
+    pricey_costs = {k: v.total_cost(PRICES[2][1]) for k, v in results.items()}
+    assert min(free_costs, key=free_costs.get) == "reactive"
+    assert min(pricey_costs, key=pricey_costs.get) != "reactive"
+    assert free_costs["frozen"] > free_costs["reactive"]  # locality needs adjusting
+    record_table("adjustment_policy", "\n".join(lines))

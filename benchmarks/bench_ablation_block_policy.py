@@ -1,0 +1,50 @@
+"""Ablation: rotation block-selection policy (DESIGN.md design choice).
+
+The paper leaves the choice of *which* k-1 consecutive merged elements cover
+a demoted key unspecified.  This bench compares the three policies on a
+mixed-locality workload; 'center' (our default) should never lose badly.
+"""
+
+from conftest import run_once
+
+from repro.core.rotations import BLOCK_POLICIES
+from repro.core.splaynet import KArySplayNet
+from repro.network.simulator import simulate
+from repro.workloads.synthetic import temporal_trace, uniform_trace
+
+
+def test_block_policy_ablation(benchmark, scale, record_table):
+    n = min(scale.temporal_n, 255)
+    m = min(scale.m, 20_000)
+
+    def run():
+        rows = []
+        for wname, trace in (
+            ("uniform", uniform_trace(n, m, scale.seed)),
+            ("temporal-0.5", temporal_trace(n, m, 0.5, scale.seed)),
+        ):
+            for k in (3, 8):
+                costs = {
+                    policy: simulate(
+                        KArySplayNet(n, k, policy=policy), trace
+                    ).total_routing
+                    for policy in BLOCK_POLICIES
+                }
+                rows.append((wname, k, costs))
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    lines = [
+        "Ablation — rotation block-selection policy (total routing cost)",
+        f"{'workload':14} {'k':>3} " + "".join(f"{p:>10}" for p in BLOCK_POLICIES),
+    ]
+    for wname, k, costs in rows:
+        lines.append(
+            f"{wname:14} {k:>3} "
+            + "".join(f"{costs[p]:>10}" for p in BLOCK_POLICIES)
+        )
+        best = min(costs.values())
+        # the default must stay within 10% of the best policy
+        assert costs["center"] <= 1.1 * best
+    record_table("ablation_block_policy", "\n".join(lines))

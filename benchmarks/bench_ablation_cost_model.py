@@ -1,0 +1,62 @@
+"""Ablation: cost-model sensitivity of the Table 8 verdicts.
+
+EXPERIMENTS.md documents that the paper's Table 8 winner pattern emerges
+under the §5.1 unit-rotation model while pure routing cost leaves 3-SplayNet
+and SplayNet near parity.  This bench quantifies that flip on two opposed
+workloads.
+"""
+
+from conftest import run_once
+
+from repro.core.centroid_splaynet import CentroidSplayNet
+from repro.network.cost import CostModel
+from repro.network.simulator import simulate
+from repro.splaynet.splaynet import SplayNet
+from repro.workloads.datacenter import projector_trace
+from repro.workloads.synthetic import temporal_trace
+
+
+def test_cost_model_ablation(benchmark, scale, record_table):
+    n = 100
+    m = min(scale.m, 20_000)
+    models = [
+        ("routing", CostModel()),
+        ("r+0.5rot", CostModel(rotation_cost=0.5)),
+        ("r+1rot", CostModel(rotation_cost=1.0)),
+        ("links", CostModel(routing_weight=1.0, link_cost=1.0)),
+    ]
+
+    def run():
+        rows = []
+        for wname, trace in (
+            ("projector", projector_trace(n, m, scale.seed)),
+            ("temporal-0.9", temporal_trace(n, m, 0.9, scale.seed)),
+        ):
+            c3 = simulate(CentroidSplayNet(n, 2), trace)
+            sp = simulate(SplayNet(n), trace)
+            rows.append(
+                (
+                    wname,
+                    {
+                        name: sp.total_cost(model) / c3.total_cost(model)
+                        for name, model in models
+                    },
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    lines = [
+        "Ablation — SplayNet/3-SplayNet ratio under different cost models",
+        f"{'workload':14} " + "".join(f"{name:>10}" for name, _ in models),
+    ]
+    for wname, ratios in rows:
+        lines.append(
+            f"{wname:14} " + "".join(f"{ratios[name]:>9.3f}x" for name, _ in models)
+        )
+    record_table("ablation_cost_model", "\n".join(lines))
+
+    # high locality favours plain SplayNet under every model
+    hot = dict(rows)["temporal-0.9"]
+    assert all(ratio < 1.0 for ratio in hot.values())

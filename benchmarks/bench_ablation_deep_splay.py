@@ -1,0 +1,55 @@
+"""Ablation: k-splay (2 levels/step) vs the generalized d-node rotation.
+
+Section 4.1 closes by sketching rotations over any d connected nodes.  This
+bench compares serving disciplines that climb 2, 3 and 4 levels per
+transformation: deeper rotations need fewer transformations per request but
+spread routing elements more aggressively, which costs routing quality — an
+empirical answer to why the paper builds on the 2-level discipline.
+"""
+
+from conftest import run_once
+
+from repro.core.splaynet import KArySplayNet
+from repro.network.simulator import simulate
+from repro.workloads.synthetic import temporal_trace, uniform_trace
+
+DEPTHS = (2, 3, 4)
+
+
+def test_deep_splay_ablation(benchmark, scale, record_table):
+    n = min(scale.temporal_n, 255)
+    m = min(scale.m, 15_000)
+
+    def run():
+        rows = []
+        for wname, trace in (
+            ("uniform", uniform_trace(n, m, scale.seed)),
+            ("temporal-0.75", temporal_trace(n, m, 0.75, scale.seed)),
+        ):
+            for k in (3, 6):
+                cells = {}
+                for depth in DEPTHS:
+                    res = simulate(
+                        KArySplayNet(n, k, splay_depth=depth), trace
+                    )
+                    cells[depth] = (res.total_routing, res.total_rotations)
+                rows.append((wname, k, cells))
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    lines = [
+        "Ablation — levels climbed per transformation (routing / rotations)",
+        f"{'workload':14} {'k':>3} "
+        + "".join(f"{f'depth {d}':>22}" for d in DEPTHS),
+    ]
+    for wname, k, cells in rows:
+        lines.append(
+            f"{wname:14} {k:>3} "
+            + "".join(
+                f"{cells[d][0]:>12}/{cells[d][1]:<9}" for d in DEPTHS
+            )
+        )
+        # deeper splays always perform fewer transformations
+        assert cells[4][1] < cells[2][1]
+    record_table("ablation_deep_splay", "\n".join(lines))

@@ -1,0 +1,50 @@
+"""Ablation: local greedy routing vs true tree paths after rotation storms.
+
+Definition 1 claims local routing; Remark 11 forces self-adjusting trees
+out of the routing-based class, and DESIGN.md documents that greedy packets
+can then backtrack.  This bench puts numbers on it: stretch stays 1.000 on
+every freshly built tree and within a few percent on average after storms,
+with the worst hop count safely under the 2n delivery bound.
+"""
+
+from conftest import run_once
+
+from repro.analysis.stretch import measure_stretch, stretch_after_storm
+from repro.core.builders import build_complete_tree
+
+
+def test_local_routing_stretch(benchmark, scale, record_table):
+    ks = (2, 3, 5) if scale.name == "smoke" else (2, 3, 4, 6, 8)
+    n = 64 if scale.name == "smoke" else 200
+    serves = 200 if scale.name == "smoke" else 1_500
+    sample = 200 if scale.name == "smoke" else 1_000
+
+    def run():
+        rows = []
+        for k in ks:
+            fresh = measure_stretch(
+                build_complete_tree(n, k), sample=sample, seed=k
+            )
+            stormed = stretch_after_storm(
+                n, k, serves=serves, sample=sample, seed=k
+            )
+            rows.append((k, fresh, stormed))
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    lines = [
+        f"Local-routing stretch — n={n}, {serves} serves, {sample} sampled pairs",
+        f"{'k':>3} {'fresh mean':>11} {'storm mean':>11} {'storm max':>10}"
+        f" {'backtracked':>12} {'max hops':>9}",
+    ]
+    for k, fresh, stormed in rows:
+        lines.append(
+            f"{k:>3} {fresh.mean_stretch:>11.4f} {stormed.mean_stretch:>11.4f}"
+            f" {stormed.max_stretch:>10.3f} {stormed.backtrack_fraction:>11.1%}"
+            f" {stormed.max_hops:>9d}"
+        )
+        assert fresh.max_stretch == 1.0       # exact on built trees
+        assert stormed.max_hops <= 2 * n       # delivery bound
+        assert stormed.mean_stretch < 1.5      # near-exact on average
+    record_table("local_routing_stretch", "\n".join(lines))

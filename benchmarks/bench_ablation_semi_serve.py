@@ -1,0 +1,73 @@
+"""Ablation: fully-reactive serve vs one-step-per-endpoint serve_semi.
+
+The paper's introduction sketches the reactive spectrum; ``serve_semi``
+adjusts by exactly one transformation per endpoint per request.  Measured
+shape (a finding, not an assumption): semi serving does bounded work per
+request (rotations ≤ 2m) and beats never adjusting at *high* locality
+(p = 0.9), but at moderate locality (p = 0.5) its slow drift loses to the
+balanced static tree — one step per request degrades the balanced shape
+faster than it builds adjacency.  Full splaying dominates both at every
+locality level, supporting the paper's choice of splay-to-LCA serving.
+"""
+
+from conftest import run_once
+
+from repro.core.splaynet import KArySplayNet
+from repro.network.policies import FrozenNetwork
+from repro.network.simulator import Simulator
+from repro.workloads.synthetic import temporal_trace
+
+
+class _SemiAdapter:
+    """Expose serve_semi through the simulator's serve interface."""
+
+    def __init__(self, inner: KArySplayNet) -> None:
+        self.inner = inner
+
+    @property
+    def n(self) -> int:
+        return self.inner.n
+
+    def serve(self, u: int, v: int):
+        return self.inner.serve_semi(u, v)
+
+
+def test_semi_serve_ablation(benchmark, scale, record_table):
+    n = 64 if scale.name == "smoke" else 200
+    m = 3_000 if scale.name == "smoke" else 30_000
+    ps = (0.5, 0.9)
+
+    def run():
+        rows = []
+        sim = Simulator()
+        for p in ps:
+            trace = temporal_trace(n, m, p, scale.seed)
+            full = sim.run(KArySplayNet(n, 3), trace)
+            semi = sim.run(_SemiAdapter(KArySplayNet(n, 3)), trace)
+            frozen = sim.run(FrozenNetwork(KArySplayNet(n, 3)), trace)
+            rows.append((p, full, semi, frozen))
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    lines = [
+        f"Semi-splay serving — n={n}, m={m}",
+        f"{'p':>5} {'full routing':>13} {'semi routing':>13} {'frozen':>10}"
+        f" {'full rot':>9} {'semi rot':>9}",
+    ]
+    for p, full, semi, frozen in rows:
+        lines.append(
+            f"{p:>5} {full.total_routing:>13d} {semi.total_routing:>13d}"
+            f" {frozen.total_routing:>10d} {full.total_rotations:>9d}"
+            f" {semi.total_rotations:>9d}"
+        )
+        # semi does bounded work per request...
+        assert semi.total_rotations <= 2 * m
+        # ...full splaying dominates it at every locality level...
+        assert full.total_routing < semi.total_routing
+        # ...and semi only beats never-adjusting at high locality
+        if p == 0.9:
+            assert semi.total_routing < frozen.total_routing
+        else:
+            assert semi.total_routing > frozen.total_routing  # the finding
+    record_table("semi_serve", "\n".join(lines))

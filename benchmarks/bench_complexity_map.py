@@ -1,0 +1,74 @@
+"""The Avin-et-al. complexity map of all eight evaluation workloads.
+
+Places each workload (plus two mixture probes) on the (spatial, temporal)
+complexity plane and asserts that every stand-in trace lands in the regime
+DESIGN.md's substitution table claims for it — the quantitative audit
+behind the "why the substitution preserves behaviour" column.
+"""
+
+from conftest import run_once
+
+from repro.analysis.complexity import complexity_report
+from repro.experiments.presets import WORKLOADS, make_workload
+from repro.workloads.mixtures import elephant_mice_trace, markov_modulated_trace
+
+
+def test_complexity_map(benchmark, scale, record_table):
+    workloads = WORKLOADS if scale.name != "smoke" else (
+        "uniform", "hpc", "temporal-0.9"
+    )
+
+    def run():
+        rows = []
+        for name in workloads:
+            trace = make_workload(name, scale)
+            if trace.n > 2048:
+                trace = trace.head(min(trace.m, 30_000))
+            rows.append((name, complexity_report(trace)))
+        rows.append(
+            (
+                "elephant-mice",
+                complexity_report(
+                    elephant_mice_trace(100, scale.m, seed=scale.seed)
+                ),
+            )
+        )
+        rows.append(
+            (
+                "markov-mod",
+                complexity_report(
+                    markov_modulated_trace(100, scale.m, seed=scale.seed)
+                ),
+            )
+        )
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    lines = [
+        "Complexity map — spatial / temporal / burst-recurrence / LZ",
+        f"{'workload':16} {'spatial':>8} {'temporal':>9} {'recur':>7}"
+        f" {'lz':>6}  quadrant",
+    ]
+    by_name = {}
+    for name, report in rows:
+        by_name[name] = report
+        lines.append(
+            f"{name:16} {report.spatial:>8.3f} {report.temporal:>9.3f}"
+            f" {report.recurrence:>7.3f} {report.lz:>6.3f}  {report.quadrant}"
+        )
+
+    # the substitution audit (full scale only; smoke skips absent workloads)
+    assert by_name["uniform"].temporal > 0.95
+    assert by_name["uniform"].spatial > 0.9
+    if "temporal-0.9" in by_name:
+        assert by_name["temporal-0.9"].locality > 0.8
+    if "hpc" in by_name:
+        assert by_name["hpc"].locality > 0.2  # bursty phases
+    if "projector" in by_name:
+        assert by_name["projector"].spatial < 0.65  # elephants
+    if "facebook" in by_name:
+        assert by_name["facebook"].locality < 0.2  # wide, low locality
+    assert by_name["elephant-mice"].spatial < by_name["uniform"].spatial
+
+    record_table("complexity_map", "\n".join(lines))

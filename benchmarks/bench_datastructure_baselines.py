@@ -1,0 +1,70 @@
+"""Self-adjusting *data structures* under root accesses (Theorem 12 context).
+
+Compares, on a Zipf access sequence: the binary splay tree [24], semi-
+splaying, Allen–Munro move-to-root, and the Sherk-style k-ary splay tree
+with migrating keys [23].  Expected shape:
+
+* splay ≈ semi-splay ≤ move-to-root (move-to-root lacks the amortized
+  guarantee but is fine on i.i.d. skew);
+* the k-ary Sherk tree beats the binary splay tree on search cost (shorter
+  trees), mirroring Tables 1-7's "higher k ⇒ lower routing cost" for the
+  network setting.
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.datastructures.move_to_root import MoveToRootTree
+from repro.datastructures.sherk import SherkKarySplayTree
+from repro.datastructures.splay_tree import SplayTree
+
+
+def _zipf_sequence(n: int, m: int, alpha: float, seed: int) -> list[int]:
+    rng = random.Random(seed)
+    weights = [1.0 / (i + 1) ** alpha for i in range(n)]
+    return rng.choices(range(1, n + 1), weights=weights, k=m)
+
+
+def test_datastructure_baselines(benchmark, scale, record_table):
+    n = 511 if scale.name != "smoke" else 127
+    m = 20_000 if scale.name != "smoke" else 2_000
+    sequence = _zipf_sequence(n, m, alpha=1.2, seed=scale.seed)
+    keys = list(range(1, n + 1))
+
+    def run():
+        structures = {
+            "splay": SplayTree(keys),
+            "semi-splay": SplayTree(keys, semi=True),
+            "move-to-root": MoveToRootTree(keys),
+            "sherk k=4": SherkKarySplayTree(keys, 4),
+            "sherk k=8": SherkKarySplayTree(keys, 8),
+        }
+        rows = []
+        for name, structure in structures.items():
+            for key in sequence:
+                structure.access(key)
+            rows.append(
+                (
+                    name,
+                    structure.total_cost / structure.accesses,
+                    structure.total_rotations,
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    costs = {name: avg for name, avg, _ in rows}
+
+    lines = [
+        f"Self-adjusting data structures — zipf(1.2) root accesses, n={n}, m={m}",
+        f"{'structure':14} {'avg access cost':>16} {'rotations':>12}",
+    ]
+    for name, avg, rotations in rows:
+        lines.append(f"{name:14} {avg:>16.3f} {rotations:>12d}")
+
+    # shape assertions
+    assert costs["sherk k=4"] < costs["splay"]      # higher arity, shorter paths
+    assert costs["sherk k=8"] < costs["sherk k=4"]
+    assert costs["splay"] < 2.0 * costs["semi-splay"] + 1.0  # same ballpark
+    record_table("datastructure_baselines", "\n".join(lines))

@@ -1,0 +1,52 @@
+"""Regenerates the Lemma 9 comparison: full vs centroid vs optimal trees.
+
+Lemma 9 states both static constructions have uniform-workload total
+distance ``n² log_k n + O(n²)``; Theorem 33 lower-bounds the optimum by
+``Ω(n² log n)``.  This bench measures all three across n and k and records
+the measured-over-leading-term constants.
+"""
+
+from conftest import run_once
+
+from repro.analysis.distance import total_distance_via_potentials
+from repro.analysis.theory import lemma9_estimate
+from repro.core.builders import build_complete_tree
+from repro.core.centroid import build_centroid_tree
+from repro.optimal.uniform import optimal_uniform_cost
+
+
+def test_lemma9_total_distance(benchmark, scale, record_table):
+    if scale.name == "smoke":
+        ns, ks = (64, 128), (2, 3)
+    else:
+        ns, ks = (128, 256, 512, 1024), (2, 3, 5, 10)
+
+    def run():
+        rows = []
+        for k in ks:
+            for n in ns:
+                full = total_distance_via_potentials(build_complete_tree(n, k)) // 2
+                centroid = total_distance_via_potentials(build_centroid_tree(n, k)) // 2
+                optimal = optimal_uniform_cost(n, k)
+                rows.append((n, k, full, centroid, optimal))
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    lines = [
+        "Lemma 9 — uniform total distance (unordered pairs)",
+        f"{'n':>6} {'k':>3} {'full':>12} {'centroid':>12} {'optimal':>12}"
+        f" {'full/lead':>10} {'cent/lead':>10}",
+    ]
+    for n, k, full, centroid, optimal in rows:
+        lead = lemma9_estimate(n, k)
+        lines.append(
+            f"{n:>6} {k:>3} {full:>12} {centroid:>12} {optimal:>12}"
+            f" {full/lead:>10.3f} {centroid/lead:>10.3f}"
+        )
+        # Lemma 9: both within O(n²) of the n² log_k n leading term.
+        assert abs(full - lead) <= 4.0 * n * n
+        assert abs(centroid - lead) <= 4.0 * n * n
+        # ordering: optimal <= centroid <= full
+        assert optimal <= centroid <= full
+    record_table("lemma9_totaldistance", "\n".join(lines))

@@ -1,0 +1,42 @@
+"""Micro-benchmarks: offline algorithm scaling (Theorems 2, 4, 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.centroid import build_centroid_tree
+from repro.optimal.general import optimal_static_tree
+from repro.optimal.uniform import optimal_uniform_cost
+from repro.workloads.demand import DemandMatrix
+from repro.workloads.synthetic import zipf_trace
+
+
+@pytest.mark.parametrize("n,k", [(64, 2), (128, 3), (255, 5)])
+def test_optimal_tree_dp(benchmark, n, k):
+    """Theorem 2: O(n³k) DP + reconstruction."""
+    trace = zipf_trace(n, 20 * n, 1.2, seed=n)
+    demand = DemandMatrix.from_trace(trace)
+
+    result = benchmark.pedantic(
+        lambda: optimal_static_tree(demand, k), rounds=1, iterations=1
+    )
+    assert result.cost > 0
+
+
+@pytest.mark.parametrize("n", [255, 1023, 4095])
+def test_uniform_dp(benchmark, n):
+    """Theorem 4: O(n²k) uniform DP."""
+    result = benchmark.pedantic(
+        lambda: optimal_uniform_cost(n, 5), rounds=1, iterations=1
+    )
+    assert result > 0
+
+
+@pytest.mark.parametrize("n", [1000, 10_000, 100_000])
+def test_centroid_construction_linear(benchmark, n):
+    """Theorem 8: the O(n) centroid construction scales linearly."""
+    tree = benchmark.pedantic(
+        lambda: build_centroid_tree(n, 3, validate=False), rounds=1, iterations=1
+    )
+    assert tree.n == n

@@ -1,0 +1,82 @@
+"""Micro-benchmarks: rotation and serve throughput of the core structures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.builders import build_random_tree
+from repro.core.rotations import k_semi_splay, k_splay
+from repro.core.splaynet import KArySplayNet
+from repro.network.simulator import simulate
+from repro.splaynet.splaynet import SplayNet
+from repro.workloads.synthetic import uniform_trace
+
+
+@pytest.mark.parametrize("k", [2, 4, 10])
+def test_k_splay_throughput(benchmark, k):
+    """Single k-splay operations on a rotating random tree."""
+    tree = build_random_tree(256, k, seed=k)
+    rng = np.random.default_rng(1)
+    targets = rng.integers(1, 257, size=4096).tolist()
+    state = {"i": 0}
+
+    def rotate_once():
+        for _ in range(64):
+            nid = targets[state["i"] % 4096]
+            state["i"] += 1
+            node = tree.node(nid)
+            if node.parent is None:
+                continue
+            if node.parent.parent is None:
+                outcome = k_semi_splay(node)
+            else:
+                outcome = k_splay(node)
+            if outcome.new_top.parent is None:
+                tree.replace_root(outcome.new_top)
+
+    benchmark(rotate_once)
+    tree.validate()
+
+
+@pytest.mark.parametrize("k", [2, 4, 10])
+def test_kary_splaynet_serve_throughput(benchmark, k):
+    net = KArySplayNet(256, k)
+    trace = uniform_trace(256, 2000, seed=2)
+    pairs = list(trace.pairs())
+    state = {"i": 0}
+
+    def serve_batch():
+        for _ in range(200):
+            u, v = pairs[state["i"] % 2000]
+            state["i"] += 1
+            net.serve(u, v)
+
+    benchmark(serve_batch)
+    net.validate()
+
+
+def test_classic_splaynet_serve_throughput(benchmark):
+    net = SplayNet(256)
+    pairs = list(uniform_trace(256, 2000, seed=3).pairs())
+    state = {"i": 0}
+
+    def serve_batch():
+        for _ in range(200):
+            u, v = pairs[state["i"] % 2000]
+            state["i"] += 1
+            net.serve(u, v)
+
+    benchmark(serve_batch)
+    net.validate()
+
+
+def test_full_simulation_throughput(benchmark):
+    """End-to-end simulator overhead on a mid-size run."""
+    trace = uniform_trace(128, 3000, seed=4)
+
+    def run():
+        return simulate(KArySplayNet(128, 4), trace)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.total_routing > 0

@@ -1,0 +1,27 @@
+"""Regenerates the Remark 10 / Remark 37 experiment.
+
+The paper: "we found that our centroid k-ary search tree is indeed optimal
+for all n less than 10³ when k is up to 10".  We verify the claim against
+the Theorem 4 DP on a grid spanning that range.
+"""
+
+from conftest import run_once
+
+from repro.experiments.report import render_remark10
+from repro.experiments.tables import run_remark10
+
+
+def test_remark10_centroid_optimality(benchmark, scale, record_table):
+    if scale.name == "smoke":
+        ns, ks = (10, 40, 90), (2, 3)
+    elif scale.name == "paper":
+        ns = tuple(range(10, 1000, 45))
+        ks = tuple(range(2, 11))
+    else:
+        ns = (10, 25, 50, 100, 200, 400, 600, 999)
+        ks = (2, 3, 4, 5, 7, 10)
+
+    result = run_once(benchmark, lambda: run_remark10(ns=ns, ks=ks))
+    record_table("remark10_centroid_optimality", render_remark10(result))
+
+    assert result.all_optimal, f"centroid tree lost: {result.mismatches()}"

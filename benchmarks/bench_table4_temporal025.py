@@ -1,0 +1,7 @@
+"""Regenerates the paper's Table 4 (see DESIGN.md experiment index)."""
+
+from _tablebench import kary_table_bench
+
+
+def test_table4_temporal025(benchmark, scale, record_table):
+    kary_table_bench(benchmark, scale, record_table, 4)

@@ -1,0 +1,7 @@
+"""Regenerates the paper's Table 6 (see DESIGN.md experiment index)."""
+
+from _tablebench import kary_table_bench
+
+
+def test_table6_temporal075(benchmark, scale, record_table):
+    kary_table_bench(benchmark, scale, record_table, 6)

@@ -1,0 +1,36 @@
+"""Regenerates the paper's Table 8 — the 3-SplayNet centroid case study.
+
+Rendered under both cost conventions (see EXPERIMENTS.md): routing-only
+(the Tables 1-7 convention) and routing + unit rotations (Section 5.1's
+stated model, which reproduces the paper's winner pattern).
+"""
+
+from conftest import run_once
+
+from repro.experiments.report import render_table8
+from repro.experiments.tables import run_table8
+from repro.network.cost import ROUTING_ONLY, UNIT_ROTATIONS
+
+
+def test_table8_centroid(benchmark, scale, record_table):
+    result = run_once(benchmark, lambda: run_table8(scale=scale))
+
+    routing = render_table8(
+        result,
+        model=ROUTING_ONLY,
+        title=f"Table 8 — routing cost only (scale={scale.name})",
+    )
+    rotations = render_table8(
+        result,
+        model=UNIT_ROTATIONS,
+        title=f"Table 8 — routing + unit rotations (scale={scale.name})",
+    )
+    record_table("table8_centroid", routing + "\n\n" + rotations)
+
+    # Paper shape assertions under the unit-rotation model (Table 8's
+    # winner pattern): 3-SplayNet wins on the low-locality workloads and
+    # loses on the high-locality ones.
+    for workload in ("projector", "temporal-0.25", "temporal-0.5"):
+        assert result.row(workload).ratio_splaynet(UNIT_ROTATIONS) > 0.95, workload
+    for workload in ("temporal-0.9",):
+        assert result.row(workload).ratio_splaynet(UNIT_ROTATIONS) < 1.0, workload

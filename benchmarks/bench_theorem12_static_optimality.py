@@ -1,0 +1,46 @@
+"""Regenerates the Theorem 12 check: k-ary splay-tree static optimality.
+
+Theorem 12: serving search requests from the root with k-semi-splay/k-splay
+costs ``O(m + Σ_x n_x log(m / n_x))``.  The bench runs skewed access
+sequences for several k and records the measured-cost-to-bound ratio, which
+must stay below a small constant independent of skew and arity.
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.core.splaynet import KArySplayNet
+from repro.workloads.synthetic import zipf_trace
+
+
+def test_theorem12_static_optimality(benchmark, scale, record_table):
+    n = 128 if scale.name != "smoke" else 32
+    m = min(scale.m, 10_000)
+    alphas = (0.6, 1.0, 1.5, 2.5)
+    ks = (2, 4, 8) if scale.name != "smoke" else (2, 3)
+
+    def run():
+        rows = []
+        for alpha in alphas:
+            accesses = zipf_trace(n, m, alpha, seed=scale.seed).targets
+            _, counts = np.unique(accesses, return_counts=True)
+            bound = m + float((counts * np.log2(m / counts)).sum())
+            for k in ks:
+                net = KArySplayNet(n, k)
+                total = sum(
+                    net.access(int(x)).routing_cost for x in accesses
+                )
+                rows.append((alpha, k, total, bound, total / bound))
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    lines = [
+        "Theorem 12 — k-ary splay tree vs static-optimality bound",
+        f"{'zipf a':>7} {'k':>3} {'cost':>10} {'bound':>12} {'ratio':>7}",
+    ]
+    for alpha, k, total, bound, ratio in rows:
+        lines.append(f"{alpha:>7.1f} {k:>3} {total:>10} {bound:>12.0f} {ratio:>7.3f}")
+        assert ratio <= 3.0, (alpha, k)
+    record_table("theorem12_static_optimality", "\n".join(lines))

@@ -1,0 +1,66 @@
+"""Working-set bound vs measured k-ary splay-tree access cost.
+
+The Access Lemma that powers Theorem 12 also yields the working-set
+theorem; this bench probes whether the *k-ary* structure inherits the
+shape: measured access cost should track Σ log₂(ws_t + 1) within a small
+constant, across locality regimes, and the tracking should be *tighter*
+on local traces (where the bound is the binding one).
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.analysis.bounds import compare_with_bound, working_set_bound
+from repro.core.splaynet import KArySplayNet
+
+
+def _sequence(n: int, m: int, hot: int, seed: int) -> list[int]:
+    """Accesses drawn from a rotating hot set of the given size."""
+    rng = random.Random(seed)
+    population = list(range(1, n + 1))
+    out = []
+    hot_set = rng.sample(population, hot)
+    for t in range(m):
+        if t % 500 == 499:  # rotate the working set occasionally
+            hot_set = rng.sample(population, hot)
+        out.append(hot_set[rng.randrange(hot)])
+    return out
+
+
+def test_working_set_tracking(benchmark, scale, record_table):
+    n = 127 if scale.name == "smoke" else 511
+    m = 2_000 if scale.name == "smoke" else 10_000
+    regimes = (4, 16, 64, n)
+
+    def run():
+        rows = []
+        for hot in regimes:
+            accesses = _sequence(n, m, hot, seed=scale.seed + hot)
+            net = KArySplayNet(n, 3, initial="complete")
+            # access cost = depth + 1 (the splay-tree convention); the
+            # network's ServeResult reports the pre-splay routing distance
+            measured = sum(
+                net.access(key).routing_cost + 1 for key in accesses
+            )
+            comparison = compare_with_bound(
+                measured, working_set_bound(accesses), n=n, m=m
+            )
+            rows.append((hot, comparison))
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    lines = [
+        f"Working-set tracking — 3-ary splay accesses, n={n}, m={m}",
+        f"{'hot-set':>8} {'measured':>10} {'ws bound':>10} {'ratio':>7}",
+    ]
+    for hot, comparison in rows:
+        lines.append(
+            f"{hot:>8} {comparison.measured:>10.0f} {comparison.bound:>10.0f}"
+            f" {comparison.ratio:>7.3f}"
+        )
+        assert comparison.within(3.0), f"hot={hot}: {comparison}"
+    # smaller working sets must be absolutely cheaper
+    assert rows[0][1].measured < rows[-1][1].measured
+    record_table("working_set", "\n".join(lines))

@@ -1,0 +1,45 @@
+"""Benchmark harness configuration.
+
+Every table/figure bench regenerates its experiment once (wrapped in
+``benchmark.pedantic`` so pytest-benchmark reports the wall time), prints the
+paper-style table, and writes it under ``benchmarks/output/`` for
+EXPERIMENTS.md.  Scale is controlled by ``REPRO_SCALE``
+(smoke | quick | paper; default quick).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.presets import get_scale
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def record_table(output_dir, scale):
+    """Print a rendered table and persist it under benchmarks/output/."""
+
+    def _record(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (output_dir / f"{name}_{scale.name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

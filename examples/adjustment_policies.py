@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""When should a self-adjusting network adjust?
+
+The paper's cost model charges routing *and* reconfiguration (Section 2),
+and notes that physically rewiring a high-degree optical port plausibly
+costs more than a binary one (Section 5.1).  This example sweeps the
+reactive spectrum — always splay, splay only long routes, splay a coin-flip
+fraction, never splay — on a high-locality trace, and shows how the winner
+flips as the price of one rotation rises.
+
+Run:  python examples/adjustment_policies.py
+"""
+
+from repro import CostModel, KArySplayNet, bar_chart, simulate, temporal_trace
+from repro.network.policies import (
+    FrozenNetwork,
+    ProbabilisticNetwork,
+    ThresholdedNetwork,
+)
+
+N, M, SEED = 128, 15_000, 7
+
+
+def main() -> None:
+    trace = temporal_trace(N, M, 0.9, SEED)
+    policies = {
+        "reactive (always)": KArySplayNet(N, 3),
+        "threshold > 2 hops": ThresholdedNetwork(KArySplayNet(N, 3), 2),
+        "threshold > 4 hops": ThresholdedNetwork(KArySplayNet(N, 3), 4),
+        "probabilistic 50%": ProbabilisticNetwork(KArySplayNet(N, 3), 0.5, seed=SEED),
+        "frozen (never)": FrozenNetwork(KArySplayNet(N, 3)),
+    }
+    results = {name: simulate(net, trace) for name, net in policies.items()}
+
+    print(f"workload: temporal-0.9, n={N}, m={M}\n")
+    print(f"{'policy':20} {'routing':>10} {'rotations':>10}")
+    for name, result in results.items():
+        print(f"{name:20} {result.total_routing:>10d} {result.total_rotations:>10d}")
+
+    for price in (0.0, 1.0, 5.0, 20.0):
+        model = CostModel(rotation_cost=price)
+        rows = [
+            (name, round(result.total_cost(model)))
+            for name, result in results.items()
+        ]
+        winner = min(rows, key=lambda r: r[1])[0]
+        print(f"\ntotal cost at rotation price {price:g} (winner: {winner})")
+        print(bar_chart(rows))
+
+
+if __name__ == "__main__":
+    main()

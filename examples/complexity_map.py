@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Place workloads on the trace-complexity map of Avin et al. [2].
+
+The paper characterizes its inputs by temporal locality (the p knob of the
+synthetic traces) and spatial skew.  This example measures both coordinates
+for every built-in generator — including the datacenter stand-ins — and
+prints the map plus a bar chart of temporal locality, showing how the
+workloads span the regimes where SplayNet-style SANs win versus where
+static demand-aware trees win.
+
+Run:  python examples/complexity_map.py
+"""
+
+from repro import bar_chart
+from repro.analysis.complexity import complexity_report
+from repro.workloads.datacenter import facebook_trace, hpc_trace, projector_trace
+from repro.workloads.mixtures import (
+    elephant_mice_trace,
+    markov_modulated_trace,
+    shuffle_phase_trace,
+)
+from repro.workloads.synthetic import temporal_trace, uniform_trace, zipf_trace
+
+M = 20_000
+SEED = 2024
+
+
+def main() -> None:
+    traces = [
+        ("uniform", uniform_trace(100, M, SEED)),
+        ("temporal-0.25", temporal_trace(255, M, 0.25, SEED)),
+        ("temporal-0.5", temporal_trace(255, M, 0.5, SEED)),
+        ("temporal-0.75", temporal_trace(255, M, 0.75, SEED)),
+        ("temporal-0.9", temporal_trace(255, M, 0.9, SEED)),
+        ("zipf-1.4", zipf_trace(100, M, alpha=1.4, seed=SEED)),
+        ("hpc", hpc_trace(216, M, SEED)),
+        ("projector", projector_trace(100, M, SEED)),
+        ("facebook", facebook_trace(512, M, SEED)),
+        ("elephant-mice", elephant_mice_trace(100, M, seed=SEED)),
+        ("markov-mod", markov_modulated_trace(100, M, seed=SEED)),
+        ("shuffle", shuffle_phase_trace(64, M, seed=SEED)),
+    ]
+
+    print(f"{'workload':14} {'spatial':>8} {'temporal':>9} {'recur':>7}"
+          f" {'lz':>6}  quadrant")
+    print("-" * 66)
+    reports = []
+    for name, trace in traces:
+        report = complexity_report(trace)
+        reports.append((name, report))
+        print(f"{name:14} {report.spatial:>8.3f} {report.temporal:>9.3f}"
+              f" {report.recurrence:>7.3f} {report.lz:>6.3f}  {report.quadrant}")
+
+    print("\ntemporal locality (higher = SANs win; the paper's p knob):")
+    print(bar_chart([(name, round(r.locality, 3)) for name, r in reports]))
+
+    print("\nspatial skew (lower spatial complexity = demand-aware trees win):")
+    print(bar_chart([(name, round(1 - r.spatial, 3)) for name, r in reports]))
+
+    print("\ndemand heatmaps (sources × destinations, log shade):")
+    from repro.viz.heatmap import render_demand_heatmap
+    from repro.workloads.demand import DemandMatrix
+
+    for name, trace in traces:
+        if name in ("uniform", "projector", "elephant-mice"):
+            print(f"\n{name}:")
+            print(render_demand_heatmap(DemandMatrix.from_trace(trace), cells=32))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Working with custom traces: build, persist, characterize, replay.
+
+Shows the full workload API: composing traces, CSV/NPZ round-trips, the
+complexity fingerprint used throughout the evaluation, and the shuffle
+control experiment from the trace-complexity methodology.
+
+Run:  python examples/custom_traces.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    KArySplayNet,
+    Trace,
+    bursty_trace,
+    load_trace_csv,
+    load_trace_npz,
+    save_trace_csv,
+    save_trace_npz,
+    simulate,
+    summarize_trace,
+    uniform_trace,
+)
+
+
+def main() -> None:
+    n = 50
+
+    # 1. Hand-built trace: an all-to-one incast followed by a ring shift.
+    incast = Trace(
+        n,
+        sources=np.arange(2, n + 1),
+        targets=np.full(n - 1, 1),
+        name="incast",
+    )
+    ring = Trace(
+        n,
+        sources=np.arange(1, n + 1),
+        targets=np.roll(np.arange(1, n + 1), -1),
+        name="ring",
+    )
+    combined = incast.concat(ring).concat(bursty_trace(n, 500, 6.0, seed=1))
+    print(f"combined trace: {summarize_trace(combined)}")
+
+    # 2. Persist and reload in both formats.
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = Path(tmp) / "trace.csv"
+        npz_path = Path(tmp) / "trace.npz"
+        save_trace_csv(combined, csv_path)
+        save_trace_npz(combined, npz_path)
+        from_csv = load_trace_csv(csv_path, n=n)
+        from_npz = load_trace_npz(npz_path)
+        assert list(from_csv.pairs()) == list(from_npz.pairs())
+        print(f"round-tripped {from_csv.m} requests via CSV and NPZ")
+
+    # 3. The shuffle control: same demand, no temporal structure.
+    original = simulate(KArySplayNet(n, 3), combined)
+    shuffled = simulate(KArySplayNet(n, 3), combined.shuffled(seed=2))
+    print(
+        f"\nself-adjusting cost, original order : {original.total_routing}"
+        f"\nself-adjusting cost, shuffled order : {shuffled.total_routing}"
+        f"\n→ temporal structure was worth "
+        f"{shuffled.total_routing - original.total_routing} hops"
+    )
+
+    # 4. A baseline that cannot exploit order shows no such gap.
+    uniform = uniform_trace(n, combined.m, seed=3)
+    print(f"\nuniform control: {summarize_trace(uniform)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Compare every network design on simulated datacenter traffic.
+
+Reproduces a miniature of the paper's Table 8 experiment: the centroid
+3-SplayNet vs classic SplayNet vs the static full/optimal binary trees, on
+HPC-like, ProjecToR-like and Facebook-like traces.
+
+Run:  python examples/datacenter_comparison.py
+"""
+
+from repro import (
+    CentroidSplayNet,
+    SplayNet,
+    StaticTreeNetwork,
+    build_complete_tree,
+    DemandMatrix,
+    facebook_trace,
+    hpc_trace,
+    optimal_static_bst,
+    projector_trace,
+    simulate,
+    summarize_trace,
+    UNIT_ROTATIONS,
+)
+
+N, M, SEED = 100, 20_000, 11
+
+
+def main() -> None:
+    workloads = [
+        ("hpc", hpc_trace(N, M, SEED)),
+        ("projector", projector_trace(N, M, SEED)),
+        ("facebook", facebook_trace(128, M, SEED)),
+    ]
+
+    print(f"{'workload':12} {'fingerprint'}")
+    for name, trace in workloads:
+        print(f"{name:12} {summarize_trace(trace)}")
+
+    print(
+        f"\n{'workload':12} {'3-SplayNet':>11} {'SplayNet':>9} "
+        f"{'full tree':>10} {'optimal':>9}   (avg cost, routing + rotations)"
+    )
+    for name, trace in workloads:
+        n = trace.n
+        centroid = simulate(CentroidSplayNet(n, 2), trace)
+        splaynet = simulate(SplayNet(n), trace)
+        full = simulate(StaticTreeNetwork(build_complete_tree(n, 2)), trace)
+        demand = DemandMatrix.from_trace(trace)
+        optimal = simulate(
+            StaticTreeNetwork(optimal_static_bst(demand).network), trace
+        )
+        cells = [
+            sim.total_cost(UNIT_ROTATIONS) / trace.m
+            for sim in (centroid, splaynet, full, optimal)
+        ]
+        print(
+            f"{name:12} {cells[0]:>11.2f} {cells[1]:>9.2f}"
+            f" {cells[2]:>10.2f} {cells[3]:>9.2f}"
+        )
+
+    print(
+        "\nReading: self-adjusting structures win when traffic repeats"
+        " (hpc); demand-aware static trees win when it is skewed but"
+        " non-repeating (projector); the centroid heuristic hedges between"
+        " the two."
+    )
+
+
+if __name__ == "__main__":
+    main()

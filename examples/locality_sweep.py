@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Sweep the temporal-locality parameter and find the crossover points.
+
+Reproduces the mechanism behind the paper's Tables 4-7: as the probability
+``p`` of repeating the previous request grows, self-adjusting networks
+overtake static trees — first the full tree, eventually even the
+demand-aware optimum.
+
+Run:  python examples/locality_sweep.py
+"""
+
+from repro import (
+    DemandMatrix,
+    KArySplayNet,
+    StaticTreeNetwork,
+    build_complete_tree,
+    optimal_static_tree,
+    simulate,
+    temporal_trace,
+)
+
+N, K, M, SEED = 100, 4, 15_000, 3
+
+
+def main() -> None:
+    print(f"n={N}, k={K}, m={M}  (total routing cost)")
+    print(
+        f"{'p':>5} {'k-ary SplayNet':>15} {'full tree':>11} {'optimal':>9} "
+        f"{'vs full':>8} {'vs opt':>7}"
+    )
+    for p in (0.0, 0.25, 0.5, 0.75, 0.9, 0.95):
+        trace = temporal_trace(N, M, p, seed=SEED)
+        dynamic = simulate(KArySplayNet(N, K), trace).total_routing
+        full = simulate(
+            StaticTreeNetwork(build_complete_tree(N, K)), trace
+        ).total_routing
+        demand = DemandMatrix.from_trace(trace)
+        optimal = simulate(
+            StaticTreeNetwork(optimal_static_tree(demand, K).tree), trace
+        ).total_routing
+        print(
+            f"{p:>5.2f} {dynamic:>15} {full:>11} {optimal:>9} "
+            f"{dynamic / full:>7.2f}x {dynamic / optimal:>6.2f}x"
+        )
+
+    print(
+        "\nReading: ratios < 1 mean the self-adjusting network wins; the"
+        " crossover against the full tree happens at moderate locality, and"
+        " against the optimal demand-aware tree only at high locality —"
+        " the same shape as the paper's Tables 4-7."
+    )
+
+
+if __name__ == "__main__":
+    main()

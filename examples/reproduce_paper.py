@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""One-command reproduction of the paper's evaluation section.
+
+Regenerates Tables 1-8 and the Remark 10 experiment at the selected scale,
+verifies every qualitative claim from DESIGN.md's "expected shapes" list,
+and writes the rendered reports next to this script.
+
+Run:  python examples/reproduce_paper.py            # quick scale (~minutes)
+      REPRO_SCALE=smoke python examples/reproduce_paper.py   # seconds
+      REPRO_SCALE=paper python examples/reproduce_paper.py   # paper sizes (hours)
+      python examples/reproduce_paper.py --jobs 4   # parallel table cells
+"""
+
+import sys
+from pathlib import Path
+
+from repro.experiments.runner import run_all
+from repro.experiments.verify import verify_reproduction
+
+
+def main() -> None:
+    jobs = 1
+    if "--jobs" in sys.argv:
+        jobs = int(sys.argv[sys.argv.index("--jobs") + 1])
+    output = Path(__file__).parent / "output"
+    report = run_all(output_dir=output, jobs=jobs)
+    print()
+    print(report.render())
+    print()
+    print("=== claim verification (DESIGN.md expected shapes) ===")
+    summary = verify_reproduction(report)
+    print(summary.render())
+    print(f"\nreports written under {output}/")
+    if not summary.passed:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Rotation gallery: the paper's schematic Figures 1-8, rendered live.
+
+Every diagram in the paper (node layout, k-semi-splay, the two k-splay
+cases, the centroid topologies) is regenerated here from the actual
+implementation — run it to see before/after states of real rotations on
+real trees, with the search property re-validated after each.
+
+Run:  python examples/rotation_gallery.py [k]
+"""
+
+import sys
+
+from repro.viz.figures import (
+    figure1_node_layout,
+    figure2_centroid_tree,
+    figure3_semi_splay_states,
+    figure4_chain_state,
+    figure5_k_splay_states,
+    figure6_k_splay_close_states,
+    figure7_centroid_splaynet,
+    figure8_kplus1_splaynet,
+)
+
+
+def main() -> None:
+    k = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+
+    sections = [
+        ("Figure 1 — a node's key and routing array", figure1_node_layout(k=max(k, 3))),
+        ("Figure 2 — the centroid k-ary search tree", figure2_centroid_tree(n=30, k=2)),
+        ("Figure 3 — k-semi-splay (zig analogue)", figure3_semi_splay_states(k=k)),
+        ("Figure 4 — chain state before k-splay", figure4_chain_state(k=k)),
+        ("Figure 5 — k-splay case 1 (zig-zag analogue)", figure5_k_splay_states(k=k)),
+        ("Figure 6 — k-splay case 2 (zig-zig analogue)", figure6_k_splay_close_states(k=k)),
+        ("Figure 7 — 3-SplayNet layout", figure7_centroid_splaynet(n=30)),
+        ("Figure 8 — (k+1)-SplayNet layout", figure8_kplus1_splaynet(n=50, k=max(k, 3))),
+    ]
+    for title, art in sections:
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        print(art)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim: this environment's setuptools lacks the `wheel` package, so
+PEP 517 editable installs fail; `pip install -e .` falls back to this."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,1 @@
+"""analysis subpackage — see module docstrings."""

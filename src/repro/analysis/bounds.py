@@ -1,0 +1,134 @@
+"""Classical splay-tree cost bounds, evaluated on concrete traces.
+
+Theorem 12 gives the k-ary splay tree the *static-optimality* bound (the
+entropy bound of :mod:`repro.analysis.entropy` covers the network form,
+Theorem 13).  The splay-tree literature [24] provides two further bounds
+that transfer through the same Access Lemma machinery, and which make good
+empirical probes of how much structure a workload offers:
+
+* **Working-set bound** — the amortized cost of accessing ``x`` is
+  ``O(log ws(x) + 1)`` where ``ws(x)`` is the number of *distinct* items
+  accessed since the previous access to ``x``.  Low working-set traces
+  (temporal locality) are cheap regardless of the key distribution.
+* **Static-finger bound** — cost ``O(log (|x − f| + 1))`` around any fixed
+  finger ``f``; a cheap proxy for spatial locality around a hot key.
+
+Both are computed for *access sequences* (single keys).  For communication
+traces, apply them to the source and destination streams separately — the
+paper's Theorem 13 does exactly this for the entropy bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "working_set_sizes",
+    "working_set_bound",
+    "static_finger_bound",
+    "BoundComparison",
+    "compare_with_bound",
+]
+
+
+def working_set_sizes(accesses: Sequence[int]) -> np.ndarray:
+    """``ws[t]`` = distinct keys accessed since the previous access to
+    ``accesses[t]`` (the key's first access counts all keys seen so far).
+
+    O(m log m) via last-seen timestamps and a sorted structure would be
+    overkill; we use the standard O(m · distinct-window) sparse approach
+    with a Fenwick tree over time indices, O(m log m) overall.
+    """
+    m = len(accesses)
+    if m == 0:
+        raise WorkloadError("empty access sequence")
+    # Fenwick (BIT) over positions 1..m marking "this position is the most
+    # recent occurrence of its key"
+    tree = [0] * (m + 1)
+
+    def add(i: int, delta: int) -> None:
+        while i <= m:
+            tree[i] += delta
+            i += i & (-i)
+
+    def prefix(i: int) -> int:
+        s = 0
+        while i > 0:
+            s += tree[i]
+            i -= i & (-i)
+        return s
+
+    last_pos: dict[int, int] = {}
+    out = np.empty(m, dtype=np.int64)
+    for t, key in enumerate(accesses, start=1):
+        prev = last_pos.get(key)
+        if prev is None:
+            # first access: working set = all distinct keys so far (+ itself)
+            out[t - 1] = prefix(m) + 1
+        else:
+            # distinct keys strictly after prev = marked positions in (prev, t)
+            out[t - 1] = prefix(m) - prefix(prev) + 1
+            add(prev, -1)
+        add(t, 1)
+        last_pos[key] = t
+    return out
+
+
+def working_set_bound(accesses: Sequence[int]) -> float:
+    """``Σ_t log2(ws_t + 1)`` — the working-set theorem's leading sum."""
+    sizes = working_set_sizes(accesses)
+    return float(np.log2(sizes.astype(np.float64) + 1.0).sum())
+
+
+def static_finger_bound(accesses: Sequence[int], finger: int) -> float:
+    """``Σ_t log2(|x_t − finger| + 2)`` — the static-finger leading sum."""
+    if len(accesses) == 0:
+        raise WorkloadError("empty access sequence")
+    arr = np.asarray(accesses, dtype=np.float64)
+    return float(np.log2(np.abs(arr - finger) + 2.0).sum())
+
+
+@dataclass(frozen=True)
+class BoundComparison:
+    """A measured cost next to a theoretical bound (with its linear slack).
+
+    The theorems are asymptotic (``O(·)`` with an additive ``O(n log n)``
+    restructuring term), so the check is ``measured ≤ c·bound + slack``;
+    ``ratio`` reports ``measured / (bound + slack)`` for the chosen ``c=1``
+    normalization — a diagnostic, not a proof.
+    """
+
+    measured: float
+    bound: float
+    slack: float
+
+    @property
+    def ratio(self) -> float:
+        denominator = self.bound + self.slack
+        return self.measured / denominator if denominator else math.inf
+
+    def within(self, constant: float) -> bool:
+        return self.measured <= constant * self.bound + self.slack
+
+    def __str__(self) -> str:
+        return (
+            f"measured {self.measured:.0f} vs bound {self.bound:.0f}"
+            f" (+slack {self.slack:.0f}) → ratio {self.ratio:.3f}"
+        )
+
+
+def compare_with_bound(
+    measured_cost: float, bound: float, *, n: int, m: int
+) -> BoundComparison:
+    """Package a measurement with a bound and the standard ``n log n + m``
+    additive slack (initial-tree restructuring plus the per-access +1)."""
+    if n < 1 or m < 1:
+        raise WorkloadError("need n >= 1 and m >= 1")
+    slack = n * math.log2(n + 1) + m
+    return BoundComparison(measured=measured_cost, bound=bound, slack=slack)

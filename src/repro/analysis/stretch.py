@@ -1,0 +1,137 @@
+"""Local-routing stretch: how greedy routing compares to true tree paths.
+
+Definition 1 promises local greedy routing on k-ary search tree networks.
+This reproduction found (DESIGN.md, "Local routing") that after rotations a
+non-routing-based tree can force a greedy packet into *backtracking*: an
+ancestor's identifier may sit inside a descendant range gap, where no local
+interval rule can rule the subtree out.  The simulator therefore measures
+cost on true tree paths (the paper's cost definition), while
+:meth:`~repro.core.tree.KAryTreeNetwork.local_route` carries per-packet
+backtracking state with a ``≤ 2n`` hop guarantee.
+
+This module quantifies the gap: the *stretch* of a routed pair is
+``(hops taken by local routing) / (true tree distance)``.  On freshly built
+trees the stretch is exactly 1.0 (subtrees are contiguous segments); after
+rotation storms it stays close to 1 on average — the experiments harness
+records the distribution so the claim is auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.tree import KAryTreeNetwork
+from repro.errors import ReproError
+
+__all__ = ["StretchReport", "measure_stretch", "stretch_after_storm"]
+
+
+@dataclass(frozen=True)
+class StretchReport:
+    """Distribution of local-routing stretch over a set of pairs.
+
+    ``max_stretch == 1.0`` certifies that greedy routing was exact on every
+    measured pair; ``backtrack_fraction`` is the share of pairs whose local
+    route was longer than the tree path.
+    """
+
+    pairs: int
+    mean_stretch: float
+    max_stretch: float
+    backtrack_fraction: float
+    mean_distance: float
+    max_hops: int
+
+    def __str__(self) -> str:
+        return (
+            f"stretch over {self.pairs} pairs: mean {self.mean_stretch:.4f},"
+            f" max {self.max_stretch:.3f}, backtracked"
+            f" {self.backtrack_fraction:.1%}, mean distance"
+            f" {self.mean_distance:.2f}, max hops {self.max_hops}"
+        )
+
+
+def measure_stretch(
+    tree: KAryTreeNetwork,
+    pairs: Optional[Iterable[tuple[int, int]]] = None,
+    *,
+    sample: Optional[int] = None,
+    seed: int = 0,
+) -> StretchReport:
+    """Route pairs with :meth:`local_route` and compare to tree distance.
+
+    ``pairs`` defaults to all ordered pairs when ``sample`` is None (only
+    sensible for small trees) or to ``sample`` random distinct pairs.
+    """
+    n = tree.n
+    if n < 2:
+        raise ReproError("stretch needs at least two nodes")
+    if pairs is None:
+        if sample is None:
+            chosen: Sequence[tuple[int, int]] = [
+                (u, v)
+                for u in range(1, n + 1)
+                for v in range(1, n + 1)
+                if u != v
+            ]
+        else:
+            rng = np.random.default_rng(seed)
+            src = rng.integers(1, n + 1, size=sample)
+            off = rng.integers(1, n, size=sample)
+            dst = (src - 1 + off) % n + 1
+            chosen = list(zip(src.tolist(), dst.tolist()))
+    else:
+        chosen = list(pairs)
+        if not chosen:
+            raise ReproError("no pairs to measure")
+
+    stretches = np.empty(len(chosen), dtype=np.float64)
+    distances = np.empty(len(chosen), dtype=np.float64)
+    backtracked = 0
+    max_hops = 0
+    for i, (u, v) in enumerate(chosen):
+        true_distance = tree.distance(u, v)
+        hops = len(tree.local_route(u, v)) - 1
+        distances[i] = true_distance
+        stretches[i] = hops / true_distance if true_distance else 1.0
+        max_hops = max(max_hops, hops)
+        if hops > true_distance:
+            backtracked += 1
+    return StretchReport(
+        pairs=len(chosen),
+        mean_stretch=float(stretches.mean()),
+        max_stretch=float(stretches.max()),
+        backtrack_fraction=backtracked / len(chosen),
+        mean_distance=float(distances.mean()),
+        max_hops=max_hops,
+    )
+
+
+def stretch_after_storm(
+    n: int,
+    k: int,
+    *,
+    serves: int = 500,
+    sample: int = 500,
+    seed: int = 0,
+) -> StretchReport:
+    """Stretch of a k-ary SplayNet's tree after a random serve storm.
+
+    Builds a complete tree, serves ``serves`` random requests (each one
+    rotating the topology), then measures local-routing stretch on
+    ``sample`` random pairs of the *final* tree.
+    """
+    from repro.core.splaynet import KArySplayNet
+
+    rng = np.random.default_rng(seed)
+    net = KArySplayNet(n, k, initial="complete")
+    for _ in range(serves):
+        u = int(rng.integers(1, n + 1))
+        v = int(rng.integers(1, n + 1))
+        if u != v:
+            net.serve(u, v)
+    net.validate()
+    return measure_stretch(net.tree, sample=sample, seed=seed + 1)

@@ -1,0 +1,74 @@
+"""Closed-form results from the paper: Lemma 9, Theorem 6, Remark 34.
+
+These formulas let tests and benchmarks check measured total distances
+against the paper's asymptotics without re-deriving anything:
+
+* Lemma 9: the full k-ary tree and the centroid (k+1)-degree tree both have
+  uniform-workload total distance ``n² log_k n + O(n²)``.
+* Theorem 33: the optimal tree's total distance is ``Ω(n² log n)``.
+* Remark 34: the centroid tree's approximation ratio is ``1 + O(1/log n)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "lemma9_estimate",
+    "tree_levels",
+    "full_tree_edge_level_counts",
+    "centroid_approximation_gap",
+]
+
+
+def tree_levels(n: int, k: int) -> int:
+    """Number of levels of the full (weakly-complete) k-ary tree on ``n``."""
+    if n < 1:
+        return 0
+    levels = 1
+    cap = 1
+    width = 1
+    while cap < n:
+        width *= k
+        cap += width
+        levels += 1
+    return levels
+
+
+def lemma9_estimate(n: int, k: int) -> float:
+    """Lemma 9 leading term ``n² log_k n`` in *unordered-pair* units.
+
+    The paper sums edge potentials ``Σ_e s_e (n - s_e)`` (each unordered
+    pair counted once); multiply by 2 for the ordered convention used by
+    :func:`repro.analysis.distance.all_pairs_total_distance`.  The true
+    total undershoots this leading term by Θ(n²) (every tree level
+    contributes ``n²(1 - k^{-i}) < n²``), with a constant of roughly 3.
+    """
+    if n <= 1:
+        return 0.0
+    return n * n * math.log(n, k)
+
+
+def full_tree_edge_level_counts(n: int, k: int) -> list[int]:
+    """Edges per level of the full k-ary tree (level i has ≤ k^{i+1} edges)."""
+    counts = []
+    placed = 1
+    width = 1
+    while placed < n:
+        width *= k
+        level = min(width, n - placed)
+        counts.append(level)
+        placed += level
+    return counts
+
+
+def centroid_approximation_gap(n: int) -> float:
+    """Remark 34's bound on the centroid tree's approximation ratio minus 1.
+
+    The centroid tree misses the optimum by at most ``O(n²)`` while the
+    optimum is ``Ω(n² log n)``, giving ratio ``1 + O(1 / log n)``; returns
+    the ``1 / log₂ n`` envelope (constant omitted).
+    """
+    if n <= 2:
+        return 1.0
+    return 1.0 / math.log2(n)

@@ -1,0 +1,286 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``gen``        — generate a workload trace to CSV/NPZ
+* ``stats``      — print a trace's complexity fingerprint
+* ``complexity`` — place a trace on the Avin-et-al. complexity map
+* ``simulate``   — run a trace through a chosen network design
+* ``optimal``    — compute the optimal static tree for a trace's demand
+* ``figures``    — render the paper's schematic figures from live structures
+* ``reproduce``  — regenerate the paper's tables at a chosen scale
+
+Every command is a thin shell over the public API, so anything done here
+can be scripted directly in Python; run with ``-h`` for per-command flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.builders import build_complete_tree
+from repro.core.centroid import build_centroid_tree
+from repro.core.centroid_splaynet import CentroidSplayNet
+from repro.core.splaynet import KArySplayNet
+from repro.errors import ReproError
+from repro.network.cost import ROUTING_ONLY, UNIT_ROTATIONS
+from repro.network.lazy import LazyRebuildNetwork
+from repro.network.simulator import Simulator
+from repro.network.static import StaticTreeNetwork
+from repro.optimal.general import optimal_static_tree
+from repro.splaynet.splaynet import SplayNet
+from repro.workloads.datacenter import facebook_trace, hpc_trace, projector_trace
+from repro.workloads.demand import DemandMatrix
+from repro.workloads.io import (
+    load_trace_csv,
+    load_trace_npz,
+    save_trace_csv,
+    save_trace_npz,
+)
+from repro.workloads.mixtures import (
+    elephant_mice_trace,
+    markov_modulated_trace,
+    shuffle_phase_trace,
+)
+from repro.workloads.stats import summarize_trace
+from repro.workloads.synthetic import (
+    bursty_trace,
+    hotspot_trace,
+    permutation_trace,
+    temporal_trace,
+    uniform_trace,
+    zipf_trace,
+)
+from repro.workloads.trace import Trace
+
+__all__ = ["main"]
+
+_GENERATORS = {
+    "uniform": lambda n, m, seed, p: uniform_trace(n, m, seed),
+    "temporal": lambda n, m, seed, p: temporal_trace(n, m, p, seed),
+    "zipf": lambda n, m, seed, p: zipf_trace(n, m, p or 1.2, seed),
+    "hotspot": lambda n, m, seed, p: hotspot_trace(n, m, seed=seed),
+    "bursty": lambda n, m, seed, p: bursty_trace(n, m, p or 8.0, seed),
+    "permutation": lambda n, m, seed, p: permutation_trace(n, m, seed),
+    "hpc": lambda n, m, seed, p: hpc_trace(n, m, seed),
+    "projector": lambda n, m, seed, p: projector_trace(n, m, seed),
+    "facebook": lambda n, m, seed, p: facebook_trace(n, m, seed),
+    "elephant-mice": lambda n, m, seed, p: elephant_mice_trace(
+        n, m, elephant_share=p or 0.7, seed=seed
+    ),
+    "markov": lambda n, m, seed, p: markov_modulated_trace(
+        n, m, p_local=p or 0.9, seed=seed
+    ),
+    "shuffle": lambda n, m, seed, p: shuffle_phase_trace(n, m, seed=seed),
+}
+
+_NETWORKS = ("ksplaynet", "centroid-splaynet", "splaynet", "full-tree",
+             "centroid-tree", "optimal-tree", "lazy")
+
+
+def _load_trace(path: str) -> Trace:
+    p = Path(path)
+    if p.suffix == ".npz":
+        return load_trace_npz(p)
+    return load_trace_csv(p)
+
+
+def _build_network(name: str, trace: Trace, k: int, alpha: float):
+    n = trace.n
+    if name == "ksplaynet":
+        return KArySplayNet(n, k)
+    if name == "centroid-splaynet":
+        return CentroidSplayNet(n, k)
+    if name == "splaynet":
+        return SplayNet(n)
+    if name == "full-tree":
+        return StaticTreeNetwork(build_complete_tree(n, k))
+    if name == "centroid-tree":
+        return StaticTreeNetwork(build_centroid_tree(n, k))
+    if name == "optimal-tree":
+        demand = DemandMatrix.from_trace(trace)
+        return StaticTreeNetwork(optimal_static_tree(demand, k).tree)
+    if name == "lazy":
+        return LazyRebuildNetwork(n, k, alpha=alpha)
+    raise ReproError(f"unknown network {name!r}; choose from {_NETWORKS}")
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_gen(args: argparse.Namespace) -> int:
+    generator = _GENERATORS[args.kind]
+    trace = generator(args.nodes, args.requests, args.seed, args.param)
+    out = Path(args.output)
+    if out.suffix == ".npz":
+        save_trace_npz(trace, out)
+    else:
+        save_trace_csv(trace, out)
+    print(f"wrote {trace.m} requests over {trace.n} nodes to {out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    print(summarize_trace(trace))
+    return 0
+
+
+def _cmd_complexity(args: argparse.Namespace) -> int:
+    from repro.analysis.complexity import complexity_report
+
+    trace = _load_trace(args.trace)
+    report = complexity_report(trace, window=args.window)
+    print(report)
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.viz.figures import render_all_figures
+
+    figures = render_all_figures()
+    wanted = args.only or sorted(figures)
+    for name in wanted:
+        if name not in figures:
+            raise ReproError(
+                f"unknown figure {name!r}; choose from {sorted(figures)}"
+            )
+        print(f"==== {name} " + "=" * max(0, 60 - len(name)))
+        print(figures[name])
+        print()
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    network = _build_network(args.network, trace, args.k, args.alpha)
+    result = Simulator().run(network, trace, name=f"{args.network} on {trace.name}")
+    print(result)
+    print(f"  routing-only cost      : {result.total_cost(ROUTING_ONLY):.0f}")
+    print(f"  + unit rotations       : {result.total_cost(UNIT_ROTATIONS):.0f}")
+    print(f"  elapsed                : {result.elapsed_seconds:.2f}s")
+    return 0
+
+
+def _cmd_optimal(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    demand = DemandMatrix.from_trace(trace)
+    result = optimal_static_tree(demand, args.k)
+    print(f"optimal static {args.k}-ary tree: total distance {result.cost}")
+    if args.show:
+        print(result.tree.render(max_nodes=args.max_render))
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.presets import get_scale
+    from repro.experiments.runner import run_all
+
+    report = run_all(
+        scale=get_scale(args.scale),
+        output_dir=args.output,
+        verbose=not args.quiet,
+        jobs=args.jobs,
+    )
+    print(report.render())
+    if args.verify:
+        from repro.experiments.verify import verify_reproduction
+
+        summary = verify_reproduction(report)
+        print()
+        print(summary.render())
+        return 0 if summary.passed else 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Self-adjusting k-ary search tree networks (paper reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("gen", help="generate a workload trace")
+    gen.add_argument("kind", choices=sorted(_GENERATORS))
+    gen.add_argument("output", help="output path (.csv or .npz)")
+    gen.add_argument("-n", "--nodes", type=int, default=100)
+    gen.add_argument("-m", "--requests", type=int, default=10_000)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "-p", "--param", type=float, default=None,
+        help="generator parameter (temporal p / zipf alpha / burst length)",
+    )
+    gen.set_defaults(func=_cmd_gen)
+
+    stats = sub.add_parser("stats", help="fingerprint a trace")
+    stats.add_argument("trace", help="trace path (.csv or .npz)")
+    stats.set_defaults(func=_cmd_stats)
+
+    complexity = sub.add_parser(
+        "complexity", help="complexity-map coordinates of a trace"
+    )
+    complexity.add_argument("trace", help="trace path (.csv or .npz)")
+    complexity.add_argument(
+        "--window", type=int, default=64,
+        help="recurrence window for burst locality",
+    )
+    complexity.set_defaults(func=_cmd_complexity)
+
+    figures = sub.add_parser(
+        "figures", help="render the paper's schematic figures"
+    )
+    figures.add_argument(
+        "only", nargs="*", default=None,
+        help="subset to render (figure1 .. figure8; default all)",
+    )
+    figures.set_defaults(func=_cmd_figures)
+
+    sim = sub.add_parser("simulate", help="run a trace through a network")
+    sim.add_argument("trace", help="trace path (.csv or .npz)")
+    sim.add_argument("network", choices=_NETWORKS)
+    sim.add_argument("-k", type=int, default=2, help="tree arity")
+    sim.add_argument(
+        "--alpha", type=float, default=10_000.0,
+        help="rebuild threshold for the lazy network",
+    )
+    sim.set_defaults(func=_cmd_simulate)
+
+    opt = sub.add_parser("optimal", help="optimal static tree for a trace")
+    opt.add_argument("trace", help="trace path (.csv or .npz)")
+    opt.add_argument("-k", type=int, default=2)
+    opt.add_argument("--show", action="store_true", help="render the tree")
+    opt.add_argument("--max-render", type=int, default=100)
+    opt.set_defaults(func=_cmd_optimal)
+
+    rep = sub.add_parser("reproduce", help="regenerate the paper's tables")
+    rep.add_argument("--scale", default=None, choices=("smoke", "quick", "paper"))
+    rep.add_argument("--output", default=None, help="directory for reports")
+    rep.add_argument("--quiet", action="store_true")
+    rep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the table cells (0 = all cores)",
+    )
+    rep.add_argument(
+        "--verify", action="store_true",
+        help="check every qualitative claim and exit nonzero on failure",
+    )
+    rep.set_defaults(func=_cmd_reproduce)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""core subpackage — see module docstrings."""

@@ -1,0 +1,130 @@
+"""The centroid static k-ary search tree network (Section 3.2, Theorems 6-8).
+
+Construction, in O(n):
+
+1. Build the *centroid (k+1)-degree tree* (Definition 5): a centroid node
+   with ``k + 1`` weakly-complete k-ary subtrees, all levels of the whole
+   tree full except possibly the last, whose leaves are packed left.
+2. Re-root it at a leaf — a ``(k+1)``-degree tree rooted at a leaf is a
+   legal k-ary rooted tree (every internal node keeps at most ``k``
+   children).
+3. Assign identifiers ``1..n`` in child order (the uniform workload lets the
+   labelling be chosen after the structure, Remark 7/34).
+
+The paper proves the result is within ``O(n²k log k)`` of the optimal
+``(k+1)``-degree tree (Theorem 6) and observes it is *exactly* optimal for
+``n < 10³``, ``k ≤ 10`` (Remark 10) — which our benchmark
+``bench_remark10_centroid_optimality`` re-verifies against the O(n²k) DP.
+"""
+
+from __future__ import annotations
+
+from repro.core.builders import ShapeNode, build_from_shape, complete_tree_capacity
+from repro.core.tree import KAryTreeNetwork
+from repro.errors import InvalidTreeError
+
+__all__ = [
+    "centroid_subtree_sizes",
+    "centroid_shape",
+    "build_centroid_tree",
+]
+
+
+def centroid_subtree_sizes(n: int, k: int) -> list[int]:
+    """Sizes of the ``k + 1`` weakly-complete subtrees around the centroid.
+
+    All levels of the whole tree are filled except the last; the ``r``
+    leftover last-level leaves are packed into the leftmost subtrees.
+    Level ``i >= 1`` of the whole tree holds ``(k+1) k^{i-1}`` nodes.
+    """
+    if n < 1:
+        raise InvalidTreeError("need n >= 1")
+    remaining = n - 1
+    depth = 0
+    while True:
+        level = (k + 1) * k**depth
+        if remaining < level:
+            break
+        remaining -= level
+        depth += 1
+    # Each subtree now has `depth` full levels; `remaining` nodes go to
+    # level depth+1, packed left, at most k**depth per subtree.
+    interior = complete_tree_capacity(depth, k)
+    cap = k**depth
+    sizes = []
+    for j in range(k + 1):
+        extra = min(max(remaining - j * cap, 0), cap)
+        sizes.append(interior + extra)
+    assert sum(sizes) == n - 1
+    return sizes
+
+
+def _complete_shape(size: int, k: int) -> ShapeNode:
+    """Weakly-complete k-ary shape with the last level packed left."""
+    node = ShapeNode()
+    if size <= 0:
+        raise InvalidTreeError("shape size must be positive")
+    if size == 1:
+        return node
+    levels = 1
+    while complete_tree_capacity(levels, k) < size:
+        levels += 1
+    interior = complete_tree_capacity(levels - 1, k)
+    last = size - interior
+    child_full = complete_tree_capacity(levels - 2, k)
+    child_cap = k ** (levels - 2)
+    for j in range(k):
+        extra = min(max(last - j * child_cap, 0), child_cap)
+        s = child_full + extra
+        if s > 0:
+            node.add(_complete_shape(s, k))
+    return node
+
+
+def centroid_shape(n: int, k: int) -> ShapeNode:
+    """The centroid ``(k+1)``-degree tree, re-rooted at a leaf.
+
+    Returns a rooted shape whose root is a leaf of the unrooted centroid
+    tree (so the root has exactly one child and every node has at most
+    ``k`` children).
+    """
+    if n < 1:
+        raise InvalidTreeError("need n >= 1")
+    if n == 1:
+        return ShapeNode()
+    centroid = ShapeNode()
+    for size in centroid_subtree_sizes(n, k):
+        if size > 0:
+            centroid.add(_complete_shape(size, k))
+    if not centroid.children:  # pragma: no cover - n >= 2 always has one
+        return centroid
+    # Walk to a leaf (first-child descent), then reverse the path so the
+    # leaf becomes the root: every node on the path adopts its old parent
+    # as an extra child and drops the path child.
+    leaf = centroid.children[0]
+    while leaf.children:
+        leaf = leaf.children[0]
+    node = leaf
+    while node.parent is not None:
+        parent = node.parent
+        parent.children.remove(node)
+        node.children.append(parent)
+        node = parent
+    # Fix parent pointers wholesale (cheaper than tracking during reversal).
+    stack = [leaf]
+    leaf.parent = None
+    while stack:
+        cur = stack.pop()
+        for child in cur.children:
+            child.parent = cur
+            stack.append(child)
+    return leaf
+
+
+def build_centroid_tree(
+    n: int, k: int, *, own_index: str = "middle", validate: bool = True
+) -> KAryTreeNetwork:
+    """Theorem 8: the centroid k-ary search tree network, built in O(n)."""
+    shape = centroid_shape(n, k)
+    tree = build_from_shape(shape, k, own_index=own_index, validate=validate)
+    return tree

@@ -1,0 +1,230 @@
+"""The generalized d-node rotation sketched at the end of Section 4.1.
+
+The paper: *"we can take any d connected nodes in the tree and modify them in
+a manner that the node with a chosen key will be in the topmost one after the
+update: 1) merge all d routing arrays into one; 2) find the positions of our
+d identifiers; 3) choose some order of keys k_1..k_d; 4) consider the i-th
+key k_i, take the k-1 consecutive routing keys covering k_i, and use them to
+form a new node with key k_i; 5) remove these elements and repeat.  At the
+end, the topmost node will contain the required key k_d."*
+
+The sketch leaves two things open which this implementation resolves:
+
+* **Which covering block to take.**  Block choices interact: a bad early
+  choice can leave two earlier nodes (or hanging subtrees) mapping to the
+  same slot of a later node.  We enumerate feasible block starts depth-first
+  (centered first) and *dry-run* the complete re-attachment before touching
+  the tree, taking the first globally consistent assignment.  For chains of
+  length 2 and 3 a solution always exists (these are exactly
+  ``k-semi-splay`` and ``k-splay``, whose feasibility DESIGN.md proves
+  constructively); for longer chains the search doubles as an executable
+  check of the paper's claim.
+* **Where everything re-attaches.**  Each processed node's *window* is the
+  gap it leaves in the remaining merged array; windows nest, and every
+  earlier node or hanging subtree hangs off the slot of the innermost
+  later-processed window containing it.
+
+``generalized_splay`` promotes the deepest node of an ancestor chain above
+the whole chain in one transformation — the ``splay_depth > 2`` serving
+policy of :class:`~repro.core.splaynet.KArySplayNet` builds on it and the
+deep-splay ablation benchmark measures it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator, Optional, Sequence
+
+from repro.core.keyspace import NEG_INF, POS_INF
+from repro.core.node import KAryNode
+from repro.core.rotations import RotationOutcome, _gather_subtrees
+from repro.errors import RotationError
+
+__all__ = ["generalized_splay", "MAX_CHAIN"]
+
+#: Upper bound on the chain length (the assignment search is exponential).
+MAX_CHAIN = 6
+
+#: One candidate: per processed key, (routing block, window values).
+Assignment = list[tuple[list[float], tuple[float, float]]]
+
+
+def _window_of_block(remaining: list[float], j: int, k: int) -> tuple[float, float]:
+    lo = remaining[j - 1] if j > 0 else NEG_INF
+    hi = remaining[j + k - 1] if j + k - 1 < len(remaining) else POS_INF
+    return lo, hi
+
+
+def _assignments(merged: list[float], keys: Sequence[int], k: int) -> Iterator[Assignment]:
+    """Yield every feasible block assignment, most-centered choices first."""
+
+    def recurse(remaining: list[float], index: int) -> Iterator[Assignment]:
+        key = keys[index]
+        pos = bisect_left(remaining, key)
+        limit = len(remaining) - (k - 1)
+        lo_start = max(0, pos - (k - 1))
+        hi_start = min(limit, pos)
+        starts = sorted(
+            range(lo_start, hi_start + 1),
+            key=lambda j: abs(j - (pos - (k - 1) // 2)),
+        )
+        for j in starts:
+            block = remaining[j : j + k - 1]
+            window = _window_of_block(remaining, j, k)
+            if index == len(keys) - 1:
+                yield [(block, window)]
+                continue
+            rest = remaining[:j] + remaining[j + k - 1 :]
+            for tail in recurse(rest, index + 1):
+                yield [(block, window)] + tail
+
+    return recurse(list(merged), 0)
+
+
+def _plan_placements(
+    assignment: Assignment,
+    sub_intervals: list[tuple[float, float]],
+    merged: list[float],
+) -> Optional[tuple[list[tuple[int, int]], list[tuple[int, int]]]]:
+    """Dry-run the re-attachment; ``None`` on any slot collision.
+
+    Returns (chain_placements, sub_placements) as (owner_index, slot) pairs;
+    owner indices refer to the processing order.
+    """
+    windows = [window for _, window in assignment]
+    blocks = [block for block, _ in assignment]
+    occupied: set[tuple[int, int]] = set()
+
+    def place(lo: float, hi: float, first_owner: int) -> Optional[tuple[int, int]]:
+        for idx in range(first_owner, len(windows)):
+            wlo, whi = windows[idx]
+            if wlo <= lo and hi <= whi:
+                slot = bisect_left(blocks[idx], hi)
+                key = (idx, slot)
+                if key in occupied:
+                    return None
+                occupied.add(key)
+                return key
+        return None
+
+    chain_placements: list[tuple[int, int]] = []
+    for idx in range(len(windows) - 1):
+        placed = place(windows[idx][0], windows[idx][1], idx + 1)
+        if placed is None:
+            return None
+        chain_placements.append(placed)
+    sub_placements: list[tuple[int, int]] = []
+    for lo, hi in sub_intervals:
+        placed = place(lo, hi, 0)
+        if placed is None:
+            return None
+        sub_placements.append(placed)
+    return chain_placements, sub_placements
+
+
+def generalized_splay(
+    chain: Sequence[KAryNode],
+    *,
+    order: Optional[Sequence[int]] = None,
+) -> RotationOutcome:
+    """Collapse an ancestor ``chain`` so its last node ends on top.
+
+    ``chain`` is given top-down: ``chain[0]`` is the highest ancestor,
+    ``chain[-1]`` the node to promote; consecutive entries must be
+    parent/child.  ``order`` optionally fixes the paper's step-3 processing
+    order as indices into ``chain`` (default top-down, promoted node last).
+    Raises :class:`RotationError` — with the tree untouched — if no
+    consistent assignment exists.
+    """
+    d = len(chain)
+    if d < 2:
+        raise RotationError("generalized splay needs a chain of length >= 2")
+    if d > MAX_CHAIN:
+        raise RotationError(f"chain length {d} exceeds MAX_CHAIN={MAX_CHAIN}")
+    for upper, lower in zip(chain, chain[1:]):
+        if lower.parent is not upper:
+            raise RotationError(
+                f"chain break: {lower.nid} is not a child of {upper.nid}"
+            )
+    k = chain[0].k
+    top = chain[0]
+    promoted = chain[-1]
+
+    if order is None:
+        order = tuple(range(d))
+    if sorted(order) != list(range(d)) or order[-1] != d - 1:
+        raise RotationError(
+            "order must be a permutation of the chain finishing at the"
+            " promoted node"
+        )
+
+    merged = sorted(value for node in chain for value in node.routing)
+    group_ids = {node.nid for node in chain}
+    keys = [chain[i].nid for i in order]
+
+    # Subtree intervals can be read without detaching anything.
+    sub_intervals: list[tuple[float, float]] = []
+    sub_nodes: list[KAryNode] = []
+    for owner in chain:
+        for child in owner.children:
+            if child is not None and child.nid not in group_ids:
+                pos = bisect_left(merged, child.smin)
+                lo = merged[pos - 1] if pos > 0 else NEG_INF
+                hi = merged[pos] if pos < len(merged) else POS_INF
+                sub_intervals.append((lo, hi))
+                sub_nodes.append(child)
+
+    plan = None
+    for assignment in _assignments(merged, keys, k):
+        placements = _plan_placements(assignment, sub_intervals, merged)
+        if placements is not None:
+            plan = (assignment, placements)
+            break
+    if plan is None:
+        raise RotationError(
+            f"no consistent block assignment for chain {sorted(group_ids)}"
+        )
+    assignment, (chain_placements, sub_placements) = plan
+
+    # ------------------------------------------------------------------
+    # Commit: the plan is verified, surgery cannot fail from here on.
+    # ------------------------------------------------------------------
+    grand = top.parent
+    gslot = top.pslot
+    if grand is not None:
+        grand.detach_child(gslot)
+    subs = _gather_subtrees(list(chain), group_ids)
+    assert [s.nid for s, _ in subs] == [s.nid for s in sub_nodes]
+
+    nodes_in_order = [chain[i] for i in order]
+    for node in chain:
+        node.children = [None] * k
+        node.parent = None
+        node.pslot = -1
+    for node, (block, _window) in zip(nodes_in_order, assignment):
+        node.routing = block
+
+    old_edges = {
+        frozenset((upper.nid, lower.nid)) for upper, lower in zip(chain, chain[1:])
+    }
+    links = 0
+    for idx, (owner_idx, slot) in enumerate(chain_placements):
+        nodes_in_order[owner_idx].attach_child(nodes_in_order[idx], slot)
+    for (sub, old_owner), (owner_idx, slot) in zip(subs, sub_placements):
+        owner = nodes_in_order[owner_idx]
+        owner.attach_child(sub, slot)
+        if owner is not old_owner:
+            links += 2
+    # earlier-processed nodes sit below later ones: recompute bottom-up
+    for node in nodes_in_order:
+        node.recompute_range()
+
+    if grand is not None:
+        grand.attach_child(promoted, gslot)
+        links += 2
+    new_edges = set()
+    for node in nodes_in_order[:-1]:
+        assert node.parent is not None
+        new_edges.add(frozenset((node.nid, node.parent.nid)))
+    links += len(old_edges ^ new_edges)
+    return RotationOutcome(promoted, links)

@@ -1,0 +1,163 @@
+"""The node object of a k-ary search tree network.
+
+A :class:`KAryNode` is one network node (e.g. a top-of-rack switch).  Per the
+paper's Definition 1 it carries:
+
+* ``nid`` — the permanent integer identifier (the *node key*); rotations never
+  change it,
+* ``routing`` — the routing array: a sorted list of exactly ``k-1`` separator
+  values partitioning the key space into ``k`` child slots,
+* ``children`` — one optional child per slot,
+* ``smin``/``smax`` — the smallest/largest identifier in the node's subtree
+  (maintained incrementally; used for greedy local routing and validation).
+
+The node deliberately has no back-pointer to its tree; rotations operate on
+local neighbourhoods only, exactly as a distributed implementation would.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator, Optional
+
+from repro.core.keyspace import NEG_INF, POS_INF, Interval
+from repro.errors import InvalidTreeError
+
+__all__ = ["KAryNode"]
+
+
+class KAryNode:
+    """A single node of a :class:`~repro.core.tree.KAryTreeNetwork`."""
+
+    __slots__ = ("nid", "routing", "children", "parent", "pslot", "smin", "smax")
+
+    def __init__(self, nid: int, k: int) -> None:
+        if k < 2:
+            raise InvalidTreeError(f"arity k must be >= 2, got {k}")
+        self.nid: int = nid
+        #: sorted separators; always exactly ``k - 1`` values
+        self.routing: list[float] = []
+        #: slot-indexed children; ``len(children) == k``
+        self.children: list[Optional[KAryNode]] = [None] * k
+        self.parent: Optional[KAryNode] = None
+        #: index of the slot this node occupies in its parent
+        self.pslot: int = -1
+        self.smin: int = nid
+        self.smax: int = nid
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """The arity of the tree this node belongs to."""
+        return len(self.children)
+
+    @property
+    def degree(self) -> int:
+        """Number of present children."""
+        return sum(1 for c in self.children if c is not None)
+
+    @property
+    def is_leaf(self) -> bool:
+        return all(c is None for c in self.children)
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def child_iter(self) -> Iterator["KAryNode"]:
+        """Iterate over present children, in slot order."""
+        for child in self.children:
+            if child is not None:
+                yield child
+
+    # ------------------------------------------------------------------
+    # slot arithmetic
+    # ------------------------------------------------------------------
+    def slot_of(self, value: float) -> int:
+        """The index of the slot whose open interval contains ``value``.
+
+        ``value`` must not equal any separator in the routing array (this
+        never happens for identifiers, which are integers).
+        """
+        return bisect_left(self.routing, value)
+
+    def slot_interval(self, slot: int) -> Interval:
+        """The open interval of ``slot`` (with ±inf sentinels at the ends)."""
+        r = self.routing
+        lo = r[slot - 1] if slot > 0 else NEG_INF
+        hi = r[slot] if slot < len(r) else POS_INF
+        return Interval(lo, hi)
+
+    def child_in_slot(self, value: float) -> Optional["KAryNode"]:
+        """The child occupying the slot containing ``value`` (or ``None``)."""
+        return self.children[self.slot_of(value)]
+
+    # ------------------------------------------------------------------
+    # subtree-range maintenance
+    # ------------------------------------------------------------------
+    def recompute_range(self) -> None:
+        """Recompute ``smin``/``smax`` from the node's direct children.
+
+        Children must already have correct ranges; rotations call this
+        bottom-up on the (at most three) nodes they rewire.
+        """
+        lo = hi = self.nid
+        for child in self.children:
+            if child is not None:
+                if child.smin < lo:
+                    lo = child.smin
+                if child.smax > hi:
+                    hi = child.smax
+        self.smin = lo
+        self.smax = hi
+
+    def subtree_size(self) -> int:
+        """Number of nodes in this subtree (iterative DFS, O(size))."""
+        count = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            count += 1
+            for child in node.children:
+                if child is not None:
+                    stack.append(child)
+        return count
+
+    def iter_subtree(self) -> Iterator["KAryNode"]:
+        """Yield every node of this subtree in DFS (pre-)order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in reversed(node.children):
+                if child is not None:
+                    stack.append(child)
+
+    # ------------------------------------------------------------------
+    # wiring helpers (used by builders and rotations)
+    # ------------------------------------------------------------------
+    def attach_child(self, child: "KAryNode", slot: int) -> None:
+        """Place ``child`` into ``slot``; the slot must be empty."""
+        if self.children[slot] is not None:
+            raise InvalidTreeError(
+                f"slot {slot} of node {self.nid} is already occupied"
+            )
+        self.children[slot] = child
+        child.parent = self
+        child.pslot = slot
+
+    def detach_child(self, slot: int) -> "KAryNode":
+        """Remove and return the child in ``slot``."""
+        child = self.children[slot]
+        if child is None:
+            raise InvalidTreeError(f"slot {slot} of node {self.nid} is empty")
+        self.children[slot] = None
+        child.parent = None
+        child.pslot = -1
+        return child
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kids = [c.nid if c else "." for c in self.children]
+        return f"KAryNode(nid={self.nid}, routing={self.routing}, children={kids})"

@@ -1,0 +1,348 @@
+"""The paper's novel rotations: ``k-semi-splay`` and ``k-splay``.
+
+Both operations (Section 4.1, Figures 3-6) act on a small connected group of
+nodes, *merge* their routing arrays, and re-split the merged array so that a
+chosen node ends on top — while every node keeps its permanent identifier.
+Subtrees hanging off the group are reattached to whichever group node's slot
+now spans them.
+
+Correctness rests on one invariant maintained everywhere in this library:
+*every routing element of a node lies strictly inside the node's ancestor
+window*.  Consequently, in the merged array ``M`` of a parent/child (or
+grandparent/parent/child) group, each hanging subtree occupies exactly one
+open interval between consecutive elements of ``M`` (its *merged interval*),
+so reattachment is a permutation of merged intervals to slots — never a
+split.  Constructive feasibility of the block choices is argued inline.
+
+Terminology used throughout: a *block* is a run of ``k-1`` consecutive
+elements ``M[j : j+k-1]`` of a merged array; its *window* is the open
+interval ``(M[j-1], M[j+k-1])`` (with ±inf sentinels), which spans the ``k``
+merged intervals ``j .. j+k-1``; a block *covers* a key when the key lies in
+its window, which holds iff ``j <= pos <= j+k-1`` where ``pos`` is the key's
+merged-interval index.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Optional
+
+from repro.core.node import KAryNode
+from repro.errors import RotationError
+
+__all__ = [
+    "BLOCK_POLICIES",
+    "k_semi_splay",
+    "k_splay",
+    "splay_step",
+    "RotationOutcome",
+]
+
+#: Block-selection policies: where, within its feasible range, the block
+#: covering a demoted key is placed.  ``center`` balances the key inside the
+#: block window; ``left``/``right`` push the block to the range ends.  The
+#: policy is a free parameter of the paper's construction and is exercised by
+#: the block-policy ablation benchmark.
+BLOCK_POLICIES = ("center", "left", "right")
+
+
+#: When true, rotations re-verify that every reattached subtree occupies a
+#: single merged interval (an O(k) extra bisect per subtree).  Tests enable
+#: this; production serving relies on the construction-time invariants.
+PARANOID = False
+
+
+class RotationOutcome:
+    """What a rotation did: the group's new top node and the link churn."""
+
+    __slots__ = ("new_top", "links_changed")
+
+    def __init__(self, new_top: KAryNode, links_changed: int) -> None:
+        self.new_top = new_top
+        self.links_changed = links_changed
+
+
+def _choose_block_start(pos: int, k: int, limit: int, policy: str) -> int:
+    """A feasible block start ``j`` with ``j <= pos <= j + k - 1``.
+
+    ``limit`` is the largest legal start (``len(M) - (k-1)``).  The feasible
+    range ``[max(0, pos - (k-1)), min(limit, pos)]`` is never empty because
+    ``0 <= pos <= limit + k - 1``.
+    """
+    lo = max(0, pos - (k - 1))
+    hi = min(limit, pos)
+    if policy == "center":
+        return min(max(pos - (k - 1) // 2, lo), hi)
+    if policy == "left":
+        return lo
+    if policy == "right":
+        return hi
+    raise RotationError(f"unknown block policy {policy!r}")
+
+
+def _gather_subtrees(
+    owners: list[KAryNode], exclude: set[int]
+) -> list[tuple[KAryNode, KAryNode]]:
+    """Detach all non-group children of ``owners``; yields (subtree, old_owner)."""
+    subs: list[tuple[KAryNode, KAryNode]] = []
+    for owner in owners:
+        for slot, child in enumerate(owner.children):
+            if child is not None and child.nid not in exclude:
+                subs.append((owner.detach_child(slot), owner))
+    return subs
+
+
+def _merged_interval(merged: list[float], sub: KAryNode) -> int:
+    """The merged-interval index occupied by subtree ``sub``."""
+    m = bisect_left(merged, sub.smin)
+    if PARANOID and bisect_left(merged, sub.smax) != m:
+        raise RotationError(
+            f"subtree of {sub.nid} (range [{sub.smin}, {sub.smax}]) straddles"
+            " a merged routing element — window invariant violated"
+        )
+    return m
+
+
+def k_semi_splay(child: KAryNode, *, policy: str = "center") -> RotationOutcome:
+    """Promote ``child`` above its parent (the paper's zig generalization).
+
+    The parent ``x`` takes a block of ``k-1`` consecutive merged elements
+    covering ``x``'s identifier and becomes a child of ``child``; every other
+    merged element stays with ``child``.  Feasibility: ``x``'s identifier has
+    a merged-interval index ``pos`` in ``[0, 2k-2]``, and block starts range
+    over ``[0, k-1]``, so a covering start always exists.
+    """
+    x = child.parent
+    if x is None:
+        raise RotationError(f"node {child.nid} is the root; cannot semi-splay")
+    y = child
+    k = y.k
+
+    grand: Optional[KAryNode] = x.parent
+    gslot = x.pslot
+    if grand is not None:
+        grand.detach_child(gslot)
+
+    merged = sorted(x.routing + y.routing)
+    subs = _gather_subtrees([x, y], {x.nid, y.nid})
+    pos_x = bisect_left(merged, x.nid)
+    j = _choose_block_start(pos_x, k, k - 1, policy)
+
+    x.routing = merged[j : j + k - 1]
+    y.routing = merged[:j] + merged[j + k - 1 :]
+    x.children = [None] * k
+    y.children = [None] * k
+    x.parent = y.parent = None
+    x.pslot = y.pslot = -1
+
+    y.attach_child(x, j)
+    # Link churn: the x–y edge only reverses direction (same physical link);
+    # the grandparent link is re-pointed from x to y (one removed, one
+    # added); each subtree whose owner flips between x and y costs two.
+    links = 0 if grand is None else 2
+    for sub, old_owner in subs:
+        m = _merged_interval(merged, sub)
+        if j <= m <= j + k - 1:
+            x.attach_child(sub, m - j)
+            if old_owner is not x:
+                links += 2
+        else:
+            y.attach_child(sub, m if m < j else m - (k - 1))
+            if old_owner is not y:
+                links += 2
+    x.recompute_range()
+    y.recompute_range()
+
+    if grand is not None:
+        grand.attach_child(y, gslot)
+
+    return RotationOutcome(y, links)
+
+
+def k_splay(node: KAryNode, *, policy: str = "center") -> RotationOutcome:
+    """Promote ``node`` above its parent *and* grandparent (Figures 4-6).
+
+    With ``x`` the grandparent, ``y`` the parent and ``z = node``:
+
+    * **Case 1** (paper's first case, the zig-zag analogue) applies when the
+      identifiers of ``x`` and ``y`` are separated by more than ``k-1``
+      merged elements: ``x`` and ``y`` each take a covering block and both
+      become children of ``z``.  Pushing ``x``'s block left and ``y``'s block
+      right (or mirrored) leaves at least one ``z`` element between the two
+      windows, so they land in distinct slots of ``z``.
+    * **Case 2** (the zig-zig analogue) applies otherwise: a run of
+      ``2(k-1)`` elements covering both ``x`` and ``y`` is carved out for the
+      pair, ``z`` keeps the rest; inside the run, ``x`` takes a covering
+      block and hangs under ``y``, which hangs under ``z``.
+    """
+    y = node.parent
+    if y is None:
+        raise RotationError(f"node {node.nid} is the root; cannot k-splay")
+    x = y.parent
+    if x is None:
+        raise RotationError(
+            f"node {node.nid} has no grandparent; use k_semi_splay instead"
+        )
+    z = node
+    k = z.k
+
+    grand: Optional[KAryNode] = x.parent
+    gslot = x.pslot
+    if grand is not None:
+        grand.detach_child(gslot)
+
+    merged = sorted(x.routing + y.routing + z.routing)
+    subs = _gather_subtrees([x, y, z], {x.nid, y.nid, z.nid})
+    pos_x = bisect_left(merged, x.nid)
+    pos_y = bisect_left(merged, y.nid)
+
+    for member in (x, y, z):
+        member.children = [None] * k
+        member.parent = None
+        member.pslot = -1
+
+    if abs(pos_x - pos_y) > k - 1:
+        # Case 1 turns the chain x–y–z into the star z–{x, y}: the y–z link
+        # survives, x–y is replaced by x–z (two changes).
+        links = _k_splay_distant(merged, subs, x, y, z, pos_x, pos_y, k) + 2
+    else:
+        # Case 2 reverses the chain in place: both group links survive.
+        links = _k_splay_close(merged, subs, x, y, z, pos_x, pos_y, k, policy)
+
+    if grand is not None:
+        grand.attach_child(z, gslot)
+        links += 2  # grandparent link re-pointed from x to z
+
+    return RotationOutcome(z, links)
+
+
+def _k_splay_distant(
+    merged: list[float],
+    subs: list[KAryNode],
+    x: KAryNode,
+    y: KAryNode,
+    z: KAryNode,
+    pos_x: int,
+    pos_y: int,
+    k: int,
+) -> int:
+    """Case 1: ``x`` and ``y`` become siblings under ``z``.
+
+    With ``pos_lo < pos_hi`` the two identifier positions, the starts
+    ``j_lo = max(0, pos_lo - (k-1))`` and ``j_hi = min(2k-2, pos_hi)`` always
+    cover their keys, and ``j_hi - j_lo >= k`` (one merged element strictly
+    between the blocks) follows from ``pos_hi - pos_lo >= k``; that element
+    stays with ``z`` and separates the two windows into distinct ``z`` slots.
+    """
+    lo_node, pos_lo, hi_node, pos_hi = (
+        (x, pos_x, y, pos_y) if pos_x < pos_y else (y, pos_y, x, pos_x)
+    )
+    j_lo = max(0, pos_lo - (k - 1))
+    j_hi = min(2 * (k - 1), pos_hi)
+    if j_hi - j_lo < k:  # pragma: no cover - proven impossible
+        raise RotationError("k-splay case 1 block separation failed")
+
+    lo_node.routing = merged[j_lo : j_lo + k - 1]
+    hi_node.routing = merged[j_hi : j_hi + k - 1]
+    z.routing = merged[:j_lo] + merged[j_lo + k - 1 : j_hi] + merged[j_hi + k - 1 :]
+
+    z.attach_child(lo_node, j_lo)
+    z.attach_child(hi_node, j_hi - (k - 1))
+    links = 0
+    for sub, old_owner in subs:
+        m = _merged_interval(merged, sub)
+        if j_lo <= m <= j_lo + k - 1:
+            new_owner = lo_node
+            lo_node.attach_child(sub, m - j_lo)
+        elif j_hi <= m <= j_hi + k - 1:
+            new_owner = hi_node
+            hi_node.attach_child(sub, m - j_hi)
+        elif m < j_lo:
+            new_owner = z
+            z.attach_child(sub, m)
+        elif m < j_hi:
+            new_owner = z
+            z.attach_child(sub, m - (k - 1))
+        else:
+            new_owner = z
+            z.attach_child(sub, m - 2 * (k - 1))
+        if new_owner is not old_owner:
+            links += 2
+    lo_node.recompute_range()
+    hi_node.recompute_range()
+    z.recompute_range()
+    return links
+
+
+def _k_splay_close(
+    merged: list[float],
+    subs: list[KAryNode],
+    x: KAryNode,
+    y: KAryNode,
+    z: KAryNode,
+    pos_x: int,
+    pos_y: int,
+    k: int,
+    policy: str,
+) -> int:
+    """Case 2: chain ``z -> y -> x``.
+
+    A run of ``2(k-1)`` consecutive elements covering both identifiers exists
+    because they are at most ``k-1`` merged elements apart; ``z`` keeps the
+    complement.  Inside the run, ``x`` takes a covering block (always
+    feasible) and ``y`` the rest.
+    """
+    lo_pos, hi_pos = min(pos_x, pos_y), max(pos_x, pos_y)
+    width = 2 * (k - 1)
+    j2_lo = max(0, hi_pos - width)
+    j2_hi = min(k - 1, lo_pos)
+    if j2_lo > j2_hi:  # pragma: no cover - proven impossible
+        raise RotationError("k-splay case 2 pair window infeasible")
+    j2 = min(max(hi_pos - width + (width - (hi_pos - lo_pos)) // 2, j2_lo), j2_hi)
+
+    pair = merged[j2 : j2 + width]
+    z.routing = merged[:j2] + merged[j2 + width :]
+
+    pos_x2 = pos_x - j2
+    j1 = _choose_block_start(pos_x2, k, k - 1, policy)
+    x.routing = pair[j1 : j1 + k - 1]
+    y.routing = pair[:j1] + pair[j1 + k - 1 :]
+
+    z.attach_child(y, j2)
+    y.attach_child(x, j1)
+    links = 0
+    for sub, old_owner in subs:
+        m = _merged_interval(merged, sub)
+        if not j2 <= m <= j2 + width:
+            new_owner = z
+            z.attach_child(sub, m if m < j2 else m - width)
+        else:
+            m2 = m - j2
+            if j1 <= m2 <= j1 + k - 1:
+                new_owner = x
+                x.attach_child(sub, m2 - j1)
+            else:
+                new_owner = y
+                y.attach_child(sub, m2 if m2 < j1 else m2 - (k - 1))
+        if new_owner is not old_owner:
+            links += 2
+    x.recompute_range()
+    y.recompute_range()
+    z.recompute_range()
+    return links
+
+
+def splay_step(node: KAryNode, stop: Optional[KAryNode], *, policy: str = "center") -> RotationOutcome:
+    """One splay step lifting ``node`` toward the child of ``stop``.
+
+    Applies ``k-splay`` when the grandparent exists below ``stop`` and
+    ``k-semi-splay`` for the final single level, mirroring the binary splay
+    discipline the paper's Theorem 12 analysis relies on.
+    """
+    parent = node.parent
+    if parent is None or parent is stop:
+        raise RotationError(f"node {node.nid} is already below the stop node")
+    grand = parent.parent
+    if grand is stop or grand is None:
+        return k_semi_splay(node, policy=policy)
+    return k_splay(node, policy=policy)

@@ -1,0 +1,74 @@
+"""Splay driver: lift a node to a target position via k-splay steps.
+
+The paper serves a request by splaying the source up to the lowest common
+ancestor's position and the destination up to a child of the source
+(Section 4.1, inherited from SplayNet).  This module provides the shared
+loop; :mod:`repro.core.splaynet` and :mod:`repro.core.centroid_splaynet`
+build their serving disciplines on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.node import KAryNode
+from repro.core.rotations import splay_step
+from repro.core.tree import KAryTreeNetwork
+from repro.errors import RotationError
+
+__all__ = ["splay_until"]
+
+
+def splay_until(
+    tree: KAryTreeNetwork,
+    node: KAryNode,
+    stop: Optional[KAryNode],
+    *,
+    policy: str = "center",
+    depth: int = 2,
+) -> tuple[int, int]:
+    """Rotate ``node`` upward until its parent is ``stop``.
+
+    ``stop is None`` splays the node all the way to the root.  ``stop`` must
+    be a proper ancestor of ``node`` (or ``None``); the loop terminates
+    because every step strictly decreases the node's depth.  Returns
+    ``(rotations, links_changed)``.
+
+    ``depth`` is the number of levels climbed per transformation: 2 is the
+    paper's ``k-splay`` discipline (with a ``k-semi-splay`` finisher);
+    larger values use the generalized d-node rotation from the end of
+    Section 4.1 (the deep-splay ablation).
+    """
+    if depth < 2:
+        raise RotationError(f"splay depth must be >= 2, got {depth}")
+    rotations = 0
+    links = 0
+    if depth == 2:
+        while node.parent is not stop:
+            outcome = splay_step(node, stop, policy=policy)
+            rotations += 1
+            links += outcome.links_changed
+            if outcome.new_top.parent is None:
+                tree.replace_root(outcome.new_top)
+        return rotations, links
+
+    from repro.core.multirotation import generalized_splay
+
+    while node.parent is not stop:
+        chain: list[KAryNode] = [node]
+        cursor = node
+        while len(chain) <= depth and cursor.parent is not stop and cursor.parent is not None:
+            cursor = cursor.parent
+            chain.append(cursor)
+        chain.reverse()
+        if len(chain) == 2:
+            outcome = splay_step(node, stop, policy=policy)
+        elif len(chain) == 3:
+            outcome = splay_step(node, stop, policy=policy)
+        else:
+            outcome = generalized_splay(chain)
+        rotations += 1
+        links += outcome.links_changed
+        if outcome.new_top.parent is None:
+            tree.replace_root(outcome.new_top)
+    return rotations, links

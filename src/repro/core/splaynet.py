@@ -1,0 +1,205 @@
+"""k-ary SplayNet — the paper's first online self-adjusting network.
+
+``KArySplayNet`` generalizes SplayNet [22] to arity ``k``: on a request
+``(u, v)`` it finds the lowest common ancestor ``w`` of the endpoints, splays
+``u`` into ``w``'s position using the ``k-splay``/``k-semi-splay`` rotations,
+then splays ``v`` up to a child of ``u``, so the pair ends up adjacent and
+repeated requests cost 1.  For ``k = 2`` this reproduces standard SplayNet
+behaviour (the paper's "2-ary SplayNet").
+
+The routing cost charged for a request is the endpoint distance in the
+topology *before* the adjustment; rotations and link churn are reported
+separately (see :class:`repro.network.protocols.ServeResult`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.builders import (
+    build_balanced_tree,
+    build_complete_tree,
+    build_random_tree,
+)
+from repro.core.rotations import BLOCK_POLICIES, splay_step
+from repro.core.splay import splay_until
+from repro.core.tree import KAryTreeNetwork
+from repro.errors import InvalidTreeError, RotationError
+from repro.network.protocols import ServeResult
+
+__all__ = ["KArySplayNet"]
+
+_INITIAL_BUILDERS = {
+    "complete": build_complete_tree,
+    "balanced": build_balanced_tree,
+}
+
+
+class KArySplayNet:
+    """An online self-adjusting k-ary search tree network.
+
+    Parameters
+    ----------
+    n:
+        Number of network nodes (identifiers ``1..n``).
+    k:
+        Arity (``k >= 2``; ``k = 2`` is standard SplayNet re-expressed with
+        separate routing arrays).
+    initial:
+        Initial topology: ``"complete"`` (default), ``"balanced"``,
+        ``"random"``, or an explicit :class:`KAryTreeNetwork` to adopt.
+    policy:
+        Block-selection policy for rotations (see
+        :data:`repro.core.rotations.BLOCK_POLICIES`).
+    splay_depth:
+        Levels climbed per transformation: 2 = the paper's k-splay
+        discipline (default); >2 uses the generalized d-node rotation
+        (Section 4.1's closing remark; see the deep-splay ablation bench).
+    seed:
+        Seed for the ``"random"`` initial topology.
+    """
+
+    def __init__(
+        self,
+        n: Optional[int] = None,
+        k: int = 2,
+        *,
+        initial: "str | KAryTreeNetwork" = "complete",
+        policy: str = "center",
+        splay_depth: int = 2,
+        seed: Optional[int] = None,
+    ) -> None:
+        if policy not in BLOCK_POLICIES:
+            raise RotationError(
+                f"unknown block policy {policy!r}; choose from {BLOCK_POLICIES}"
+            )
+        if splay_depth < 2:
+            raise RotationError(f"splay_depth must be >= 2, got {splay_depth}")
+        self.policy = policy
+        self.splay_depth = splay_depth
+        if isinstance(initial, KAryTreeNetwork):
+            if n is not None and n != initial.n:
+                raise InvalidTreeError(
+                    f"n={n} conflicts with provided tree of size {initial.n}"
+                )
+            if initial.routing_based:
+                raise InvalidTreeError(
+                    "routing-based trees cannot self-adjust (identifiers double"
+                    " as separators); build a non-routing-based initial tree"
+                )
+            self.tree = initial
+        else:
+            if n is None:
+                raise InvalidTreeError("n is required unless a tree is provided")
+            if initial == "random":
+                self.tree = build_random_tree(
+                    n, k, np.random.default_rng(seed), validate=False
+                )
+            elif initial in _INITIAL_BUILDERS:
+                self.tree = _INITIAL_BUILDERS[initial](n, k, validate=False)
+            else:
+                raise InvalidTreeError(f"unknown initial topology {initial!r}")
+        if isinstance(initial, KAryTreeNetwork) and initial.k != k and n is not None:
+            raise InvalidTreeError("arity of provided tree conflicts with k")
+        self._k = self.tree.k
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.tree.n
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def distance(self, u: int, v: int) -> int:
+        return self.tree.distance(u, v)
+
+    def serve(self, u: int, v: int) -> ServeResult:
+        """Serve request ``(u, v)``: route, then splay the endpoints together.
+
+        After the call (for ``u != v``) the endpoints are adjacent, so a
+        burst of repeated requests costs 1 per request — the self-adjusting
+        property the paper's experiments exploit on high-locality traces.
+        """
+        if u == v:
+            return ServeResult(0, 0, 0)
+        tree = self.tree
+        lca, du, dv = tree.lca(u, v)
+        routing_cost = du + dv
+        node_u = tree.node(u)
+        node_v = tree.node(v)
+        rotations = 0
+        links = 0
+        if lca is node_v:
+            # v is an ancestor of u: lift u to a child of v.
+            rotations, links = splay_until(
+                tree, node_u, node_v, policy=self.policy, depth=self.splay_depth
+            )
+        else:
+            if lca is not node_u:
+                # Lift u into the LCA's old position (the subtree's root).
+                stop = lca.parent
+                rotations, links = splay_until(
+                    tree, node_u, stop, policy=self.policy, depth=self.splay_depth
+                )
+            # v is now strictly below u; lift it to a child of u.
+            r2, l2 = splay_until(
+                tree, node_v, node_u, policy=self.policy, depth=self.splay_depth
+            )
+            rotations += r2
+            links += l2
+        return ServeResult(routing_cost, rotations, links)
+
+    def access(self, x: int) -> ServeResult:
+        """A splay-*tree* access: search ``x`` from the root, splay it up.
+
+        This is the Theorem 12 setting ("all the routing requests are from
+        the root"): the request costs the depth of ``x`` and ``x`` finishes
+        as the new root.  A sequence of accesses therefore obeys the splay
+        tree's static-optimality bound
+        ``O(m + Σ_x n_x log(m / n_x))`` — checked empirically by
+        ``bench_theorem12_static_optimality``.
+        """
+        tree = self.tree
+        node = tree.node(x)
+        routing_cost = tree.depth(x)
+        rotations, links = splay_until(
+            tree, node, None, policy=self.policy, depth=self.splay_depth
+        )
+        return ServeResult(routing_cost, rotations, links)
+
+    def serve_semi(self, u: int, v: int) -> ServeResult:
+        """Partially-reactive serving: one splay step per endpoint.
+
+        The spectrum sketched in the paper's introduction runs from fully
+        reactive (``serve``) to static; this variant adjusts by exactly one
+        transformation per endpoint per request, trading slower adaptation
+        for minimal reconfiguration churn.  Unlike ``serve`` it does *not*
+        leave the endpoints adjacent.
+        """
+        if u == v:
+            return ServeResult(0, 0, 0)
+        tree = self.tree
+        _, du, dv = tree.lca(u, v)
+        rotations = 0
+        links = 0
+        for endpoint in (u, v):
+            node = tree.node(endpoint)
+            if node.parent is None:
+                continue
+            outcome = splay_step(node, None, policy=self.policy)
+            rotations += 1
+            links += outcome.links_changed
+            if outcome.new_top.parent is None:
+                tree.replace_root(outcome.new_top)
+        return ServeResult(du + dv, rotations, links)
+
+    def validate(self) -> None:
+        """Full structural validation of the current topology."""
+        self.tree.validate()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KArySplayNet(n={self.n}, k={self.k}, policy={self.policy!r})"

@@ -1,0 +1,437 @@
+"""The k-ary search tree network container.
+
+:class:`KAryTreeNetwork` owns the node index of one network, provides
+distance/LCA/path queries, greedy local routing, structural validation and
+export utilities.  Rotations (see :mod:`repro.core.rotations`) mutate the node
+graph in place; the container's only rotation-sensitive state is the root
+pointer, which rotation helpers update through :meth:`replace_root`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.core.keyspace import NEG_INF, POS_INF, Interval, is_identifier_value
+from repro.core.node import KAryNode
+from repro.errors import InvalidTreeError, RoutingError
+
+__all__ = ["KAryTreeNetwork"]
+
+
+class KAryTreeNetwork:
+    """A network of ``n`` nodes arranged as a k-ary search tree.
+
+    Identifiers must form the contiguous range ``1..n`` (the paper's model);
+    the constructor indexes the subtree hanging from ``root`` and verifies
+    the identifier set.
+
+    Parameters
+    ----------
+    k:
+        Arity; every node has at most ``k`` children and a routing array of
+        ``k - 1`` separators.
+    root:
+        Root node of an already-wired node graph.
+    validate:
+        If true (default), run a full structural validation on construction.
+    """
+
+    __slots__ = ("k", "root", "routing_based", "_index")
+
+    def __init__(
+        self,
+        k: int,
+        root: KAryNode,
+        *,
+        validate: bool = True,
+        routing_based: bool = False,
+    ) -> None:
+        if k < 2:
+            raise InvalidTreeError(f"arity k must be >= 2, got {k}")
+        self.k = k
+        self.root = root
+        #: Routing-based trees (Definition 1(ii)) carry node identifiers
+        #: inside routing arrays; they are static-only (rotations assume
+        #: identifier-free separators).
+        self.routing_based = routing_based
+        self._index: dict[int, KAryNode] = {}
+        for node in root.iter_subtree():
+            if node.nid in self._index:
+                raise InvalidTreeError(f"duplicate identifier {node.nid}")
+            self._index[node.nid] = node
+        n = len(self._index)
+        if sorted(self._index) != list(range(1, n + 1)):
+            raise InvalidTreeError(
+                "identifiers must form the contiguous range 1..n; got "
+                f"{sorted(self._index)[:5]}..."
+            )
+        self.refresh_ranges()
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of network nodes."""
+        return len(self._index)
+
+    @property
+    def root_id(self) -> int:
+        """Identifier of the current root node."""
+        return self.root.nid
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, nid: int) -> bool:
+        return nid in self._index
+
+    def node(self, nid: int) -> KAryNode:
+        """The node carrying identifier ``nid``."""
+        try:
+            return self._index[nid]
+        except KeyError:
+            raise InvalidTreeError(f"no node with identifier {nid}") from None
+
+    def iter_nodes(self) -> Iterator[KAryNode]:
+        """Iterate nodes in identifier order."""
+        for nid in range(1, self.n + 1):
+            yield self._index[nid]
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate undirected edges as ``(parent_id, child_id)`` pairs."""
+        for node in self.root.iter_subtree():
+            for child in node.child_iter():
+                yield (node.nid, child.nid)
+
+    def edge_set(self) -> frozenset[tuple[int, int]]:
+        """The set of undirected edges, normalized as ``(min, max)`` pairs."""
+        return frozenset(
+            (a, b) if a < b else (b, a) for a, b in self.iter_edges()
+        )
+
+    def replace_root(self, new_root: KAryNode) -> None:
+        """Update the root pointer after a rotation displaced the old root."""
+        if new_root.parent is not None:
+            raise InvalidTreeError(
+                f"node {new_root.nid} still has a parent; cannot be root"
+            )
+        self.root = new_root
+
+    # ------------------------------------------------------------------
+    # distance / LCA / paths
+    # ------------------------------------------------------------------
+    def depth(self, nid: int) -> int:
+        """Depth of node ``nid`` (root has depth 0)."""
+        node = self.node(nid)
+        d = 0
+        while node.parent is not None:
+            node = node.parent
+            d += 1
+        return d
+
+    def lca(self, u: int, v: int) -> tuple[KAryNode, int, int]:
+        """Lowest common ancestor of ``u`` and ``v``.
+
+        Returns ``(lca_node, du, dv)`` where ``du``/``dv`` are the distances
+        from ``u``/``v`` up to the LCA.  Runs in O(depth) by parent walks.
+        """
+        nu, nv = self.node(u), self.node(v)
+        du_total, dv_total = 0, 0
+        node = nu
+        while node.parent is not None:
+            node = node.parent
+            du_total += 1
+        node = nv
+        while node.parent is not None:
+            node = node.parent
+            dv_total += 1
+        a, b = nu, nv
+        da, db = du_total, dv_total
+        while da > db:
+            a = a.parent  # type: ignore[assignment]
+            da -= 1
+        while db > da:
+            b = b.parent  # type: ignore[assignment]
+            db -= 1
+        while a is not b:
+            a = a.parent  # type: ignore[assignment]
+            b = b.parent  # type: ignore[assignment]
+            da -= 1
+            db -= 1
+        return a, du_total - da, dv_total - db
+
+    def distance(self, u: int, v: int) -> int:
+        """Tree distance (in edges) between identifiers ``u`` and ``v``."""
+        if u == v:
+            return 0
+        _, du, dv = self.lca(u, v)
+        return du + dv
+
+    def path(self, u: int, v: int) -> list[int]:
+        """The identifier sequence of the unique ``u``–``v`` tree path."""
+        lca_node, du, _ = self.lca(u, v)
+        up: list[int] = []
+        node = self.node(u)
+        for _ in range(du):
+            up.append(node.nid)
+            node = node.parent  # type: ignore[assignment]
+        down: list[int] = []
+        node = self.node(v)
+        while node is not lca_node:
+            down.append(node.nid)
+            node = node.parent  # type: ignore[assignment]
+        return up + [lca_node.nid] + down[::-1]
+
+    # ------------------------------------------------------------------
+    # greedy local routing
+    # ------------------------------------------------------------------
+    def local_route(self, u: int, v: int, *, max_hops: Optional[int] = None) -> list[int]:
+        """Route from ``u`` to ``v`` using only local information.
+
+        Each hop inspects the current node's subtree ranges: if the target
+        lies in the ``[smin, smax]`` range of an unexplored child, descend;
+        otherwise go to the parent.  The packet carries a set of exhausted
+        subtree roots so a range *false positive* cannot loop.
+
+        False positives are a structural fact of non-routing-based k-ary
+        search trees, not an implementation artifact: rotations make subtree
+        identifier sets non-contiguous, and an *ancestor's* identifier can
+        fall inside a descendant range gap, where no interval rule can
+        locally rule it out.  (Routing-based trees are immune — every
+        ancestor identifier is a separator, hence a window *endpoint* of all
+        its descendants — but Remark 11 shows self-adjusting trees cannot
+        stay routing-based.)  On trees whose subtrees are contiguous
+        segments (everything the builders produce) the route equals the
+        unique tree path; after rotations it may backtrack, but each edge is
+        traversed at most twice, so the hop count stays below ``2 n``.
+        """
+        if max_hops is None:
+            max_hops = 4 * self.n + 4
+        node = self.node(u)
+        self.node(v)  # existence check
+        hops = [node.nid]
+        exhausted: set[int] = set()
+        while node.nid != v:
+            if len(hops) > max_hops:
+                raise RoutingError(
+                    f"local routing from {u} to {v} exceeded {max_hops} hops"
+                )
+            nxt: Optional[KAryNode] = None
+            if node.smin <= v <= node.smax:
+                for child in node.children:
+                    if (
+                        child is not None
+                        and child.smin <= v <= child.smax
+                        and child.nid not in exhausted
+                    ):
+                        nxt = child
+                        break
+            if nxt is None:
+                exhausted.add(node.nid)
+                nxt = node.parent
+            if nxt is None:
+                raise RoutingError(
+                    f"local routing from {u} to {v} stuck at root {node.nid}"
+                )
+            node = nxt
+            hops.append(node.nid)
+        return hops
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def refresh_ranges(self) -> None:
+        """Recompute every node's ``smin``/``smax`` bottom-up (O(n))."""
+        order = list(self.root.iter_subtree())
+        for node in reversed(order):
+            node.recompute_range()
+
+    def validate(self) -> None:
+        """Check every structural invariant; raise :class:`InvalidTreeError`.
+
+        Checked invariants:
+
+        1. the root has no parent, every other node's parent/pslot wiring is
+           mutually consistent;
+        2. every routing array is sorted, duplicate-free, has exactly
+           ``k - 1`` finite non-identifier separators, and lies strictly
+           inside the node's ancestor window;
+        3. each child's subtree identifier range lies strictly inside the
+           open interval of the slot it occupies (the search property);
+        4. every node's identifier lies strictly inside its ancestor window;
+        5. ``smin``/``smax`` equal the true subtree ranges.
+        """
+        if self.root.parent is not None:
+            raise InvalidTreeError("root has a parent")
+        k = self.k
+        seen = 0
+        stack: list[tuple[KAryNode, float, float]] = [(self.root, NEG_INF, POS_INF)]
+        while stack:
+            node, wlo, whi = stack.pop()
+            seen += 1
+            r = node.routing
+            if len(r) != k - 1:
+                raise InvalidTreeError(
+                    f"node {node.nid}: routing array has {len(r)} entries, "
+                    f"expected {k - 1}"
+                )
+            if len(node.children) != k:
+                raise InvalidTreeError(
+                    f"node {node.nid}: children list has {len(node.children)}"
+                    f" slots, expected {k}"
+                )
+            prev = wlo
+            for value in r:
+                if not prev < value:
+                    raise InvalidTreeError(
+                        f"node {node.nid}: routing array {r} not strictly "
+                        f"increasing inside window ({wlo}, {whi})"
+                    )
+                if is_identifier_value(value) and not self.routing_based:
+                    raise InvalidTreeError(
+                        f"node {node.nid}: separator {value} collides with the"
+                        " identifier lattice"
+                    )
+                prev = value
+            if not prev < whi:
+                raise InvalidTreeError(
+                    f"node {node.nid}: routing array {r} escapes window"
+                    f" ({wlo}, {whi})"
+                )
+            if not wlo < node.nid < whi:
+                raise InvalidTreeError(
+                    f"node {node.nid}: identifier outside window ({wlo}, {whi})"
+                )
+            smin = smax = node.nid
+            for slot, child in enumerate(node.children):
+                if child is None:
+                    continue
+                if child.parent is not node or child.pslot != slot:
+                    raise InvalidTreeError(
+                        f"node {child.nid}: inconsistent parent wiring"
+                    )
+                slo = r[slot - 1] if slot > 0 else wlo
+                shi = r[slot] if slot < k - 1 else whi
+                if not (slo < child.smin and child.smax < shi):
+                    raise InvalidTreeError(
+                        f"node {node.nid}: child {child.nid} (range "
+                        f"[{child.smin}, {child.smax}]) escapes slot {slot} "
+                        f"interval ({slo}, {shi})"
+                    )
+                smin = min(smin, child.smin)
+                smax = max(smax, child.smax)
+                stack.append((child, slo, shi))
+            if (smin, smax) != (node.smin, node.smax):
+                raise InvalidTreeError(
+                    f"node {node.nid}: cached range [{node.smin}, {node.smax}]"
+                    f" != true range [{smin}, {smax}]"
+                )
+        if seen != self.n:
+            raise InvalidTreeError(
+                f"tree reachable from root has {seen} nodes, index has {self.n}"
+            )
+
+    def window_of(self, nid: int) -> Interval:
+        """The ancestor window (allowed identifier interval) of ``nid``."""
+        node = self.node(nid)
+        lo, hi = NEG_INF, POS_INF
+        while node.parent is not None:
+            parent = node.parent
+            slot = node.pslot
+            r = parent.routing
+            if slot > 0:
+                lo = max(lo, r[slot - 1])
+            if slot < len(r):
+                hi = min(hi, r[slot])
+            node = parent
+        return Interval(lo, hi)
+
+    # ------------------------------------------------------------------
+    # export / inspection
+    # ------------------------------------------------------------------
+    def depths(self) -> dict[int, int]:
+        """Depth of every node, computed in one O(n) traversal."""
+        out = {self.root.nid: 0}
+        stack = [(self.root, 0)]
+        while stack:
+            node, d = stack.pop()
+            for child in node.child_iter():
+                out[child.nid] = d + 1
+                stack.append((child, d + 1))
+        return out
+
+    def parents(self) -> dict[int, int]:
+        """Map from each non-root identifier to its parent identifier."""
+        return {
+            child.nid: node.nid
+            for node in self.root.iter_subtree()
+            for child in node.child_iter()
+        }
+
+    def height(self) -> int:
+        """Longest root-to-leaf path, in edges."""
+        best = 0
+        stack = [(self.root, 0)]
+        while stack:
+            node, d = stack.pop()
+            best = max(best, d)
+            for child in node.child_iter():
+                stack.append((child, d + 1))
+        return best
+
+    def to_networkx(self):
+        """Export the topology as a :class:`networkx.Graph`."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(1, self.n + 1))
+        g.add_edges_from(self.iter_edges())
+        return g
+
+    def render(self, *, max_nodes: int = 200) -> str:
+        """An indented ASCII rendering of the tree (for small trees)."""
+        if self.n > max_nodes:
+            return f"<KAryTreeNetwork n={self.n} k={self.k} (too large to render)>"
+        lines: list[str] = []
+
+        def visit(node: KAryNode, depth: int) -> None:
+            lines.append(
+                "  " * depth
+                + f"{node.nid} r={['%g' % v for v in node.routing]}"
+            )
+            for child in node.child_iter():
+                visit(child, depth + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)
+
+    def clone(self) -> "KAryTreeNetwork":
+        """A deep copy of the network (fresh node objects, same layout)."""
+        mapping: dict[int, KAryNode] = {}
+        for node in self.root.iter_subtree():
+            twin = KAryNode(node.nid, self.k)
+            twin.routing = list(node.routing)
+            twin.smin, twin.smax = node.smin, node.smax
+            mapping[node.nid] = twin
+        for node in self.root.iter_subtree():
+            twin = mapping[node.nid]
+            for slot, child in enumerate(node.children):
+                if child is not None:
+                    twin.attach_child(mapping[child.nid], slot)
+        return KAryTreeNetwork(
+            self.k,
+            mapping[self.root.nid],
+            validate=False,
+            routing_based=self.routing_based,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KAryTreeNetwork(n={self.n}, k={self.k}, root={self.root.nid})"
+
+
+def subtree_identifiers(node: KAryNode) -> Iterable[int]:
+    """All identifiers in ``node``'s subtree (test helper)."""
+    return (member.nid for member in node.iter_subtree())

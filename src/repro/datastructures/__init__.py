@@ -1,0 +1,39 @@
+"""Classic self-adjusting *data structures* (keys move; nodes have no identity).
+
+The paper's Section 1/4.1 distinguishes k-ary search tree *networks* (each
+tree node is a physical rack with a permanent identifier) from k-ary search
+tree *data structures* à la Sherk [23] and Martel [18], where keys migrate
+between nodes during restructuring and therefore cannot serve as node
+addresses.  This package implements the data-structure side of that
+contrast:
+
+* :class:`~repro.datastructures.splay_tree.SplayTree` — the Sleator–Tarjan
+  binary splay tree [24], the base of SplayNet's analysis and the anchor of
+  Theorem 12's static-optimality claim.
+* :class:`~repro.datastructures.move_to_root.MoveToRootTree` — the
+  Allen–Munro move-to-root heuristic, the classic strawman that is *not*
+  statically optimal (its expected cost blows up on adversarial access
+  distributions); benchmarks use it to show splaying's work is necessary.
+* :class:`~repro.datastructures.sherk.SherkKarySplayTree` — a k-ary splay
+  tree in Sherk's style: nodes hold up to ``k-1`` keys, and a ``k``-splay
+  access merges-and-redistributes key blocks along the access path.  Its
+  :meth:`~repro.datastructures.sherk.SherkKarySplayTree.key_locations`
+  method makes the key-migration phenomenon observable — the exact property
+  that rules it out as a network (Section 1).
+
+All three expose ``access(key) -> AccessResult`` with the standard
+"nodes inspected" cost, so they can be driven by the same harness.
+"""
+
+from repro.datastructures.move_to_root import MoveToRootTree
+from repro.datastructures.protocols import AccessResult, SelfAdjustingTree
+from repro.datastructures.sherk import SherkKarySplayTree
+from repro.datastructures.splay_tree import SplayTree
+
+__all__ = [
+    "AccessResult",
+    "SelfAdjustingTree",
+    "SplayTree",
+    "MoveToRootTree",
+    "SherkKarySplayTree",
+]

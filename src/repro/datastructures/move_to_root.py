@@ -1,0 +1,60 @@
+"""The Allen–Munro move-to-root heuristic (1978).
+
+Rotates the accessed node to the root with *single* rotations only — the
+"obvious" self-adjusting rule that predates splay trees.  It is good on
+independent skewed distributions (it converges to roughly the optimal static
+tree order) but famously **not** amortized-efficient: alternating accesses
+to two deep keys, or a cyclic scan, keep the tree degenerate and cost Θ(n)
+per access where splaying pays O(log n) amortized.
+
+Benchmarks pair it with :class:`~repro.datastructures.splay_tree.SplayTree`
+to show that the zig-zig/zig-zag case analysis — which the paper's k-splay
+rotations carefully mirror (Theorem 12's proof maps each k-rotation onto a
+splay-tree case) — is what buys the amortized bounds, not merely moving hot
+nodes up.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.datastructures.protocols import AccessResult
+from repro.datastructures.splay_tree import SplayNode, SplayTree
+from repro.errors import ReproError
+
+__all__ = ["MoveToRootTree"]
+
+
+class MoveToRootTree(SplayTree):
+    """A BST that rotates the accessed node to the root one step at a time.
+
+    Shares the node layout, validation and statistics of
+    :class:`SplayTree`; only the restructuring discipline differs.
+    """
+
+    def __init__(self, keys: Sequence[int]) -> None:
+        super().__init__(keys, semi=False)
+
+    def access(self, key: int) -> AccessResult:
+        node: Optional[SplayNode] = self.root
+        cost = 0
+        target: Optional[SplayNode] = None
+        while node is not None:
+            cost += 1
+            if key == node.key:
+                target = node
+                break
+            node = node.left if key < node.key else node.right
+        if target is None:
+            raise ReproError(f"key {key} not in tree")
+        rotations = 0
+        while target.parent is not None:
+            self._rotate_up(target)
+            rotations += 1
+        self.total_cost += cost
+        self.total_rotations += rotations
+        self.accesses += 1
+        return AccessResult(cost, rotations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MoveToRootTree(n={len(self)})"

@@ -1,0 +1,42 @@
+"""Shared access interface for the self-adjusting tree data structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+__all__ = ["AccessResult", "SelfAdjustingTree"]
+
+
+@dataclass(frozen=True, slots=True)
+class AccessResult:
+    """Outcome of one access (search from the root).
+
+    Attributes
+    ----------
+    cost:
+        Number of nodes inspected on the downward search, i.e. the depth of
+        the node containing the key plus one.  This is the standard splay
+        tree cost measure ([24] charges ``depth + 1`` per access).
+    rotations:
+        Restructuring steps performed while self-adjusting.
+    """
+
+    cost: int
+    rotations: int = 0
+
+    def __add__(self, other: "AccessResult") -> "AccessResult":
+        return AccessResult(self.cost + other.cost, self.rotations + other.rotations)
+
+
+@runtime_checkable
+class SelfAdjustingTree(Protocol):
+    """A dictionary-shaped tree serving root accesses."""
+
+    def access(self, key: int) -> AccessResult:
+        """Search ``key`` from the root, self-adjust, report the cost."""
+        ...
+
+    def __contains__(self, key: int) -> bool: ...
+
+    def __len__(self) -> int: ...

@@ -1,0 +1,337 @@
+"""A k-ary splay tree with migrating keys, in the style of Sherk [23].
+
+Nodes hold up to ``k - 1`` sorted keys and ``#keys + 1`` child slots, like a
+B-tree node.  Accessing a key searches from the root and then repeatedly
+*merges* the key's node with its parent and re-splits the merged block: a
+window of up to ``k - 1`` consecutive keys containing the accessed key
+becomes the new top node, and the left/right remainders become its outer
+children.  Each step lifts the accessed key one level, so it reaches the
+root in O(depth) steps — the multiway analogue of move-to-root, and the
+core mechanism of self-adjusting k-ary search trees in the data-structure
+literature.
+
+Why this cannot be a network (the paper's Section 1 argument, made
+executable): the merge-and-split moves *keys between nodes*.  After a few
+accesses, :meth:`SherkKarySplayTree.key_locations` shows keys sitting in
+different physical nodes than where they started — so a key cannot serve as
+a rack's permanent address.  The paper's k-splay rotations
+(:mod:`repro.core.rotations`) solve exactly this: node identifiers stay
+put and only the *routing arrays* are reshuffled.  Tests pin the migration
+behaviour as a regression-proof demonstration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional, Sequence
+
+from repro.datastructures.protocols import AccessResult
+from repro.errors import ReproError
+
+__all__ = ["SherkKarySplayTree", "MultiwayNode"]
+
+
+class MultiwayNode:
+    """A multiway node: sorted keys plus ``len(keys) + 1`` child slots.
+
+    ``serial`` is a birth certificate used only to *observe* key migration
+    (it plays no role in the algorithm — that is the point).
+    """
+
+    __slots__ = ("keys", "children", "parent", "serial")
+
+    _counter = itertools.count(1)
+
+    def __init__(self, keys: list[int], children: Optional[list[Optional["MultiwayNode"]]] = None) -> None:
+        if not keys:
+            raise ReproError("a multiway node needs at least one key")
+        self.keys = keys
+        self.children: list[Optional[MultiwayNode]] = (
+            children if children is not None else [None] * (len(keys) + 1)
+        )
+        if len(self.children) != len(keys) + 1:
+            raise ReproError(
+                f"node with {len(keys)} keys needs {len(keys) + 1} child slots,"
+                f" got {len(self.children)}"
+            )
+        self.parent: Optional[MultiwayNode] = None
+        self.serial = next(MultiwayNode._counter)
+        for child in self.children:
+            if child is not None:
+                child.parent = self
+
+    def slot_of_child(self, child: "MultiwayNode") -> int:
+        for slot, candidate in enumerate(self.children):
+            if candidate is child:
+                return slot
+        raise ReproError(f"node {self.serial} is not a child of {self.serial}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MultiwayNode#{self.serial}({self.keys})"
+
+
+def _build(keys: Sequence[int], k: int) -> Optional[MultiwayNode]:
+    """Balanced multiway build: k-1 evenly spaced separators per node."""
+    if not keys:
+        return None
+    if len(keys) <= k - 1:
+        return MultiwayNode(list(keys))
+    # choose k-1 separator positions splitting into k near-equal groups
+    total = len(keys)
+    boundaries = [round((i + 1) * (total + 1) / k) - 1 for i in range(k - 1)]
+    # clamp into strictly increasing valid index range
+    cleaned: list[int] = []
+    prev = -1
+    for b in boundaries:
+        b = max(prev + 1, min(b, total - (k - 1 - len(cleaned))))
+        cleaned.append(b)
+        prev = b
+    node_keys = [keys[b] for b in cleaned]
+    children: list[Optional[MultiwayNode]] = []
+    start = 0
+    for b in cleaned:
+        children.append(_build(keys[start:b], k))
+        start = b + 1
+    children.append(_build(keys[start:], k))
+    return MultiwayNode(node_keys, children)
+
+
+class SherkKarySplayTree:
+    """Self-adjusting k-ary search tree where restructuring moves keys.
+
+    Parameters
+    ----------
+    keys:
+        Initial key set (built balanced, B-tree style).
+    k:
+        Arity: at most ``k - 1`` keys and ``k`` children per node.
+    window_policy:
+        Where to place the promoted key inside the new top node's window:
+        ``"center"`` (default) or ``"left"``/``"right"`` edges — mirrors the
+        block policies of the network rotations for the policy ablation.
+    """
+
+    def __init__(self, keys: Sequence[int], k: int, *, window_policy: str = "center") -> None:
+        if k < 2:
+            raise ReproError(f"arity k must be >= 2, got {k}")
+        if window_policy not in ("center", "left", "right"):
+            raise ReproError(f"unknown window policy {window_policy!r}")
+        ordered = sorted(keys)
+        for a, b in zip(ordered, ordered[1:]):
+            if a == b:
+                raise ReproError(f"duplicate key {a}")
+        self.k = k
+        self.window_policy = window_policy
+        self.root = _build(ordered, k)
+        self._size = len(ordered)
+        self.total_cost = 0
+        self.total_rotations = 0
+        self.accesses = 0
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        node = self.root
+        while node is not None:
+            if key in node.keys:
+                return True
+            node = node.children[self._descend_slot(node, key)]
+        return False
+
+    @staticmethod
+    def _descend_slot(node: MultiwayNode, key: int) -> int:
+        slot = 0
+        while slot < len(node.keys) and key > node.keys[slot]:
+            slot += 1
+        return slot
+
+    def keys(self) -> Iterator[int]:
+        """In-order key iteration (sorted iff the search property holds)."""
+
+        def visit(node: Optional[MultiwayNode]) -> Iterator[int]:
+            if node is None:
+                return
+            for slot, key in enumerate(node.keys):
+                yield from visit(node.children[slot])
+                yield key
+            yield from visit(node.children[-1])
+
+        yield from visit(self.root)
+
+    def key_locations(self) -> dict[int, int]:
+        """Map of key → serial of the physical node currently holding it.
+
+        After accesses this mapping changes — the executable witness that
+        keys cannot double as permanent node identifiers.
+        """
+        out: dict[int, int] = {}
+        stack = [self.root] if self.root else []
+        while stack:
+            node = stack.pop()
+            for key in node.keys:
+                out[key] = node.serial
+            for child in node.children:
+                if child is not None:
+                    stack.append(child)
+        return out
+
+    def node_count(self) -> int:
+        count = 0
+        stack = [self.root] if self.root else []
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(c for c in node.children if c is not None)
+        return count
+
+    def depth_of(self, key: int) -> int:
+        node = self.root
+        depth = 0
+        while node is not None:
+            if key in node.keys:
+                return depth
+            node = node.children[self._descend_slot(node, key)]
+            depth += 1
+        raise ReproError(f"key {key} not in tree")
+
+    def height(self) -> int:
+        best = -1
+        stack = [(self.root, 0)] if self.root else []
+        while stack:
+            node, d = stack.pop()
+            best = max(best, d)
+            for child in node.children:
+                if child is not None:
+                    stack.append((child, d + 1))
+        return best
+
+    # ------------------------------------------------------------------
+    # the k-splay access
+    # ------------------------------------------------------------------
+    def access(self, key: int) -> AccessResult:
+        """Search ``key`` and k-splay its node to the root by merge-splits."""
+        node = self.root
+        cost = 0
+        target: Optional[MultiwayNode] = None
+        while node is not None:
+            cost += 1
+            if key in node.keys:
+                target = node
+                break
+            node = node.children[self._descend_slot(node, key)]
+        if target is None:
+            raise ReproError(f"key {key} not in tree")
+        rotations = 0
+        while target.parent is not None:
+            target = self._merge_split(target, key)
+            rotations += 1
+        self.total_cost += cost
+        self.total_rotations += rotations
+        self.accesses += 1
+        return AccessResult(cost, rotations)
+
+    def _window_start(self, pos: int, width: int, total: int) -> int:
+        """Window start index so the window covers ``pos`` under the policy."""
+        lo = max(0, pos - width + 1)
+        hi = min(pos, total - width)
+        if self.window_policy == "left":
+            start = pos  # key at the window's left edge
+        elif self.window_policy == "right":
+            start = pos - width + 1
+        else:
+            start = pos - (width - 1) // 2
+        return max(lo, min(start, hi))
+
+    def _merge_split(self, node: MultiwayNode, key: int) -> MultiwayNode:
+        """Merge ``node`` into its parent and re-split around ``key``.
+
+        Returns the new top node (which contains ``key`` and occupies the
+        parent's former position).
+        """
+        parent = node.parent
+        assert parent is not None
+        grand = parent.parent
+        gslot = grand.slot_of_child(parent) if grand is not None else -1
+        slot = parent.slot_of_child(node)
+
+        # merge: splice node's keys/children into the parent's slot
+        merged_keys = parent.keys[:slot] + node.keys + parent.keys[slot:]
+        merged_children = (
+            parent.children[:slot] + node.children + parent.children[slot + 1 :]
+        )
+        total = len(merged_keys)
+        pos = merged_keys.index(key)
+        width = min(self.k - 1, total)
+        start = self._window_start(pos, width, total)
+
+        top_keys = merged_keys[start : start + width]
+        # interior children of the window
+        interior = merged_children[start + 1 : start + width]
+        left_keys = merged_keys[:start]
+        right_keys = merged_keys[start + width :]
+
+        if left_keys:
+            left_node: Optional[MultiwayNode] = MultiwayNode(
+                left_keys, merged_children[: start + 1]
+            )
+        else:
+            left_node = merged_children[0]
+        if right_keys:
+            right_node: Optional[MultiwayNode] = MultiwayNode(
+                right_keys, merged_children[start + width :]
+            )
+        else:
+            right_node = merged_children[-1]
+
+        top = MultiwayNode(top_keys, [left_node] + interior + [right_node])
+        top.parent = grand
+        if grand is None:
+            self.root = top
+        else:
+            grand.children[gslot] = top
+        return top
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check arity bounds, parent wiring and the global search property."""
+        if self.root is None:
+            if self._size:
+                raise ReproError("empty tree with nonzero recorded size")
+            return
+        if self.root.parent is not None:
+            raise ReproError("root has a parent")
+        walked = list(self.keys())
+        if walked != sorted(walked):
+            raise ReproError("search property violated (in-order not sorted)")
+        if len(walked) != self._size:
+            raise ReproError(
+                f"size mismatch: walked {len(walked)}, recorded {self._size}"
+            )
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not 1 <= len(node.keys) <= self.k - 1:
+                raise ReproError(
+                    f"node #{node.serial} holds {len(node.keys)} keys; arity {self.k}"
+                    f" allows 1..{self.k - 1}"
+                )
+            if node.keys != sorted(node.keys):
+                raise ReproError(f"node #{node.serial} keys not sorted")
+            if len(node.children) != len(node.keys) + 1:
+                raise ReproError(f"node #{node.serial} slot count mismatch")
+            for child in node.children:
+                if child is not None:
+                    if child.parent is not node:
+                        raise ReproError(
+                            f"node #{child.serial} has a stale parent pointer"
+                        )
+                    stack.append(child)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SherkKarySplayTree(n={self._size}, k={self.k})"

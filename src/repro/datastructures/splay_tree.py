@@ -1,0 +1,311 @@
+"""The Sleator–Tarjan binary splay tree [24].
+
+This is the *data structure* that SplayNet generalizes to networks and whose
+Access Lemma the paper's Theorem 12 transfers to the k-ary rotations.  We
+implement the full rotate-to-root discipline (zig, zig-zig, zig-zag), the
+semi-splaying variant ([24] Section 3), and keep per-access statistics so
+benchmarks can compare against the entropy lower bound.
+
+Keys are arbitrary integers (no contiguity requirement — this is a data
+structure, not a network; contrast :class:`repro.core.tree.KAryTreeNetwork`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.datastructures.protocols import AccessResult
+from repro.errors import ReproError
+
+__all__ = ["SplayTree", "SplayNode"]
+
+
+class SplayNode:
+    """One binary node; plain container, all logic lives in the tree."""
+
+    __slots__ = ("key", "left", "right", "parent")
+
+    def __init__(self, key: int) -> None:
+        self.key = key
+        self.left: Optional[SplayNode] = None
+        self.right: Optional[SplayNode] = None
+        self.parent: Optional[SplayNode] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SplayNode({self.key})"
+
+
+def _build_balanced(keys: Sequence[int], lo: int, hi: int) -> Optional[SplayNode]:
+    if lo > hi:
+        return None
+    mid = (lo + hi) // 2
+    node = SplayNode(keys[mid])
+    node.left = _build_balanced(keys, lo, mid - 1)
+    node.right = _build_balanced(keys, mid + 1, hi)
+    if node.left is not None:
+        node.left.parent = node
+    if node.right is not None:
+        node.right.parent = node
+    return node
+
+
+class SplayTree:
+    """A self-adjusting binary search tree with rotate-to-root splaying.
+
+    Parameters
+    ----------
+    keys:
+        Initial key set; built balanced.  Duplicates are rejected.
+    semi:
+        If true, :meth:`access` uses *semi-splaying*: zig-zig steps only
+        rotate the parent (halving the access path's depth) instead of
+        carrying the accessed node all the way to the root.  Same O(log n)
+        amortized bound, gentler restructuring ([24] Section 3).
+    """
+
+    def __init__(self, keys: Sequence[int], *, semi: bool = False) -> None:
+        ordered = sorted(keys)
+        for a, b in zip(ordered, ordered[1:]):
+            if a == b:
+                raise ReproError(f"duplicate key {a}")
+        self.root: Optional[SplayNode] = _build_balanced(
+            ordered, 0, len(ordered) - 1
+        )
+        self.semi = semi
+        self._size = len(ordered)
+        #: accumulated statistics (reset with :meth:`reset_stats`)
+        self.total_cost = 0
+        self.total_rotations = 0
+        self.accesses = 0
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        node = self.root
+        while node is not None:
+            if key == node.key:
+                return True
+            node = node.left if key < node.key else node.right
+        return False
+
+    def keys(self) -> Iterator[int]:
+        """In-order key iteration (always sorted — the search property)."""
+
+        def visit(node: Optional[SplayNode]) -> Iterator[int]:
+            if node is None:
+                return
+            yield from visit(node.left)
+            yield node.key
+            yield from visit(node.right)
+
+        yield from visit(self.root)
+
+    def height(self) -> int:
+        """Longest root-to-leaf path in edges (−1 for the empty tree)."""
+        best = -1
+        stack = [(self.root, 0)] if self.root else []
+        while stack:
+            node, d = stack.pop()
+            best = max(best, d)
+            if node.left:
+                stack.append((node.left, d + 1))
+            if node.right:
+                stack.append((node.right, d + 1))
+        return best
+
+    def depth_of(self, key: int) -> int:
+        """Current depth of ``key`` (root = 0); raises if absent."""
+        node = self.root
+        depth = 0
+        while node is not None:
+            if key == node.key:
+                return depth
+            node = node.left if key < node.key else node.right
+            depth += 1
+        raise ReproError(f"key {key} not in tree")
+
+    # ------------------------------------------------------------------
+    # rotations
+    # ------------------------------------------------------------------
+    def _rotate_up(self, x: SplayNode) -> None:
+        """Single rotation lifting ``x`` above its parent."""
+        p = x.parent
+        if p is None:
+            raise ReproError("cannot rotate the root")
+        g = p.parent
+        if p.left is x:
+            p.left = x.right
+            if x.right is not None:
+                x.right.parent = p
+            x.right = p
+        else:
+            p.right = x.left
+            if x.left is not None:
+                x.left.parent = p
+            x.left = p
+        p.parent = x
+        x.parent = g
+        if g is None:
+            self.root = x
+        elif g.left is p:
+            g.left = x
+        else:
+            g.right = x
+
+    def _splay(self, x: SplayNode) -> int:
+        """Full splay of ``x`` to the root; returns rotation count."""
+        rotations = 0
+        while x.parent is not None:
+            p = x.parent
+            g = p.parent
+            if g is None:  # zig
+                self._rotate_up(x)
+                rotations += 1
+            elif (g.left is p) == (p.left is x):  # zig-zig
+                self._rotate_up(p)
+                self._rotate_up(x)
+                rotations += 2
+            else:  # zig-zag
+                self._rotate_up(x)
+                self._rotate_up(x)
+                rotations += 2
+        return rotations
+
+    def _semi_splay(self, x: SplayNode) -> int:
+        """Semi-splay: on zig-zig rotate only the parent, continue from it."""
+        rotations = 0
+        while x.parent is not None:
+            p = x.parent
+            g = p.parent
+            if g is None:
+                self._rotate_up(x)
+                rotations += 1
+                break
+            if (g.left is p) == (p.left is x):  # zig-zig: lift p, resume at p
+                self._rotate_up(p)
+                rotations += 1
+                x = p
+            else:  # zig-zag: as in full splaying
+                self._rotate_up(x)
+                self._rotate_up(x)
+                rotations += 2
+        return rotations
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def access(self, key: int) -> AccessResult:
+        """Search ``key`` from the root and splay it (or its last-visited
+        ancestor, under semi-splaying) upward."""
+        node = self.root
+        cost = 0
+        target: Optional[SplayNode] = None
+        while node is not None:
+            cost += 1
+            if key == node.key:
+                target = node
+                break
+            node = node.left if key < node.key else node.right
+        if target is None:
+            raise ReproError(f"key {key} not in tree")
+        rotations = self._semi_splay(target) if self.semi else self._splay(target)
+        self.total_cost += cost
+        self.total_rotations += rotations
+        self.accesses += 1
+        return AccessResult(cost, rotations)
+
+    def insert(self, key: int) -> None:
+        """Insert ``key`` (splays it to the root); duplicate keys rejected."""
+        if self.root is None:
+            self.root = SplayNode(key)
+            self._size = 1
+            return
+        node = self.root
+        while True:
+            if key == node.key:
+                raise ReproError(f"duplicate key {key}")
+            nxt = node.left if key < node.key else node.right
+            if nxt is None:
+                fresh = SplayNode(key)
+                fresh.parent = node
+                if key < node.key:
+                    node.left = fresh
+                else:
+                    node.right = fresh
+                self._size += 1
+                self._splay(fresh)
+                return
+            node = nxt
+
+    def delete(self, key: int) -> None:
+        """Delete ``key``: splay it to the root, then join the subtrees."""
+        self.access(key)
+        assert self.root is not None and self.root.key == key
+        left, right = self.root.left, self.root.right
+        if left is not None:
+            left.parent = None
+        if right is not None:
+            right.parent = None
+        if left is None:
+            self.root = right
+        else:
+            # splay the maximum of the left subtree to its root; it has no
+            # right child afterwards, so the right subtree hangs there
+            node = left
+            while node.right is not None:
+                node = node.right
+            save_root, self.root = self.root, left
+            self._splay(node)
+            node.right = right
+            if right is not None:
+                right.parent = node
+            del save_root
+        self._size -= 1
+
+    def reset_stats(self) -> None:
+        self.total_cost = 0
+        self.total_rotations = 0
+        self.accesses = 0
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the BST property and parent-pointer consistency."""
+        count = 0
+        prev: Optional[int] = None
+        stack: list[tuple[SplayNode, bool]] = (
+            [(self.root, False)] if self.root else []
+        )
+        if self.root is not None and self.root.parent is not None:
+            raise ReproError("root has a parent")
+        # iterative in-order with parent checks
+        node = self.root
+        trail: list[SplayNode] = []
+        while node is not None or trail:
+            while node is not None:
+                if node.left is not None and node.left.parent is not node:
+                    raise ReproError(f"bad parent pointer under {node.key}")
+                if node.right is not None and node.right.parent is not node:
+                    raise ReproError(f"bad parent pointer under {node.key}")
+                trail.append(node)
+                node = node.left
+            node = trail.pop()
+            if prev is not None and node.key <= prev:
+                raise ReproError(
+                    f"search property violated: {node.key} after {prev}"
+                )
+            prev = node.key
+            count += 1
+            node = node.right
+        if count != self._size:
+            raise ReproError(f"size mismatch: walked {count}, recorded {self._size}")
+        del stack
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "semi" if self.semi else "full"
+        return f"SplayTree(n={self._size}, mode={mode})"

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidTreeError",
+    "RotationError",
+    "RoutingError",
+    "WorkloadError",
+    "OptimizationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class InvalidTreeError(ReproError):
+    """A k-ary search tree network violates a structural invariant.
+
+    Raised by :meth:`repro.core.tree.KAryTreeNetwork.validate` and by
+    constructors that receive inconsistent node wiring.
+    """
+
+
+class RotationError(ReproError):
+    """A rotation was requested on nodes where it is not applicable.
+
+    Examples: ``k-semi-splay`` on nodes that are not in a parent/child
+    relation, or ``k-splay`` on fewer than three chained nodes.
+    """
+
+
+class RoutingError(ReproError):
+    """Greedy local routing failed to make progress toward the target."""
+
+
+class WorkloadError(ReproError):
+    """A trace or demand matrix is malformed (bad ids, self-loops, shape)."""
+
+
+class OptimizationError(ReproError):
+    """An offline optimization (DP) received infeasible input."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration is inconsistent."""

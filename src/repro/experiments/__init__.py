@@ -1,0 +1,1 @@
+"""experiments subpackage — see module docstrings."""

@@ -1,0 +1,95 @@
+"""Paper-style text rendering of experiment results.
+
+The renderers mirror the paper's table layout so EXPERIMENTS.md and the
+benchmark outputs can be compared against the published numbers row by row.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.tables import (
+    KAryTableResult,
+    Remark10Result,
+    Table8Result,
+)
+from repro.network.cost import CostModel, ROUTING_ONLY, UNIT_ROTATIONS
+
+__all__ = ["render_kary_table", "render_table8", "render_remark10"]
+
+
+def _fmt_ratio(value: Optional[float]) -> str:
+    return "   -  " if value is None else f"{value:5.2f}x"
+
+
+def render_kary_table(result: KAryTableResult, *, title: str = "") -> str:
+    """Render one of Tables 1-7 in the paper's row layout."""
+    ks = result.ks
+    lines = []
+    header = title or (
+        f"k-ary SplayNet on {result.workload}"
+        f" (n={result.n}, m={result.m}, routing cost)"
+    )
+    lines.append(header)
+    lines.append("k:            " + "".join(f"{k:>8d}" for k in ks))
+    row = [f"{result.base_cost:>8d}"] + [
+        f"{result.splaynet_ratio(k):7.2f}x" for k in ks if k != 2
+    ]
+    lines.append("SplayNet      " + "".join(row))
+    lines.append(
+        "Full Tree     "
+        + "".join(f"{result.fulltree_ratio(k):7.2f}x" for k in ks)
+    )
+    opt_cells = []
+    for k in ks:
+        ratio = result.optimal_ratio(k)
+        opt_cells.append("      - " if ratio is None else f"{ratio:7.2f}x")
+    lines.append("Optimal Tree  " + "".join(opt_cells))
+    return "\n".join(lines)
+
+
+def render_table8(
+    result: Table8Result,
+    *,
+    model: CostModel = ROUTING_ONLY,
+    title: str = "",
+) -> str:
+    """Render Table 8: 3-SplayNet vs SplayNet / full binary / optimal BST."""
+    lines = [
+        title
+        or f"3-SplayNet case study (cost model: {model.describe()})"
+    ]
+    lines.append(
+        f"{'workload':16s} {'3-SplayNet':>11s} {'SplayNet':>9s}"
+        f" {'FullBinary':>11s} {'StaticOpt':>10s}"
+    )
+    for row in result.rows:
+        lines.append(
+            f"{row.workload:16s} {row.average_cost(model):11.3f}"
+            f" {_fmt_ratio(row.ratio_splaynet(model)):>9s}"
+            f" {_fmt_ratio(row.ratio_full(model)):>11s}"
+            f" {_fmt_ratio(row.ratio_optimal(model)):>10s}"
+        )
+    return "\n".join(lines)
+
+
+def render_remark10(result: Remark10Result) -> str:
+    """Render the centroid-optimality grid (Remark 10)."""
+    lines = ["Centroid k-ary search tree vs uniform-workload optimum"]
+    lines.append(
+        f"{'n':>5s} {'k':>3s} {'centroid':>12s} {'optimal':>12s}"
+        f" {'full':>12s} {'status':>8s}"
+    )
+    for n, k, centroid, optimal, full in result.entries:
+        status = "OPT" if centroid == optimal else f"+{centroid - optimal}"
+        lines.append(
+            f"{n:>5d} {k:>3d} {centroid:>12d} {optimal:>12d} {full:>12d}"
+            f" {status:>8s}"
+        )
+    verdict = (
+        "centroid tree optimal on the whole grid"
+        if result.all_optimal
+        else f"mismatches: {result.mismatches()}"
+    )
+    lines.append(verdict)
+    return "\n".join(lines)

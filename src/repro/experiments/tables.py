@@ -1,0 +1,254 @@
+"""Regeneration of the paper's Tables 1-8 and the Remark 10 experiment.
+
+Each ``run_*`` function returns a structured result object whose
+``render()`` (see :mod:`repro.experiments.report`) prints the same rows the
+paper reports; EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.distance import TreeDistanceOracle, trace_static_cost
+from repro.core.builders import build_complete_tree
+from repro.core.centroid import build_centroid_tree
+from repro.core.centroid_splaynet import CentroidSplayNet
+from repro.core.splaynet import KArySplayNet
+from repro.errors import ExperimentError
+from repro.experiments.presets import Scale, get_scale, make_workload
+from repro.network.cost import CostModel, ROUTING_ONLY, UNIT_ROTATIONS
+from repro.network.simulator import SimulationResult, Simulator
+from repro.optimal.general import optimal_static_tree
+from repro.optimal.uniform import optimal_uniform_cost
+from repro.analysis.distance import total_distance_via_potentials
+from repro.splaynet.optimal import optimal_static_bst
+from repro.splaynet.splaynet import SplayNet
+from repro.workloads.demand import DemandMatrix
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "KAryTableResult",
+    "Table8Row",
+    "Table8Result",
+    "Remark10Result",
+    "run_kary_table",
+    "run_table8",
+    "run_remark10",
+    "TABLE_WORKLOAD",
+]
+
+#: Paper table number → workload name (Tables 1-7).
+TABLE_WORKLOAD = {
+    1: "hpc",
+    2: "projector",
+    3: "facebook",
+    4: "temporal-0.25",
+    5: "temporal-0.5",
+    6: "temporal-0.75",
+    7: "temporal-0.9",
+}
+
+
+# ----------------------------------------------------------------------
+# Tables 1-7: k-ary SplayNet vs static trees, k = 2..10
+# ----------------------------------------------------------------------
+@dataclass
+class KAryTableResult:
+    """One of Tables 1-7.
+
+    ``splaynet[k]`` / ``fulltree[k]`` / ``optimal[k]`` are total routing
+    costs; ``rotations[k]`` the accumulated rotation counts of the online
+    structure.  Ratios follow the paper's conventions (see DESIGN.md).
+    """
+
+    workload: str
+    n: int
+    m: int
+    ks: tuple[int, ...]
+    splaynet: dict[int, int] = field(default_factory=dict)
+    rotations: dict[int, int] = field(default_factory=dict)
+    links: dict[int, int] = field(default_factory=dict)
+    fulltree: dict[int, int] = field(default_factory=dict)
+    optimal: dict[int, Optional[int]] = field(default_factory=dict)
+
+    @property
+    def base_cost(self) -> int:
+        """Absolute total routing cost of 2-ary SplayNet (the paper's anchor)."""
+        return self.splaynet[2]
+
+    def splaynet_ratio(self, k: int) -> float:
+        """cost(k-ary SplayNet) / cost(2-ary SplayNet)."""
+        return self.splaynet[k] / self.splaynet[2]
+
+    def fulltree_ratio(self, k: int) -> float:
+        """cost(k-ary SplayNet) / cost(full k-ary tree)."""
+        return self.splaynet[k] / self.fulltree[k]
+
+    def optimal_ratio(self, k: int) -> Optional[float]:
+        """cost(k-ary SplayNet) / cost(optimal static k-ary tree)."""
+        opt = self.optimal.get(k)
+        return None if not opt else self.splaynet[k] / opt
+
+
+def run_kary_table(
+    workload: str,
+    *,
+    scale: Optional[Scale] = None,
+    trace: Optional[Trace] = None,
+    ks: Optional[tuple[int, ...]] = None,
+    include_optimal: bool = True,
+    initial: str = "complete",
+) -> KAryTableResult:
+    """Regenerate one of the paper's Tables 1-7 for ``workload``."""
+    scale = scale or get_scale()
+    trace = trace if trace is not None else make_workload(workload, scale)
+    ks = ks or scale.ks
+    result = KAryTableResult(
+        workload=workload, n=trace.n, m=trace.m, ks=tuple(ks)
+    )
+    demand = DemandMatrix.from_trace(trace)
+    sim = Simulator()
+    for k in ks:
+        run = sim.run(KArySplayNet(trace.n, k, initial=initial), trace)
+        result.splaynet[k] = run.total_routing
+        result.rotations[k] = run.total_rotations
+        result.links[k] = run.total_links_changed
+        result.fulltree[k] = trace_static_cost(build_complete_tree(trace.n, k), trace)
+        if include_optimal and trace.n <= scale.optimal_tree_max_n:
+            opt = optimal_static_tree(demand, k)
+            result.optimal[k] = trace_static_cost(opt.tree, trace)
+        else:
+            result.optimal[k] = None
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table 8: the centroid heuristic case study (k = 2)
+# ----------------------------------------------------------------------
+@dataclass
+class Table8Row:
+    """One workload row of Table 8 (average request cost + ratios)."""
+
+    workload: str
+    n: int
+    m: int
+    centroid3: SimulationResult
+    splaynet: SimulationResult
+    full_binary_cost: int
+    optimal_bst_cost: Optional[int]
+
+    def average_cost(self, model: CostModel = ROUTING_ONLY) -> float:
+        """Average request cost of 3-SplayNet under a cost model."""
+        return self.centroid3.total_cost(model) / self.m
+
+    def ratio_splaynet(self, model: CostModel = ROUTING_ONLY) -> float:
+        """cost(SplayNet) / cost(3-SplayNet); > 1 means 3-SplayNet wins."""
+        return self.splaynet.total_cost(model) / self.centroid3.total_cost(model)
+
+    def ratio_full(self, model: CostModel = ROUTING_ONLY) -> float:
+        return self.full_binary_cost / self.centroid3.total_cost(model)
+
+    def ratio_optimal(self, model: CostModel = ROUTING_ONLY) -> Optional[float]:
+        if self.optimal_bst_cost is None:
+            return None
+        return self.optimal_bst_cost / self.centroid3.total_cost(model)
+
+
+@dataclass
+class Table8Result:
+    """The paper's Table 8: 3-SplayNet vs SplayNet vs static binary trees."""
+
+    rows: list[Table8Row] = field(default_factory=list)
+
+    def row(self, workload: str) -> Table8Row:
+        for row in self.rows:
+            if row.workload == workload:
+                return row
+        raise ExperimentError(f"no Table 8 row for workload {workload!r}")
+
+
+def run_table8_row(
+    workload: str,
+    *,
+    scale: Optional[Scale] = None,
+    trace: Optional[Trace] = None,
+    include_optimal: bool = True,
+) -> Table8Row:
+    """Compute one row of Table 8."""
+    scale = scale or get_scale()
+    trace = trace if trace is not None else make_workload(workload, scale)
+    sim = Simulator()
+    centroid3 = sim.run(CentroidSplayNet(trace.n, 2), trace)
+    splaynet = sim.run(SplayNet(trace.n), trace)
+    full_cost = trace_static_cost(build_complete_tree(trace.n, 2), trace)
+    optimal_cost: Optional[int] = None
+    if include_optimal and trace.n <= scale.optimal_tree_max_n:
+        demand = DemandMatrix.from_trace(trace)
+        opt = optimal_static_bst(demand)
+        optimal_cost = trace_static_cost(opt.network, trace)
+    return Table8Row(
+        workload=workload,
+        n=trace.n,
+        m=trace.m,
+        centroid3=centroid3,
+        splaynet=splaynet,
+        full_binary_cost=full_cost,
+        optimal_bst_cost=optimal_cost,
+    )
+
+
+def run_table8(
+    *,
+    scale: Optional[Scale] = None,
+    workloads: Optional[tuple[str, ...]] = None,
+    include_optimal: bool = True,
+) -> Table8Result:
+    """Regenerate the full Table 8."""
+    from repro.experiments.presets import WORKLOADS
+
+    scale = scale or get_scale()
+    result = Table8Result()
+    for workload in workloads or WORKLOADS:
+        result.rows.append(
+            run_table8_row(workload, scale=scale, include_optimal=include_optimal)
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Remark 10 / Remark 37: centroid-tree optimality on the uniform workload
+# ----------------------------------------------------------------------
+@dataclass
+class Remark10Result:
+    """Grid of (n, k) → (centroid cost, optimal cost, full-tree cost)."""
+
+    entries: list[tuple[int, int, int, int, int]] = field(default_factory=list)
+
+    @property
+    def all_optimal(self) -> bool:
+        """Whether the centroid tree matched the DP optimum everywhere."""
+        return all(c == o for (_, _, c, o, _) in self.entries)
+
+    def mismatches(self) -> list[tuple[int, int, int, int]]:
+        return [
+            (n, k, c, o) for (n, k, c, o, _) in self.entries if c != o
+        ]
+
+
+def run_remark10(
+    ns: tuple[int, ...] = (10, 25, 50, 100, 200, 400, 600, 999),
+    ks: tuple[int, ...] = (2, 3, 4, 5, 7, 10),
+) -> Remark10Result:
+    """Check centroid-tree optimality against the O(n²k) uniform DP.
+
+    Costs are in unordered-pair units (Σ_{u<v} d(u, v)).
+    """
+    result = Remark10Result()
+    for k in ks:
+        for n in ns:
+            centroid = total_distance_via_potentials(build_centroid_tree(n, k)) // 2
+            optimal = optimal_uniform_cost(n, k)
+            full = total_distance_via_potentials(build_complete_tree(n, k)) // 2
+            result.entries.append((n, k, centroid, optimal, full))
+    return result

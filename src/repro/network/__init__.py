@@ -1,0 +1,1 @@
+"""network subpackage — see module docstrings."""

@@ -1,0 +1,128 @@
+"""Lazy (threshold-triggered) rebuilding — the [13] meta-algorithm.
+
+The paper's introduction describes the partially-reactive alternative to
+per-request splaying: *"the topology changes every time the routing cost
+reaches a threshold α since the last topology update, the new topology is
+computed using [a static demand-aware construction], and it remains static
+until the routing cost reaches the threshold again.  This approach can be
+generalized to a meta-algorithm …  Therefore, the efficient computation of
+static demand-aware topologies is also relevant in online SAN algorithm
+design."*
+
+:class:`LazyRebuildNetwork` is that meta-algorithm instantiated with the
+paper's own Theorem 2 DP as the rebuild subroutine: it serves requests on a
+static k-ary search tree, accumulates routing cost and the empirical demand,
+and whenever the accumulated cost exceeds ``alpha`` recomputes the optimal
+static tree for the demand seen so far (optionally over a sliding window).
+Reconfiguration cost is reported as the link difference between the old and
+new topologies, per Section 2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.distance import TreeDistanceOracle
+from repro.core.builders import build_complete_tree
+from repro.errors import ExperimentError
+from repro.network.protocols import ServeResult
+from repro.optimal.general import optimal_static_tree
+from repro.workloads.demand import DemandMatrix
+
+__all__ = ["LazyRebuildNetwork"]
+
+
+class LazyRebuildNetwork:
+    """A partially-reactive SAN: static tree + threshold-triggered rebuilds.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    k:
+        Arity of the search trees.
+    alpha:
+        Rebuild threshold: accumulated routing cost since the last rebuild
+        that triggers recomputation.  Small α adapts fast but pays frequent
+        reconfiguration; large α degenerates to a static tree.
+    window:
+        If given, only the last ``window`` requests contribute demand
+        (adapts to drifting traffic); otherwise demand accumulates forever.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int = 2,
+        *,
+        alpha: float = 10_000.0,
+        window: Optional[int] = None,
+    ) -> None:
+        if alpha <= 0:
+            raise ExperimentError(f"alpha must be positive, got {alpha}")
+        if window is not None and window < 1:
+            raise ExperimentError(f"window must be >= 1, got {window}")
+        self._n = n
+        self._k = k
+        self.alpha = alpha
+        self.window = window
+        self.tree = build_complete_tree(n, k)
+        self._oracle = TreeDistanceOracle.from_tree(self.tree)
+        self._counts = np.zeros((n, n), dtype=np.int64)
+        self._history: deque[tuple[int, int]] = deque()
+        self._cost_since_rebuild = 0.0
+        self.rebuilds = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def distance(self, u: int, v: int) -> int:
+        return self._oracle.distance(u, v)
+
+    def serve(self, u: int, v: int) -> ServeResult:
+        """Serve ``(u, v)``; rebuild when the cost threshold is crossed."""
+        if u == v:
+            return ServeResult(0, 0, 0)
+        cost = self._oracle.distance(u, v)
+        self._cost_since_rebuild += cost
+        self._counts[u - 1, v - 1] += 1
+        if self.window is not None:
+            self._history.append((u, v))
+            if len(self._history) > self.window:
+                ou, ov = self._history.popleft()
+                self._counts[ou - 1, ov - 1] -= 1
+        links = 0
+        rebuilt = 0
+        if self._cost_since_rebuild >= self.alpha:
+            links = self._rebuild()  # may be 0 when the optimum is unchanged
+            rebuilt = 1
+        return ServeResult(cost, rebuilt, links)
+
+    def _rebuild(self) -> int:
+        """Recompute the optimal static tree for the observed demand."""
+        demand = DemandMatrix(self._n, dense=self._counts.copy())
+        result = optimal_static_tree(demand, self._k)
+        old_edges = self.tree.edge_set()
+        self.tree = result.tree
+        self._oracle = TreeDistanceOracle.from_tree(self.tree)
+        self._cost_since_rebuild = 0.0
+        self.rebuilds += 1
+        return len(old_edges ^ self.tree.edge_set())
+
+    def validate(self) -> None:
+        self.tree.validate()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LazyRebuildNetwork(n={self._n}, k={self._k}, alpha={self.alpha},"
+            f" rebuilds={self.rebuilds})"
+        )

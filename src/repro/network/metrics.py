@@ -1,0 +1,119 @@
+"""Per-request series analysis for simulation results.
+
+Complements :class:`~repro.network.simulator.SimulationResult` (run with
+``record_series=True``) with the summaries used in convergence plots and
+regression checks: rolling means, percentile tables, warm-up detection, and
+cumulative-cost comparisons between runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.network.simulator import SimulationResult
+
+__all__ = [
+    "rolling_mean",
+    "percentile_table",
+    "warmup_length",
+    "cumulative_advantage",
+    "SeriesSummary",
+    "summarize_series",
+]
+
+
+def _series(result: SimulationResult) -> np.ndarray:
+    if result.routing_series is None:
+        raise ExperimentError(
+            "per-request series not recorded; run Simulator(record_series=True)"
+        )
+    return result.routing_series
+
+
+def rolling_mean(values: np.ndarray, window: int) -> np.ndarray:
+    """Centered-free trailing rolling mean (length ``len(values)-window+1``)."""
+    values = np.asarray(values, dtype=np.float64)
+    if window < 1 or window > len(values):
+        raise ExperimentError(f"window {window} out of range for {len(values)} values")
+    csum = np.concatenate(([0.0], np.cumsum(values)))
+    return (csum[window:] - csum[:-window]) / window
+
+
+def percentile_table(
+    values: np.ndarray, percentiles: tuple[float, ...] = (50, 90, 99, 100)
+) -> dict[float, float]:
+    """Request-cost percentiles (100 = max)."""
+    values = np.asarray(values)
+    if len(values) == 0:
+        return {p: 0.0 for p in percentiles}
+    return {p: float(np.percentile(values, p)) for p in percentiles}
+
+
+def warmup_length(values: np.ndarray, window: int = 200, tolerance: float = 0.1) -> int:
+    """Requests served before the rolling mean settles near its final value.
+
+    Returns the first index whose trailing ``window``-mean is within
+    ``tolerance`` (relative) of the final ``window``-mean; ``len(values)``
+    if it never settles.  Used to separate the self-adjusting transient from
+    steady state in the convergence analyses.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) < 2 * window:
+        return 0
+    means = rolling_mean(values, window)
+    final = means[-1]
+    if final == 0:
+        return 0
+    settled = np.abs(means - final) <= tolerance * final
+    # first position from which the mean stays settled
+    ever_unsettled = np.where(~settled)[0]
+    if len(ever_unsettled) == 0:
+        return 0
+    return int(min(ever_unsettled[-1] + window, len(values)))
+
+
+def cumulative_advantage(a: SimulationResult, b: SimulationResult) -> np.ndarray:
+    """Running cost difference ``cumsum(b) - cumsum(a)`` (positive: a ahead).
+
+    The standard way to visualise when a self-adjusting structure's
+    adaptation starts paying off against a baseline on the same trace.
+    """
+    sa, sb = _series(a), _series(b)
+    if len(sa) != len(sb):
+        raise ExperimentError("results cover different numbers of requests")
+    return np.cumsum(sb) - np.cumsum(sa)
+
+
+@dataclass(frozen=True, slots=True)
+class SeriesSummary:
+    """Digest of one recorded run."""
+
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+    warmup: int
+
+    def __str__(self) -> str:
+        return (
+            f"mean={self.mean:.2f} p50={self.p50:.0f} p90={self.p90:.0f}"
+            f" p99={self.p99:.0f} max={self.max:.0f} warmup={self.warmup}"
+        )
+
+
+def summarize_series(result: SimulationResult, *, window: int = 200) -> SeriesSummary:
+    """Compute the standard digest of a recorded simulation."""
+    values = _series(result)
+    table = percentile_table(values)
+    return SeriesSummary(
+        mean=float(values.mean()) if len(values) else 0.0,
+        p50=table[50],
+        p90=table[90],
+        p99=table[99],
+        max=table[100],
+        warmup=warmup_length(values, window=min(window, max(1, len(values) // 2))),
+    )

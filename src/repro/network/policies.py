@@ -1,0 +1,125 @@
+"""Adjustment policies: when should a self-adjusting network actually adjust?
+
+The paper's cost model (Section 2) charges both routing and reconfiguration,
+and its Section 5.1 notes that reconfiguring a high-degree node plausibly
+costs more than a degree-3 one.  Fully reactive splaying (adjust after
+*every* request) is only one point on the spectrum [13]; these wrappers
+expose the rest without touching the underlying network:
+
+* :class:`ThresholdedNetwork` — splay only when the request's routing
+  distance exceeds a threshold.  Cheap requests (already-adjacent hot
+  pairs) stop paying rotation costs; cold requests still trigger
+  adaptation.
+* :class:`ProbabilisticNetwork` — splay each request with probability
+  ``q`` (lazy/randomized splaying).  In expectation this scales the
+  adjustment budget by ``q`` while keeping every request eligible.
+* :class:`FrozenNetwork` — never adjust (turns any SAN into its
+  own static baseline, so ablations compare like with like).
+
+All three wrap any :class:`~repro.network.protocols.SelfAdjustingNetwork`
+that additionally exposes ``distance(u, v)`` (every tree network here
+does), and report honest :class:`ServeResult` costs: the routing cost is
+always the distance in the topology the request actually saw.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.network.protocols import ServeResult
+
+__all__ = ["ThresholdedNetwork", "ProbabilisticNetwork", "FrozenNetwork"]
+
+
+class _Wrapper:
+    """Shared plumbing: delegate everything except the serve decision."""
+
+    def __init__(self, inner) -> None:
+        if not hasattr(inner, "serve") or not hasattr(inner, "distance"):
+            raise ExperimentError(
+                "wrapped network must expose serve(u, v) and distance(u, v)"
+            )
+        self.inner = inner
+
+    @property
+    def n(self) -> int:
+        return self.inner.n
+
+    def distance(self, u: int, v: int) -> int:
+        return self.inner.distance(u, v)
+
+    def validate(self) -> None:
+        validate = getattr(self.inner, "validate", None)
+        if validate is not None:
+            validate()
+
+
+class ThresholdedNetwork(_Wrapper):
+    """Adjust only when the request is routed over more than ``threshold``
+    edges.
+
+    ``threshold = 0`` reproduces the fully reactive inner network;
+    ``threshold >= diameter`` freezes it.  The sweet spot depends on the
+    workload's locality — the adjustment-policy ablation bench sweeps it.
+    """
+
+    def __init__(self, inner, threshold: int) -> None:
+        super().__init__(inner)
+        if threshold < 0:
+            raise ExperimentError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = threshold
+        #: counters for the ablation reports
+        self.served = 0
+        self.adjusted = 0
+
+    def serve(self, u: int, v: int) -> ServeResult:
+        self.served += 1
+        d = self.inner.distance(u, v)
+        if d <= self.threshold:
+            return ServeResult(d, 0, 0)
+        self.adjusted += 1
+        return self.inner.serve(u, v)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ThresholdedNetwork(threshold={self.threshold}, inner={self.inner!r})"
+
+
+class ProbabilisticNetwork(_Wrapper):
+    """Adjust each request independently with probability ``q``.
+
+    ``q = 1`` is fully reactive, ``q = 0`` is frozen.  The decision stream
+    is seeded, so runs are reproducible.
+    """
+
+    def __init__(self, inner, q: float, *, seed: Optional[int] = None) -> None:
+        super().__init__(inner)
+        if not 0.0 <= q <= 1.0:
+            raise ExperimentError(f"q must be in [0, 1], got {q}")
+        self.q = q
+        self._rng = np.random.default_rng(seed)
+        self.served = 0
+        self.adjusted = 0
+
+    def serve(self, u: int, v: int) -> ServeResult:
+        self.served += 1
+        if self.q > 0.0 and self._rng.random() < self.q:
+            self.adjusted += 1
+            return self.inner.serve(u, v)
+        return ServeResult(self.inner.distance(u, v), 0, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProbabilisticNetwork(q={self.q}, inner={self.inner!r})"
+
+
+class FrozenNetwork(_Wrapper):
+    """Never adjust: the inner network's *current* topology as a static
+    baseline (e.g. freeze a warmed-up SplayNet and replay the tail)."""
+
+    def serve(self, u: int, v: int) -> ServeResult:
+        return ServeResult(self.inner.distance(u, v), 0, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FrozenNetwork(inner={self.inner!r})"

@@ -1,0 +1,60 @@
+"""Protocols shared by every self-adjusting network implementation.
+
+A *self-adjusting network* (SAN) serves a stream of communication requests
+``(u, v)`` and may reconfigure itself after each one.  The paper's cost model
+(Section 2) charges the tree distance between the endpoints in the topology
+*before* the adjustment, plus a reconfiguration cost; implementations report
+both through :class:`ServeResult` and the simulator folds them into totals
+via a :class:`~repro.network.cost.CostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+__all__ = ["ServeResult", "SelfAdjustingNetwork"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServeResult:
+    """Outcome of serving one communication request.
+
+    Attributes
+    ----------
+    routing_cost:
+        Tree distance (in edges) between the endpoints in the topology in
+        place when the request arrived.
+    rotations:
+        Number of local transformations applied while adjusting (each
+        ``k-semi-splay`` or ``k-splay`` counts as one, matching the paper's
+        unit rotation cost).
+    links_changed:
+        Number of physical links added plus removed by the adjustment (the
+        paper's alternative reconfiguration-cost measure from Section 2).
+    """
+
+    routing_cost: int
+    rotations: int = 0
+    links_changed: int = 0
+
+    def __add__(self, other: "ServeResult") -> "ServeResult":
+        return ServeResult(
+            self.routing_cost + other.routing_cost,
+            self.rotations + other.rotations,
+            self.links_changed + other.links_changed,
+        )
+
+
+@runtime_checkable
+class SelfAdjustingNetwork(Protocol):
+    """The interface every network (static or self-adjusting) implements."""
+
+    @property
+    def n(self) -> int:
+        """Number of network nodes."""
+        ...
+
+    def serve(self, u: int, v: int) -> ServeResult:
+        """Serve the request ``(u, v)`` and (possibly) self-adjust."""
+        ...

@@ -1,0 +1,128 @@
+"""Trace-driven simulation of (self-adjusting) networks.
+
+The simulator feeds a :class:`~repro.workloads.trace.Trace` through any
+object implementing :class:`~repro.network.protocols.SelfAdjustingNetwork`
+and accumulates the Section 2 cost components.  It optionally records
+per-request series (for convergence plots) and can re-validate the network's
+structural invariants every ``validate_every`` requests (used heavily by the
+integration tests).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.network.cost import CostModel, ROUTING_ONLY
+from repro.network.protocols import SelfAdjustingNetwork
+from repro.workloads.trace import Trace
+
+__all__ = ["SimulationResult", "Simulator", "simulate"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Accumulated outcome of one simulation run."""
+
+    name: str
+    n: int
+    m: int
+    total_routing: int
+    total_rotations: int
+    total_links_changed: int
+    elapsed_seconds: float
+    routing_series: Optional[np.ndarray] = field(default=None, repr=False)
+    rotation_series: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def average_routing(self) -> float:
+        """Average request cost — the quantity in the paper's Table 8."""
+        return self.total_routing / self.m if self.m else 0.0
+
+    @property
+    def average_rotations(self) -> float:
+        return self.total_rotations / self.m if self.m else 0.0
+
+    def total_cost(self, model: CostModel = ROUTING_ONLY) -> float:
+        """Total service cost under a :class:`CostModel`."""
+        return (
+            model.routing_weight * self.total_routing
+            + model.rotation_cost * self.total_rotations
+            + model.link_cost * self.total_links_changed
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name or 'run'}: m={self.m} routing={self.total_routing}"
+            f" (avg {self.average_routing:.3f}) rotations={self.total_rotations}"
+            f" links={self.total_links_changed}"
+        )
+
+
+class Simulator:
+    """Runs traces through networks.
+
+    Parameters
+    ----------
+    record_series:
+        Record per-request routing/rotation arrays on the result (costs
+        O(m) memory).
+    validate_every:
+        If positive, call ``network.validate()`` after every that many
+        requests (and once at the end).
+    """
+
+    def __init__(self, *, record_series: bool = False, validate_every: int = 0) -> None:
+        self.record_series = record_series
+        self.validate_every = validate_every
+
+    def run(
+        self,
+        network: SelfAdjustingNetwork,
+        trace: Trace,
+        *,
+        name: str = "",
+    ) -> SimulationResult:
+        """Serve every request of ``trace`` on ``network``."""
+        serve = network.serve
+        total_routing = 0
+        total_rotations = 0
+        total_links = 0
+        routing_series = np.empty(trace.m, dtype=np.int64) if self.record_series else None
+        rotation_series = np.empty(trace.m, dtype=np.int64) if self.record_series else None
+        validate_every = self.validate_every
+        start = time.perf_counter()
+        for i, (u, v) in enumerate(trace.pairs()):
+            result = serve(u, v)
+            total_routing += result.routing_cost
+            total_rotations += result.rotations
+            total_links += result.links_changed
+            if routing_series is not None:
+                routing_series[i] = result.routing_cost
+                rotation_series[i] = result.rotations
+            if validate_every and (i + 1) % validate_every == 0:
+                network.validate()  # type: ignore[attr-defined]
+        if validate_every:
+            network.validate()  # type: ignore[attr-defined]
+        elapsed = time.perf_counter() - start
+        return SimulationResult(
+            name=name or getattr(trace, "name", ""),
+            n=trace.n,
+            m=trace.m,
+            total_routing=total_routing,
+            total_rotations=total_rotations,
+            total_links_changed=total_links,
+            elapsed_seconds=elapsed,
+            routing_series=routing_series,
+            rotation_series=rotation_series,
+        )
+
+
+def simulate(
+    network: SelfAdjustingNetwork, trace: Trace, *, name: str = ""
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`Simulator`."""
+    return Simulator().run(network, trace, name=name)

@@ -1,0 +1,50 @@
+"""Static (non-adjusting) tree networks under the SAN serving interface.
+
+The paper's static baselines — the full k-ary tree, the optimal
+routing-based k-ary tree, the full binary tree, the optimal BST network —
+serve requests at their tree distance and never reconfigure.  This wrapper
+gives any tree that cost behaviour plus an O(1)-per-request fast path via a
+precomputed :class:`~repro.analysis.distance.TreeDistanceOracle`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.distance import TreeDistanceOracle
+from repro.network.protocols import ServeResult
+
+__all__ = ["StaticTreeNetwork"]
+
+
+class StaticTreeNetwork:
+    """A fixed tree topology serving requests at tree distance.
+
+    Parameters
+    ----------
+    tree:
+        Any tree exposing ``root_id``, ``n`` and ``iter_edges()`` —
+        :class:`~repro.core.tree.KAryTreeNetwork` and
+        :class:`~repro.splaynet.tree.BSTNetwork` both qualify.
+    """
+
+    def __init__(self, tree) -> None:
+        self.tree = tree
+        self._oracle = TreeDistanceOracle.from_tree(tree)
+
+    @property
+    def n(self) -> int:
+        return self._oracle.n
+
+    def distance(self, u: int, v: int) -> int:
+        return self._oracle.distance(u, v)
+
+    def serve(self, u: int, v: int) -> ServeResult:
+        """Route ``(u, v)``; a static network never adjusts."""
+        return ServeResult(self._oracle.distance(u, v), 0, 0)
+
+    def validate(self) -> None:
+        validate = getattr(self.tree, "validate", None)
+        if validate is not None:
+            validate()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StaticTreeNetwork(n={self.n})"

@@ -1,0 +1,1 @@
+"""optimal subpackage — see module docstrings."""

@@ -1,0 +1,219 @@
+"""Theorem 2: the optimal static routing-based k-ary search tree network.
+
+Dynamic programming over identifier segments, exactly as in Appendix A.1:
+
+* ``B[t, i, L]`` — minimum cost of covering the segment of length ``L``
+  starting at 0-based position ``i`` with **at most** ``t`` routing-based
+  k-ary search trees (the paper's ``dp2``), where each tree's cost includes
+  the crossing traffic ``W`` of its own segment (the potential of its
+  root-to-parent edge).
+* A single tree (``t = 1``) chooses a root ``r = i + s`` whose identifier
+  joins the routing array, ``dl`` child trees on ``[i, r)`` and ``k - dl``
+  on ``(r, i+L)`` — the routing-based constraint ``dl + dr <= k``.
+
+The forward pass is pure NumPy; the two inner reductions walk *diagonal*
+slices of ``B`` (entry ``[i+s, L-s]`` for fixed ``L``), which
+``as_strided`` exposes as contiguous 2-D views, so the Python-call count is
+O(n·k) while the arithmetic stays the paper's O(n³k).  Reconstruction
+re-derives the argmins on the O(n) visited segments only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.core.keyspace import pad_values
+from repro.core.node import KAryNode
+from repro.core.tree import KAryTreeNetwork
+from repro.errors import OptimizationError
+from repro.optimal.wmatrix import boundary_crossing_matrix
+from repro.workloads.demand import DemandMatrix
+
+__all__ = ["OptimalTreeResult", "optimal_static_cost_table", "optimal_static_tree"]
+
+
+@dataclass(frozen=True)
+class OptimalTreeResult:
+    """An optimal routing-based tree and its total distance."""
+
+    tree: KAryTreeNetwork
+    cost: int
+
+    @property
+    def n(self) -> int:
+        return self.tree.n
+
+    @property
+    def k(self) -> int:
+        return self.tree.k
+
+
+def _dense_demand(demand) -> np.ndarray:
+    if isinstance(demand, DemandMatrix):
+        return demand.dense()
+    d = np.asarray(demand)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise OptimizationError(f"demand must be square, got shape {d.shape}")
+    return d
+
+
+def _forward(dense: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Run the DP forward pass; returns ``(B, W)``."""
+    n = dense.shape[0]
+    if k < 2:
+        raise OptimizationError(f"arity k must be >= 2, got {k}")
+    w = boundary_crossing_matrix(dense).astype(np.float64)
+    inf = np.inf
+    b = np.full((k + 1, n + 2, n + 1), inf)
+    b[1:, :, 0] = 0.0
+    t_table = b[1]  # alias: single-tree costs
+    a0, a1 = b[2].strides  # strides of one (n+2, n+1) slice
+    for length in range(1, n + 1):
+        m = n - length + 1
+        best = np.full(m, inf)
+        for s in range(length):
+            left = b[1:k, 0:m, s] if k > 2 else b[1:2, 0:m, s]
+            right = b[k - 1 : 0 : -1, s + 1 : s + 1 + m, length - 1 - s]
+            cand = (left + right).min(axis=0)
+            np.minimum(best, cand, out=best)
+        b[1, 0:m, length] = best + w[0:m, length]
+        if length >= 2:
+            tview = as_strided(
+                t_table[:, 1:],
+                shape=(length - 1, m),
+                strides=(t_table.strides[1], t_table.strides[0]),
+            )
+            for t in range(2, k + 1):
+                prev = b[t - 1]
+                bview = as_strided(
+                    prev[1:, length - 1 :],
+                    shape=(length - 1, m),
+                    strides=(a0 - a1, a0),
+                )
+                cand = (tview + bview).min(axis=0)
+                b[t, 0:m, length] = np.minimum(b[t - 1, 0:m, length], cand)
+        else:
+            for t in range(2, k + 1):
+                b[t, 0:m, length] = b[t - 1, 0:m, length]
+    return b, w
+
+
+def optimal_static_cost_table(demand, k: int) -> float:
+    """Only the optimal total distance (no tree reconstruction)."""
+    dense = _dense_demand(demand)
+    b, _ = _forward(dense, k)
+    return float(b[1, 0, dense.shape[0]])
+
+
+# ----------------------------------------------------------------------
+# reconstruction
+# ----------------------------------------------------------------------
+def _single_tree_choice(
+    b: np.ndarray, w: np.ndarray, i: int, length: int, k: int
+) -> tuple[int, int]:
+    """Recover ``(s, dl)`` attaining ``B[1, i, L]``."""
+    best_val = np.inf
+    best = (0, 1)
+    for s in range(length):
+        rest = length - 1 - s
+        for dl in range(1, k):
+            val = b[dl, i, s] + b[k - dl, i + s + 1, rest]
+            if val < best_val:
+                best_val = val
+                best = (s, dl)
+    target = b[1, i, length] - w[i, length]
+    if not np.isclose(best_val, target, rtol=1e-12, atol=1e-6):
+        raise OptimizationError(
+            f"reconstruction mismatch at segment ({i}, {length}):"
+            f" {best_val} != {target}"
+        )
+    return best
+
+
+def _partition(
+    b: np.ndarray, i: int, length: int, t: int
+) -> list[tuple[int, int]]:
+    """Split segment ``(i, L)`` into single-tree parts attaining ``B[t, i, L]``."""
+    parts: list[tuple[int, int]] = []
+    while length > 0:
+        if t <= 1:
+            parts.append((i, length))
+            return parts
+        if b[t, i, length] >= b[t - 1, i, length]:
+            t -= 1
+            continue
+        t_table = b[1]
+        best_val = np.inf
+        best_s = length
+        for s in range(1, length):
+            val = t_table[i, s] + b[t - 1, i + s, length - s]
+            if val < best_val:
+                best_val = val
+                best_s = s
+        if best_s == length:  # pragma: no cover - defensive
+            raise OptimizationError("partition backtrack failed")
+        parts.append((i, best_s))
+        i += best_s
+        length -= best_s
+        t -= 1
+    return parts
+
+
+def _build_tree(
+    b: np.ndarray, w: np.ndarray, i: int, length: int, k: int
+) -> KAryNode:
+    """Materialize the optimal single tree on segment ``(i, L)``.
+
+    Routing arrays are routing-based: the root's identifier is itself a
+    separator, flanked by half-integer boundaries between sibling parts and
+    private dyadic pads (see :mod:`repro.core.keyspace`).
+    """
+    s, dl = _single_tree_choice(b, w, i, length, k)
+    root_id = i + s + 1  # identifiers are 1-based
+    left_parts = _partition(b, i, s, dl)
+    right_parts = _partition(b, i + s + 1, length - 1 - s, k - dl)
+    node = KAryNode(root_id, k)
+
+    separators: list[float] = [float(root_id)]
+    for parts in (left_parts, right_parts):
+        for (pi, plen) in parts[1:]:
+            separators.append(pi + 0.5)  # boundary below part start (1-based: pi+1 - 0.5)
+    pad_needed = (k - 1) - len(separators)
+    separators.extend(pad_values(root_id, pad_needed))
+    separators.sort()
+    node.routing = separators
+
+    from bisect import bisect_left
+
+    for (pi, plen) in left_parts + right_parts:
+        child = _build_tree(b, w, pi, plen, k)
+        slot = bisect_left(separators, pi + 1)
+        node.attach_child(child, slot)
+    node.recompute_range()
+    return node
+
+
+def optimal_static_tree(demand, k: int) -> OptimalTreeResult:
+    """Theorem 2: optimal static routing-based k-ary search tree network.
+
+    ``demand`` is a :class:`DemandMatrix` or a dense 0-indexed count array.
+    Runs in O(n³k) arithmetic / O(n k) NumPy dispatches and O(n²k) memory.
+    """
+    dense = _dense_demand(demand)
+    n = dense.shape[0]
+    if n < 1:
+        raise OptimizationError("demand must cover at least one node")
+    b, w = _forward(dense, k)
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 4 * n + 100))
+    try:
+        root = _build_tree(b, w, 0, n, k)
+    finally:
+        sys.setrecursionlimit(old_limit)
+    tree = KAryTreeNetwork(k, root, validate=True, routing_based=True)
+    return OptimalTreeResult(tree=tree, cost=int(round(float(b[1, 0, n]))))

@@ -1,0 +1,177 @@
+"""Slow reference implementations used to pin the vectorized DP.
+
+Two independent oracles:
+
+* :func:`reference_optimal_cost` — a direct, memoized transcription of the
+  paper's recurrences (Appendix A.1) in pure Python.  Same asymptotics as
+  the NumPy version but shares no code with it.
+* :func:`brute_force_optimal_cost` — exhaustive enumeration of every
+  routing-based k-ary search tree on a segment, scoring each by its true
+  demand-weighted total distance.  Exponential; for n ≤ ~7 only.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import product
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import OptimizationError
+
+__all__ = ["reference_optimal_cost", "brute_force_optimal_cost", "enumerate_trees"]
+
+
+def reference_optimal_cost(demand: np.ndarray, k: int) -> int:
+    """The paper's DP, transcribed naively (0-indexed segments ``[i, j]``)."""
+    d = np.asarray(demand, dtype=np.int64)
+    n = d.shape[0]
+    incident = d.sum(axis=0) + d.sum(axis=1)
+
+    @lru_cache(maxsize=None)
+    def w(i: int, j: int) -> int:
+        """Requests with exactly one endpoint in ``[i, j]``."""
+        inside = range(i, j + 1)
+        internal = int(d[i : j + 1, i : j + 1].sum())
+        return int(sum(incident[u] for u in inside)) - 2 * internal
+
+    @lru_cache(maxsize=None)
+    def single(i: int, j: int) -> float:
+        """Cost of one routing-based tree on ``[i, j]`` (the paper's t=1)."""
+        if i > j:
+            return 0.0
+        best = float("inf")
+        for r in range(i, j + 1):
+            for dl in range(1, k):
+                cost = forest(i, r - 1, dl) + forest(r + 1, j, k - dl)
+                best = min(best, cost)
+        return best + w(i, j)
+
+    @lru_cache(maxsize=None)
+    def forest(i: int, j: int, t: int) -> float:
+        """Cost of at most ``t`` trees covering ``[i, j]``."""
+        if i > j:
+            return 0.0
+        if t <= 0:
+            return float("inf")
+        best = single(i, j)
+        for l in range(i, j):
+            best = min(best, single(i, l) + forest(l + 1, j, t - 1))
+        return best
+
+    return int(single(0, n - 1))
+
+
+# ----------------------------------------------------------------------
+# exhaustive enumeration
+# ----------------------------------------------------------------------
+def enumerate_trees(i: int, j: int, k: int) -> Iterator[dict[int, int]]:
+    """Yield every routing-based k-ary search tree on segment ``[i, j]``.
+
+    Trees are emitted as child→parent maps over 0-based identifiers; the
+    segment root has no entry.  Duplicate shapes may be emitted (different
+    ``dl`` splits of the same child set); harmless for cost minimization.
+    """
+    if i > j:
+        yield {}
+        return
+    seen: set[tuple[tuple[int, int], ...]] = set()
+    for r in range(i, j + 1):
+        for dl in range(1, k):
+            for left in _enumerate_forests(i, r - 1, dl, k):
+                for right in _enumerate_forests(r + 1, j, k - dl, k):
+                    tree: dict[int, int] = {}
+                    for part_root, part_map in left + right:
+                        tree.update(part_map)
+                        tree[part_root] = r
+                    key = tuple(sorted(tree.items()))
+                    if key not in seen:
+                        seen.add(key)
+                        yield tree
+
+
+def _enumerate_forests(
+    i: int, j: int, t: int, k: int
+) -> list[list[tuple[int, dict[int, int]]]]:
+    """All ways to cover ``[i, j]`` with at most ``t`` trees.
+
+    Each forest is a list of ``(root, child→parent map)`` parts.
+    """
+    if i > j:
+        return [[]]
+    if t <= 0:
+        return []
+    out: list[list[tuple[int, dict[int, int]]]] = []
+    emitted: set[tuple] = set()
+    for split in range(i, j + 1):
+        for rest in _enumerate_forests(split + 1, j, t - 1, k):
+            for first_root, first_map in _enumerate_single(i, split, k):
+                forest = [(first_root, first_map)] + rest
+                key = tuple(sorted((c, p) for _, m in forest for c, p in m.items())) + tuple(
+                    sorted(r for r, _ in forest)
+                )
+                if key not in emitted:
+                    emitted.add(key)
+                    out.append(forest)
+    return out
+
+
+def _enumerate_single(i: int, j: int, k: int) -> list[tuple[int, dict[int, int]]]:
+    """All single routing-based trees on ``[i, j]`` as (root, map) pairs."""
+    out = []
+    seen = set()
+    for tree in enumerate_trees(i, j, k):
+        root = next(v for v in range(i, j + 1) if v not in tree)
+        key = tuple(sorted(tree.items()))
+        if (root, key) not in seen:
+            seen.add((root, key))
+            out.append((root, tree))
+    return out
+
+
+def _tree_cost(parent_map: dict[int, int], n: int, demand: np.ndarray) -> int:
+    """Demand-weighted total distance of a parent-map tree (BFS distances)."""
+    children: dict[int, list[int]] = {v: [] for v in range(n)}
+    for c, p in parent_map.items():
+        children[p].append(c)
+    root = next(v for v in range(n) if v not in parent_map)
+    depth = {root: 0}
+    order = [root]
+    for v in order:
+        for c in children[v]:
+            depth[c] = depth[v] + 1
+            order.append(c)
+    # pairwise distances via LCA by parent walking (n is tiny here)
+    total = 0
+    us, vs = np.nonzero(demand)
+    for u, v in zip(us.tolist(), vs.tolist()):
+        a, b = u, v
+        da, db = depth[a], depth[b]
+        while da > db:
+            a = parent_map[a]
+            da -= 1
+        while db > da:
+            b = parent_map[b]
+            db -= 1
+        while a != b:
+            a = parent_map[a]
+            b = parent_map[b]
+            da -= 1
+        total += int(demand[u, v]) * (depth[u] + depth[v] - 2 * da)
+    return total
+
+
+def brute_force_optimal_cost(demand: np.ndarray, k: int) -> int:
+    """Exhaustive optimum over all routing-based k-ary search trees."""
+    d = np.asarray(demand, dtype=np.int64)
+    n = d.shape[0]
+    if n > 8:
+        raise OptimizationError("brute force is exponential; use n <= 8")
+    best = None
+    for tree in enumerate_trees(0, n - 1, k):
+        cost = _tree_cost(tree, n, d)
+        if best is None or cost < best:
+            best = cost
+    assert best is not None
+    return best

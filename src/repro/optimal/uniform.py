@@ -1,0 +1,107 @@
+"""Theorem 4: the optimal static k-ary search tree for the uniform workload.
+
+Lemma 19 shows segment costs depend only on segment *length* under uniform
+demand, so the general DP loses a dimension and runs in O(n²k).  Because the
+uniform workload lets us fix the structure first and distribute identifiers
+afterwards (Section 3.2), the root split collapses further: a single tree of
+length ``L`` is a root plus **any** partition of the remaining ``L - 1``
+nodes into at most ``k`` subtrees, i.e. ``T[L] = W[L] + B[k, L-1]`` — the
+resulting tree need not be routing-based, exactly as the paper remarks.
+
+Costs are in *unordered-pair* units (the paper's upper-triangular all-ones
+demand): each pair ``{u, v}`` contributes ``d(u, v)`` once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.builders import Partition, build_from_partitioner
+from repro.core.tree import KAryTreeNetwork
+from repro.errors import OptimizationError
+from repro.optimal.wmatrix import uniform_boundary_crossing
+
+__all__ = [
+    "UniformOptimalResult",
+    "optimal_uniform_cost",
+    "optimal_uniform_table",
+    "optimal_uniform_tree",
+]
+
+
+@dataclass(frozen=True)
+class UniformOptimalResult:
+    """An optimal uniform-workload tree and its total distance.
+
+    ``cost`` is Σ_{u<v} d(u, v) — unordered pairs, the paper's convention.
+    """
+
+    tree: KAryTreeNetwork
+    cost: int
+
+
+def optimal_uniform_table(n: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Forward DP: returns ``(T, B)``.
+
+    ``T[L]`` is the optimal cost of a single tree on ``L`` nodes (including
+    its boundary-crossing term), ``B[t, L]`` the optimal cost of a forest of
+    at most ``t`` trees on ``L`` nodes.
+    """
+    if n < 1:
+        raise OptimizationError("need n >= 1")
+    if k < 2:
+        raise OptimizationError(f"arity k must be >= 2, got {k}")
+    w = uniform_boundary_crossing(n).astype(np.float64)
+    t_cost = np.zeros(n + 1)
+    b = np.full((k + 1, n + 1), np.inf)
+    b[1:, 0] = 0.0
+    for length in range(1, n + 1):
+        t_cost[length] = w[length] + b[k, length - 1]
+        b[1, length] = t_cost[length]
+        for t in range(2, k + 1):
+            cand = b[t - 1, length]
+            if length >= 2:
+                split = (t_cost[1:length] + b[t - 1, length - 1 : 0 : -1]).min()
+                cand = min(cand, split)
+            b[t, length] = cand
+    return t_cost, b
+
+
+def optimal_uniform_cost(n: int, k: int) -> int:
+    """Optimal Σ_{u<v} d(u, v) over k-ary search trees on ``n`` nodes."""
+    t_cost, _ = optimal_uniform_table(n, k)
+    return int(round(float(t_cost[n])))
+
+
+def optimal_uniform_tree(n: int, k: int) -> UniformOptimalResult:
+    """Materialize an optimal tree by backtracking the O(n²k) DP."""
+    t_cost, b = optimal_uniform_table(n, k)
+
+    @lru_cache(maxsize=None)
+    def forest_sizes(length: int, t: int) -> tuple[int, ...]:
+        """Part sizes of an optimal ≤t-tree forest on ``length`` nodes."""
+        if length == 0:
+            return ()
+        if t <= 1:
+            return (length,)
+        if b[t, length] >= b[t - 1, length]:
+            return forest_sizes(length, t - 1)
+        for s in range(1, length):
+            if np.isclose(
+                t_cost[s] + b[t - 1, length - s], b[t, length], rtol=1e-12, atol=1e-6
+            ):
+                return (s,) + forest_sizes(length - s, t - 1)
+        raise OptimizationError(  # pragma: no cover - defensive
+            f"uniform DP backtrack failed at length {length}, t {t}"
+        )
+
+    def partitioner(size: int) -> Partition:
+        if size == 1:
+            return 0, ()
+        return 0, forest_sizes(size - 1, k)
+
+    tree = build_from_partitioner(n, k, partitioner, validate=True)
+    return UniformOptimalResult(tree=tree, cost=int(round(float(t_cost[n]))))

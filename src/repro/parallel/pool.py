@@ -1,0 +1,243 @@
+"""Process-pool map primitives with deterministic ordering.
+
+A thin, dependency-free layer over :class:`concurrent.futures` tuned for the
+shape of this repository's workloads: tens-to-hundreds of medium-grained
+tasks (one trace simulation each), where result *order* must match
+submission order and failures must surface with context rather than as bare
+tracebacks from a worker.
+
+Why not ``multiprocessing.Pool.map`` directly?  Three reasons:
+
+* serial fallback — ``jobs=1`` runs in-process, so unit tests exercise the
+  exact task functions without fork overhead and coverage tools see them;
+* chunk sizing — tasks here are seconds-long, so the default is one task
+  per dispatch (``chunk_size=1``); callers batching many micro-tasks can
+  raise it;
+* failure policy — ``on_error="raise"`` (default) re-raises the first
+  failure with the offending item attached; ``on_error="collect"`` returns
+  per-item :class:`TaskOutcome` records so a sweep survives isolated cell
+  failures (e.g. an optimal-tree DP that exceeds a node budget).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Literal, Optional, Sequence, TypeVar
+
+from repro.errors import ExperimentError
+
+__all__ = [
+    "ParallelConfig",
+    "TaskOutcome",
+    "cpu_jobs",
+    "parallel_map",
+    "parallel_starmap",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def cpu_jobs(reserve: int = 1, *, cap: Optional[int] = None) -> int:
+    """A sensible worker count: ``cpu_count - reserve``, at least 1.
+
+    ``reserve`` keeps cores free for the parent process and the OS; ``cap``
+    bounds the result (e.g. when tasks are memory-hungry).
+    """
+    count = os.cpu_count() or 1
+    jobs = max(1, count - max(0, reserve))
+    if cap is not None:
+        jobs = max(1, min(jobs, cap))
+    return jobs
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Execution knobs shared by :func:`parallel_map` and the sweep engine.
+
+    Attributes
+    ----------
+    jobs:
+        Worker process count. ``1`` (default) executes serially in the
+        calling process; ``0`` or negative resolves to :func:`cpu_jobs`.
+    chunk_size:
+        Items handed to a worker per dispatch.  Keep at 1 for seconds-long
+        tasks; raise for micro-tasks to amortize IPC.
+    on_error:
+        ``"raise"`` aborts on the first failure; ``"collect"`` records
+        failures per item and keeps going.
+    max_pending:
+        Backpressure bound: at most this many unfinished futures in flight
+        (defaults to ``4 * jobs``), so a million-item iterable does not
+        materialize in the executor queue.
+    """
+
+    jobs: int = 1
+    chunk_size: int = 1
+    on_error: Literal["raise", "collect"] = "raise"
+    max_pending: Optional[int] = None
+
+    def resolved_jobs(self) -> int:
+        if self.jobs >= 1:
+            return self.jobs
+        return cpu_jobs()
+
+    def resolved_pending(self) -> int:
+        if self.max_pending is not None:
+            if self.max_pending < 1:
+                raise ExperimentError("max_pending must be >= 1")
+            return self.max_pending
+        return 4 * self.resolved_jobs()
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise ExperimentError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if self.on_error not in ("raise", "collect"):
+            raise ExperimentError(
+                f"on_error must be 'raise' or 'collect', got {self.on_error!r}"
+            )
+
+
+@dataclass
+class TaskOutcome:
+    """Result envelope for one input item under ``on_error='collect'``."""
+
+    index: int
+    value: Any = None
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> list[R]:
+    """Worker-side loop (module-level so it pickles under spawn)."""
+    return [fn(item) for item in chunk]
+
+
+def _serial_map(
+    fn: Callable[[T], R], items: Sequence[T], config: ParallelConfig
+) -> list[TaskOutcome]:
+    outcomes: list[TaskOutcome] = []
+    for index, item in enumerate(items):
+        try:
+            outcomes.append(TaskOutcome(index, value=fn(item)))
+        except Exception as exc:  # noqa: BLE001 - policy decides
+            if config.on_error == "raise":
+                raise ExperimentError(
+                    f"task {index} failed on item {item!r}: {exc}"
+                ) from exc
+            outcomes.append(TaskOutcome(index, error=exc))
+    return outcomes
+
+
+def _chunks(items: Sequence[T], size: int) -> list[tuple[int, Sequence[T]]]:
+    return [
+        (start, items[start : start + size])
+        for start in range(0, len(items), size)
+    ]
+
+
+def _parallel_outcomes(
+    fn: Callable[[T], R], items: Sequence[T], config: ParallelConfig
+) -> list[TaskOutcome]:
+    jobs = config.resolved_jobs()
+    max_pending = config.resolved_pending()
+    pending_chunks = _chunks(items, config.chunk_size)
+    outcomes: list[Optional[TaskOutcome]] = [None] * len(items)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        in_flight: dict[Any, tuple[int, Sequence[T]]] = {}
+        cursor = 0
+        while cursor < len(pending_chunks) or in_flight:
+            while cursor < len(pending_chunks) and len(in_flight) < max_pending:
+                start, chunk = pending_chunks[cursor]
+                future = pool.submit(_run_chunk, fn, chunk)
+                in_flight[future] = (start, chunk)
+                cursor += 1
+            done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+            for future in done:
+                start, chunk = in_flight.pop(future)
+                try:
+                    values = future.result()
+                except Exception as exc:  # noqa: BLE001 - policy decides
+                    if config.on_error == "raise":
+                        raise ExperimentError(
+                            f"task chunk starting at {start} failed: {exc}"
+                        ) from exc
+                    for offset in range(len(chunk)):
+                        outcomes[start + offset] = TaskOutcome(
+                            start + offset, error=exc
+                        )
+                else:
+                    for offset, value in enumerate(values):
+                        outcomes[start + offset] = TaskOutcome(
+                            start + offset, value=value
+                        )
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    config: Optional[ParallelConfig] = None,
+    jobs: Optional[int] = None,
+) -> list[R]:
+    """Map ``fn`` over ``items``, preserving input order in the output.
+
+    ``fn`` and every item must be picklable when ``jobs > 1`` (use
+    module-level functions and plain dataclasses).  With the default
+    ``on_error="raise"`` the return is a plain list of results; under
+    ``on_error="collect"`` failed slots are *omitted* — use
+    :func:`parallel_map_outcomes` when you need the per-item envelopes.
+    """
+    outcomes = parallel_map_outcomes(fn, items, config=config, jobs=jobs)
+    return [outcome.value for outcome in outcomes if outcome.ok]
+
+
+def parallel_map_outcomes(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    config: Optional[ParallelConfig] = None,
+    jobs: Optional[int] = None,
+) -> list[TaskOutcome]:
+    """Like :func:`parallel_map` but returns :class:`TaskOutcome` envelopes."""
+    if config is not None and jobs is not None and config.jobs != jobs:
+        raise ExperimentError("pass either config or jobs, not conflicting both")
+    if config is None:
+        config = ParallelConfig(jobs=jobs if jobs is not None else 1)
+    materialized = list(items)
+    if not materialized:
+        return []
+    if config.resolved_jobs() == 1 or len(materialized) == 1:
+        return _serial_map(fn, materialized, config)
+    return _parallel_outcomes(fn, materialized, config)
+
+
+def parallel_starmap(
+    fn: Callable[..., R],
+    argument_tuples: Iterable[tuple],
+    *,
+    config: Optional[ParallelConfig] = None,
+    jobs: Optional[int] = None,
+) -> list[R]:
+    """``parallel_map`` for functions of several arguments."""
+    return parallel_map(
+        _StarCall(fn), list(argument_tuples), config=config, jobs=jobs
+    )
+
+
+@dataclass(frozen=True)
+class _StarCall:
+    """Picklable adapter turning ``fn(*args)`` into a single-argument call."""
+
+    fn: Callable[..., Any]
+
+    def __call__(self, args: tuple) -> Any:
+        return self.fn(*args)

@@ -1,0 +1,201 @@
+"""Picklable task functions for parallel experiment cells.
+
+Every function here is module-level (so it pickles under any multiprocessing
+start method) and takes a small frozen dataclass describing the cell.  Tasks
+*regenerate* their workload inside the worker from ``(workload, n, m,
+seed)`` — shipping four scalars instead of a million-row trace array keeps
+IPC negligible and makes cells independent of parent-process state.
+
+Supported algorithm names (``SimulationTask.algorithm``):
+
+====================  =====================================================
+``kary-splaynet``     :class:`~repro.core.splaynet.KArySplayNet` (k from task)
+``centroid-splaynet`` :class:`~repro.core.centroid_splaynet.CentroidSplayNet`
+``splaynet``          binary :class:`~repro.splaynet.splaynet.SplayNet`
+``lazy``              :class:`~repro.network.lazy.LazyRebuildNetwork`
+``full-tree``         static full/complete k-ary tree
+``centroid-tree``     static centroid k-ary tree
+``optimal-tree``      optimal static routing-based k-ary tree (Theorem 2 DP)
+``optimal-bst``       optimal static BST network (the [22] DP)
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.analysis.distance import trace_static_cost
+from repro.core.builders import build_complete_tree
+from repro.core.centroid import build_centroid_tree
+from repro.core.centroid_splaynet import CentroidSplayNet
+from repro.core.splaynet import KArySplayNet
+from repro.errors import ExperimentError
+from repro.network.lazy import LazyRebuildNetwork
+from repro.network.simulator import Simulator
+from repro.optimal.general import optimal_static_tree
+from repro.splaynet.optimal import optimal_static_bst
+from repro.splaynet.splaynet import SplayNet
+from repro.workloads.datacenter import facebook_trace, hpc_trace, projector_trace
+from repro.workloads.demand import DemandMatrix
+from repro.workloads.synthetic import (
+    temporal_trace,
+    uniform_trace,
+    zipf_trace,
+)
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "SimulationTask",
+    "SimulationTaskResult",
+    "run_simulation_task",
+    "static_cost_task",
+    "materialize_trace",
+    "NETWORK_FACTORIES",
+    "STATIC_BUILDERS",
+]
+
+
+def materialize_trace(workload: str, n: int, m: int, seed: int) -> Trace:
+    """Regenerate a workload trace inside a worker process.
+
+    Mirrors :func:`repro.experiments.presets.make_workload` but is driven by
+    explicit ``(n, m, seed)`` so tasks stay self-contained.
+    """
+    if workload == "uniform":
+        return uniform_trace(n, m, seed)
+    if workload == "hpc":
+        return hpc_trace(n, m, seed)
+    if workload == "projector":
+        return projector_trace(n, m, seed)
+    if workload == "facebook":
+        return facebook_trace(n, m, seed)
+    if workload.startswith("temporal-"):
+        return temporal_trace(n, m, float(workload.split("-", 1)[1]), seed)
+    if workload.startswith("zipf-"):
+        return zipf_trace(n, m, alpha=float(workload.split("-", 1)[1]), seed=seed)
+    raise ExperimentError(f"unknown workload {workload!r}")
+
+
+# ----------------------------------------------------------------------
+# algorithm registries
+# ----------------------------------------------------------------------
+def _make_kary_splaynet(n: int, k: int) -> KArySplayNet:
+    return KArySplayNet(n, k, initial="complete")
+
+def _make_centroid_splaynet(n: int, k: int) -> CentroidSplayNet:
+    return CentroidSplayNet(n, k)
+
+def _make_binary_splaynet(n: int, k: int) -> SplayNet:
+    del k  # SplayNet is the k=2 baseline regardless of the axis value
+    return SplayNet(n)
+
+def _make_lazy(n: int, k: int) -> LazyRebuildNetwork:
+    return LazyRebuildNetwork(n, k)
+
+
+#: Online (self-adjusting) algorithm name → ``factory(n, k) -> network``.
+NETWORK_FACTORIES: dict[str, Callable[[int, int], object]] = {
+    "kary-splaynet": _make_kary_splaynet,
+    "centroid-splaynet": _make_centroid_splaynet,
+    "splaynet": _make_binary_splaynet,
+    "lazy": _make_lazy,
+}
+
+
+def _build_full(trace: Trace, k: int):
+    return build_complete_tree(trace.n, k)
+
+def _build_centroid(trace: Trace, k: int):
+    return build_centroid_tree(trace.n, k)
+
+def _build_optimal_kary(trace: Trace, k: int):
+    return optimal_static_tree(DemandMatrix.from_trace(trace), k).tree
+
+def _build_optimal_bst(trace: Trace, k: int):
+    del k
+    return optimal_static_bst(DemandMatrix.from_trace(trace)).network
+
+
+#: Static baseline name → ``builder(trace, k) -> tree``.
+STATIC_BUILDERS: dict[str, Callable[[Trace, int], object]] = {
+    "full-tree": _build_full,
+    "centroid-tree": _build_centroid,
+    "optimal-tree": _build_optimal_kary,
+    "optimal-bst": _build_optimal_bst,
+}
+
+
+# ----------------------------------------------------------------------
+# the task objects
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SimulationTask:
+    """One experiment cell: a workload served by one algorithm.
+
+    Attributes
+    ----------
+    workload, n, m, seed:
+        Trace coordinates, regenerated in the worker.
+    algorithm:
+        A key of :data:`NETWORK_FACTORIES` or :data:`STATIC_BUILDERS`.
+    k:
+        Tree arity (ignored by the binary baselines).
+    """
+
+    workload: str
+    n: int
+    m: int
+    seed: int
+    algorithm: str
+    k: int = 2
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in NETWORK_FACTORIES and self.algorithm not in STATIC_BUILDERS:
+            raise ExperimentError(
+                f"unknown algorithm {self.algorithm!r}; choose from "
+                f"{sorted(NETWORK_FACTORIES) + sorted(STATIC_BUILDERS)}"
+            )
+        if self.k < 2:
+            raise ExperimentError(f"k must be >= 2, got {self.k}")
+
+
+@dataclass(frozen=True)
+class SimulationTaskResult:
+    """Scalar outcomes of one cell (small: safe to pipe back to the parent)."""
+
+    task: SimulationTask
+    total_routing: int
+    total_rotations: int
+    total_links_changed: int
+
+    @property
+    def average_routing(self) -> float:
+        return self.total_routing / self.task.m if self.task.m else 0.0
+
+
+def run_simulation_task(task: SimulationTask) -> SimulationTaskResult:
+    """Execute one cell: regenerate the trace, run the algorithm, reduce.
+
+    Static baselines are costed through the distance oracle (no simulation
+    loop); online algorithms run the full trace through the simulator.
+    """
+    trace = materialize_trace(task.workload, task.n, task.m, task.seed)
+    if task.algorithm in STATIC_BUILDERS:
+        tree = STATIC_BUILDERS[task.algorithm](trace, task.k)
+        cost = trace_static_cost(tree, trace)
+        return SimulationTaskResult(task, cost, 0, 0)
+    network = NETWORK_FACTORIES[task.algorithm](task.n, task.k)
+    run = Simulator().run(network, trace)
+    return SimulationTaskResult(
+        task, run.total_routing, run.total_rotations, run.total_links_changed
+    )
+
+
+def static_cost_task(task: SimulationTask) -> int:
+    """Cost-only variant for static baselines (used by sweep reductions)."""
+    if task.algorithm not in STATIC_BUILDERS:
+        raise ExperimentError(
+            f"static_cost_task requires a static algorithm, got {task.algorithm!r}"
+        )
+    return run_simulation_task(task).total_routing

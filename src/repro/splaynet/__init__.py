@@ -1,0 +1,1 @@
+"""splaynet subpackage — see module docstrings."""

@@ -1,0 +1,57 @@
+"""Optimal static BST network — the [22] baseline ("Static Optimal Net").
+
+The optimal binary search tree network DP of SplayNet is exactly the ``k=2``
+case of the paper's Theorem 2 DP (a routing-based 2-ary search tree *is* a
+BST: the single routing element is the node's own identifier).  We therefore
+run the general engine and convert the result into a
+:class:`~repro.splaynet.tree.BSTNetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OptimizationError
+from repro.optimal.general import optimal_static_tree
+from repro.splaynet.tree import BSTNetwork, BSTNode
+
+__all__ = ["OptimalBSTResult", "optimal_static_bst"]
+
+
+@dataclass(frozen=True)
+class OptimalBSTResult:
+    """An optimal static BST network and its total distance."""
+
+    network: BSTNetwork
+    cost: int
+
+
+def optimal_static_bst(demand) -> OptimalBSTResult:
+    """Compute the optimal static BST network for a demand matrix."""
+    result = optimal_static_tree(demand, 2)
+    karoot = result.tree.root
+
+    def convert(kanode) -> BSTNode:
+        if kanode.routing != [float(kanode.nid)]:
+            raise OptimizationError(  # pragma: no cover - structural guarantee
+                "k=2 optimal tree is not routing-based as expected"
+            )
+        node = BSTNode(kanode.nid)
+        left, right = kanode.children
+        if left is not None:
+            node.left = convert(left)
+            node.left.parent = node
+        if right is not None:
+            node.right = convert(right)
+            node.right.parent = node
+        return node
+
+    import sys
+
+    old = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old, 4 * result.tree.n + 100))
+    try:
+        root = convert(karoot)
+    finally:
+        sys.setrecursionlimit(old)
+    return OptimalBSTResult(network=BSTNetwork(root), cost=result.cost)

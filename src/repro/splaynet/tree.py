@@ -1,0 +1,243 @@
+"""Binary search tree network substrate for the classic SplayNet baseline.
+
+Unlike the k-ary trees of :mod:`repro.core`, the binary network is
+*routing-based*: each node's permanent identifier doubles as its single
+routing key (exactly the SplayNet [22] model), so no separate routing array
+is needed and rotations are the textbook BST rotations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import InvalidTreeError
+
+__all__ = ["BSTNode", "BSTNetwork"]
+
+
+class BSTNode:
+    """A node of a binary search tree network (key == identifier)."""
+
+    __slots__ = ("key", "left", "right", "parent")
+
+    def __init__(self, key: int) -> None:
+        self.key = key
+        self.left: Optional[BSTNode] = None
+        self.right: Optional[BSTNode] = None
+        self.parent: Optional[BSTNode] = None
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def iter_subtree(self) -> Iterator["BSTNode"]:
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        l = self.left.key if self.left else "."
+        r = self.right.key if self.right else "."
+        return f"BSTNode({self.key}, left={l}, right={r})"
+
+
+class BSTNetwork:
+    """A binary search tree network on identifiers ``1..n``."""
+
+    __slots__ = ("root", "_index")
+
+    def __init__(self, root: BSTNode, *, validate: bool = True) -> None:
+        self.root = root
+        self._index: dict[int, BSTNode] = {}
+        for node in root.iter_subtree():
+            if node.key in self._index:
+                raise InvalidTreeError(f"duplicate key {node.key}")
+            self._index[node.key] = node
+        n = len(self._index)
+        if sorted(self._index) != list(range(1, n + 1)):
+            raise InvalidTreeError("keys must form the contiguous range 1..n")
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def balanced(cls, n: int) -> "BSTNetwork":
+        """The complete (weakly-complete, left-packed) BST on ``1..n``."""
+        if n < 1:
+            raise InvalidTreeError(f"need at least one node, got n={n}")
+
+        def build(lo: int, hi: int) -> Optional[BSTNode]:
+            if lo > hi:
+                return None
+            size = hi - lo + 1
+            # Left subtree size of the size-`size` complete tree.
+            levels = size.bit_length()
+            interior = (1 << (levels - 1)) - 1
+            last = size - interior
+            half_last = 1 << max(levels - 2, 0)
+            left_size = (interior - 1) // 2 + min(last, half_last)
+            node = BSTNode(lo + left_size)
+            left = build(lo, lo + left_size - 1)
+            right = build(lo + left_size + 1, hi)
+            if left is not None:
+                node.left = left
+                left.parent = node
+            if right is not None:
+                node.right = right
+                right.parent = node
+            return node
+
+        root = build(1, n)
+        assert root is not None
+        return cls(root)
+
+    @property
+    def n(self) -> int:
+        return len(self._index)
+
+    @property
+    def root_id(self) -> int:
+        """Key of the current root node."""
+        return self.root.key
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def node(self, key: int) -> BSTNode:
+        try:
+            return self._index[key]
+        except KeyError:
+            raise InvalidTreeError(f"no node with key {key}") from None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def lca(self, u: int, v: int) -> BSTNode:
+        """Lowest common ancestor, found by the search-path rule.
+
+        Descend from the root while both keys are on the same side; the
+        first node whose key lies in ``[min(u,v), max(u,v)]`` is the LCA —
+        the standard SplayNet argument.
+        """
+        lo, hi = (u, v) if u < v else (v, u)
+        node = self.root
+        while not (lo <= node.key <= hi):
+            node = node.left if hi < node.key else node.right
+            if node is None:  # pragma: no cover - impossible for valid keys
+                raise InvalidTreeError("LCA search fell off the tree")
+        return node
+
+    def search_steps(self, start: BSTNode, key: int) -> int:
+        """Edges on the search path from ``start`` down to ``key``."""
+        steps = 0
+        node = start
+        while node.key != key:
+            node = node.left if key < node.key else node.right
+            if node is None:  # pragma: no cover - impossible for valid keys
+                raise InvalidTreeError("search fell off the tree")
+            steps += 1
+        return steps
+
+    def distance(self, u: int, v: int) -> int:
+        """Tree distance between ``u`` and ``v`` (via the LCA)."""
+        if u == v:
+            return 0
+        w = self.lca(u, v)
+        return self.search_steps(w, u) + self.search_steps(w, v)
+
+    def depth(self, key: int) -> int:
+        node = self.node(key)
+        d = 0
+        while node.parent is not None:
+            node = node.parent
+            d += 1
+        return d
+
+    def height(self) -> int:
+        best = 0
+        stack = [(self.root, 0)]
+        while stack:
+            node, d = stack.pop()
+            best = max(best, d)
+            for child in (node.left, node.right):
+                if child is not None:
+                    stack.append((child, d + 1))
+        return best
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        for node in self.root.iter_subtree():
+            for child in (node.left, node.right):
+                if child is not None:
+                    yield (node.key, child.key)
+
+    def edge_set(self) -> frozenset[tuple[int, int]]:
+        return frozenset(
+            (a, b) if a < b else (b, a) for a, b in self.iter_edges()
+        )
+
+    # ------------------------------------------------------------------
+    # rotations (textbook, with parent pointers)
+    # ------------------------------------------------------------------
+    def rotate_up(self, node: BSTNode) -> int:
+        """Rotate ``node`` above its parent; returns links changed (2 or 4)."""
+        parent = node.parent
+        if parent is None:
+            raise InvalidTreeError(f"cannot rotate root {node.key}")
+        grand = parent.parent
+        links = 2 if grand is None else 4  # moved-subtree edge + grand edge
+        if parent.left is node:
+            moved = node.right
+            node.right = parent
+            parent.left = moved
+        else:
+            moved = node.left
+            node.left = parent
+            parent.right = moved
+        if moved is not None:
+            moved.parent = parent
+        else:
+            links -= 2  # no subtree actually moved
+        parent.parent = node
+        node.parent = grand
+        if grand is None:
+            self.root = node
+        elif grand.left is parent:
+            grand.left = node
+        else:
+            grand.right = node
+        return links
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the BST property and parent-pointer consistency."""
+        if self.root.parent is not None:
+            raise InvalidTreeError("root has a parent")
+        count = 0
+        stack: list[tuple[BSTNode, float, float]] = [
+            (self.root, float("-inf"), float("inf"))
+        ]
+        while stack:
+            node, lo, hi = stack.pop()
+            count += 1
+            if not lo < node.key < hi:
+                raise InvalidTreeError(
+                    f"key {node.key} violates BST bounds ({lo}, {hi})"
+                )
+            if node.left is not None:
+                if node.left.parent is not node:
+                    raise InvalidTreeError(f"bad parent pointer at {node.left.key}")
+                stack.append((node.left, lo, node.key))
+            if node.right is not None:
+                if node.right.parent is not node:
+                    raise InvalidTreeError(f"bad parent pointer at {node.right.key}")
+                stack.append((node.right, node.key, hi))
+        if count != self.n:
+            raise InvalidTreeError("tree reachable from root does not cover index")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BSTNetwork(n={self.n}, root={self.root.key})"

@@ -1,0 +1,53 @@
+"""Text-first visualization substrate (no plotting dependency).
+
+Everything in the repository renders to plain text so results are viewable
+in CI logs and terminals:
+
+* :mod:`repro.viz.ascii` — a 2-D centered ASCII layout for any rooted tree
+  (networks, BSTs, multiway trees), plus horizontal bar charts and
+  sparklines for benchmark series.
+* :mod:`repro.viz.dot` — Graphviz DOT export for trees and before/after
+  rotation pairs (render externally with ``dot -Tsvg``).
+* :mod:`repro.viz.figures` — regenerates the paper's *schematic* figures
+  (1–8: node layout, rotation states, centroid topology, (k+1)-SplayNet
+  structure) from live data structures, so the diagrams in the paper can be
+  compared against what the implementation actually builds.
+"""
+
+from repro.viz.ascii import (
+    bar_chart,
+    render_tree,
+    render_kary_network,
+    render_splay_tree,
+    sparkline,
+)
+from repro.viz.dot import rotation_pair_dot, tree_to_dot
+from repro.viz.heatmap import render_demand_heatmap
+from repro.viz.series import convergence_panel, render_series
+from repro.viz.figures import (
+    figure1_node_layout,
+    figure2_centroid_tree,
+    figure3_semi_splay_states,
+    figure5_k_splay_states,
+    figure7_centroid_splaynet,
+    render_all_figures,
+)
+
+__all__ = [
+    "render_tree",
+    "render_kary_network",
+    "render_splay_tree",
+    "bar_chart",
+    "sparkline",
+    "tree_to_dot",
+    "rotation_pair_dot",
+    "render_series",
+    "convergence_panel",
+    "render_demand_heatmap",
+    "figure1_node_layout",
+    "figure2_centroid_tree",
+    "figure3_semi_splay_states",
+    "figure5_k_splay_states",
+    "figure7_centroid_splaynet",
+    "render_all_figures",
+]

@@ -1,0 +1,236 @@
+"""Centered 2-D ASCII rendering for rooted trees, plus tiny chart helpers.
+
+The tree layout is the classic bottom-up block merge: each subtree renders
+to a rectangular block of text with a known root column; a parent centers
+itself over its children and draws connector lines.  Works for any fanout
+and any label width, so one renderer serves binary SplayNets, k-ary
+networks and multiway (Sherk) nodes alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.errors import ReproError
+
+__all__ = [
+    "render_tree",
+    "render_kary_network",
+    "render_splay_tree",
+    "render_multiway_tree",
+    "bar_chart",
+    "sparkline",
+]
+
+
+@dataclass
+class _Block:
+    """A rendered subtree: lines of equal width plus the root's column."""
+
+    lines: list[str]
+    width: int
+    root_center: int
+
+
+_GAP = 2  # blank columns between sibling blocks
+
+
+def _leaf_block(label: str) -> _Block:
+    return _Block([label], len(label), len(label) // 2)
+
+
+def _merge_blocks(label: str, children: list[_Block]) -> _Block:
+    if not children:
+        return _leaf_block(label)
+    # lay children side by side
+    total_width = sum(c.width for c in children) + _GAP * (len(children) - 1)
+    height = max(len(c.lines) for c in children)
+    merged_lines: list[str] = []
+    for row in range(height):
+        parts = []
+        for child in children:
+            line = child.lines[row] if row < len(child.lines) else " " * child.width
+            parts.append(line)
+        merged_lines.append((" " * _GAP).join(parts))
+    # children root columns in merged coordinates
+    centers: list[int] = []
+    offset = 0
+    for child in children:
+        centers.append(offset + child.root_center)
+        offset += child.width + _GAP
+    anchor = (centers[0] + centers[-1]) // 2
+
+    label_start = anchor - len(label) // 2
+    width = max(total_width, label_start + len(label))
+    if label_start < 0:
+        shift = -label_start
+        merged_lines = [" " * shift + line for line in merged_lines]
+        centers = [c + shift for c in centers]
+        anchor += shift
+        label_start = 0
+        width += shift
+    label_line = (
+        " " * label_start + label + " " * (width - label_start - len(label))
+    )
+
+    # connector row: '|' for an only child, otherwise a rail with '+'
+    connector = [" "] * width
+    if len(children) == 1:
+        connector[centers[0]] = "|"
+    else:
+        lo, hi = centers[0], centers[-1]
+        for col in range(lo, hi + 1):
+            connector[col] = "-"
+        for c in centers:
+            connector[c] = "+"
+        connector[anchor] = "+"
+    connector_line = "".join(connector)
+
+    lines = [label_line, connector_line] + [
+        line.ljust(width) for line in merged_lines
+    ]
+    return _Block([line.ljust(width) for line in lines], width, anchor)
+
+
+def render_tree(
+    root,
+    children: Callable[[object], Iterable],
+    label: Callable[[object], str],
+    *,
+    max_nodes: int = 500,
+) -> str:
+    """Render any rooted tree as centered ASCII art.
+
+    Parameters
+    ----------
+    root:
+        Root node object.
+    children:
+        Callable returning an iterable of child node objects.
+    label:
+        Callable turning a node into its display string.
+    max_nodes:
+        Safety bound: rendering is refused beyond this size.
+    """
+    count = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        count += 1
+        if count > max_nodes:
+            raise ReproError(
+                f"tree exceeds max_nodes={max_nodes}; render a subtree instead"
+            )
+        stack.extend(children(node))
+
+    def build(node) -> _Block:
+        kids = [build(child) for child in children(node)]
+        return _merge_blocks(label(node), kids)
+
+    block = build(root)
+    return "\n".join(line.rstrip() for line in block.lines)
+
+
+# ----------------------------------------------------------------------
+# adapters for the repository's structures
+# ----------------------------------------------------------------------
+def render_kary_network(tree, *, show_routing: bool = False, max_nodes: int = 200) -> str:
+    """ASCII art for a :class:`~repro.core.tree.KAryTreeNetwork`.
+
+    With ``show_routing`` each node shows its routing array — handy when
+    eyeballing rotation behaviour.
+    """
+
+    def label(node) -> str:
+        if show_routing:
+            routing = ",".join(f"{v:g}" for v in node.routing)
+            return f"[{node.nid}|{routing}]"
+        return f"({node.nid})"
+
+    return render_tree(
+        tree.root, lambda nd: list(nd.child_iter()), label, max_nodes=max_nodes
+    )
+
+
+def render_splay_tree(tree, *, max_nodes: int = 200) -> str:
+    """ASCII art for a :class:`~repro.datastructures.splay_tree.SplayTree`
+    or any object with ``root`` nodes carrying ``key``/``left``/``right``."""
+    if tree.root is None:
+        return "(empty)"
+
+    def kids(node):
+        return [c for c in (node.left, node.right) if c is not None]
+
+    return render_tree(
+        tree.root, kids, lambda nd: f"({nd.key})", max_nodes=max_nodes
+    )
+
+
+def render_multiway_tree(tree, *, max_nodes: int = 200) -> str:
+    """ASCII art for a Sherk-style multiway tree (keys shown per node)."""
+    if tree.root is None:
+        return "(empty)"
+
+    def kids(node):
+        return [c for c in node.children if c is not None]
+
+    def label(node) -> str:
+        return "[" + " ".join(str(key) for key in node.keys) + "]"
+
+    return render_tree(tree.root, kids, label, max_nodes=max_nodes)
+
+
+# ----------------------------------------------------------------------
+# chart helpers
+# ----------------------------------------------------------------------
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode sparkline (empty input → empty string)."""
+    data = list(values)
+    if not data:
+        return ""
+    lo, hi = min(data), max(data)
+    if hi == lo:
+        return _SPARK_LEVELS[0] * len(data)
+    span = hi - lo
+    out = []
+    for v in data:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def bar_chart(
+    items: Sequence[tuple[str, float]],
+    *,
+    width: int = 40,
+    unit: str = "",
+    baseline: Optional[float] = None,
+) -> str:
+    """A horizontal bar chart; bars scale to the max value.
+
+    ``baseline`` draws a ``|`` marker at that value on every row (used to
+    show e.g. the 2-ary SplayNet anchor across a k sweep).
+    """
+    if not items:
+        return "(no data)"
+    if width < 4:
+        raise ReproError(f"width must be >= 4, got {width}")
+    top = max(value for _, value in items)
+    if top <= 0:
+        top = 1.0
+    label_width = max(len(name) for name, _ in items)
+    lines = []
+    for name, value in items:
+        filled = int(round(value / top * width))
+        bar = "#" * filled
+        if baseline is not None and 0 <= baseline <= top:
+            col = int(round(baseline / top * width))
+            bar = bar.ljust(max(col + 1, len(bar)))
+            if col < len(bar):
+                bar = bar[:col] + "|" + bar[col + 1 :]
+        lines.append(f"{name.ljust(label_width)}  {bar}  {value:g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Graphviz DOT export for trees and rotation before/after pairs.
+
+Pure string generation — no graphviz dependency; pipe the output through
+``dot -Tsvg`` (or paste into an online renderer) to get figures matching
+the paper's diagrams.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+__all__ = ["tree_to_dot", "rotation_pair_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def tree_to_dot(
+    root,
+    children: Callable[[object], Iterable],
+    label: Callable[[object], str],
+    *,
+    name: str = "tree",
+    highlight: Optional[set] = None,
+    node_id: Optional[Callable[[object], str]] = None,
+) -> str:
+    """Serialize a rooted tree as a DOT digraph.
+
+    ``highlight`` is a set of *labels* drawn filled (used to mark the nodes
+    a rotation touched); ``node_id`` overrides the DOT node identity
+    (defaults to the label, which must then be unique).
+    """
+    ident = node_id or label
+    lines = [f"digraph {name} {{", "  node [shape=circle];"]
+    highlight = highlight or set()
+    stack = [root]
+    seen: list = []
+    while stack:
+        node = stack.pop()
+        seen.append(node)
+        text = _escape(label(node))
+        attrs = f'label="{text}"'
+        if label(node) in highlight:
+            attrs += ', style=filled, fillcolor="lightblue"'
+        lines.append(f'  "{_escape(ident(node))}" [{attrs}];')
+        for child in children(node):
+            stack.append(child)
+            lines.append(
+                f'  "{_escape(ident(node))}" -> "{_escape(ident(child))}";'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def rotation_pair_dot(
+    before_root,
+    after_root,
+    children: Callable[[object], Iterable],
+    label: Callable[[object], str],
+    *,
+    touched: Optional[set] = None,
+) -> str:
+    """Two clusters (before/after a rotation) in one DOT graph.
+
+    Node identities are prefixed per cluster so the same identifier can
+    appear in both snapshots.
+    """
+    touched = touched or set()
+    parts = ["digraph rotation {", "  node [shape=circle];"]
+    for tag, root in (("before", before_root), ("after", after_root)):
+        parts.append(f"  subgraph cluster_{tag} {{")
+        parts.append(f'    label="{tag}";')
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            text = _escape(label(node))
+            attrs = f'label="{text}"'
+            if label(node) in touched:
+                attrs += ', style=filled, fillcolor="lightblue"'
+            parts.append(f'    "{tag}_{_escape(label(node))}" [{attrs}];')
+            for child in children(node):
+                stack.append(child)
+                parts.append(
+                    f'    "{tag}_{_escape(label(node))}" -> '
+                    f'"{tag}_{_escape(label(child))}";'
+                )
+        parts.append("  }")
+    parts.append("}")
+    return "\n".join(parts)

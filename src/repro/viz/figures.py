@@ -1,0 +1,209 @@
+"""Regenerate the paper's schematic figures from live data structures.
+
+The paper's Figures 1–8 are diagrams, not measurements; this module renders
+each from the *actual implementation* so the diagrams can be diffed against
+reality:
+
+========  =========================================================
+Figure 1  a node's key + routing array layout (Definition 1)
+Figure 2  the centroid (k+1)-degree tree (also Appendix Figure 9)
+Figure 3  the k-semi-splay initial state and its result
+Figure 4  a chain state before k-splay
+Figure 5  k-splay case 1 (zig-zag analogue), before/after
+Figure 6  k-splay case 2 (zig-zig analogue), before/after
+Figure 7  the 3-SplayNet structure (k = 2 centroid heuristic)
+Figure 8  the (k+1)-SplayNet structure (general k)
+========  =========================================================
+
+Each function returns a text block; :func:`render_all_figures` produces the
+full gallery (used by ``examples/rotation_gallery.py`` and a smoke bench).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.builders import build_path_tree, build_random_tree
+from repro.core.centroid import build_centroid_tree
+from repro.core.centroid_splaynet import CentroidSplayNet
+from repro.core.rotations import k_semi_splay, k_splay
+from repro.core.tree import KAryTreeNetwork
+from repro.errors import ReproError
+from repro.viz.ascii import render_kary_network
+
+__all__ = [
+    "figure1_node_layout",
+    "figure2_centroid_tree",
+    "figure3_semi_splay_states",
+    "figure4_chain_state",
+    "figure5_k_splay_states",
+    "figure6_k_splay_close_states",
+    "figure7_centroid_splaynet",
+    "figure8_kplus1_splaynet",
+    "render_all_figures",
+]
+
+
+def figure1_node_layout(k: int = 5, nid: int = 7) -> str:
+    """Figure 1: one node's identifier and routing array."""
+    if k < 2:
+        raise ReproError(f"k must be >= 2, got {k}")
+    cells = [f" r{i} " for i in range(1, k)]
+    inner = "|".join(cells)
+    border = "+" + "-" * len(inner) + "+"
+    return "\n".join(
+        [
+            f"key (node id): {nid}",
+            border,
+            "|" + inner + "|",
+            border,
+            f"routing array: k-1 = {k - 1} separators defining {k} child slots",
+        ]
+    )
+
+
+def figure2_centroid_tree(n: int = 40, k: int = 2) -> str:
+    """Figure 2/9: the centroid tree, rendered from the real construction."""
+    tree = build_centroid_tree(n, k)
+    art = render_kary_network(tree, max_nodes=max(200, n + 1))
+    head = (
+        f"centroid k-ary search tree, n={n}, k={k} "
+        f"(root has the centroid below it; k+1 = {k + 1} balanced blocks)"
+    )
+    return head + "\n" + art
+
+
+def _fresh_chain(n: int, k: int) -> KAryTreeNetwork:
+    """A path-shaped network: every node has exactly one child."""
+    return build_path_tree(n, k)
+
+
+def figure3_semi_splay_states(k: int = 4) -> str:
+    """Figure 3: the X-parent / Y-child state and the k-semi-splay result."""
+    tree = _fresh_chain(8, k)
+    child = tree.node(tree.root_id)
+    # walk one step down to get the paper's X (parent) / Y (child) pair
+    first_child = next(iter(child.child_iter()))
+    before = render_kary_network(tree, show_routing=True)
+    outcome = k_semi_splay(first_child)
+    if outcome.new_top.parent is None:
+        tree.replace_root(outcome.new_top)
+    tree.refresh_ranges()
+    tree.validate()
+    after = render_kary_network(tree, show_routing=True)
+    return (
+        f"k-semi-splay (k={k}): child Y={first_child.nid} promoted above its"
+        " parent\n\nBEFORE:\n" + before + "\n\nAFTER:\n" + after
+    )
+
+
+def figure4_chain_state(k: int = 3) -> str:
+    """Figure 4: the X–Y–Z chain that k-splay acts on."""
+    tree = _fresh_chain(6, k)
+    x = tree.root
+    y = next(iter(x.child_iter()))
+    z = next(iter(y.child_iter()))
+    art = render_kary_network(tree, show_routing=True)
+    return (
+        f"state before k-splay (k={k}): grandparent X={x.nid}, parent"
+        f" Y={y.nid}, node Z={z.nid}\n" + art
+    )
+
+
+def _find_case_instance(k: int, want_distant: bool, seed: int = 0) -> tuple[KAryTreeNetwork, int]:
+    """Search random trees for a grandchild whose k-splay hits the wanted case.
+
+    Case selection mirrors :func:`repro.core.rotations.k_splay`: case 1
+    (distant) iff the grandparent/parent identifiers are separated by more
+    than ``k-1`` merged routing elements.
+    """
+    from bisect import bisect_left
+
+    rng = random.Random(seed)
+    for attempt in range(500):
+        n = rng.randint(10, 24)
+        tree = build_random_tree(n, k, seed=rng.randint(0, 10**6))
+        for node in list(tree.root.iter_subtree()):
+            y = node.parent
+            if y is None or y.parent is None:
+                continue
+            x = y.parent
+            merged = sorted(x.routing + y.routing + node.routing)
+            pos_x = bisect_left(merged, x.nid)
+            pos_y = bisect_left(merged, y.nid)
+            distant = abs(pos_x - pos_y) > k - 1
+            if distant == want_distant:
+                return tree, node.nid
+    raise ReproError(
+        f"no k-splay case {'1' if want_distant else '2'} instance found for k={k}"
+    )
+
+
+def _splay_figure(k: int, want_distant: bool, title: str) -> str:
+    tree, nid = _find_case_instance(k, want_distant)
+    before = render_kary_network(tree)
+    node = tree.node(nid)
+    outcome = k_splay(node)
+    if outcome.new_top.parent is None:
+        tree.replace_root(outcome.new_top)
+    tree.refresh_ranges()
+    tree.validate()
+    after = render_kary_network(tree)
+    return (
+        f"{title} (k={k}): node Z={nid} promoted above parent and"
+        " grandparent\n\nBEFORE:\n" + before + "\n\nAFTER:\n" + after
+    )
+
+
+def figure5_k_splay_states(k: int = 3) -> str:
+    """Figure 5: k-splay case 1 (X, Y distant — the zig-zag analogue)."""
+    return _splay_figure(k, True, "k-splay case 1")
+
+
+def figure6_k_splay_close_states(k: int = 3) -> str:
+    """Figure 6: k-splay case 2 (X, Y close — the zig-zig analogue)."""
+    return _splay_figure(k, False, "k-splay case 2")
+
+
+def _centroid_layout_text(net: CentroidSplayNet, title: str) -> str:
+    lines = [title]
+    lines.append(f"  fixed centroid c1 = {net.c1}, c2 = {net.c2}")
+    for i, (block, subnet) in enumerate(zip(net._blocks, net.subnets)):
+        attach = "c1" if block.attach == 1 else "c2"
+        lines.append(
+            f"  block {i} under {attach}: {subnet.n} nodes"
+            f" [{block.lo}..{block.hi}], k-ary SplayNet"
+        )
+    return "\n".join(lines)
+
+
+def figure7_centroid_splaynet(n: int = 30) -> str:
+    """Figure 7: the 3-SplayNet structure (k = 2)."""
+    net = CentroidSplayNet(n, 2)
+    return _centroid_layout_text(
+        net, f"3-SplayNet, n={n}: c1 above c2; 2k-1 = 3 SplayNet blocks"
+    )
+
+
+def figure8_kplus1_splaynet(n: int = 50, k: int = 3) -> str:
+    """Figure 8: the general (k+1)-SplayNet structure."""
+    net = CentroidSplayNet(n, k)
+    return _centroid_layout_text(
+        net,
+        f"(k+1)-SplayNet, n={n}, k={k}: c1 has k-1 small blocks, c2 has k"
+        f" blocks of (n-2)/(k+1) nodes",
+    )
+
+
+def render_all_figures() -> dict[str, str]:
+    """Every schematic figure, keyed ``figure1`` .. ``figure8``."""
+    return {
+        "figure1": figure1_node_layout(),
+        "figure2": figure2_centroid_tree(),
+        "figure3": figure3_semi_splay_states(),
+        "figure4": figure4_chain_state(),
+        "figure5": figure5_k_splay_states(),
+        "figure6": figure6_k_splay_close_states(),
+        "figure7": figure7_centroid_splaynet(),
+        "figure8": figure8_kplus1_splaynet(),
+    }

@@ -1,0 +1,87 @@
+"""ASCII demand-matrix heatmaps.
+
+A terminal view of who talks to whom: rows are sources, columns are
+destinations, shade encodes request volume on a log scale.  Large matrices
+are down-sampled into cell blocks so any ``n`` fits a terminal width —
+the text analogue of the demand heatmaps in datacenter-traffic papers
+(e.g. the Facebook study [21] this paper draws workloads from).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.workloads.demand import DemandMatrix
+
+__all__ = ["render_demand_heatmap"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def _bucket(matrix: np.ndarray, cells: int) -> np.ndarray:
+    """Sum-pool an ``n×n`` matrix into at most ``cells×cells`` blocks."""
+    n = matrix.shape[0]
+    if n <= cells:
+        return matrix.astype(np.float64)
+    edges = np.linspace(0, n, cells + 1).astype(int)
+    out = np.empty((cells, cells), dtype=np.float64)
+    for i in range(cells):
+        for j in range(cells):
+            block = matrix[edges[i] : edges[i + 1], edges[j] : edges[j + 1]]
+            out[i, j] = float(block.sum())
+    return out
+
+
+def render_demand_heatmap(
+    demand: DemandMatrix,
+    *,
+    cells: int = 48,
+    log_scale: bool = True,
+    legend: bool = True,
+) -> str:
+    """Render a demand matrix as an ASCII heatmap.
+
+    Parameters
+    ----------
+    demand:
+        The matrix to draw (sources on rows, destinations on columns).
+    cells:
+        Maximum heatmap side length; larger matrices are sum-pooled.
+    log_scale:
+        Shade by ``log1p(volume)`` (default) so elephants do not wash out
+        the mice; pass False for linear shading.
+    legend:
+        Append the scale legend and totals line.
+    """
+    if cells < 2:
+        raise ReproError(f"cells must be >= 2, got {cells}")
+    dense = demand.dense().astype(np.float64)
+    pooled = _bucket(dense, cells)
+    values = np.log1p(pooled) if log_scale else pooled
+    top = float(values.max())
+    lines = []
+    side = pooled.shape[0]
+    for i in range(side):
+        row_chars = []
+        for j in range(side):
+            if top <= 0:
+                row_chars.append(_SHADES[0])
+                continue
+            level = int(values[i, j] / top * (len(_SHADES) - 1))
+            row_chars.append(_SHADES[level])
+        lines.append("".join(row_chars))
+    if legend:
+        n = demand.n
+        pooledness = (
+            "" if side == n else f" (pooled {n}×{n} → {side}×{side})"
+        )
+        scale = "log" if log_scale else "linear"
+        lines.append(
+            f"demand heatmap{pooledness}: {scale} shade"
+            f" '{_SHADES.strip()}', total {demand.total} requests,"
+            f" density {demand.density():.3f}"
+        )
+    return "\n".join(lines)

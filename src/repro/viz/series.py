@@ -1,0 +1,69 @@
+"""Text rendering of per-request simulation series (convergence views).
+
+A :class:`~repro.network.simulator.SimulationResult` recorded with
+``record_series=True`` carries per-request routing costs; these helpers
+compress the series into terminal-friendly convergence summaries — the
+text analogue of the warm-up plots SAN papers show.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.network.metrics import rolling_mean, summarize_series
+from repro.network.simulator import SimulationResult
+from repro.viz.ascii import sparkline
+
+__all__ = ["render_series", "convergence_panel"]
+
+
+def render_series(result: SimulationResult, *, buckets: int = 60, window: int = 200) -> str:
+    """One-line-per-metric text view of a recorded run.
+
+    The routing series is bucket-averaged to ``buckets`` cells and drawn as
+    a sparkline; the summary line reports warm-up length and steady-state
+    mean (via :func:`~repro.network.metrics.summarize_series`).
+    """
+    if result.routing_series is None:
+        raise ReproError(
+            "result has no recorded series; run the simulator with"
+            " record_series=True"
+        )
+    series = np.asarray(result.routing_series, dtype=np.float64)
+    if len(series) == 0:
+        raise ReproError("empty series")
+    buckets = max(1, min(buckets, len(series)))
+    chunks = np.array_split(series, buckets)
+    means = [float(chunk.mean()) for chunk in chunks]
+    summary = summarize_series(result, window=min(window, max(1, len(series) // 2)))
+    lines = [
+        f"{result.name or 'run'}: m={result.m}, average"
+        f" {result.average_routing:.3f} hops/request",
+        sparkline(means),
+        f"warm-up ≈ {summary.warmup} requests; p50 {summary.p50:.0f},"
+        f" p90 {summary.p90:.0f}, p99 {summary.p99:.0f}",
+    ]
+    return "\n".join(lines)
+
+
+def convergence_panel(
+    results: dict[str, SimulationResult], *, buckets: int = 50, window: int = 200
+) -> str:
+    """Aligned sparkline panel comparing several recorded runs."""
+    if not results:
+        return "(no runs)"
+    label_width = max(len(name) for name in results)
+    lines = []
+    for name, result in results.items():
+        if result.routing_series is None:
+            raise ReproError(f"run {name!r} has no recorded series")
+        series = np.asarray(result.routing_series, dtype=np.float64)
+        cells = max(1, min(buckets, len(series)))
+        means = [float(chunk.mean()) for chunk in np.array_split(series, cells)]
+        smooth = rolling_mean(series, min(window, len(series)))
+        tail = float(smooth[-1]) if len(smooth) else float("nan")
+        lines.append(
+            f"{name.ljust(label_width)}  {sparkline(means)}  tail {tail:.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,1 @@
+"""workloads subpackage — see module docstrings."""

@@ -1,0 +1,149 @@
+"""Demand matrices — the offline view of a trace.
+
+The offline-static problem (Section 2) consumes an ``n × n`` demand matrix
+``D`` with ``D[u, v]`` the number of ``(u, v)`` requests.  For the paper's
+scales a dense matrix is fine up to a few thousand nodes; the Facebook-style
+workload (``n = 10⁴``) needs a sparse representation.  :class:`DemandMatrix`
+hides the distinction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import WorkloadError
+from repro.workloads.trace import Trace
+
+__all__ = ["DemandMatrix"]
+
+#: Above this node count, ``from_trace`` defaults to a sparse backing store.
+_DENSE_LIMIT = 4096
+
+
+class DemandMatrix:
+    """Request counts between ordered node pairs, 1-indexed externally."""
+
+    __slots__ = ("n", "_dense", "_sparse")
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        dense: Optional[np.ndarray] = None,
+        sparse: Optional[sp.csr_matrix] = None,
+    ) -> None:
+        if (dense is None) == (sparse is None):
+            raise WorkloadError("provide exactly one of dense= or sparse=")
+        self.n = n
+        if dense is not None:
+            dense = np.asarray(dense)
+            if dense.shape != (n, n):
+                raise WorkloadError(f"dense demand must be {n}x{n}, got {dense.shape}")
+            if np.any(np.diagonal(dense) != 0):
+                raise WorkloadError("demand diagonal must be zero (no self-traffic)")
+        else:
+            if sparse.shape != (n, n):
+                raise WorkloadError(
+                    f"sparse demand must be {n}x{n}, got {sparse.shape}"
+                )
+        self._dense = dense
+        self._sparse = sparse
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(cls, trace: Trace, *, force_dense: bool = False) -> "DemandMatrix":
+        """Count the requests of ``trace`` into a demand matrix."""
+        n = trace.n
+        rows = trace.sources - 1
+        cols = trace.targets - 1
+        if n <= _DENSE_LIMIT or force_dense:
+            dense = np.zeros((n, n), dtype=np.int64)
+            np.add.at(dense, (rows, cols), 1)
+            return cls(n, dense=dense)
+        data = np.ones(len(rows), dtype=np.int64)
+        mat = sp.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+        return cls(n, sparse=mat)
+
+    @classmethod
+    def uniform(cls, n: int) -> "DemandMatrix":
+        """The paper's finite uniform workload: one request per ordered pair."""
+        dense = np.ones((n, n), dtype=np.int64)
+        np.fill_diagonal(dense, 0)
+        return cls(n, dense=dense)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_dense(self) -> bool:
+        return self._dense is not None
+
+    @property
+    def total(self) -> int:
+        """Total number of requests."""
+        if self._dense is not None:
+            return int(self._dense.sum())
+        return int(self._sparse.sum())
+
+    def dense(self) -> np.ndarray:
+        """The dense ``n × n`` count array (0-indexed)."""
+        if self._dense is not None:
+            return self._dense
+        if self.n > 2 * _DENSE_LIMIT:
+            raise WorkloadError(
+                f"refusing to densify a {self.n}x{self.n} demand matrix"
+            )
+        return np.asarray(self._sparse.todense())
+
+    def count(self, u: int, v: int) -> int:
+        """Requests from ``u`` to ``v`` (1-indexed)."""
+        if self._dense is not None:
+            return int(self._dense[u - 1, v - 1])
+        return int(self._sparse[u - 1, v - 1])
+
+    def nonzero_pairs(self) -> Iterator[tuple[int, int, int]]:
+        """Yield ``(u, v, weight)`` for every communicating ordered pair."""
+        if self._dense is not None:
+            rows, cols = np.nonzero(self._dense)
+            weights = self._dense[rows, cols]
+        else:
+            coo = self._sparse.tocoo()
+            rows, cols, weights = coo.row, coo.col, coo.data
+        yield from zip(
+            (rows + 1).tolist(), (cols + 1).tolist(), weights.tolist()
+        )
+
+    def nonzero_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(u, v, weight)`` arrays (1-indexed) of communicating pairs."""
+        if self._dense is not None:
+            rows, cols = np.nonzero(self._dense)
+            weights = self._dense[rows, cols]
+        else:
+            coo = self._sparse.tocoo()
+            rows, cols, weights = coo.row, coo.col, coo.data
+        return rows + 1, cols + 1, np.asarray(weights)
+
+    def out_degrees(self) -> np.ndarray:
+        """Per-node outgoing request counts (the paper's ``a_x``), 0-indexed."""
+        if self._dense is not None:
+            return self._dense.sum(axis=1)
+        return np.asarray(self._sparse.sum(axis=1)).ravel()
+
+    def in_degrees(self) -> np.ndarray:
+        """Per-node incoming request counts (the paper's ``b_x``), 0-indexed."""
+        if self._dense is not None:
+            return self._dense.sum(axis=0)
+        return np.asarray(self._sparse.sum(axis=0)).ravel()
+
+    def density(self) -> float:
+        """Fraction of ordered pairs that communicate at all."""
+        if self._dense is not None:
+            nnz = int(np.count_nonzero(self._dense))
+        else:
+            nnz = self._sparse.nnz
+        return nnz / (self.n * (self.n - 1)) if self.n > 1 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "dense" if self.is_dense else "sparse"
+        return f"DemandMatrix(n={self.n}, total={self.total}, {kind})"

@@ -1,0 +1,80 @@
+"""Trace persistence: CSV (interoperable) and NPZ (fast) round-trips."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.trace import Trace
+
+__all__ = ["save_trace_csv", "load_trace_csv", "save_trace_npz", "load_trace_npz"]
+
+PathLike = Union[str, Path]
+
+
+def save_trace_csv(trace: Trace, path: PathLike) -> None:
+    """Write a trace as ``source,target`` rows with a commented header."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        fh.write(f"# trace name={trace.name!r} n={trace.n} m={trace.m}\n")
+        writer = csv.writer(fh)
+        writer.writerow(["source", "target"])
+        for u, v in trace.pairs():
+            writer.writerow([u, v])
+
+
+def load_trace_csv(path: PathLike, *, n: int | None = None, name: str = "") -> Trace:
+    """Read a ``source,target`` CSV (header row optional, ``#`` comments ok).
+
+    ``n`` defaults to the largest identifier seen.
+    """
+    path = Path(path)
+    sources: list[int] = []
+    targets: list[int] = []
+    with path.open() as fh:
+        for row in csv.reader(fh):
+            if not row or row[0].lstrip().startswith("#"):
+                continue
+            if row[0].strip().lower() in ("source", "src", "u"):
+                continue
+            if len(row) < 2:
+                raise WorkloadError(f"malformed trace row {row!r} in {path}")
+            sources.append(int(row[0]))
+            targets.append(int(row[1]))
+    if not sources:
+        raise WorkloadError(f"no requests found in {path}")
+    src = np.asarray(sources, dtype=np.int64)
+    dst = np.asarray(targets, dtype=np.int64)
+    if n is None:
+        n = int(max(src.max(), dst.max()))
+    return Trace(n, src, dst, name=name or path.stem, meta={"path": str(path)})
+
+
+def save_trace_npz(trace: Trace, path: PathLike) -> None:
+    """Write a trace to a compressed NPZ archive (with metadata)."""
+    np.savez_compressed(
+        Path(path),
+        sources=trace.sources,
+        targets=trace.targets,
+        n=np.int64(trace.n),
+        name=np.str_(trace.name),
+        meta=np.str_(json.dumps(trace.meta, default=str)),
+    )
+
+
+def load_trace_npz(path: PathLike) -> Trace:
+    """Read a trace written by :func:`save_trace_npz`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        meta = json.loads(str(data["meta"])) if "meta" in data else {}
+        return Trace(
+            int(data["n"]),
+            data["sources"],
+            data["targets"],
+            name=str(data["name"]) if "name" in data else "",
+            meta=meta,
+        )

@@ -1,0 +1,223 @@
+"""Mixture and phase-structured workload generators.
+
+Real datacenter traffic is rarely one stationary process: it mixes flow
+classes (elephants over mice), switches regimes over time (training epochs,
+shuffle phases), and modulates locality (on/off bursts).  These generators
+compose the primitives in :mod:`repro.workloads.synthetic` into such
+structured traces; the lazy-rebuild and complexity-map experiments use them
+to probe the regimes between the paper's eight canonical workloads.
+
+All generators are seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.synthetic import _fresh_pairs, _require, _zipf_weights
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "elephant_mice_trace",
+    "markov_modulated_trace",
+    "phased_trace",
+    "shuffle_phase_trace",
+    "interleave_traces",
+]
+
+
+def elephant_mice_trace(
+    n: int,
+    m: int,
+    *,
+    elephants: int = 4,
+    elephant_share: float = 0.7,
+    seed: Optional[int] = None,
+) -> Trace:
+    """A few persistent heavy pairs over a uniform mice background.
+
+    ``elephants`` fixed ordered pairs carry ``elephant_share`` of the
+    requests; the rest is uniform.  The ProjecToR-style regime: spatially
+    skewed, temporally mixed — static demand-aware trees place the
+    elephants adjacently and win.
+    """
+    _require(n, m)
+    if elephants < 1:
+        raise WorkloadError(f"need at least one elephant pair, got {elephants}")
+    if not 0.0 < elephant_share < 1.0:
+        raise WorkloadError("elephant_share must be in (0, 1)")
+    if elephants > n * (n - 1):
+        raise WorkloadError("more elephant pairs than ordered pairs exist")
+    rng = np.random.default_rng(seed)
+    pair_ids = rng.choice(n * (n - 1), size=elephants, replace=False)
+    e_src = pair_ids // (n - 1) + 1
+    offset = pair_ids % (n - 1) + 1
+    e_dst = (e_src - 1 + offset) % n + 1
+
+    src, dst = _fresh_pairs(n, m, rng)
+    is_elephant = rng.random(m) < elephant_share
+    which = rng.integers(0, elephants, size=m)
+    src = np.where(is_elephant, e_src[which], src)
+    dst = np.where(is_elephant, e_dst[which], dst)
+    return Trace(
+        n,
+        src,
+        dst,
+        name=f"elephant-mice({elephants}@{elephant_share:g})",
+        meta={"seed": seed, "elephants": elephants, "share": elephant_share},
+    )
+
+
+def markov_modulated_trace(
+    n: int,
+    m: int,
+    *,
+    p_local: float = 0.9,
+    stay_local: float = 0.95,
+    stay_mixing: float = 0.95,
+    seed: Optional[int] = None,
+) -> Trace:
+    """A two-state Markov-modulated process: LOCAL and MIXING regimes.
+
+    In the LOCAL state the previous request repeats with probability
+    ``p_local`` (bursty service); in MIXING every request is fresh uniform.
+    The hidden state evolves as a two-state Markov chain with the given
+    self-transition probabilities, modelling traffic whose locality itself
+    drifts over time — the case the paper's fixed-``p`` synthetic traces
+    cannot express and the motivation for partially-reactive SANs [13].
+    """
+    _require(n, m)
+    for name, value in (
+        ("p_local", p_local),
+        ("stay_local", stay_local),
+        ("stay_mixing", stay_mixing),
+    ):
+        if not 0.0 <= value <= 1.0:
+            raise WorkloadError(f"{name} must be in [0, 1], got {value}")
+    rng = np.random.default_rng(seed)
+    fresh_src, fresh_dst = _fresh_pairs(n, m, rng)
+    coins_state = rng.random(m)
+    coins_repeat = rng.random(m)
+    src = np.empty(m, dtype=np.int64)
+    dst = np.empty(m, dtype=np.int64)
+    local = True
+    src[0], dst[0] = fresh_src[0], fresh_dst[0]
+    for t in range(1, m):
+        stay = stay_local if local else stay_mixing
+        if coins_state[t] >= stay:
+            local = not local
+        if local and coins_repeat[t] < p_local:
+            src[t], dst[t] = src[t - 1], dst[t - 1]
+        else:
+            src[t], dst[t] = fresh_src[t], fresh_dst[t]
+    return Trace(
+        n,
+        src,
+        dst,
+        name=f"markov(p={p_local:g})",
+        meta={
+            "seed": seed,
+            "p_local": p_local,
+            "stay_local": stay_local,
+            "stay_mixing": stay_mixing,
+        },
+    )
+
+
+def phased_trace(phases: Sequence[Trace], *, name: str = "phased") -> Trace:
+    """Concatenate traces over the same node set into one phase-structured
+    trace (epoch-like workloads: compute phase, then shuffle phase, ...)."""
+    if not phases:
+        raise WorkloadError("need at least one phase")
+    n = phases[0].n
+    for phase in phases:
+        if phase.n != n:
+            raise WorkloadError(
+                f"phases must share the node count; got {phase.n} != {n}"
+            )
+    src = np.concatenate([phase.sources for phase in phases])
+    dst = np.concatenate([phase.targets for phase in phases])
+    return Trace(n, src, dst, name=name, meta={"phases": len(phases)})
+
+
+def shuffle_phase_trace(
+    n: int,
+    m: int,
+    *,
+    workers: Optional[int] = None,
+    rounds: int = 4,
+    seed: Optional[int] = None,
+) -> Trace:
+    """An all-to-all shuffle among a worker subset, in rotating rounds.
+
+    Models the MapReduce/collective shuffle: in each round every worker
+    sends to a round-dependent partner (a rotation of the worker set), so
+    demand is a sequence of disjoint perfect matchings — the workload class
+    where reconfigurable topologies earn their keep.
+    """
+    _require(n, m)
+    if rounds < 1:
+        raise WorkloadError(f"rounds must be >= 1, got {rounds}")
+    rng = np.random.default_rng(seed)
+    count = workers if workers is not None else n
+    if not 2 <= count <= n:
+        raise WorkloadError(f"workers must be in [2, n], got {count}")
+    members = np.sort(rng.choice(n, size=count, replace=False)) + 1
+    src_list = []
+    dst_list = []
+    produced = 0
+    round_id = 0
+    while produced < m:
+        shift = round_id % (count - 1) + 1
+        s = members
+        d = members[(np.arange(count) + shift) % count]
+        take = min(count, m - produced)
+        src_list.append(s[:take])
+        dst_list.append(d[:take])
+        produced += take
+        round_id = (round_id + 1) % rounds
+    return Trace(
+        n,
+        np.concatenate(src_list),
+        np.concatenate(dst_list),
+        name=f"shuffle({count}w/{rounds}r)",
+        meta={"seed": seed, "workers": count, "rounds": rounds},
+    )
+
+
+def interleave_traces(a: Trace, b: Trace, *, period: int = 1, name: str = "interleaved") -> Trace:
+    """Alternate blocks of ``period`` requests from two traces.
+
+    Both inputs must share ``n``; the result has ``len(a) + len(b)``
+    requests with ``a``'s block first.  Used to mix e.g. an elephant flow
+    into a locality trace at a controlled time granularity.
+    """
+    if a.n != b.n:
+        raise WorkloadError(f"node counts differ: {a.n} != {b.n}")
+    if period < 1:
+        raise WorkloadError(f"period must be >= 1, got {period}")
+    total = a.m + b.m
+    src = np.empty(total, dtype=np.int64)
+    dst = np.empty(total, dtype=np.int64)
+    ai = bi = out = 0
+    take_a = True
+    while out < total:
+        if take_a and ai < a.m:
+            take = min(period, a.m - ai)
+            src[out : out + take] = a.sources[ai : ai + take]
+            dst[out : out + take] = a.targets[ai : ai + take]
+            ai += take
+            out += take
+        elif not take_a and bi < b.m:
+            take = min(period, b.m - bi)
+            src[out : out + take] = b.sources[bi : bi + take]
+            dst[out : out + take] = b.targets[bi : bi + take]
+            bi += take
+            out += take
+        take_a = not take_a
+        if ai >= a.m and bi >= b.m:
+            break
+    return Trace(a.n, src, dst, name=name, meta={"period": period})

@@ -1,0 +1,131 @@
+"""Trace statistics: entropy and locality measures (after Avin et al. [2]).
+
+These measures characterize where a trace sits on the temporal/spatial
+complexity map, which is exactly what determines the winner in the paper's
+tables (self-adjusting structures exploit *temporal* locality, demand-aware
+static trees exploit *spatial* skew).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "empirical_entropy",
+    "source_entropy",
+    "target_entropy",
+    "pair_entropy",
+    "repeat_fraction",
+    "working_set_size",
+    "TraceSummary",
+    "summarize_trace",
+]
+
+
+def empirical_entropy(counts: np.ndarray) -> float:
+    """Shannon entropy (bits) of the empirical distribution of ``counts``."""
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    p = counts[counts > 0] / total
+    return float(-(p * np.log2(p)).sum())
+
+
+def _counts(values: np.ndarray) -> np.ndarray:
+    _, counts = np.unique(values, return_counts=True)
+    return counts
+
+
+def source_entropy(trace: Trace) -> float:
+    """Entropy of the source marginal (the paper's ``H({a_x})``)."""
+    return empirical_entropy(_counts(trace.sources))
+
+
+def target_entropy(trace: Trace) -> float:
+    """Entropy of the destination marginal (the paper's ``H({b_x})``)."""
+    return empirical_entropy(_counts(trace.targets))
+
+
+def pair_entropy(trace: Trace) -> float:
+    """Entropy of the joint (source, destination) distribution."""
+    key = trace.sources.astype(np.int64) * (trace.n + 1) + trace.targets
+    return empirical_entropy(_counts(key))
+
+
+def repeat_fraction(trace: Trace) -> float:
+    """Fraction of requests identical to their predecessor.
+
+    This is the empirical estimate of the paper's *temporal complexity
+    parameter* (probability of repeating the last request).
+    """
+    if trace.m < 2:
+        return 0.0
+    same = (trace.sources[1:] == trace.sources[:-1]) & (
+        trace.targets[1:] == trace.targets[:-1]
+    )
+    return float(same.mean())
+
+
+def working_set_size(trace: Trace, window: int = 1000) -> float:
+    """Mean number of distinct pairs per (non-overlapping) window."""
+    if trace.m == 0:
+        return 0.0
+    key = trace.sources.astype(np.int64) * (trace.n + 1) + trace.targets
+    sizes = [
+        len(np.unique(key[i : i + window])) for i in range(0, len(key), window)
+    ]
+    return float(np.mean(sizes))
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSummary:
+    """A compact complexity fingerprint of a trace."""
+
+    n: int
+    m: int
+    repeat_fraction: float
+    pair_entropy: float
+    uniform_pair_entropy: float
+    source_entropy: float
+    target_entropy: float
+    density: float
+    working_set: float
+
+    @property
+    def spatial_skew(self) -> float:
+        """1 − H(pairs)/H(uniform pairs): 0 = uniform, → 1 = concentrated."""
+        if self.uniform_pair_entropy == 0:
+            return 0.0
+        return 1.0 - self.pair_entropy / self.uniform_pair_entropy
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} m={self.m} repeat={self.repeat_fraction:.3f} "
+            f"skew={self.spatial_skew:.3f} Hpair={self.pair_entropy:.2f}b "
+            f"ws={self.working_set:.0f}"
+        )
+
+
+def summarize_trace(trace: Trace, *, window: int = 1000) -> TraceSummary:
+    """Compute the full complexity fingerprint of a trace."""
+    from repro.workloads.demand import DemandMatrix
+
+    demand = DemandMatrix.from_trace(trace)
+    n = trace.n
+    uniform_h = float(np.log2(n * (n - 1))) if n > 1 else 0.0
+    return TraceSummary(
+        n=n,
+        m=trace.m,
+        repeat_fraction=repeat_fraction(trace),
+        pair_entropy=pair_entropy(trace),
+        uniform_pair_entropy=uniform_h,
+        source_entropy=source_entropy(trace),
+        target_entropy=target_entropy(trace),
+        density=demand.density(),
+        working_set=working_set_size(trace, window=window),
+    )

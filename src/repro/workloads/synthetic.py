@@ -1,0 +1,242 @@
+"""Synthetic workload generators (Section 5 "Setup and data").
+
+The paper's synthetic inputs are (i) the uniform workload and (ii) traces
+parameterized by the *temporal complexity parameter* — the probability of
+repeating the previous request, following the trace-complexity methodology
+of Avin et al. [2].  We add the standard auxiliary generators (Zipf, hotspot,
+bursty, permutation, sequential) used by the extended experiments and tests.
+
+All generators are vectorized, seeded, and return :class:`Trace` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "uniform_trace",
+    "temporal_trace",
+    "zipf_trace",
+    "hotspot_trace",
+    "bursty_trace",
+    "permutation_trace",
+    "sequential_trace",
+    "bit_reversal_trace",
+    "stride_trace",
+]
+
+
+def _require(n: int, m: int) -> None:
+    if n < 2:
+        raise WorkloadError(f"need at least two nodes for traffic, got n={n}")
+    if m < 1:
+        raise WorkloadError(f"need at least one request, got m={m}")
+
+
+def _fresh_pairs(
+    n: int, m: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """``m`` ordered pairs uniform over ``{(u, v) : u != v}``."""
+    src = rng.integers(1, n + 1, size=m, dtype=np.int64)
+    offset = rng.integers(1, n, size=m, dtype=np.int64)
+    dst = 1 + (src - 1 + offset) % n
+    return src, dst
+
+
+def uniform_trace(n: int, m: int, seed: Optional[int] = None) -> Trace:
+    """Each request drawn uniformly at random over ordered pairs."""
+    _require(n, m)
+    rng = np.random.default_rng(seed)
+    src, dst = _fresh_pairs(n, m, rng)
+    return Trace(n, src, dst, name=f"uniform(n={n})", meta={"seed": seed})
+
+
+def temporal_trace(n: int, m: int, p: float, seed: Optional[int] = None) -> Trace:
+    """The paper's synthetic trace with temporal complexity parameter ``p``.
+
+    With probability ``p`` the previous request is repeated verbatim;
+    otherwise a fresh uniform pair is drawn (the first request is always
+    fresh).  ``p ∈ {0.25, 0.5, 0.75, 0.9}`` reproduces Tables 4-7.
+    """
+    _require(n, m)
+    if not 0.0 <= p < 1.0:
+        raise WorkloadError(f"temporal parameter must be in [0, 1), got {p}")
+    rng = np.random.default_rng(seed)
+    src, dst = _fresh_pairs(n, m, rng)
+    repeat = rng.random(m) < p
+    repeat[0] = False
+    # Index of the most recent fresh request at or before each position.
+    idx = np.arange(m)
+    last_fresh = np.maximum.accumulate(np.where(repeat, 0, idx))
+    return Trace(
+        n,
+        src[last_fresh],
+        dst[last_fresh],
+        name=f"temporal(p={p:g})",
+        meta={"seed": seed, "p": p},
+    )
+
+
+def _zipf_weights(count: int, alpha: float) -> np.ndarray:
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    w = ranks**-alpha
+    return w / w.sum()
+
+
+def zipf_trace(
+    n: int,
+    m: int,
+    alpha: float = 1.2,
+    seed: Optional[int] = None,
+) -> Trace:
+    """Endpoints drawn independently from (independently permuted) Zipf laws.
+
+    Produces spatial skew with essentially no temporal locality — the regime
+    where static demand-aware trees shine.
+    """
+    _require(n, m)
+    rng = np.random.default_rng(seed)
+    w = _zipf_weights(n, alpha)
+    perm_src = rng.permutation(n) + 1
+    perm_dst = rng.permutation(n) + 1
+    src = perm_src[rng.choice(n, size=m, p=w)]
+    dst = perm_dst[rng.choice(n, size=m, p=w)]
+    clash = src == dst
+    while np.any(clash):
+        dst[clash] = perm_dst[rng.choice(n, size=int(clash.sum()), p=w)]
+        clash = src == dst
+    return Trace(
+        n, src, dst, name=f"zipf(a={alpha:g})", meta={"seed": seed, "alpha": alpha}
+    )
+
+
+def hotspot_trace(
+    n: int,
+    m: int,
+    hot_fraction: float = 0.1,
+    hot_prob: float = 0.8,
+    seed: Optional[int] = None,
+) -> Trace:
+    """A small hot set of nodes attracts most of the traffic."""
+    _require(n, m)
+    if not 0 < hot_fraction <= 1:
+        raise WorkloadError("hot_fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    hot_count = max(1, int(round(hot_fraction * n)))
+    hot = rng.choice(n, size=hot_count, replace=False) + 1
+    src, dst = _fresh_pairs(n, m, rng)
+    to_hot = rng.random(m) < hot_prob
+    dst = np.where(to_hot, hot[rng.integers(0, hot_count, size=m)], dst)
+    clash = src == dst
+    while np.any(clash):
+        src[clash] = rng.integers(1, n + 1, size=int(clash.sum()))
+        clash = src == dst
+    return Trace(
+        n,
+        src,
+        dst,
+        name=f"hotspot({hot_count} hot)",
+        meta={"seed": seed, "hot_fraction": hot_fraction, "hot_prob": hot_prob},
+    )
+
+
+def bursty_trace(
+    n: int,
+    m: int,
+    mean_burst: float = 8.0,
+    seed: Optional[int] = None,
+) -> Trace:
+    """Uniform pair choice, each repeated for a geometric burst.
+
+    Equivalent locality to :func:`temporal_trace` with
+    ``p = 1 - 1/mean_burst`` but with exactly-contiguous bursts; used by the
+    ablation experiments.
+    """
+    _require(n, m)
+    if mean_burst < 1:
+        raise WorkloadError("mean_burst must be >= 1")
+    rng = np.random.default_rng(seed)
+    bursts = rng.geometric(1.0 / mean_burst, size=m)  # at most m bursts needed
+    reps = np.cumsum(bursts)
+    count = int(np.searchsorted(reps, m) + 1)
+    src, dst = _fresh_pairs(n, count, rng)
+    src = np.repeat(src, bursts[:count])[:m]
+    dst = np.repeat(dst, bursts[:count])[:m]
+    return Trace(
+        n,
+        src,
+        dst,
+        name=f"bursty(mean={mean_burst:g})",
+        meta={"seed": seed, "mean_burst": mean_burst},
+    )
+
+
+def permutation_trace(n: int, m: int, seed: Optional[int] = None) -> Trace:
+    """A fixed random perfect matching, replayed round-robin.
+
+    The classic all-pairs-disjoint demand: a demand-aware tree can serve
+    every request at distance 1 in the limit.
+    """
+    _require(n, m)
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n) + 1
+    half = n // 2
+    pair_src = perm[:half]
+    pair_dst = perm[half : 2 * half]
+    idx = np.arange(m) % half
+    return Trace(
+        n, pair_src[idx], pair_dst[idx], name="permutation", meta={"seed": seed}
+    )
+
+
+def sequential_trace(n: int, m: int) -> Trace:
+    """The deterministic scan ``(1,2), (2,3), …`` — a test workload."""
+    _require(n, m)
+    idx = np.arange(m, dtype=np.int64) % (n - 1)
+    return Trace(n, idx + 1, idx + 2, name="sequential", meta={})
+
+
+def bit_reversal_trace(bits: int, m: int) -> Trace:
+    """Root accesses in bit-reversal order — the classic BST hard sequence.
+
+    ``n = 2^bits`` nodes; request ``t`` goes from node 1 to the bit-reversal
+    of ``t mod n``.  Bit-reversal permutations maximize the interleave lower
+    bound, so no (binary) search tree — static or dynamic — serves them in
+    ``o(log n)`` amortized; a stress input for the adversarial benchmarks.
+    """
+    if bits < 1 or bits > 20:
+        raise WorkloadError("bits must be in [1, 20]")
+    if m < 1:
+        raise WorkloadError("need at least one request")
+    n = 1 << bits
+    values = np.arange(n, dtype=np.int64)
+    reversed_bits = np.zeros(n, dtype=np.int64)
+    for b in range(bits):
+        reversed_bits |= ((values >> b) & 1) << (bits - 1 - b)
+    idx = np.arange(m, dtype=np.int64) % n
+    dst = reversed_bits[idx] + 1
+    src = np.ones(m, dtype=np.int64)
+    clash = dst == 1
+    dst[clash] = 2  # bit-reversal of 0 is 0; redirect self-requests
+    return Trace(n, src, dst, name=f"bit-reversal({bits}b)", meta={"bits": bits})
+
+
+def stride_trace(n: int, m: int, stride: int) -> Trace:
+    """Fixed-stride communication ``(i, i + stride mod n)``, scanned.
+
+    Strides that are coprime with ``n`` visit every pair class; power-of-two
+    strides on power-of-two rings produce the disjoint "butterfly" stages
+    used in collective algorithms.
+    """
+    _require(n, m)
+    if not 1 <= stride < n:
+        raise WorkloadError(f"stride must be in [1, n), got {stride}")
+    idx = np.arange(m, dtype=np.int64) % n
+    src = idx + 1
+    dst = (idx + stride) % n + 1
+    return Trace(n, src, dst, name=f"stride({stride})", meta={"stride": stride})

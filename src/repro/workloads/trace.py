@@ -1,0 +1,140 @@
+"""The communication-trace container.
+
+A :class:`Trace` is the paper's request sequence ``σ = (σ_1, …, σ_m)`` with
+``σ_t = (u, v)``: two parallel NumPy arrays of endpoint identifiers in
+``1..n``.  Traces are immutable value objects; generators build them, the
+simulator consumes them, and :mod:`repro.workloads.stats` characterizes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["Trace"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A sequence of communication requests over nodes ``1..n``.
+
+    Attributes
+    ----------
+    n:
+        Number of network nodes.
+    sources, targets:
+        Parallel ``int64`` arrays with the request endpoints; entries lie in
+        ``1..n`` and ``sources[t] != targets[t]`` for every ``t``.
+    name:
+        Human-readable label used in experiment reports.
+    meta:
+        Free-form generator parameters (seed, locality parameter, …).
+    """
+
+    n: int
+    sources: np.ndarray
+    targets: np.ndarray
+    name: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        src = np.ascontiguousarray(self.sources, dtype=np.int64)
+        dst = np.ascontiguousarray(self.targets, dtype=np.int64)
+        object.__setattr__(self, "sources", src)
+        object.__setattr__(self, "targets", dst)
+        if src.ndim != 1 or dst.ndim != 1 or src.shape != dst.shape:
+            raise WorkloadError("sources/targets must be 1-D arrays of equal length")
+        if self.n < 1:
+            raise WorkloadError(f"need at least one node, got n={self.n}")
+        if len(src) > 0:
+            lo = min(src.min(), dst.min())
+            hi = max(src.max(), dst.max())
+            if lo < 1 or hi > self.n:
+                raise WorkloadError(
+                    f"endpoint identifiers must lie in 1..{self.n}; saw [{lo}, {hi}]"
+                )
+            if bool(np.any(src == dst)):
+                t = int(np.argmax(src == dst))
+                raise WorkloadError(f"self-loop request at position {t}")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.sources)
+
+    @property
+    def m(self) -> int:
+        """Number of requests (the paper's ``m``)."""
+        return len(self.sources)
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        """Iterate requests as Python ``(u, v)`` int pairs (fast path)."""
+        return zip(self.sources.tolist(), self.targets.tolist())
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return self.pairs()
+
+    def head(self, m: int) -> "Trace":
+        """The first ``m`` requests."""
+        return Trace(
+            self.n,
+            self.sources[:m].copy(),
+            self.targets[:m].copy(),
+            name=self.name,
+            meta=dict(self.meta),
+        )
+
+    def concat(self, other: "Trace") -> "Trace":
+        """Concatenate two traces over the same node set."""
+        if other.n != self.n:
+            raise WorkloadError(
+                f"cannot concatenate traces over {self.n} and {other.n} nodes"
+            )
+        return Trace(
+            self.n,
+            np.concatenate([self.sources, other.sources]),
+            np.concatenate([self.targets, other.targets]),
+            name=self.name or other.name,
+            meta={**other.meta, **self.meta},
+        )
+
+    def shuffled(self, seed: Optional[int] = None) -> "Trace":
+        """A random permutation of the requests.
+
+        Shuffling preserves the demand matrix (spatial structure) while
+        destroying temporal locality — the standard control experiment from
+        Avin et al.'s trace-complexity methodology [2].
+        """
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self.sources))
+        return Trace(
+            self.n,
+            self.sources[order],
+            self.targets[order],
+            name=f"{self.name}+shuffled" if self.name else "shuffled",
+            meta=dict(self.meta),
+        )
+
+    def remapped_dense(self) -> "Trace":
+        """Re-label the *active* nodes to ``1..n'`` (drop silent nodes).
+
+        Real traces often touch a sparse subset of a large identifier space;
+        tree networks want contiguous identifiers.
+        """
+        active = np.union1d(np.unique(self.sources), np.unique(self.targets))
+        lookup = np.zeros(int(active.max()) + 1, dtype=np.int64)
+        lookup[active] = np.arange(1, len(active) + 1)
+        return Trace(
+            len(active),
+            lookup[self.sources],
+            lookup[self.targets],
+            name=self.name,
+            meta=dict(self.meta),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return f"Trace(n={self.n}, m={self.m}{label})"

@@ -1,0 +1,143 @@
+"""Working-set and static-finger bounds: exact combinatorics on small
+cases, then empirical checks against live splay structures."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import (
+    compare_with_bound,
+    static_finger_bound,
+    working_set_bound,
+    working_set_sizes,
+)
+from repro.datastructures.sherk import SherkKarySplayTree
+from repro.datastructures.splay_tree import SplayTree
+from repro.errors import WorkloadError
+
+
+class TestWorkingSetSizes:
+    def test_repeated_key_is_one(self):
+        assert working_set_sizes([5, 5, 5]).tolist() == [1, 1, 1]
+
+    def test_alternating_pair(self):
+        # a b a b: first a sees {a}; first b sees {a, b}; then each sees the
+        # other + itself
+        assert working_set_sizes([1, 2, 1, 2]).tolist() == [1, 2, 2, 2]
+
+    def test_scan(self):
+        # all distinct: ws_t = t
+        assert working_set_sizes([3, 1, 4, 2]).tolist() == [1, 2, 3, 4]
+
+    def test_return_after_window(self):
+        # 1 2 3 1: the final access to 1 saw {2, 3} since its last visit
+        assert working_set_sizes([1, 2, 3, 1]).tolist()[-1] == 3
+
+    def test_reaccess_resets(self):
+        sizes = working_set_sizes([1, 2, 3, 1, 1])
+        assert sizes.tolist()[-1] == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            working_set_sizes([])
+
+    def test_brute_force_agreement(self):
+        rng = random.Random(3)
+        accesses = [rng.randint(1, 8) for _ in range(200)]
+        fast = working_set_sizes(accesses)
+        # brute force: distinct keys since previous occurrence (inclusive)
+        for t, key in enumerate(accesses):
+            prev = -1
+            for s in range(t - 1, -1, -1):
+                if accesses[s] == key:
+                    prev = s
+                    break
+            window = accesses[prev + 1 : t] if prev >= 0 else accesses[:t]
+            assert fast[t] == len(set(window)) + 1
+
+
+class TestBounds:
+    def test_working_set_bound_value(self):
+        # ws([1, 2, 2]) = [1, 2, 1]: Σ log2(ws+1) = 1 + log2(3) + 1
+        assert working_set_bound([1, 2, 2]) == pytest.approx(
+            2.0 + math.log2(3)
+        )
+
+    def test_finger_bound_value(self):
+        assert static_finger_bound([5, 7], finger=5) == pytest.approx(
+            math.log2(2) + math.log2(4)
+        )
+
+    def test_finger_bound_empty(self):
+        with pytest.raises(WorkloadError):
+            static_finger_bound([], finger=1)
+
+    def test_comparison_str_and_within(self):
+        comparison = compare_with_bound(100.0, 80.0, n=10, m=20)
+        assert comparison.within(2.0)
+        assert "ratio" in str(comparison)
+
+    def test_comparison_bad_sizes(self):
+        with pytest.raises(WorkloadError):
+            compare_with_bound(1.0, 1.0, n=0, m=1)
+
+
+class TestAgainstLiveStructures:
+    """The working-set theorem shape: splay cost tracks the ws bound."""
+
+    def test_splay_tree_obeys_working_set_shape(self):
+        n = 255
+        rng = random.Random(5)
+        # high-locality sequence: small rotating working set
+        base = rng.sample(range(1, n + 1), 8)
+        accesses = [base[rng.randrange(8)] for _ in range(3_000)]
+        tree = SplayTree(range(1, n + 1))
+        measured = sum(tree.access(key).cost for key in accesses)
+        comparison = compare_with_bound(
+            measured, working_set_bound(accesses), n=n, m=len(accesses)
+        )
+        assert comparison.within(3.0)
+
+    def test_working_set_separates_locality_regimes(self):
+        n = 255
+        rng = random.Random(6)
+        local = [rng.choice([3, 7, 11]) for _ in range(2_000)]
+        scattered = [rng.randint(1, n) for _ in range(2_000)]
+        assert working_set_bound(local) < working_set_bound(scattered) / 3
+
+    def test_kary_sherk_also_tracks_working_set(self):
+        n = 255
+        rng = random.Random(7)
+        base = rng.sample(range(1, n + 1), 6)
+        accesses = [base[rng.randrange(6)] for _ in range(2_000)]
+        tree = SherkKarySplayTree(range(1, n + 1), 4)
+        measured = sum(tree.access(key).cost for key in accesses)
+        comparison = compare_with_bound(
+            measured, working_set_bound(accesses), n=n, m=len(accesses)
+        )
+        assert comparison.within(3.0)
+
+    def test_finger_bound_tracks_neighborhood_accesses(self):
+        n = 511
+        rng = random.Random(8)
+        near = [max(1, min(n, 50 + rng.randint(-4, 4))) for _ in range(1_000)]
+        far = [rng.randint(1, n) for _ in range(1_000)]
+        assert static_finger_bound(near, 50) < static_finger_bound(far, 50) / 2
+
+
+@given(
+    keys=st.lists(st.integers(min_value=1, max_value=12), min_size=1, max_size=80)
+)
+@settings(max_examples=40, deadline=None)
+def test_property_working_set_sizes_bounded(keys):
+    sizes = working_set_sizes(keys)
+    distinct = len(set(keys))
+    assert (sizes >= 1).all()
+    assert (sizes <= distinct).all()
+    assert int(sizes[0]) == 1

@@ -1,0 +1,231 @@
+"""Complexity-map estimators: calibration on known generators, bias
+documentation, and the substitution audit for the datacenter stand-ins."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.complexity import (
+    classify_trace,
+    complexity_report,
+    lz78_phrase_count,
+    lz_complexity,
+    markov_temporal_ratio,
+    recurrence_excess,
+    repeat_excess,
+    spatial_complexity,
+    temporal_complexity,
+)
+from repro.errors import WorkloadError
+from repro.workloads.datacenter import facebook_trace, hpc_trace, projector_trace
+from repro.workloads.synthetic import (
+    hotspot_trace,
+    temporal_trace,
+    uniform_trace,
+    zipf_trace,
+)
+from repro.workloads.trace import Trace
+
+
+def _constant_pair_trace(n: int, m: int) -> Trace:
+    return Trace(
+        sources=np.full(m, 1, dtype=np.int64),
+        targets=np.full(m, 2, dtype=np.int64),
+        n=n,
+    )
+
+
+class TestSpatialComplexity:
+    def test_uniform_is_near_one(self):
+        assert spatial_complexity(uniform_trace(50, 30_000, 1)) > 0.9
+
+    def test_single_pair_is_zero(self):
+        assert spatial_complexity(_constant_pair_trace(50, 500)) == 0.0
+
+    def test_skew_ordering(self):
+        uniform = spatial_complexity(uniform_trace(100, 20_000, 2))
+        mild = spatial_complexity(zipf_trace(100, 20_000, alpha=1.0, seed=2))
+        heavy = spatial_complexity(zipf_trace(100, 20_000, alpha=2.0, seed=2))
+        assert uniform > mild > heavy
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(WorkloadError):
+            spatial_complexity(_constant_pair_trace(1, 10))
+
+    def test_bounded(self):
+        value = spatial_complexity(hotspot_trace(60, 5_000, seed=3))
+        assert 0.0 <= value <= 1.0
+
+
+class TestRepeatExcess:
+    @pytest.mark.parametrize("p", [0.25, 0.5, 0.75, 0.9])
+    def test_recovers_generator_knob(self, p):
+        trace = temporal_trace(255, 30_000, p, seed=5)
+        assert repeat_excess(trace) == pytest.approx(p, abs=0.05)
+
+    def test_uniform_near_zero(self):
+        assert repeat_excess(uniform_trace(100, 30_000, 1)) < 0.02
+
+    def test_constant_pair_is_one(self):
+        assert repeat_excess(_constant_pair_trace(10, 100)) == 1.0
+
+    def test_needs_two_requests(self):
+        with pytest.raises(WorkloadError):
+            repeat_excess(_constant_pair_trace(10, 1))
+
+
+class TestTemporalComplexity:
+    def test_complement_of_repeat_excess(self):
+        trace = temporal_trace(100, 10_000, 0.6, seed=7)
+        assert temporal_complexity(trace) == pytest.approx(
+            1.0 - repeat_excess(trace)
+        )
+
+    def test_ordering_across_p(self):
+        values = [
+            temporal_complexity(temporal_trace(255, 20_000, p, seed=1))
+            for p in (0.25, 0.5, 0.75, 0.9)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_uniform_is_one(self):
+        assert temporal_complexity(uniform_trace(100, 20_000, 1)) > 0.98
+
+
+class TestRecurrenceExcess:
+    def test_bursty_beats_uniform(self):
+        bursty = recurrence_excess(hpc_trace(216, 20_000, 1), window=64)
+        flat = recurrence_excess(uniform_trace(216, 20_000, 1), window=64)
+        assert bursty > flat + 0.1
+
+    def test_grows_with_p(self):
+        low = recurrence_excess(temporal_trace(255, 20_000, 0.25, 1), window=64)
+        high = recurrence_excess(temporal_trace(255, 20_000, 0.9, 1), window=64)
+        assert high > low
+
+    def test_bad_window(self):
+        with pytest.raises(WorkloadError):
+            recurrence_excess(uniform_trace(10, 100, 1), window=0)
+
+    def test_window_longer_than_trace(self):
+        with pytest.raises(WorkloadError):
+            recurrence_excess(uniform_trace(10, 50, 1), window=50)
+
+
+class TestMarkovRatioBias:
+    """The plug-in conditional-entropy estimator collapses on large
+    alphabets — recorded as a test so nobody 'fixes' temporal_complexity
+    back to it."""
+
+    def test_bias_on_large_alphabet(self):
+        trace = uniform_trace(100, 20_000, 1)  # ~10⁴ pairs ≈ m
+        assert markov_temporal_ratio(trace) < 0.5  # grossly biased low
+
+    def test_reasonable_on_small_alphabet(self):
+        # 6 nodes → 30 pairs, m = 30000 transitions: well-sampled chain
+        trace = uniform_trace(6, 30_000, 1)
+        assert markov_temporal_ratio(trace) > 0.9
+
+    def test_detects_determinism(self):
+        assert markov_temporal_ratio(_constant_pair_trace(5, 200)) == 0.0
+
+
+class TestLZComplexity:
+    def test_phrase_count_known_sequence(self):
+        # LZ78 parse of 1,1,1,1,1,1: (1)(1,1)(1,1,1) → 3 phrases
+        assert lz78_phrase_count([1, 1, 1, 1, 1, 1]) == 3
+
+    def test_phrase_count_all_distinct(self):
+        assert lz78_phrase_count([1, 2, 3, 4]) == 4
+
+    def test_empty(self):
+        assert lz78_phrase_count([]) == 0
+
+    def test_random_scores_higher_than_repetitive(self):
+        random_score = lz_complexity(uniform_trace(50, 10_000, 3))
+        repetitive_score = lz_complexity(temporal_trace(50, 10_000, 0.9, 3))
+        assert random_score > repetitive_score
+
+    def test_single_pair_zero(self):
+        assert lz_complexity(_constant_pair_trace(10, 100)) == 0.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(Exception):
+            lz_complexity(Trace(np.array([], dtype=np.int64), np.array([], dtype=np.int64), n=5))
+
+
+class TestComplexityReport:
+    def test_fields(self):
+        report = complexity_report(uniform_trace(40, 5_000, 1))
+        assert report.n == 40
+        assert report.m == 5_000
+        assert report.distinct_pairs > 100
+        assert 0 <= report.spatial <= 1
+        assert 0 <= report.temporal <= 1
+        assert 0 <= report.lz <= 1
+
+    def test_str(self):
+        text = str(complexity_report(uniform_trace(40, 5_000, 1)))
+        assert "spatial=" in text and "temporal=" in text
+
+    def test_quadrants_on_clear_cases(self):
+        assert classify_trace(uniform_trace(100, 20_000, 1)) == "uniform-like"
+        assert (
+            classify_trace(temporal_trace(255, 20_000, 0.9, 1))
+            == "temporally-local"
+        )
+        assert (
+            classify_trace(zipf_trace(100, 20_000, alpha=2.0, seed=1))
+            == "spatially-skewed"
+        )
+
+    def test_locality_property(self):
+        report = complexity_report(temporal_trace(100, 10_000, 0.8, 1))
+        assert report.locality >= 0.7
+
+
+class TestSubstitutionAudit:
+    """DESIGN.md's substitution table, checked quantitatively: each
+    datacenter stand-in must land in the regime the paper's trace occupies
+    (per the characterization in [2] that Section 5 relies on)."""
+
+    def test_hpc_has_strong_burst_locality(self):
+        report = complexity_report(hpc_trace(216, 20_000, 1))
+        assert report.locality > 0.25  # bursty phase repetition
+        assert report.spatial < 0.8    # structured, not all-to-all
+
+    def test_projector_is_skew_heavy_low_locality(self):
+        report = complexity_report(projector_trace(100, 20_000, 1))
+        assert report.spatial < 0.6    # elephants dominate
+        assert report.locality < 0.35  # mice background keeps it mixed
+
+    def test_facebook_is_wide_and_low_locality(self):
+        report = complexity_report(facebook_trace(512, 20_000, 1))
+        assert report.distinct_pairs > 5_000  # wide working set
+        assert report.locality < 0.2
+
+    def test_hpc_more_local_than_facebook(self):
+        hpc = complexity_report(hpc_trace(216, 20_000, 1))
+        fb = complexity_report(facebook_trace(512, 20_000, 1))
+        assert hpc.locality > fb.locality
+
+    def test_projector_more_skewed_than_facebook(self):
+        projector = complexity_report(projector_trace(100, 20_000, 1))
+        fb = complexity_report(facebook_trace(512, 20_000, 1))
+        assert projector.spatial < fb.spatial
+
+
+@given(
+    n=st.integers(min_value=2, max_value=40),
+    m=st.integers(min_value=16, max_value=400),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_all_scores_bounded(n, m, seed):
+    trace = uniform_trace(n, m, seed)
+    assert 0.0 <= spatial_complexity(trace) <= 1.0
+    assert 0.0 <= temporal_complexity(trace) <= 1.0
+    assert 0.0 <= lz_complexity(trace) <= 1.0

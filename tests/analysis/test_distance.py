@@ -1,0 +1,107 @@
+"""Tests for the distance oracle and total-distance helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.distance import (
+    TreeDistanceOracle,
+    all_pairs_total_distance,
+    total_demand_distance,
+    total_distance_via_potentials,
+    trace_static_cost,
+)
+from repro.core.builders import build_complete_tree, build_path_tree, build_random_tree
+from repro.errors import InvalidTreeError
+from repro.network.static import StaticTreeNetwork
+from repro.network.simulator import simulate
+from repro.workloads.demand import DemandMatrix
+from repro.workloads.synthetic import uniform_trace
+
+
+class TestOracle:
+    @pytest.mark.parametrize("n,k", [(1, 2), (2, 2), (30, 2), (50, 4), (77, 7)])
+    def test_distances_match_tree_walks(self, n, k, rng):
+        tree = build_random_tree(n, k, seed=n * 3 + k)
+        oracle = TreeDistanceOracle.from_tree(tree)
+        for _ in range(60):
+            u = int(rng.integers(1, n + 1))
+            v = int(rng.integers(1, n + 1))
+            assert oracle.distance(u, v) == tree.distance(u, v)
+
+    def test_lca_matches_tree(self, rng):
+        tree = build_random_tree(60, 3, seed=9)
+        oracle = TreeDistanceOracle.from_tree(tree)
+        for _ in range(60):
+            u = int(rng.integers(1, 61))
+            v = int(rng.integers(1, 61))
+            assert oracle.lca(u, v) == tree.lca(u, v)[0].nid
+
+    def test_vectorized_batch(self, rng):
+        tree = build_random_tree(40, 2, seed=5)
+        oracle = TreeDistanceOracle.from_tree(tree)
+        us = rng.integers(1, 41, 200)
+        vs = rng.integers(1, 41, 200)
+        batch = oracle.distances(us, vs)
+        for u, v, d in zip(us.tolist(), vs.tolist(), batch.tolist()):
+            assert d == tree.distance(u, v)
+
+    def test_symmetry(self, rng):
+        tree = build_random_tree(40, 3, seed=6)
+        oracle = TreeDistanceOracle.from_tree(tree)
+        us = rng.integers(1, 41, 100)
+        vs = rng.integers(1, 41, 100)
+        assert np.array_equal(oracle.distances(us, vs), oracle.distances(vs, us))
+
+    def test_deep_path_tree(self):
+        tree = build_path_tree(200, 2)
+        oracle = TreeDistanceOracle.from_tree(tree)
+        ends = sorted([tree.root_id])
+        depths = tree.depths()
+        deepest = max(depths, key=depths.get)
+        assert oracle.distance(tree.root_id, deepest) == 199
+
+    def test_from_parent_map(self):
+        oracle = TreeDistanceOracle.from_parent_map({2: 1, 3: 1, 4: 2}, 4)
+        assert oracle.distance(3, 4) == 3
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            TreeDistanceOracle.from_parent_map({3: 1}, 3)
+
+    def test_cycle_rejected(self):
+        parent = np.array([0, 2, 1])  # 1 <-> 2 cycle, no root... n=2
+        with pytest.raises(InvalidTreeError):
+            TreeDistanceOracle(parent, 1)
+
+
+class TestTotals:
+    def test_total_demand_distance_matches_simulation(self):
+        tree = build_complete_tree(40, 3)
+        trace = uniform_trace(40, 800, seed=2)
+        simulated = simulate(StaticTreeNetwork(tree), trace).total_routing
+        computed = total_demand_distance(tree, DemandMatrix.from_trace(trace))
+        assert simulated == computed
+
+    def test_trace_static_cost_equivalent(self):
+        tree = build_complete_tree(40, 3)
+        trace = uniform_trace(40, 800, seed=2)
+        assert trace_static_cost(tree, trace) == total_demand_distance(
+            tree, DemandMatrix.from_trace(trace)
+        )
+
+    @pytest.mark.parametrize("n,k", [(2, 2), (17, 2), (40, 3), (64, 8)])
+    def test_potentials_equal_all_pairs(self, n, k):
+        tree = build_random_tree(n, k, seed=n)
+        assert total_distance_via_potentials(tree) == all_pairs_total_distance(tree)
+
+    def test_empty_demand(self):
+        tree = build_complete_tree(5, 2)
+        demand = DemandMatrix(5, dense=np.zeros((5, 5), dtype=np.int64))
+        assert total_demand_distance(tree, demand) == 0
+
+    def test_singleton_tree(self):
+        tree = build_complete_tree(1, 2)
+        assert all_pairs_total_distance(tree) == 0
+        assert total_distance_via_potentials(tree) == 0

@@ -1,0 +1,46 @@
+"""Tests for the Theorem 13 entropy bound."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.entropy import entropy_bound, entropy_bound_report
+from repro.workloads.synthetic import uniform_trace, zipf_trace
+from repro.workloads.trace import Trace
+
+
+class TestEntropyBound:
+    def test_uniform_trace_bound_is_2m_log_n(self):
+        n, m = 64, 20000
+        bound = entropy_bound(uniform_trace(n, m, 0))
+        # sources and destinations each contribute ≈ m·log2(n)
+        assert bound == pytest.approx(2 * m * math.log2(n), rel=0.02)
+
+    def test_single_pair_bound_is_zero(self):
+        tr = Trace(4, np.full(100, 1), np.full(100, 2))
+        assert entropy_bound(tr) == 0.0
+
+    def test_skew_reduces_bound(self):
+        n, m = 100, 20000
+        uni = entropy_bound(uniform_trace(n, m, 1))
+        skew = entropy_bound(zipf_trace(n, m, 1.5, 1))
+        assert skew < uni
+
+    def test_empty_trace(self):
+        tr = Trace(4, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert entropy_bound(tr) == 0.0
+
+
+class TestReport:
+    def test_ratio(self):
+        tr = uniform_trace(32, 1000, 0)
+        report = entropy_bound_report(tr, measured_cost=5000)
+        assert report.ratio == pytest.approx(5000 / report.bound)
+        assert "ratio=" in str(report)
+
+    def test_zero_bound_ratio(self):
+        tr = Trace(4, np.full(10, 1), np.full(10, 2))
+        assert entropy_bound_report(tr, 100).ratio == 0.0

@@ -1,0 +1,105 @@
+"""Local-routing stretch: exactness on built trees, boundedness after
+rotation storms — the quantitative side of DESIGN.md's local-routing note."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stretch import measure_stretch, stretch_after_storm
+from repro.core.builders import (
+    build_balanced_tree,
+    build_complete_tree,
+    build_path_tree,
+    build_random_tree,
+)
+from repro.core.centroid import build_centroid_tree
+from repro.errors import ReproError
+
+
+class TestExactOnBuiltTrees:
+    """Builders produce segment-contiguous subtrees, so greedy local
+    routing must equal the tree path on every pair."""
+
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_complete_tree(self, k):
+        report = measure_stretch(build_complete_tree(40, k))
+        assert report.max_stretch == 1.0
+        assert report.backtrack_fraction == 0.0
+
+    def test_balanced_tree(self):
+        report = measure_stretch(build_balanced_tree(30, 3))
+        assert report.max_stretch == 1.0
+
+    def test_path_tree(self):
+        report = measure_stretch(build_path_tree(20, 2))
+        assert report.max_stretch == 1.0
+        assert report.mean_distance > 5  # sanity: paths are long
+
+    def test_centroid_tree(self):
+        report = measure_stretch(build_centroid_tree(40, 2))
+        assert report.max_stretch == 1.0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_trees(self, seed):
+        report = measure_stretch(build_random_tree(25, 3, seed=seed))
+        assert report.max_stretch == 1.0
+
+
+class TestSampling:
+    def test_sampled_pairs(self):
+        report = measure_stretch(build_complete_tree(100, 3), sample=200, seed=4)
+        assert report.pairs == 200
+        assert report.max_stretch == 1.0
+
+    def test_explicit_pairs(self):
+        report = measure_stretch(
+            build_complete_tree(10, 2), pairs=[(1, 10), (5, 7)]
+        )
+        assert report.pairs == 2
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(ReproError):
+            measure_stretch(build_complete_tree(10, 2), pairs=[])
+
+    def test_single_node_rejected(self):
+        with pytest.raises(ReproError):
+            measure_stretch(build_complete_tree(1, 2))
+
+    def test_report_str(self):
+        text = str(measure_stretch(build_complete_tree(10, 2)))
+        assert "stretch" in text and "max" in text
+
+
+class TestAfterStorm:
+    """After arbitrary rotations, local routing may backtrack but stays
+    bounded (each edge at most twice → hops < 2n) and delivers."""
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_bounded_stretch(self, k):
+        n = 60
+        report = stretch_after_storm(n, k, serves=300, sample=300, seed=k)
+        assert report.max_hops <= 2 * n
+        assert report.mean_stretch < 1.5  # near-exact on average
+
+    def test_storm_keeps_mean_low(self):
+        report = stretch_after_storm(80, 3, serves=500, sample=400, seed=9)
+        assert report.mean_stretch < 1.2
+
+    def test_deterministic(self):
+        a = stretch_after_storm(30, 2, serves=100, sample=100, seed=3)
+        b = stretch_after_storm(30, 2, serves=100, sample=100, seed=3)
+        assert a == b
+
+
+@given(
+    n=st.integers(min_value=4, max_value=40),
+    k=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_storm_routing_always_delivers(n, k, seed):
+    # delivery (no RoutingError) and the 2n bound for any storm
+    report = stretch_after_storm(n, k, serves=40, sample=60, seed=seed)
+    assert report.max_hops <= 2 * n

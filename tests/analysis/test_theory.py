@@ -1,0 +1,61 @@
+"""Tests for the closed-form results (Lemma 9, Theorem 33, Remark 34)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.distance import total_distance_via_potentials
+from repro.analysis.theory import (
+    centroid_approximation_gap,
+    full_tree_edge_level_counts,
+    lemma9_estimate,
+    tree_levels,
+)
+from repro.core.builders import build_complete_tree
+from repro.core.centroid import build_centroid_tree
+
+
+class TestTreeLevels:
+    def test_known_values(self):
+        assert tree_levels(1, 2) == 1
+        assert tree_levels(7, 2) == 3
+        assert tree_levels(8, 2) == 4
+        assert tree_levels(13, 3) == 3
+
+
+class TestEdgeLevelCounts:
+    def test_sum_is_n_minus_one(self):
+        for n, k in ((100, 2), (121, 3), (500, 5)):
+            assert sum(full_tree_edge_level_counts(n, k)) == n - 1
+
+    def test_full_levels(self):
+        counts = full_tree_edge_level_counts(7, 2)
+        assert counts == [2, 4]
+
+
+class TestLemma9:
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    @pytest.mark.parametrize("n", [128, 512, 1024])
+    def test_full_tree_total_distance_matches_leading_term(self, n, k):
+        """Lemma 9: total distance = n² log_k n + O(n²), unordered pairs."""
+        measured = total_distance_via_potentials(build_complete_tree(n, k)) / 2
+        estimate = lemma9_estimate(n, k)
+        # |measured - n² log_k n| must be O(n²): check a generous constant.
+        assert abs(measured - estimate) <= 4.0 * n * n
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_centroid_tree_matches_leading_term(self, k):
+        n = 700
+        measured = total_distance_via_potentials(build_centroid_tree(n, k)) / 2
+        assert abs(measured - lemma9_estimate(n, k)) <= 4.0 * n * n
+
+    def test_degenerate(self):
+        assert lemma9_estimate(1, 2) == 0.0
+
+
+class TestApproximationGap:
+    def test_shrinks_with_n(self):
+        assert centroid_approximation_gap(1000) < centroid_approximation_gap(10)
+
+    def test_degenerate(self):
+        assert centroid_approximation_gap(2) == 1.0

@@ -1,0 +1,30 @@
+"""Shared fixtures: paranoid rotations and seeded RNGs for every test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.rotations as rotations_module
+
+
+@pytest.fixture(autouse=True)
+def paranoid_rotations():
+    """Run every test with rotation-level invariant checking enabled."""
+    old = rotations_module.PARANOID
+    rotations_module.PARANOID = True
+    yield
+    rotations_module.PARANOID = old
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)
+
+
+def random_pair(rng: np.random.Generator, n: int) -> tuple[int, int]:
+    u = int(rng.integers(1, n + 1))
+    v = int(rng.integers(1, n))
+    if v >= u:
+        v += 1
+    return u, v

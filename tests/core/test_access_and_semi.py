@@ -1,0 +1,139 @@
+"""Tests for the splay-tree access operation (Theorem 12) and the
+partially-reactive serve_semi variant."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.splaynet import KArySplayNet
+from repro.workloads.synthetic import (
+    bit_reversal_trace,
+    stride_trace,
+    uniform_trace,
+    zipf_trace,
+)
+from repro.errors import WorkloadError
+
+
+class TestAccess:
+    @pytest.mark.parametrize("k", [2, 3, 6])
+    def test_accessed_node_becomes_root(self, k, rng):
+        net = KArySplayNet(50, k)
+        for _ in range(60):
+            x = int(rng.integers(1, 51))
+            net.access(x)
+            assert net.tree.root_id == x
+        net.validate()
+
+    def test_access_cost_is_depth(self):
+        net = KArySplayNet(63, 2)
+        x = next(n.nid for n in net.tree.iter_nodes() if n.is_leaf)
+        depth = net.tree.depth(x)
+        assert net.access(x).routing_cost == depth
+
+    def test_repeated_access_is_free(self):
+        net = KArySplayNet(63, 2)
+        net.access(17)
+        assert net.access(17).routing_cost == 0
+
+    def test_static_optimality_bound_theorem12(self):
+        """Total access cost obeys O(m + Σ n_x log(m / n_x))."""
+        n, m = 128, 6000
+        trace = zipf_trace(n, m, 1.3, seed=4)
+        accesses = trace.targets  # skewed access sequence
+        net = KArySplayNet(n, 3)
+        total = sum(net.access(int(x)).routing_cost for x in accesses)
+        _, counts = np.unique(accesses, return_counts=True)
+        bound = m + float((counts * np.log2(m / counts)).sum())
+        assert total <= 3.0 * bound
+        net.validate()
+
+
+class TestServeSemi:
+    @pytest.mark.parametrize("n,k", [(20, 2), (50, 3), (64, 8)])
+    def test_invariants_preserved(self, n, k, rng):
+        net = KArySplayNet(n, k)
+        for _ in range(150):
+            u = int(rng.integers(1, n + 1))
+            v = int(rng.integers(1, n + 1))
+            if u != v:
+                net.serve_semi(u, v)
+        net.validate()
+
+    def test_at_most_two_transformations(self, rng):
+        net = KArySplayNet(60, 3)
+        for _ in range(80):
+            u = int(rng.integers(1, 61))
+            v = int(rng.integers(1, 61))
+            if u == v:
+                continue
+            res = net.serve_semi(u, v)
+            assert res.rotations <= 2
+
+    def test_cheaper_reconfiguration_than_full_serve(self):
+        trace = uniform_trace(100, 3000, seed=5)
+        full = KArySplayNet(100, 3)
+        semi = KArySplayNet(100, 3)
+        full_rot = sum(full.serve(u, v).rotations for u, v in trace.pairs())
+        semi_rot = sum(semi.serve_semi(u, v).rotations for u, v in trace.pairs())
+        assert semi_rot < 0.8 * full_rot
+
+    def test_still_adapts_to_locality(self):
+        """Repeated pairs drift together even with one step per request."""
+        net = KArySplayNet(64, 2)
+        start = net.distance(1, 64)
+        for _ in range(30):
+            net.serve_semi(1, 64)
+        assert net.distance(1, 64) < start
+
+    def test_self_request_free(self):
+        assert KArySplayNet(10, 2).serve_semi(3, 3).routing_cost == 0
+
+
+class TestAdversarialTraces:
+    def test_bit_reversal_shape(self):
+        tr = bit_reversal_trace(4, 100)
+        assert tr.n == 16
+        assert all(u == 1 or True for u, _ in tr.pairs())
+        # every request originates at node 1
+        assert set(tr.sources.tolist()) == {1}
+
+    def test_bit_reversal_covers_all_nodes(self):
+        tr = bit_reversal_trace(3, 8)
+        assert set(tr.targets.tolist()) | {1} >= set(range(2, 9))
+
+    def test_bit_reversal_is_hard_for_splaying(self):
+        """Bit-reversal accesses cost Θ(log n) amortized — no better."""
+        bits, m = 7, 4000
+        n = 1 << bits
+        tr = bit_reversal_trace(bits, m)
+        net = KArySplayNet(n, 2)
+        total = sum(net.access(int(v)).routing_cost for v in tr.targets)
+        assert total >= 0.5 * m * math.log2(n) - 2 * n
+
+    def test_bit_reversal_validation(self):
+        with pytest.raises(WorkloadError):
+            bit_reversal_trace(0, 10)
+        with pytest.raises(WorkloadError):
+            bit_reversal_trace(21, 10)
+
+    def test_stride_trace(self):
+        tr = stride_trace(10, 20, 3)
+        pairs = list(tr.pairs())
+        assert pairs[0] == (1, 4)
+        assert pairs[9] == (10, 3)  # wraps around the ring
+
+    def test_stride_validation(self):
+        with pytest.raises(WorkloadError):
+            stride_trace(10, 5, 0)
+        with pytest.raises(WorkloadError):
+            stride_trace(10, 5, 10)
+
+    def test_stride_one_equals_ring(self):
+        tr = stride_trace(6, 6, 1)
+        assert list(tr.pairs()) == [
+            (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 1),
+        ]

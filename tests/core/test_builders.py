@@ -1,0 +1,197 @@
+"""Unit tests for the tree builders and partitioners."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.builders import (
+    ShapeNode,
+    balanced_partitioner,
+    build_balanced_tree,
+    build_complete_tree,
+    build_from_partitioner,
+    build_from_shape,
+    build_path_tree,
+    build_random_tree,
+    complete_partitioner,
+    complete_tree_capacity,
+    path_partitioner,
+)
+from repro.errors import InvalidTreeError
+
+
+class TestCapacity:
+    def test_known_values(self):
+        assert complete_tree_capacity(0, 2) == 0
+        assert complete_tree_capacity(1, 2) == 1
+        assert complete_tree_capacity(3, 2) == 7
+        assert complete_tree_capacity(2, 5) == 6
+        assert complete_tree_capacity(3, 3) == 13
+
+
+class TestCompleteTree:
+    @pytest.mark.parametrize("k", [2, 3, 5, 10])
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 50, 121, 300])
+    def test_height_is_information_theoretic_minimum(self, n, k):
+        tree = build_complete_tree(n, k)
+        tree.validate()
+        levels = 1
+        while complete_tree_capacity(levels, k) < n:
+            levels += 1
+        assert tree.height() == levels - 1
+
+    def test_all_levels_full_except_last(self):
+        tree = build_complete_tree(40, 3)
+        counts: dict[int, int] = {}
+        for nid, depth in tree.depths().items():
+            counts[depth] = counts.get(depth, 0) + 1
+        height = max(counts)
+        for level in range(height):
+            assert counts[level] == 3**level
+        assert counts[height] == 40 - complete_tree_capacity(height, 3)
+
+    def test_binary_complete_tree_is_classic_bst(self):
+        tree = build_complete_tree(7, 2)
+        assert tree.root_id == 4
+        assert {c.nid for c in tree.root.child_iter()} == {2, 6}
+
+    def test_own_index_parameter(self):
+        first = build_complete_tree(13, 3, own_index=0)
+        first.validate()
+        last = build_complete_tree(13, 3, own_index=3)
+        last.validate()
+        assert first.root_id != last.root_id
+
+
+class TestPathTree:
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_path_has_maximal_height(self, k):
+        tree = build_path_tree(20, k)
+        assert tree.height() == 19
+
+
+class TestBalancedTree:
+    @pytest.mark.parametrize("n,k", [(50, 2), (50, 5), (200, 3)])
+    def test_balanced_height_logarithmic(self, n, k):
+        tree = build_balanced_tree(n, k)
+        assert tree.height() <= 2 * math.ceil(math.log(n + 1, k)) + 2
+
+
+class TestRandomTree:
+    def test_deterministic_by_seed(self):
+        a = build_random_tree(37, 3, seed=7)
+        b = build_random_tree(37, 3, seed=7)
+        assert a.edge_set() == b.edge_set()
+
+    def test_different_seeds_differ(self):
+        a = build_random_tree(37, 3, seed=7)
+        b = build_random_tree(37, 3, seed=8)
+        assert a.edge_set() != b.edge_set()
+
+    def test_accepts_generator(self, rng):
+        build_random_tree(12, 3, rng).validate()
+
+
+class TestPartitionerContract:
+    def test_too_many_blocks_rejected(self):
+        def bad(size):
+            if size == 1:
+                return 0, ()
+            return 0, tuple([1] * (size - 1))  # size-1 blocks > k for big size
+
+        with pytest.raises(InvalidTreeError, match="blocks"):
+            build_from_partitioner(10, 2, bad)
+
+    def test_wrong_total_rejected(self):
+        def bad(size):
+            if size == 1:
+                return 0, ()
+            return 0, (size,)  # off by one
+
+        with pytest.raises(InvalidTreeError, match="cover"):
+            build_from_partitioner(5, 2, bad)
+
+    def test_empty_block_rejected(self):
+        def bad(size):
+            if size == 1:
+                return 0, ()
+            return 0, (size - 1, 0) if size >= 2 else (size - 1,)
+
+        with pytest.raises(InvalidTreeError):
+            build_from_partitioner(5, 3, bad)
+
+    def test_own_index_out_of_range_rejected(self):
+        def bad(size):
+            if size == 1:
+                return 0, ()
+            return 5, (size - 1,)
+
+        with pytest.raises(InvalidTreeError, match="own_index"):
+            build_from_partitioner(5, 3, bad)
+
+    def test_invalid_n_and_k(self):
+        with pytest.raises(InvalidTreeError):
+            build_from_partitioner(0, 2, path_partitioner())
+        with pytest.raises(InvalidTreeError):
+            build_from_partitioner(5, 1, path_partitioner())
+
+
+class TestShapes:
+    def make_caterpillar(self, length: int) -> ShapeNode:
+        root = ShapeNode()
+        node = root
+        for _ in range(length - 1):
+            node = node.add(ShapeNode())
+        return root
+
+    def test_compute_sizes(self):
+        shape = self.make_caterpillar(5)
+        assert shape.compute_sizes() == 5
+        assert shape.children[0].size == 4
+
+    def test_build_from_shape_valid(self):
+        root = ShapeNode()
+        for _ in range(3):
+            child = root.add(ShapeNode())
+            child.add(ShapeNode())
+        tree = build_from_shape(root, 3)
+        tree.validate()
+        assert tree.n == 7
+
+    @pytest.mark.parametrize("policy", ["first", "middle", "last"])
+    def test_own_index_policies(self, policy):
+        root = ShapeNode()
+        root.add(ShapeNode())
+        root.add(ShapeNode())
+        tree = build_from_shape(root, 2, own_index=policy)
+        tree.validate()
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            build_from_shape(ShapeNode(), 2, own_index="weird")
+
+    def test_too_many_children_rejected(self):
+        root = ShapeNode()
+        for _ in range(4):
+            root.add(ShapeNode())
+        with pytest.raises(InvalidTreeError):
+            build_from_shape(root, 3)
+
+    def test_shape_height(self):
+        assert self.make_caterpillar(4).height() == 3
+
+
+class TestCompletePartitioner:
+    def test_matches_builder(self):
+        part = complete_partitioner(3)
+        t1 = build_from_partitioner(40, 3, part)
+        t2 = build_complete_tree(40, 3)
+        assert t1.edge_set() == t2.edge_set()
+
+    def test_singleton(self):
+        assert complete_partitioner(4)(1) == (0, ())
+        assert balanced_partitioner(4)(1) == (0, ())
+        assert path_partitioner()(1) == (0, ())

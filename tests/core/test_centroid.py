@@ -1,0 +1,105 @@
+"""Tests for the centroid static construction (Section 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.distance import total_distance_via_potentials
+from repro.core.builders import build_complete_tree
+from repro.core.centroid import (
+    build_centroid_tree,
+    centroid_shape,
+    centroid_subtree_sizes,
+)
+from repro.errors import InvalidTreeError
+from repro.optimal.uniform import optimal_uniform_cost
+
+
+class TestSubtreeSizes:
+    @pytest.mark.parametrize("k", [2, 3, 5, 10])
+    @pytest.mark.parametrize("n", [1, 2, 5, 10, 50, 123, 400])
+    def test_sizes_partition_n_minus_one(self, n, k):
+        sizes = centroid_subtree_sizes(n, k)
+        assert len(sizes) == k + 1
+        assert sum(sizes) == n - 1
+        assert all(s >= 0 for s in sizes)
+
+    def test_sizes_differ_by_at_most_one_last_level(self):
+        """Interior levels are identical; only last-level leaves differ."""
+        for n, k in ((400, 3), (1000, 2), (77, 5)):
+            sizes = centroid_subtree_sizes(n, k)
+            depth = 0
+            remaining = n - 1
+            while remaining >= (k + 1) * k**depth:
+                remaining -= (k + 1) * k**depth
+                depth += 1
+            assert max(sizes) - min(sizes) <= k**depth
+
+    def test_left_packing(self):
+        """Leftover leaves fill subtrees left to right."""
+        sizes = centroid_subtree_sizes(100, 3)
+        deltas = [sizes[i] - sizes[i + 1] for i in range(len(sizes) - 1)]
+        assert all(d >= 0 for d in deltas)
+
+    def test_invalid_n(self):
+        with pytest.raises(InvalidTreeError):
+            centroid_subtree_sizes(0, 3)
+
+
+class TestShape:
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 64, 200])
+    def test_rooted_at_leaf(self, n, k):
+        shape = centroid_shape(n, k)
+        assert shape.compute_sizes() == n
+        if n >= 2:
+            assert len(shape.children) == 1  # a leaf of the unrooted tree
+        stack = [shape]
+        while stack:
+            node = stack.pop()
+            assert len(node.children) <= k
+            stack.extend(node.children)
+
+    def test_degree_bound_is_k_plus_one_unrooted(self):
+        """Every node of the unrooted tree has degree <= k+1."""
+        shape = centroid_shape(150, 3)
+        stack = [(shape, None)]
+        while stack:
+            node, parent = stack.pop()
+            degree = len(node.children) + (0 if parent is None else 1)
+            assert degree <= 4
+            for child in node.children:
+                stack.append((child, node))
+
+
+class TestCentroidTree:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 10])
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 20, 57, 100])
+    def test_valid_search_tree(self, n, k):
+        build_centroid_tree(n, k).validate()
+
+    @pytest.mark.parametrize("k", [2, 3, 5, 10])
+    @pytest.mark.parametrize("n", [5, 12, 33, 100, 250])
+    def test_remark10_optimality(self, n, k):
+        """Remark 10: the centroid tree is optimal for uniform traffic."""
+        tree = build_centroid_tree(n, k)
+        measured = total_distance_via_potentials(tree) // 2
+        assert measured == optimal_uniform_cost(n, k)
+
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_beats_or_matches_full_tree(self, k):
+        """Lemma 9 + Remark 10: centroid <= full tree on uniform traffic."""
+        for n in (20, 100, 333):
+            centroid = total_distance_via_potentials(build_centroid_tree(n, k))
+            full = total_distance_via_potentials(build_complete_tree(n, k))
+            assert centroid <= full
+
+    def test_own_index_policies_preserve_distance(self):
+        """Labelling freedom: total distance is labelling-invariant."""
+        costs = {
+            policy: total_distance_via_potentials(
+                build_centroid_tree(64, 3, own_index=policy)
+            )
+            for policy in ("first", "middle", "last")
+        }
+        assert len(set(costs.values())) == 1

@@ -1,0 +1,170 @@
+"""Tests for CentroidSplayNet — the (k+1)-SplayNet of Section 4.2."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.centroid_splaynet import CentroidSplayNet, centroid_splaynet_layout
+from repro.errors import InvalidTreeError
+from repro.network.simulator import Simulator, simulate
+from repro.workloads.synthetic import temporal_trace, uniform_trace
+
+
+def global_graph(net: CentroidSplayNet) -> nx.Graph:
+    """Assemble the whole topology: inner trees + centroid glue links."""
+    g = nx.Graph()
+    g.add_edge(net.c1, net.c2)
+    for block, subnet in zip(net._blocks, net.subnets):
+        offset = block.lo - 1
+        for a, b in subnet.tree.iter_edges():
+            g.add_edge(a + offset, b + offset)
+        root = subnet.tree.root_id + offset
+        g.add_edge(root, net.c1 if block.attach == 1 else net.c2)
+    return g
+
+
+class TestLayout:
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    @pytest.mark.parametrize("n", [2, 3, 5, 10, 100, 500])
+    def test_blocks_partition_identifiers(self, n, k):
+        c1, c2, blocks = centroid_splaynet_layout(n, k)
+        covered = {c1, c2}
+        for block in blocks:
+            ids = set(range(block.lo, block.hi + 1))
+            assert not ids & covered
+            covered |= ids
+        assert covered == set(range(1, n + 1))
+
+    def test_shares_follow_the_paper(self):
+        """c2's subtrees get ≈ (n-2)/(k+1) nodes each."""
+        n, k = 902, 2
+        _, _, blocks = centroid_splaynet_layout(n, k)
+        big = [b for b in blocks if b.attach == 2]
+        assert len(big) == k
+        share = (n - 2) / (k + 1)
+        for block in big:
+            assert abs(block.size - share) <= 1
+
+    def test_block_counts(self):
+        _, _, blocks = centroid_splaynet_layout(1000, 4)
+        assert len([b for b in blocks if b.attach == 1]) == 3  # k-1
+        assert len([b for b in blocks if b.attach == 2]) == 4  # k
+
+    def test_too_small_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            centroid_splaynet_layout(1, 2)
+
+
+class TestDistances:
+    @pytest.mark.parametrize("n,k", [(20, 2), (50, 3), (100, 2)])
+    def test_distance_matches_global_graph(self, n, k, rng):
+        net = CentroidSplayNet(n, k)
+        g = global_graph(net)
+        lengths = dict(nx.all_pairs_shortest_path_length(g))
+        for _ in range(60):
+            u = int(rng.integers(1, n + 1))
+            v = int(rng.integers(1, n + 1))
+            assert net.distance(u, v) == lengths[u][v], (u, v)
+
+    def test_distance_still_correct_after_serving(self, rng):
+        net = CentroidSplayNet(60, 2)
+        for _ in range(100):
+            u = int(rng.integers(1, 61))
+            v = int(rng.integers(1, 61))
+            if u != v:
+                net.serve(u, v)
+        g = global_graph(net)
+        lengths = dict(nx.all_pairs_shortest_path_length(g))
+        for _ in range(60):
+            u = int(rng.integers(1, 61))
+            v = int(rng.integers(1, 61))
+            assert net.distance(u, v) == lengths[u][v]
+
+    def test_centroid_pair_distance(self):
+        net = CentroidSplayNet(50, 2)
+        assert net.distance(net.c1, net.c2) == 1
+
+
+class TestServe:
+    def test_same_subtree_request_delegates(self):
+        net = CentroidSplayNet(100, 2)
+        block = net._blocks[-1]
+        u, v = block.lo, block.hi
+        net.serve(u, v)
+        assert net.distance(u, v) == 1  # adjacent inside the subtree
+
+    def test_cross_subtree_endpoints_reach_roots(self):
+        net = CentroidSplayNet(100, 2)
+        lo_block, hi_block = net._blocks[0], net._blocks[-1]
+        u, v = lo_block.lo, hi_block.hi
+        net.serve(u, v)
+        # after serving, u and v sit at their subtree roots: distance = 3
+        # (u -> c1 -> c2 -> v) or 2 when both subtrees share a centroid
+        assert net.distance(u, v) <= 3
+
+    def test_centroids_never_move(self, rng):
+        net = CentroidSplayNet(80, 3)
+        for _ in range(200):
+            u = int(rng.integers(1, 81))
+            v = int(rng.integers(1, 81))
+            if u != v:
+                net.serve(u, v)
+        assert net.distance(net.c1, net.c2) == 1
+        net.validate()
+
+    def test_requests_touching_centroids(self):
+        net = CentroidSplayNet(50, 2)
+        res = net.serve(net.c1, net.c2)
+        assert res.routing_cost == 1
+        other = net._blocks[0].lo
+        res = net.serve(net.c1, other)
+        assert res.routing_cost >= 1
+        res = net.serve(other, net.c2)
+        assert res.routing_cost >= 1
+
+    def test_self_request_free(self):
+        net = CentroidSplayNet(50, 2)
+        assert net.serve(9, 9).routing_cost == 0
+
+    def test_routing_cost_is_pre_adjustment_distance(self, rng):
+        net = CentroidSplayNet(70, 2)
+        for _ in range(80):
+            u = int(rng.integers(1, 71))
+            v = int(rng.integers(1, 71))
+            if u == v:
+                continue
+            expected = net.distance(u, v)
+            assert net.serve(u, v).routing_cost == expected
+
+    @pytest.mark.parametrize("n,k", [(2, 2), (3, 2), (4, 3), (10, 5)])
+    def test_tiny_networks(self, n, k, rng):
+        net = CentroidSplayNet(n, k)
+        for _ in range(50):
+            u = int(rng.integers(1, n + 1))
+            v = int(rng.integers(1, n + 1))
+            if u != v:
+                net.serve(u, v)
+        net.validate()
+
+    def test_validation_over_long_run(self):
+        net = CentroidSplayNet(64, 2)
+        Simulator(validate_every=100).run(net, uniform_trace(64, 500, seed=2))
+
+    def test_locate_out_of_range(self):
+        net = CentroidSplayNet(10, 2)
+        with pytest.raises(InvalidTreeError):
+            net.locate(11)
+
+
+class TestBehaviour:
+    def test_high_locality_favours_plain_splaynet(self):
+        """The paper's Table 8 trend: fixed centroids hurt on locality."""
+        from repro.core.splaynet import KArySplayNet
+
+        n, m = 100, 6000
+        hot = temporal_trace(n, m, 0.9, seed=4)
+        c3 = simulate(CentroidSplayNet(n, 2), hot).total_routing
+        sp = simulate(KArySplayNet(n, 2), hot).total_routing
+        assert sp < c3

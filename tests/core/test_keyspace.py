@@ -1,0 +1,121 @@
+"""Unit tests for the key-space primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.keyspace import (
+    MAX_K,
+    NEG_INF,
+    POS_INF,
+    Interval,
+    boundary_between,
+    is_identifier_value,
+    is_separator_value,
+    pad_values,
+)
+from repro.errors import InvalidTreeError
+
+
+class TestInterval:
+    def test_contains_open_endpoints(self):
+        iv = Interval(1.0, 2.0)
+        assert 1.5 in iv
+        assert 1.0 not in iv
+        assert 2.0 not in iv
+
+    def test_infinite_interval_contains_everything_finite(self):
+        iv = Interval(NEG_INF, POS_INF)
+        assert -1e300 in iv and 1e300 in iv and 0.0 in iv
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(InvalidTreeError):
+            Interval(2.0, 2.0)
+        with pytest.raises(InvalidTreeError):
+            Interval(3.0, 1.0)
+
+    def test_contains_interval(self):
+        outer = Interval(0.0, 10.0)
+        assert outer.contains_interval(Interval(1.0, 9.0))
+        assert outer.contains_interval(Interval(0.0, 10.0))
+        assert not outer.contains_interval(Interval(-1.0, 5.0))
+        assert not outer.contains_interval(Interval(5.0, 11.0))
+
+    def test_intersect(self):
+        assert Interval(0, 5).intersect(Interval(3, 8)) == Interval(3, 5)
+
+    def test_intersect_disjoint_raises(self):
+        with pytest.raises(InvalidTreeError):
+            Interval(0, 1).intersect(Interval(2, 3))
+
+    def test_overlaps(self):
+        assert Interval(0, 5).overlaps(Interval(4, 9))
+        assert not Interval(0, 1).overlaps(Interval(1, 2))
+
+
+class TestBoundary:
+    def test_boundary_is_gap_midpoint(self):
+        assert boundary_between(4, 5) == 4.5
+        assert boundary_between(-1, 0) == -0.5
+
+    def test_non_adjacent_ids_raise(self):
+        with pytest.raises(InvalidTreeError):
+            boundary_between(4, 6)
+        with pytest.raises(InvalidTreeError):
+            boundary_between(5, 4)
+
+
+class TestPads:
+    def test_pads_live_in_private_zone(self):
+        for nid in (1, 17, 1000):
+            pads = list(pad_values(nid, 9))
+            assert len(pads) == 9
+            for value in pads:
+                assert nid < value < nid + 0.5
+
+    def test_pads_strictly_decreasing_and_distinct(self):
+        pads = list(pad_values(3, 12))
+        assert pads == sorted(pads, reverse=True)
+        assert len(set(pads)) == len(pads)
+
+    def test_first_pad_is_quarter(self):
+        assert next(iter(pad_values(7, 1))) == 7.25
+
+    def test_zero_pads(self):
+        assert list(pad_values(1, 0)) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(InvalidTreeError):
+            list(pad_values(1, -1))
+
+    def test_too_many_pads_raise(self):
+        with pytest.raises(InvalidTreeError):
+            list(pad_values(1, MAX_K))
+
+    def test_pads_exact_in_float64(self):
+        # Dyadic offsets must round-trip exactly at realistic scales.
+        for nid in (1, 1023, 10_000):
+            for value in pad_values(nid, 10):
+                frac = value - nid
+                assert math.log2(frac) == round(math.log2(frac))
+
+    def test_precision_exhaustion_raises_cleanly(self):
+        with pytest.raises(InvalidTreeError, match="precision"):
+            list(pad_values(2**45, 20))
+
+
+class TestValueClassification:
+    def test_identifiers_are_integers(self):
+        assert is_identifier_value(5.0)
+        assert is_identifier_value(-3)
+        assert not is_identifier_value(5.5)
+
+    def test_separators(self):
+        assert is_separator_value(4.5)
+        assert is_separator_value(7.25)
+        assert is_separator_value(7 + 2.0**-10)
+        assert not is_separator_value(7.0)
+        assert not is_separator_value(float("inf"))
+        assert not is_separator_value(7.3)

@@ -1,0 +1,86 @@
+"""Link-churn accounting: the Section 2 reconfiguration-cost measure.
+
+The paper charges reconfiguration as "the number of links added or
+removed".  Two levels of accounting must agree with physical reality:
+
+* per rotation, the reported ``links_changed`` equals the exact symmetric
+  difference of the edge sets before/after (verified exhaustively by a
+  property test);
+* per serve (a *sequence* of rotations), the reported sum can exceed the
+  net edge diff — an edge torn down by one rotation and re-created by a
+  later one is two physical rewirings — but never undercounts it, and
+  parity is preserved (every rewiring changes the edge set by whole links).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builders import build_random_tree
+from repro.core.rotations import k_semi_splay, k_splay
+from repro.core.splaynet import KArySplayNet
+
+
+@given(
+    trial=st.integers(min_value=0, max_value=10_000),
+    k=st.sampled_from([2, 3, 4, 6]),
+    n=st.integers(min_value=5, max_value=40),
+    use_splay=st.booleans(),
+)
+@settings(max_examples=120, deadline=None)
+def test_property_single_rotation_accounting_exact(trial, k, n, use_splay):
+    tree = build_random_tree(n, k, seed=trial)
+    rng = random.Random(trial)
+    candidates = [nd for nd in tree.root.iter_subtree() if nd.parent is not None]
+    if not candidates:
+        return
+    node = rng.choice(candidates)
+    before = tree.edge_set()
+    if use_splay and node.parent.parent is not None:
+        outcome = k_splay(node)
+    else:
+        outcome = k_semi_splay(node)
+    if outcome.new_top.parent is None:
+        tree.replace_root(outcome.new_top)
+    tree.refresh_ranges()
+    after = tree.edge_set()
+    assert outcome.links_changed == len(before ^ after)
+
+
+class TestServeLevelAccounting:
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_reported_never_undercounts_net_diff(self, k):
+        rng = random.Random(k)
+        net = KArySplayNet(40, k)
+        for _ in range(150):
+            u, v = rng.randint(1, 40), rng.randint(1, 40)
+            if u == v:
+                continue
+            before = net.tree.edge_set()
+            result = net.serve(u, v)
+            after = net.tree.edge_set()
+            net_diff = len(before ^ after)
+            assert result.links_changed >= net_diff
+            # both sides count whole added+removed links → same parity
+            assert (result.links_changed - net_diff) % 2 == 0
+
+    def test_no_rotation_means_no_churn(self):
+        net = KArySplayNet(16, 2)
+        net.serve(3, 14)
+        result = net.serve(3, 14)  # now adjacent: nothing to do
+        assert result.rotations == 0
+        assert result.links_changed == 0
+
+    def test_edge_count_is_invariant(self):
+        # every topology in the family is a tree: exactly n-1 links
+        rng = random.Random(9)
+        net = KArySplayNet(30, 4)
+        for _ in range(100):
+            u, v = rng.randint(1, 30), rng.randint(1, 30)
+            if u != v:
+                net.serve(u, v)
+            assert len(net.tree.edge_set()) == 29

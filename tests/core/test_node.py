@@ -1,0 +1,105 @@
+"""Unit tests for KAryNode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.keyspace import NEG_INF, POS_INF
+from repro.core.node import KAryNode
+from repro.errors import InvalidTreeError
+
+
+def make_node(nid: int, k: int, routing: list[float]) -> KAryNode:
+    node = KAryNode(nid, k)
+    node.routing = routing
+    return node
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        node = KAryNode(7, 4)
+        assert node.nid == 7
+        assert node.k == 4
+        assert len(node.children) == 4
+        assert node.parent is None and node.pslot == -1
+        assert (node.smin, node.smax) == (7, 7)
+
+    def test_arity_below_two_raises(self):
+        with pytest.raises(InvalidTreeError):
+            KAryNode(1, 1)
+
+    def test_fresh_node_is_leaf_root(self):
+        node = KAryNode(1, 3)
+        assert node.is_leaf and node.is_root and node.degree == 0
+
+
+class TestSlots:
+    def test_slot_of_respects_routing(self):
+        node = make_node(5, 4, [2.5, 5.5, 8.5])
+        assert node.slot_of(1) == 0
+        assert node.slot_of(3) == 1
+        assert node.slot_of(7) == 2
+        assert node.slot_of(9) == 3
+
+    def test_slot_interval_sentinels(self):
+        node = make_node(5, 3, [2.5, 7.5])
+        assert node.slot_interval(0).lo == NEG_INF
+        assert node.slot_interval(0).hi == 2.5
+        assert node.slot_interval(1) .lo == 2.5
+        assert node.slot_interval(2).hi == POS_INF
+
+    def test_child_in_slot(self):
+        parent = make_node(5, 3, [2.5, 7.5])
+        child = make_node(1, 3, [1.25, 1.125])
+        parent.attach_child(child, 0)
+        assert parent.child_in_slot(2) is child
+        assert parent.child_in_slot(6) is None
+
+
+class TestWiring:
+    def test_attach_sets_back_pointers(self):
+        parent = make_node(5, 3, [2.5, 7.5])
+        child = make_node(9, 3, [9.25, 9.125])
+        parent.attach_child(child, 2)
+        assert child.parent is parent and child.pslot == 2
+        assert parent.degree == 1 and not parent.is_leaf
+
+    def test_attach_occupied_slot_raises(self):
+        parent = make_node(5, 3, [2.5, 7.5])
+        parent.attach_child(make_node(1, 3, []), 0)
+        with pytest.raises(InvalidTreeError):
+            parent.attach_child(make_node(2, 3, []), 0)
+
+    def test_detach_returns_and_clears(self):
+        parent = make_node(5, 3, [2.5, 7.5])
+        child = make_node(1, 3, [])
+        parent.attach_child(child, 0)
+        out = parent.detach_child(0)
+        assert out is child and child.parent is None and child.pslot == -1
+        assert parent.children[0] is None
+
+    def test_detach_empty_slot_raises(self):
+        with pytest.raises(InvalidTreeError):
+            make_node(5, 3, [2.5, 7.5]).detach_child(1)
+
+
+class TestRanges:
+    def test_recompute_range_aggregates_children(self):
+        parent = make_node(5, 3, [2.5, 7.5])
+        low = make_node(1, 3, [])
+        high = make_node(9, 3, [])
+        low.smin = low.smax = 1
+        high.smin, high.smax = 8, 9
+        parent.attach_child(low, 0)
+        parent.attach_child(high, 2)
+        parent.recompute_range()
+        assert (parent.smin, parent.smax) == (1, 9)
+
+    def test_subtree_size_and_iteration(self):
+        parent = make_node(5, 3, [2.5, 7.5])
+        a, b = make_node(1, 3, []), make_node(9, 3, [])
+        parent.attach_child(a, 0)
+        parent.attach_child(b, 2)
+        assert parent.subtree_size() == 3
+        ids = [node.nid for node in parent.iter_subtree()]
+        assert ids[0] == 5 and set(ids) == {1, 5, 9}

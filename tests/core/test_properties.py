@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These are the "no input breaks it" guarantees: arbitrary request sequences
+keep every k-ary search tree network structurally sound, identifiers
+immortal, and the routing-element pool conserved.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.builders import build_random_tree
+from repro.core.centroid_splaynet import CentroidSplayNet
+from repro.core.splaynet import KArySplayNet
+from repro.core.tree import KAryTreeNetwork
+from repro.optimal.uniform import optimal_uniform_cost
+from repro.workloads.synthetic import temporal_trace
+from repro.workloads.trace import Trace
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def routing_multiset(tree: KAryTreeNetwork) -> Counter:
+    counter: Counter = Counter()
+    for node in tree.iter_nodes():
+        counter.update(node.routing)
+    return counter
+
+
+@st.composite
+def network_and_requests(draw):
+    n = draw(st.integers(min_value=2, max_value=40))
+    k = draw(st.integers(min_value=2, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=n),
+                st.integers(min_value=1, max_value=n),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    return n, k, seed, pairs
+
+
+class TestKArySplayNetProperties:
+    @given(network_and_requests())
+    @settings(**SETTINGS)
+    def test_arbitrary_request_sequences_preserve_invariants(self, case):
+        n, k, seed, pairs = case
+        net = KArySplayNet(n, k, initial="random", seed=seed)
+        ids = set(range(1, n + 1))
+        pool = routing_multiset(net.tree)
+        for u, v in pairs:
+            result = net.serve(u, v)
+            assert result.routing_cost >= 0
+            if u != v:
+                assert net.distance(u, v) == 1
+        net.validate()
+        assert {x.nid for x in net.tree.iter_nodes()} == ids
+        assert routing_multiset(net.tree) == pool
+
+    @given(network_and_requests())
+    @settings(**SETTINGS)
+    def test_routing_cost_equals_distance_before_serving(self, case):
+        n, k, seed, pairs = case
+        net = KArySplayNet(n, k, initial="random", seed=seed)
+        for u, v in pairs:
+            expected = net.distance(u, v)
+            assert net.serve(u, v).routing_cost == expected
+
+    @given(network_and_requests())
+    @settings(**SETTINGS)
+    def test_local_routing_always_delivers_under_adjustment(self, case):
+        """Greedy routing with backtracking reaches every target.
+
+        Exactness cannot be promised after rotations (ancestor identifiers
+        can intrude into subtree range gaps — see ``local_route``'s
+        docstring); delivery with a bounded detour can.
+        """
+        n, k, seed, pairs = case
+        net = KArySplayNet(n, k, initial="random", seed=seed)
+        for u, v in pairs:
+            net.serve(u, v)
+            hops = net.tree.local_route(u, v)
+            assert hops[0] == u and hops[-1] == v
+            assert len(hops) <= 2 * n + 1
+            assert len(hops) >= net.distance(u, v) + 1
+
+
+class TestCentroidSplayNetProperties:
+    @given(network_and_requests())
+    @settings(**SETTINGS)
+    def test_arbitrary_sequences_keep_structure(self, case):
+        n, k, seed, pairs = case
+        if n < 2:
+            return
+        net = CentroidSplayNet(n, k)
+        for u, v in pairs:
+            net.serve(u, v)
+        net.validate()
+        assert net.distance(net.c1, net.c2) == 1
+
+
+class TestTraceProperties:
+    @given(
+        n=st.integers(min_value=2, max_value=50),
+        m=st.integers(min_value=1, max_value=500),
+        p=st.floats(min_value=0.0, max_value=0.95),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(**SETTINGS)
+    def test_temporal_process_structure(self, n, m, p, seed):
+        """Every request is either a literal repeat or independent of it."""
+        trace = temporal_trace(n, m, p, seed)
+        assert trace.m == m
+        # repeats never chain across a fresh draw boundary incorrectly:
+        # the trace equals the forward-fill of its own fresh positions.
+        pairs = np.stack([trace.sources, trace.targets], axis=1)
+        fresh = np.ones(m, dtype=bool)
+        fresh[1:] = (pairs[1:] != pairs[:-1]).any(axis=1)
+        rebuilt = pairs[np.maximum.accumulate(np.where(fresh, np.arange(m), 0))]
+        assert np.array_equal(rebuilt, pairs)
+
+    @given(
+        n=st.integers(min_value=2, max_value=30),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(**SETTINGS)
+    def test_shuffle_preserves_demand(self, n, seed):
+        trace = temporal_trace(n, 200, 0.5, seed)
+        shuffled = trace.shuffled(seed=seed)
+        assert Counter(trace.pairs()) == Counter(shuffled.pairs())
+
+
+class TestDistanceProperties:
+    @given(
+        n=st.integers(min_value=2, max_value=60),
+        k=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(**SETTINGS)
+    def test_tree_metric_axioms(self, n, k, seed):
+        from repro.analysis.distance import TreeDistanceOracle
+
+        tree = build_random_tree(n, k, seed=seed)
+        oracle = TreeDistanceOracle.from_tree(tree)
+        rng = np.random.default_rng(seed)
+        us = rng.integers(1, n + 1, 30)
+        vs = rng.integers(1, n + 1, 30)
+        ws = rng.integers(1, n + 1, 30)
+        duv = oracle.distances(us, vs)
+        dvu = oracle.distances(vs, us)
+        duw = oracle.distances(us, ws)
+        dwv = oracle.distances(ws, vs)
+        assert np.array_equal(duv, dvu)
+        assert np.all(duv <= duw + dwv)  # triangle inequality
+        assert np.all(oracle.distances(us, us) == 0)
+
+
+class TestOptimalityProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=60),
+        k=st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_uniform_optimum_monotone_in_k(self, n, k):
+        assert optimal_uniform_cost(n, k + 1) <= optimal_uniform_cost(n, k)

@@ -1,0 +1,244 @@
+"""Tests for k-semi-splay and k-splay: the paper's core operations.
+
+These are the most safety-critical tests in the repository: every rotation
+must preserve the identifier set, the global multiset of routing elements,
+the search property, and the subtree partition outside the rotated group.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.builders import build_complete_tree, build_random_tree
+from repro.core.rotations import (
+    BLOCK_POLICIES,
+    k_semi_splay,
+    k_splay,
+    splay_step,
+)
+from repro.core.tree import KAryTreeNetwork
+from repro.errors import RotationError
+
+GRID = [(5, 2), (10, 2), (17, 3), (30, 4), (50, 5), (80, 10)]
+
+
+def routing_multiset(tree: KAryTreeNetwork) -> Counter:
+    counter: Counter = Counter()
+    for node in tree.iter_nodes():
+        counter.update(node.routing)
+    return counter
+
+
+def apply_and_fix_root(tree, fn, node):
+    outcome = fn(node)
+    if outcome.new_top.parent is None:
+        tree.replace_root(outcome.new_top)
+    return outcome
+
+
+class TestSemiSplay:
+    def test_child_becomes_parent(self):
+        tree = build_complete_tree(13, 3)
+        child = next(tree.root.child_iter())
+        old_root = tree.root
+        apply_and_fix_root(tree, k_semi_splay, child)
+        tree.validate()
+        assert tree.root is child
+        assert old_root.parent is child
+
+    def test_depth_decreases_by_one(self):
+        tree = build_complete_tree(40, 3)
+        # pick a depth-2 node
+        node = next(
+            n for n in tree.iter_nodes() if tree.depth(n.nid) == 2
+        )
+        apply_and_fix_root(tree, k_semi_splay, node)
+        tree.validate()
+        assert tree.depth(node.nid) == 1
+
+    def test_on_root_raises(self):
+        tree = build_complete_tree(7, 2)
+        with pytest.raises(RotationError):
+            k_semi_splay(tree.root)
+
+    @pytest.mark.parametrize("n,k", GRID)
+    def test_invariants_under_random_semi_splays(self, n, k, rng):
+        tree = build_random_tree(n, k, seed=n + k)
+        ids = set(range(1, n + 1))
+        routing_before = routing_multiset(tree)
+        for _ in range(60):
+            nid = int(rng.integers(1, n + 1))
+            node = tree.node(nid)
+            if node.parent is None:
+                continue
+            apply_and_fix_root(tree, k_semi_splay, node)
+            tree.validate()
+        assert {x.nid for x in tree.iter_nodes()} == ids
+        assert routing_multiset(tree) == routing_before
+
+
+class TestKSplay:
+    def test_node_rises_two_levels(self):
+        tree = build_complete_tree(40, 3)
+        node = next(n for n in tree.iter_nodes() if tree.depth(n.nid) == 3)
+        apply_and_fix_root(tree, k_splay, node)
+        tree.validate()
+        assert tree.depth(node.nid) == 1
+
+    def test_displaced_nodes_stay_close(self):
+        tree = build_complete_tree(40, 3)
+        node = next(n for n in tree.iter_nodes() if tree.depth(n.nid) == 2)
+        parent = node.parent.nid
+        grand = node.parent.parent.nid
+        apply_and_fix_root(tree, k_splay, node)
+        tree.validate()
+        # x and y end up within distance 2 of z in both rotation cases
+        assert tree.distance(node.nid, parent) <= 2
+        assert tree.distance(node.nid, grand) <= 2
+
+    def test_without_grandparent_raises(self):
+        tree = build_complete_tree(7, 2)
+        child = next(tree.root.child_iter())
+        with pytest.raises(RotationError):
+            k_splay(child)
+
+    def test_on_root_raises(self):
+        tree = build_complete_tree(7, 2)
+        with pytest.raises(RotationError):
+            k_splay(tree.root)
+
+    @pytest.mark.parametrize("n,k", GRID)
+    @pytest.mark.parametrize("policy", BLOCK_POLICIES)
+    def test_invariants_under_random_k_splays(self, n, k, policy, rng):
+        tree = build_random_tree(n, k, seed=n * 7 + k)
+        routing_before = routing_multiset(tree)
+        for _ in range(60):
+            nid = int(rng.integers(1, n + 1))
+            node = tree.node(nid)
+            if node.parent is None or node.parent.parent is None:
+                continue
+            outcome = k_splay(node, policy=policy)
+            if outcome.new_top.parent is None:
+                tree.replace_root(outcome.new_top)
+            tree.validate()
+        assert routing_multiset(tree) == routing_before
+
+    def test_both_cases_are_exercised(self, rng):
+        """The random walk must hit case 1 (distant) and case 2 (close)."""
+        from repro.core import rotations
+
+        hits = {"distant": 0, "close": 0}
+        orig_distant = rotations._k_splay_distant
+        orig_close = rotations._k_splay_close
+
+        def spy_distant(*args, **kwargs):
+            hits["distant"] += 1
+            return orig_distant(*args, **kwargs)
+
+        def spy_close(*args, **kwargs):
+            hits["close"] += 1
+            return orig_close(*args, **kwargs)
+
+        rotations._k_splay_distant = spy_distant
+        rotations._k_splay_close = spy_close
+        try:
+            for seed in range(5):
+                tree = build_random_tree(40, 3, seed=seed)
+                for _ in range(40):
+                    nid = int(rng.integers(1, 41))
+                    node = tree.node(nid)
+                    if node.parent is None or node.parent.parent is None:
+                        continue
+                    outcome = k_splay(node)
+                    if outcome.new_top.parent is None:
+                        tree.replace_root(outcome.new_top)
+                tree.validate()
+        finally:
+            rotations._k_splay_distant = orig_distant
+            rotations._k_splay_close = orig_close
+        assert hits["distant"] > 0 and hits["close"] > 0
+
+
+class TestLinkChurn:
+    @pytest.mark.parametrize("n,k", GRID)
+    def test_analytic_links_equal_edge_diff_per_rotation(self, n, k, rng):
+        """The O(k) analytic count must match exact edge-set diffing."""
+        tree = build_random_tree(n, k, seed=n * 13 + k)
+        for _ in range(40):
+            nid = int(rng.integers(1, n + 1))
+            node = tree.node(nid)
+            if node.parent is None:
+                continue
+            before = tree.edge_set()
+            if node.parent.parent is None:
+                outcome = k_semi_splay(node)
+            else:
+                outcome = k_splay(node)
+            if outcome.new_top.parent is None:
+                tree.replace_root(outcome.new_top)
+            after = tree.edge_set()
+            assert outcome.links_changed == len(before ^ after)
+
+    def test_semi_splay_at_root_changes_no_external_links(self):
+        tree = build_complete_tree(3, 2)
+        child = next(tree.root.child_iter())
+        outcome = apply_and_fix_root(tree, k_semi_splay, child)
+        # x–y reverses (same link); possibly one subtree moves
+        assert outcome.links_changed in (0, 2)
+
+
+class TestSplayStep:
+    def test_dispatches_semi_splay_at_last_level(self):
+        tree = build_complete_tree(13, 3)
+        child = next(tree.root.child_iter())
+        outcome = splay_step(child, None)
+        tree.replace_root(outcome.new_top)
+        assert tree.root is child
+
+    def test_dispatches_k_splay_deeper(self):
+        tree = build_complete_tree(40, 3)
+        node = next(n for n in tree.iter_nodes() if tree.depth(n.nid) == 3)
+        splay_step(node, None)
+        tree.validate()
+        assert tree.depth(node.nid) == 1
+
+    def test_at_stop_raises(self):
+        tree = build_complete_tree(13, 3)
+        child = next(tree.root.child_iter())
+        with pytest.raises(RotationError):
+            splay_step(child, tree.root)
+
+    def test_unknown_policy_raises(self):
+        tree = build_complete_tree(13, 3)
+        child = next(tree.root.child_iter())
+        with pytest.raises(RotationError, match="policy"):
+            splay_step(child, None, policy="nope")
+
+
+class TestOutsideWorldUntouched:
+    def test_rotation_preserves_subtrees_outside_group(self, rng):
+        """Hanging subtrees move as units: their internal edges never change."""
+        tree = build_random_tree(60, 4, seed=42)
+        for _ in range(30):
+            nid = int(rng.integers(1, 61))
+            node = tree.node(nid)
+            if node.parent is None or node.parent.parent is None:
+                continue
+            group = {node.nid, node.parent.nid, node.parent.parent.nid}
+            internal_before = {
+                (a, b)
+                for a, b in tree.iter_edges()
+                if a not in group and b not in group
+            }
+            outcome = k_splay(node)
+            if outcome.new_top.parent is None:
+                tree.replace_root(outcome.new_top)
+            internal_after = {
+                (a, b)
+                for a, b in tree.iter_edges()
+                if a not in group and b not in group
+            }
+            assert internal_before == internal_after

@@ -1,0 +1,69 @@
+"""Tests for the splay driver (splay_until)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builders import build_complete_tree, build_path_tree, build_random_tree
+from repro.core.splay import splay_until
+
+
+class TestSplayToRoot:
+    @pytest.mark.parametrize("n,k", [(15, 2), (40, 3), (63, 4)])
+    def test_node_becomes_root(self, n, k):
+        tree = build_random_tree(n, k, seed=n)
+        node = tree.node(n // 2)
+        rotations, links = splay_until(tree, node, None)
+        tree.validate()
+        assert tree.root is node
+        assert rotations >= 0 and links >= 0
+
+    def test_already_root_is_noop(self):
+        tree = build_complete_tree(15, 2)
+        rotations, links = splay_until(tree, tree.root, None)
+        assert rotations == 0 and links == 0
+
+    def test_rotation_count_about_half_depth(self):
+        tree = build_path_tree(32, 2)
+        deepest = tree.node(32) if tree.depth(32) == 31 else tree.node(1)
+        depth = tree.depth(deepest.nid)
+        rotations, _ = splay_until(tree, deepest, None)
+        tree.validate()
+        # k-splay moves two levels per rotation, semi-splay one at the end
+        assert rotations == (depth + 1) // 2
+
+
+class TestSplayWithStop:
+    def test_stops_below_stop_node(self):
+        tree = build_complete_tree(40, 3)
+        # choose a depth-3 node and splay it below the root's child
+        node = next(n for n in tree.iter_nodes() if tree.depth(n.nid) == 3)
+        stop = tree.root
+        splay_until(tree, node, stop)
+        tree.validate()
+        assert node.parent is stop
+        assert tree.root is stop
+
+    def test_outside_subtree_untouched(self):
+        tree = build_complete_tree(40, 3)
+        stop = tree.root
+        target_child = next(stop.child_iter())
+        outside = {
+            nid
+            for nid in range(1, 41)
+            if not (target_child.smin <= nid <= target_child.smax)
+        }
+        edges_before = {
+            (a, b) for a, b in tree.iter_edges() if a in outside and b in outside
+        }
+        deep = next(
+            n
+            for n in target_child.iter_subtree()
+            if tree.depth(n.nid) >= 3
+        )
+        splay_until(tree, deep, stop)
+        tree.validate()
+        edges_after = {
+            (a, b) for a, b in tree.iter_edges() if a in outside and b in outside
+        }
+        assert edges_before == edges_after

@@ -1,0 +1,188 @@
+"""Unit tests for KAryTreeNetwork: queries, validation, export."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.builders import (
+    build_balanced_tree,
+    build_complete_tree,
+    build_path_tree,
+    build_random_tree,
+)
+from repro.core.node import KAryNode
+from repro.core.tree import KAryTreeNetwork
+from repro.errors import InvalidTreeError
+
+GRID = [(1, 2), (2, 2), (5, 2), (17, 3), (40, 4), (64, 8), (100, 2)]
+
+
+@pytest.fixture(params=GRID, ids=lambda p: f"n{p[0]}k{p[1]}")
+def tree(request):
+    n, k = request.param
+    return build_random_tree(n, k, seed=n * 31 + k)
+
+
+class TestConstruction:
+    def test_builders_produce_valid_trees(self, tree):
+        tree.validate()
+
+    def test_duplicate_identifier_rejected(self):
+        root = KAryNode(1, 2)
+        root.routing = [1.25]
+        dup = KAryNode(1, 2)
+        dup.routing = [1.125]
+        root.children[1] = dup
+        dup.parent = root
+        dup.pslot = 1
+        with pytest.raises(InvalidTreeError, match="duplicate"):
+            KAryTreeNetwork(2, root, validate=False)
+
+    def test_non_contiguous_identifiers_rejected(self):
+        root = KAryNode(5, 2)
+        root.routing = [5.25]
+        with pytest.raises(InvalidTreeError, match="contiguous"):
+            KAryTreeNetwork(2, root, validate=False)
+
+    def test_missing_node_lookup_raises(self):
+        t = build_complete_tree(5, 2)
+        with pytest.raises(InvalidTreeError):
+            t.node(6)
+
+    def test_contains_and_len(self):
+        t = build_complete_tree(9, 3)
+        assert len(t) == 9 and 9 in t and 10 not in t
+
+
+class TestQueries:
+    def test_distance_matches_networkx(self, tree, rng):
+        g = tree.to_networkx()
+        lengths = dict(nx.all_pairs_shortest_path_length(g))
+        for _ in range(30):
+            u = int(rng.integers(1, tree.n + 1))
+            v = int(rng.integers(1, tree.n + 1))
+            assert tree.distance(u, v) == lengths[u][v]
+
+    def test_path_endpoints_and_length(self, tree, rng):
+        for _ in range(20):
+            u = int(rng.integers(1, tree.n + 1))
+            v = int(rng.integers(1, tree.n + 1))
+            path = tree.path(u, v)
+            assert path[0] == u and path[-1] == v
+            assert len(path) == tree.distance(u, v) + 1
+
+    def test_local_route_equals_tree_path(self, tree, rng):
+        for _ in range(30):
+            u = int(rng.integers(1, tree.n + 1))
+            v = int(rng.integers(1, tree.n + 1))
+            assert tree.local_route(u, v) == tree.path(u, v)
+
+    def test_lca_of_node_with_itself(self, tree):
+        node, du, dv = tree.lca(1, 1)
+        assert node.nid == 1 and du == 0 and dv == 0
+
+    def test_depth_of_root_is_zero(self, tree):
+        assert tree.depth(tree.root_id) == 0
+
+    def test_depths_agree_with_depth(self, tree):
+        depths = tree.depths()
+        for nid in (1, tree.n, (tree.n + 1) // 2):
+            assert depths[nid] == tree.depth(nid)
+
+    def test_parents_inverse_of_children(self, tree):
+        parents = tree.parents()
+        assert len(parents) == tree.n - 1
+        for child, parent in parents.items():
+            node = tree.node(child)
+            assert node.parent is tree.node(parent)
+
+    def test_height_is_max_depth(self, tree):
+        assert tree.height() == max(tree.depths().values())
+
+    def test_edge_set_size(self, tree):
+        assert len(tree.edge_set()) == tree.n - 1
+
+
+class TestWindow:
+    def test_window_contains_identifier_and_routing(self, tree):
+        for node in tree.iter_nodes():
+            window = tree.window_of(node.nid)
+            assert node.nid in window
+            for value in node.routing:
+                assert value in window
+
+
+class TestValidationCatchesCorruption:
+    def test_unsorted_routing_detected(self):
+        t = build_complete_tree(7, 3)
+        t.root.routing = list(reversed(t.root.routing))
+        with pytest.raises(InvalidTreeError):
+            t.validate()
+
+    def test_stale_range_detected(self):
+        t = build_complete_tree(7, 2)
+        t.root.smin = 3
+        with pytest.raises(InvalidTreeError, match="range"):
+            t.validate()
+
+    def test_bad_parent_pointer_detected(self):
+        t = build_complete_tree(7, 2)
+        child = next(t.root.child_iter())
+        child.pslot = 1 - child.pslot
+        with pytest.raises(InvalidTreeError):
+            t.validate()
+
+    def test_identifier_valued_separator_detected(self):
+        t = build_complete_tree(7, 2)
+        t.root.routing = [float(t.root.nid)]
+        with pytest.raises(InvalidTreeError):
+            t.validate()
+
+    def test_routing_based_flag_permits_identifier_separators(self):
+        t = build_complete_tree(7, 2)
+        t.routing_based = True
+        t.root.routing = [float(t.root.nid)]
+        t.validate()  # the optimal static trees rely on this
+
+
+class TestExport:
+    def test_to_networkx_shape(self, tree):
+        g = tree.to_networkx()
+        assert g.number_of_nodes() == tree.n
+        assert g.number_of_edges() == tree.n - 1
+        assert nx.is_connected(g) if tree.n > 1 else True
+
+    def test_render_small(self):
+        text = build_complete_tree(7, 2).render()
+        assert text.count("\n") == 6  # one line per node
+
+    def test_render_large_is_summarised(self):
+        t = build_complete_tree(50, 2)
+        assert "too large" in t.render(max_nodes=10)
+
+    def test_clone_is_deep(self):
+        t = build_complete_tree(15, 3)
+        twin = t.clone()
+        twin.validate()
+        assert twin.edge_set() == t.edge_set()
+        assert twin.node(1) is not t.node(1)
+
+    def test_clone_independent_after_mutation(self):
+        from repro.core.rotations import k_semi_splay
+
+        t = build_complete_tree(15, 3)
+        twin = t.clone()
+        edges_before = t.edge_set()
+        child = next(twin.root.child_iter())
+        outcome = k_semi_splay(child)
+        twin.replace_root(outcome.new_top)
+        twin.validate()
+        assert t.edge_set() == edges_before
+
+    def test_replace_root_rejects_non_root(self):
+        t = build_complete_tree(7, 2)
+        child = next(t.root.child_iter())
+        with pytest.raises(InvalidTreeError):
+            t.replace_root(child)

@@ -1,0 +1,78 @@
+"""Move-to-root: correctness plus the classic adversarial separation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datastructures.move_to_root import MoveToRootTree
+from repro.datastructures.splay_tree import SplayTree
+from repro.errors import ReproError
+
+
+class TestBasics:
+    def test_access_moves_to_root(self):
+        tree = MoveToRootTree(range(1, 32))
+        tree.access(20)
+        assert tree.depth_of(20) == 0
+
+    def test_valid_after_random_accesses(self):
+        tree = MoveToRootTree(range(1, 40))
+        rng = random.Random(2)
+        for _ in range(200):
+            tree.access(rng.randint(1, 39))
+        tree.validate()
+        assert list(tree.keys()) == list(range(1, 40))
+
+    def test_missing_key(self):
+        tree = MoveToRootTree([1, 2, 3])
+        with pytest.raises(ReproError):
+            tree.access(7)
+
+    def test_cost_is_depth_plus_one(self):
+        tree = MoveToRootTree(range(1, 32))
+        d = tree.depth_of(9)
+        assert tree.access(9).cost == d + 1
+
+    def test_repeated_access_is_cheap(self):
+        tree = MoveToRootTree(range(1, 64))
+        tree.access(33)
+        assert tree.access(33).cost == 1
+
+
+class TestAdversarialSeparation:
+    """Move-to-root lacks splaying's amortized guarantee; exhibit it."""
+
+    def test_cyclic_scan_stays_expensive(self):
+        # repeatedly scanning 1..n keeps move-to-root degenerate:
+        # average cost Θ(n), while splaying pays O(log n) amortized.
+        n = 128
+        rounds = 4
+        mtr = MoveToRootTree(range(1, n + 1))
+        splay = SplayTree(range(1, n + 1))
+        mtr_cost = splay_cost = 0
+        for _ in range(rounds):
+            for key in range(1, n + 1):
+                mtr_cost += mtr.access(key).cost
+                splay_cost += splay.access(key).cost
+        # after warm-up the separation is decisive
+        assert mtr_cost > 2 * splay_cost
+
+    def test_scan_rounds_never_improve(self):
+        # a full ascending scan degenerates move-to-root into a path, so
+        # every subsequent round pays Θ(n²) again — no learning happens.
+        n = 128
+        mtr = MoveToRootTree(range(1, n + 1))
+        first = sum(mtr.access(key).cost for key in range(1, n + 1))
+        second = sum(mtr.access(key).cost for key in range(1, n + 1))
+        third = sum(mtr.access(key).cost for key in range(1, n + 1))
+        assert second > n * n / 4
+        assert third > n * n / 4
+        assert first > 0
+
+        # splaying's sequential access behaviour: later rounds stay O(n)
+        splay = SplayTree(range(1, n + 1))
+        sum(splay.access(key).cost for key in range(1, n + 1))
+        splay_round = sum(splay.access(key).cost for key in range(1, n + 1))
+        assert splay_round < second / 4

@@ -1,0 +1,158 @@
+"""Sherk-style k-ary splay tree: invariants, access behaviour, and the
+key-migration demonstration that motivates the paper's network rotations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructures.sherk import SherkKarySplayTree
+from repro.errors import ReproError
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("k", [2, 3, 4, 7])
+    def test_build_valid(self, k):
+        tree = SherkKarySplayTree(range(1, 100), k)
+        tree.validate()
+        assert list(tree.keys()) == list(range(1, 100))
+
+    def test_small_fits_single_node(self):
+        tree = SherkKarySplayTree([5, 10], 4)
+        assert tree.node_count() == 1
+        assert tree.height() == 0
+
+    def test_height_shrinks_with_k(self):
+        n = 200
+        h2 = SherkKarySplayTree(range(n), 2).height()
+        h5 = SherkKarySplayTree(range(n), 5).height()
+        assert h5 < h2
+
+    def test_bad_k(self):
+        with pytest.raises(ReproError):
+            SherkKarySplayTree([1, 2], 1)
+
+    def test_bad_policy(self):
+        with pytest.raises(ReproError):
+            SherkKarySplayTree([1, 2], 3, window_policy="diagonal")
+
+    def test_duplicate_keys(self):
+        with pytest.raises(ReproError):
+            SherkKarySplayTree([1, 1], 3)
+
+    def test_empty(self):
+        tree = SherkKarySplayTree([], 3)
+        assert len(tree) == 0
+        tree.validate()
+
+
+class TestAccess:
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_access_promotes_to_root(self, k):
+        tree = SherkKarySplayTree(range(1, 200), k)
+        tree.access(137)
+        assert tree.depth_of(137) == 0
+        tree.validate()
+
+    def test_cost_is_depth_plus_one(self):
+        tree = SherkKarySplayTree(range(1, 200), 3)
+        d = tree.depth_of(42)
+        assert tree.access(42).cost == d + 1
+
+    def test_missing_key(self):
+        tree = SherkKarySplayTree(range(10), 3)
+        with pytest.raises(ReproError):
+            tree.access(99)
+
+    def test_repeat_access_costs_one(self):
+        tree = SherkKarySplayTree(range(1, 100), 4)
+        tree.access(60)
+        assert tree.access(60).cost == 1
+
+    @pytest.mark.parametrize("policy", ["center", "left", "right"])
+    def test_policies_preserve_invariants(self, policy):
+        tree = SherkKarySplayTree(range(1, 80), 4, window_policy=policy)
+        rng = random.Random(9)
+        for _ in range(120):
+            tree.access(rng.randint(1, 79))
+            tree.validate()
+
+    def test_key_conservation_under_access_storm(self):
+        tree = SherkKarySplayTree(range(1, 150), 5)
+        rng = random.Random(4)
+        for _ in range(300):
+            tree.access(rng.randint(1, 149))
+        assert list(tree.keys()) == list(range(1, 150))
+        tree.validate()
+
+    def test_node_count_bounded_by_keys(self):
+        tree = SherkKarySplayTree(range(1, 100), 3)
+        rng = random.Random(6)
+        for _ in range(200):
+            tree.access(rng.randint(1, 99))
+            assert tree.node_count() <= len(tree)
+
+    def test_hot_keys_get_cheap(self):
+        tree = SherkKarySplayTree(range(1, 512), 4)
+        hot = [7, 300, 450]
+        for _ in range(30):
+            for key in hot:
+                tree.access(key)
+        assert all(tree.depth_of(key) <= 2 for key in hot)
+
+
+class TestKeyMigration:
+    """The executable version of the paper's Section 1 argument."""
+
+    def test_keys_migrate_between_nodes(self):
+        tree = SherkKarySplayTree(range(1, 64), 3)
+        before = tree.key_locations()
+        rng = random.Random(12)
+        for _ in range(50):
+            tree.access(rng.randint(1, 63))
+        after = tree.key_locations()
+        moved = [key for key in before if before[key] != after.get(key)]
+        # restructuring reassigned many keys to different physical nodes —
+        # exactly why a key cannot be a rack's permanent address
+        assert len(moved) > len(before) // 4
+
+    def test_single_access_already_migrates(self):
+        tree = SherkKarySplayTree(range(1, 64), 3)
+        before = tree.key_locations()
+        deepest = max(range(1, 64), key=tree.depth_of)
+        tree.access(deepest)
+        after = tree.key_locations()
+        assert any(before[key] != after[key] for key in before)
+
+    def test_network_rotations_do_not_migrate_identifiers(self):
+        """Contrast: the paper's k-ary SplayNet keeps every identifier on
+        its node across arbitrary serve sequences."""
+        from repro.core.splaynet import KArySplayNet
+
+        net = KArySplayNet(63, 3, initial="complete")
+        ids_before = {node.nid for node in net.tree.root.iter_subtree()}
+        rng = random.Random(12)
+        for _ in range(50):
+            u, v = rng.randint(1, 63), rng.randint(1, 63)
+            if u != v:
+                net.serve(u, v)
+        ids_after = {node.nid for node in net.tree.root.iter_subtree()}
+        assert ids_before == ids_after  # identifiers are permanent
+
+
+@given(
+    n=st.integers(min_value=2, max_value=80),
+    k=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_random_storm_preserves_invariants(n, k, seed):
+    tree = SherkKarySplayTree(range(1, n + 1), k)
+    rng = random.Random(seed)
+    for _ in range(25):
+        tree.access(rng.randint(1, n))
+    tree.validate()
+    assert list(tree.keys()) == list(range(1, n + 1))

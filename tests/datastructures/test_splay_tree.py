@@ -1,0 +1,225 @@
+"""Splay tree: structure, operations, amortized behaviour, properties."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructures.splay_tree import SplayTree
+from repro.errors import ReproError
+
+
+class TestConstruction:
+    def test_balanced_build(self):
+        tree = SplayTree(range(1, 16))
+        assert tree.height() <= 3  # 15 keys fit in a height-3 balanced BST
+
+    def test_empty(self):
+        tree = SplayTree([])
+        assert len(tree) == 0
+        assert tree.height() == -1
+        assert list(tree.keys()) == []
+
+    def test_single(self):
+        tree = SplayTree([42])
+        assert 42 in tree
+        assert tree.depth_of(42) == 0
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ReproError):
+            SplayTree([1, 2, 2])
+
+    def test_unordered_input(self):
+        tree = SplayTree([5, 1, 3, 2, 4])
+        assert list(tree.keys()) == [1, 2, 3, 4, 5]
+
+    def test_arbitrary_keys(self):
+        # data structure: keys need not be contiguous 1..n
+        tree = SplayTree([-10, 0, 7, 1000])
+        assert list(tree.keys()) == [-10, 0, 7, 1000]
+        tree.validate()
+
+
+class TestAccess:
+    def test_access_moves_to_root(self):
+        tree = SplayTree(range(1, 32))
+        tree.access(7)
+        assert tree.depth_of(7) == 0
+
+    def test_access_cost_is_depth_plus_one(self):
+        tree = SplayTree(range(1, 32))
+        depth = tree.depth_of(13)
+        assert tree.access(13).cost == depth + 1
+
+    def test_missing_key_raises(self):
+        tree = SplayTree(range(1, 8))
+        with pytest.raises(ReproError):
+            tree.access(99)
+
+    def test_repeated_access_costs_one(self):
+        tree = SplayTree(range(1, 64))
+        tree.access(50)
+        assert tree.access(50).cost == 1
+
+    def test_search_property_preserved(self):
+        tree = SplayTree(range(1, 64))
+        rng = random.Random(7)
+        for _ in range(200):
+            tree.access(rng.randint(1, 63))
+            tree.validate()
+
+    def test_zig_zig_and_zig_zag_hit(self):
+        # a path tree exercises zig-zig; alternating, zig-zag
+        tree = SplayTree(range(1, 16))
+        for key in (1, 15, 8, 2, 14):
+            tree.access(key)
+            tree.validate()
+        assert sorted(tree.keys()) == list(range(1, 16))
+
+    def test_stats_accumulate(self):
+        tree = SplayTree(range(1, 16))
+        tree.access(3)
+        tree.access(9)
+        assert tree.accesses == 2
+        assert tree.total_cost >= 2
+        tree.reset_stats()
+        assert tree.accesses == 0 and tree.total_cost == 0
+
+
+class TestSemiSplay:
+    def test_access_reduces_depth(self):
+        tree = SplayTree(range(1, 64), semi=True)
+        deep = max(range(1, 64), key=tree.depth_of)
+        before = tree.depth_of(deep)
+        tree.access(deep)
+        assert tree.depth_of(deep) < before
+
+    def test_path_halving_effect(self):
+        # semi-splay roughly halves the depth instead of zeroing it
+        tree = SplayTree(range(1, 256), semi=True)
+        tree2 = SplayTree(range(1, 256), semi=False)
+        deep = max(range(1, 256), key=tree.depth_of)
+        tree.access(deep)
+        tree2.access(deep)
+        assert tree2.depth_of(deep) == 0
+        assert 0 <= tree.depth_of(deep) <= tree2.height()
+
+    def test_validates_under_random_accesses(self):
+        tree = SplayTree(range(1, 40), semi=True)
+        rng = random.Random(3)
+        for _ in range(150):
+            tree.access(rng.randint(1, 39))
+        tree.validate()
+
+    def test_fewer_rotations_than_full(self):
+        keys = list(range(1, 128))
+        full = SplayTree(keys)
+        semi = SplayTree(keys, semi=True)
+        rng = random.Random(11)
+        sequence = [rng.randint(1, 127) for _ in range(400)]
+        for key in sequence:
+            full.access(key)
+            semi.access(key)
+        assert semi.total_rotations < full.total_rotations
+
+
+class TestInsertDelete:
+    def test_insert(self):
+        tree = SplayTree([2, 4, 6])
+        tree.insert(3)
+        assert list(tree.keys()) == [2, 3, 4, 6]
+        assert tree.depth_of(3) == 0  # splayed to root
+        tree.validate()
+
+    def test_insert_into_empty(self):
+        tree = SplayTree([])
+        tree.insert(5)
+        assert list(tree.keys()) == [5]
+
+    def test_insert_duplicate(self):
+        tree = SplayTree([1, 2])
+        with pytest.raises(ReproError):
+            tree.insert(2)
+
+    def test_delete(self):
+        tree = SplayTree(range(1, 16))
+        tree.delete(8)
+        assert 8 not in tree
+        assert list(tree.keys()) == [k for k in range(1, 16) if k != 8]
+        tree.validate()
+
+    def test_delete_root_with_one_side(self):
+        tree = SplayTree([1, 2])
+        tree.access(1)
+        tree.delete(1)
+        assert list(tree.keys()) == [2]
+        tree.delete(2)
+        assert len(tree) == 0
+
+    def test_delete_missing(self):
+        tree = SplayTree([1])
+        with pytest.raises(ReproError):
+            tree.delete(9)
+
+    def test_interleaved_ops(self):
+        tree = SplayTree([])
+        rng = random.Random(5)
+        present: set[int] = set()
+        for _ in range(300):
+            key = rng.randint(1, 60)
+            if key in present and rng.random() < 0.4:
+                tree.delete(key)
+                present.discard(key)
+            elif key not in present:
+                tree.insert(key)
+                present.add(key)
+        assert set(tree.keys()) == present
+        tree.validate()
+
+
+class TestAmortizedBehaviour:
+    def test_static_optimality_shape_on_zipf(self):
+        """Hot keys end up cheap: zipf access cost beats the balanced depth."""
+        n = 255
+        keys = list(range(1, n + 1))
+        rng = random.Random(17)
+        weights = [1.0 / (i + 1) ** 1.5 for i in range(n)]
+        total_w = sum(weights)
+        seq = rng.choices(keys, weights=weights, k=4000)
+        tree = SplayTree(keys)
+        for key in seq:
+            tree.access(key)
+        avg = tree.total_cost / tree.accesses
+        entropy = -sum((w / total_w) * math.log2(w / total_w) for w in weights)
+        # splay average should be within a small constant of the entropy
+        assert avg <= 3 * entropy + 3
+
+    def test_sequential_scan_is_linear_total(self):
+        """The sequential access theorem shape: a scan costs O(n) total."""
+        n = 512
+        tree = SplayTree(range(1, n + 1))
+        total = sum(tree.access(key).cost for key in range(1, n + 1))
+        assert total <= 8 * n  # generous constant; Θ(n log n) would be ≥ n·9
+
+
+@given(
+    keys=st.sets(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=60),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_random_access_sequences(keys, data):
+    """Any access sequence keeps the BST valid and the key set intact."""
+    key_list = sorted(keys)
+    tree = SplayTree(key_list)
+    count = data.draw(st.integers(min_value=1, max_value=30))
+    for _ in range(count):
+        key = data.draw(st.sampled_from(key_list))
+        result = tree.access(key)
+        assert result.cost >= 1
+        assert tree.depth_of(key) == 0
+    tree.validate()
+    assert list(tree.keys()) == key_list

@@ -1,0 +1,40 @@
+"""Paper-scale readiness: the PAPER preset's workloads must *generate* at
+full size (10⁶ requests) in reasonable time — running the full tables at
+that scale is hours of compute, but generation and the first simulation
+steps must not be the blocker."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments.presets import PAPER, make_workload
+
+
+@pytest.mark.slow
+class TestPaperScaleGeneration:
+    @pytest.mark.parametrize(
+        "workload", ["uniform", "hpc", "projector", "temporal-0.9"]
+    )
+    def test_million_request_generation(self, workload):
+        start = time.perf_counter()
+        trace = make_workload(workload, PAPER)
+        elapsed = time.perf_counter() - start
+        assert trace.m == 1_000_000
+        assert elapsed < 60.0, f"{workload} generation took {elapsed:.1f}s"
+
+    def test_facebook_at_ten_thousand_nodes(self):
+        trace = make_workload("facebook", PAPER)
+        assert trace.n == 10_000
+        assert trace.m == 1_000_000
+
+    def test_paper_preset_matches_paper_setup(self):
+        # Section 5 "Setup and data"
+        assert PAPER.m == 1_000_000
+        assert PAPER.hpc_n == 500
+        assert PAPER.projector_n == 100
+        assert PAPER.facebook_n == 10_000
+        assert PAPER.temporal_n == 1023
+        assert PAPER.uniform_n == 100
+        assert PAPER.ks == tuple(range(2, 11))

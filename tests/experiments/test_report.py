@@ -1,0 +1,72 @@
+"""Tests for report rendering and the run_all orchestrator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.presets import SMOKE
+from repro.experiments.report import (
+    render_kary_table,
+    render_remark10,
+    render_table8,
+)
+from repro.experiments.runner import run_all
+from repro.experiments.tables import run_kary_table, run_remark10, run_table8
+from repro.network.cost import UNIT_ROTATIONS
+
+
+class TestRenderers:
+    def test_kary_table_layout(self):
+        result = run_kary_table("temporal-0.9", scale=SMOKE, ks=(2, 3))
+        text = render_kary_table(result)
+        assert "SplayNet" in text and "Full Tree" in text and "Optimal Tree" in text
+        assert str(result.base_cost) in text
+
+    def test_table8_layout(self):
+        result = run_table8(scale=SMOKE, workloads=("uniform",))
+        text = render_table8(result)
+        assert "uniform" in text and "3-SplayNet" in text
+        rotations_text = render_table8(result, model=UNIT_ROTATIONS)
+        assert rotations_text != text
+
+    def test_remark10_layout(self):
+        result = run_remark10(ns=(5, 20), ks=(2, 3))
+        text = render_remark10(result)
+        assert "OPT" in text
+        assert "optimal on the whole grid" in text
+
+
+class TestRunAll:
+    def test_smoke_run_all_writes_reports(self, tmp_path):
+        report = run_all(
+            scale=SMOKE,
+            tables=(6,),
+            include_table8=False,
+            include_remark10=False,
+            output_dir=tmp_path,
+            verbose=False,
+        )
+        assert 6 in report.kary_tables
+        text = (tmp_path / "report_smoke.txt").read_text()
+        assert "Table 6" in text
+        summary = json.loads((tmp_path / "summary_smoke.json").read_text())
+        assert summary["scale"] == "smoke"
+        assert "6" in summary["tables"]
+
+    def test_report_render_contains_all_sections(self):
+        report = run_all(
+            scale=SMOKE,
+            tables=(7,),
+            include_table8=True,
+            include_remark10=True,
+            verbose=False,
+        )
+        text = report.render()
+        assert "Table 7" in text
+        assert "Table 8" in text
+        assert "Remark 10" in text
+        summary = report.summary()
+        assert summary["remark10_all_optimal"] is True
+        assert summary["table8"] is not None

@@ -1,0 +1,92 @@
+"""Tests for the table-regeneration harness (smoke scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.presets import SMOKE
+from repro.experiments.tables import (
+    TABLE_WORKLOAD,
+    run_kary_table,
+    run_remark10,
+    run_table8_row,
+)
+from repro.network.cost import ROUTING_ONLY, UNIT_ROTATIONS
+
+
+@pytest.fixture(scope="module")
+def kary_result():
+    return run_kary_table("temporal-0.5", scale=SMOKE)
+
+
+class TestKAryTable:
+    def test_all_cells_present(self, kary_result):
+        for k in SMOKE.ks:
+            assert kary_result.splaynet[k] > 0
+            assert kary_result.fulltree[k] > 0
+            assert kary_result.optimal[k] is not None
+            assert kary_result.rotations[k] > 0
+
+    def test_base_cost_is_k2(self, kary_result):
+        assert kary_result.base_cost == kary_result.splaynet[2]
+        assert kary_result.splaynet_ratio(2) == 1.0
+
+    def test_paper_trend_cost_decreases_with_k(self, kary_result):
+        ks = sorted(SMOKE.ks)
+        assert kary_result.splaynet_ratio(ks[-1]) < 1.0
+
+    def test_optimal_tree_lower_bounds_static_full(self, kary_result):
+        """The optimal static tree can never lose to the full tree."""
+        for k in SMOKE.ks:
+            assert kary_result.optimal[k] <= kary_result.fulltree[k]
+
+    def test_optimal_skipped_beyond_cap(self):
+        import dataclasses
+
+        tiny_cap = dataclasses.replace(SMOKE, optimal_tree_max_n=10)
+        result = run_kary_table("temporal-0.5", scale=tiny_cap, ks=(2, 3))
+        assert result.optimal[2] is None
+        assert result.optimal_ratio(2) is None
+
+    def test_table_workload_mapping_is_complete(self):
+        assert set(TABLE_WORKLOAD) == set(range(1, 8))
+
+
+class TestTable8Row:
+    @pytest.fixture(scope="class")
+    def row(self):
+        return run_table8_row("uniform", scale=SMOKE)
+
+    def test_fields(self, row):
+        assert row.n == SMOKE.uniform_n and row.m == SMOKE.m
+        assert row.centroid3.total_routing > 0
+        assert row.splaynet.total_routing > 0
+        assert row.full_binary_cost > 0
+        assert row.optimal_bst_cost is not None
+
+    def test_ratios_positive(self, row):
+        for model in (ROUTING_ONLY, UNIT_ROTATIONS):
+            assert row.average_cost(model) > 0
+            assert row.ratio_splaynet(model) > 0
+            assert row.ratio_full(model) > 0
+            assert row.ratio_optimal(model) > 0
+
+    def test_optimal_bst_beats_full_binary(self, row):
+        assert row.optimal_bst_cost <= row.full_binary_cost
+
+    def test_static_trees_have_no_rotation_costs(self, row):
+        # under UNIT_ROTATIONS, static ratios shrink relative to ROUTING_ONLY
+        assert row.ratio_full(UNIT_ROTATIONS) < row.ratio_full(ROUTING_ONLY)
+
+
+class TestRemark10:
+    def test_centroid_optimal_on_small_grid(self):
+        result = run_remark10(ns=(5, 17, 60, 128), ks=(2, 3, 5))
+        assert result.all_optimal
+        assert result.mismatches() == []
+        assert len(result.entries) == 12
+
+    def test_full_tree_never_beats_centroid(self):
+        result = run_remark10(ns=(20, 90), ks=(2, 4))
+        for _, _, centroid, _, full in result.entries:
+            assert centroid <= full

@@ -1,0 +1,124 @@
+"""Claim-verification layer: synthetic results exercise both verdicts, and
+a real smoke-scale run must pass the core claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.presets import Scale
+from repro.experiments.runner import ReproductionReport, run_all
+from repro.experiments.tables import KAryTableResult, Remark10Result
+from repro.experiments.verify import (
+    ClaimCheck,
+    check_kary_table,
+    verify_reproduction,
+)
+
+
+def _fake_table(workload: str, *, falling: bool = True, crossing: bool = True):
+    """A synthetic KAryTableResult with controllable shapes."""
+    ks = (2, 3, 5)
+    result = KAryTableResult(workload=workload, n=64, m=1000, ks=ks)
+    base = 10_000
+    for i, k in enumerate(ks):
+        drop = (0.85**i) if falling else (1.05**i)
+        result.splaynet[k] = int(base * drop)
+        # full k-ary trees get shallower with k; when `crossing`, they
+        # improve faster than the SplayNet, so the ratio rises with k
+        full_drop = (0.6**i) if crossing else 1.0 / drop
+        result.fulltree[k] = int(base * 0.9 * full_drop)
+        result.optimal[k] = int(result.splaynet[k] / 1.5)
+        result.rotations[k] = 100
+        result.links[k] = 200
+    return result
+
+
+class TestClaimCheck:
+    def test_str_pass_fail(self):
+        ok = ClaimCheck(claim="c", source="s", passed=True)
+        bad = ClaimCheck(claim="c", source="s", passed=False, detail="d")
+        assert "PASS" in str(ok)
+        assert "FAIL" in str(bad) and "(d)" in str(bad)
+
+
+class TestCheckKAryTable:
+    def test_good_shape_passes(self):
+        checks = check_kary_table(_fake_table("temporal-0.5"))
+        assert all(check.passed for check in checks)
+
+    def test_rising_cost_fails_claim1(self):
+        checks = check_kary_table(_fake_table("temporal-0.5", falling=False))
+        claim1 = [c for c in checks if "falls with k" in c.claim][0]
+        assert not claim1.passed
+
+    def test_no_crossover_fails_claim2(self):
+        checks = check_kary_table(_fake_table("temporal-0.5", crossing=False))
+        claim2 = [c for c in checks if "full-tree ratio grows" in c.claim][0]
+        assert not claim2.passed
+
+    def test_high_locality_gets_extra_claim(self):
+        checks = check_kary_table(_fake_table("temporal-0.9"))
+        assert any("every k (high locality)" in c.claim for c in checks)
+
+    def test_optimal_bound_claim(self):
+        table = _fake_table("hpc")
+        for k in table.ks:
+            table.optimal[k] = table.splaynet[k] // 10  # ratio 10: too far
+        checks = check_kary_table(table)
+        bound = [c for c in checks if "bounded constant" in c.claim][0]
+        assert not bound.passed
+
+    def test_missing_optimal_skips_claim(self):
+        table = _fake_table("facebook")
+        for k in table.ks:
+            table.optimal[k] = None
+        checks = check_kary_table(table)
+        assert not any("bounded constant" in c.claim for c in checks)
+
+
+class TestVerifyReproduction:
+    def test_remark10_claim(self):
+        report = ReproductionReport(scale="test")
+        report.remark10 = Remark10Result(entries=[(10, 2, 100, 100, 110)])
+        summary = verify_reproduction(report)
+        assert summary.passed
+        report.remark10 = Remark10Result(entries=[(10, 2, 105, 100, 110)])
+        assert not verify_reproduction(report).passed
+
+    def test_render(self):
+        report = ReproductionReport(scale="test")
+        report.kary_tables[4] = _fake_table("temporal-0.25")
+        summary = verify_reproduction(report)
+        text = summary.render()
+        assert "claims checked" in text or "FAILED" in text
+
+    def test_failures_listed(self):
+        report = ReproductionReport(scale="test")
+        report.kary_tables[4] = _fake_table("temporal-0.25", falling=False)
+        summary = verify_reproduction(report)
+        assert summary.failures()
+
+
+@pytest.mark.slow
+class TestOnRealRun:
+    def test_smoke_run_passes_core_claims(self):
+        scale = Scale(
+            name="verify-smoke",
+            m=4_000,
+            uniform_n=40,
+            hpc_n=64,
+            projector_n=40,
+            facebook_n=64,
+            temporal_n=63,
+            ks=(2, 3, 5),
+            optimal_tree_max_n=128,
+        )
+        report = run_all(
+            scale=scale,
+            tables=(6, 7),            # the high-locality tables
+            include_table8=False,
+            include_remark10=False,
+            verbose=False,
+        )
+        summary = verify_reproduction(report)
+        assert summary.passed, summary.render()

@@ -1,0 +1,92 @@
+"""Cross-implementation consistency: independent implementations of the
+same paper object must agree (exactly where the math says so, within a
+small band where only the analysis coincides)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.distance import trace_static_cost
+from repro.core.splaynet import KArySplayNet
+from repro.network.simulator import simulate
+from repro.optimal.general import optimal_static_tree
+from repro.splaynet.optimal import optimal_static_bst
+from repro.splaynet.splaynet import SplayNet
+from repro.workloads.demand import DemandMatrix
+from repro.workloads.synthetic import temporal_trace, uniform_trace, zipf_trace
+
+
+class TestOptimalDPAgreement:
+    """The dedicated BST DP (baseline [22]) and the k-ary DP at k=2 solve
+    the same problem: binary search trees are always routing-based, so the
+    two optima must be *equal*."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_costs_equal_on_random_demand(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 18
+        d = rng.integers(0, 6, (n, n))
+        np.fill_diagonal(d, 0)
+        demand = DemandMatrix(n, dense=d)
+        kary = optimal_static_tree(demand, 2)
+        bst = optimal_static_bst(demand)
+        assert kary.cost == bst.cost
+
+    def test_costs_equal_on_trace_demand(self):
+        trace = zipf_trace(24, 4_000, 1.4, seed=5)
+        demand = DemandMatrix.from_trace(trace)
+        assert optimal_static_tree(demand, 2).cost == optimal_static_bst(demand).cost
+
+    def test_measured_costs_also_equal(self):
+        trace = temporal_trace(20, 2_000, 0.6, seed=6)
+        demand = DemandMatrix.from_trace(trace)
+        kary_tree = optimal_static_tree(demand, 2).tree
+        bst_net = optimal_static_bst(demand).network
+        assert trace_static_cost(kary_tree, trace) == trace_static_cost(
+            bst_net, trace
+        )
+
+
+class TestSplayNetParity:
+    """2-ary KArySplayNet and the dedicated binary SplayNet follow the same
+    algorithm; rotation tie-breaks differ, so totals agree within a band
+    (EXPERIMENTS.md measures ≈5%; we assert 15% for robustness)."""
+
+    @pytest.mark.parametrize(
+        "make_trace",
+        [
+            lambda: uniform_trace(64, 5_000, 1),
+            lambda: temporal_trace(64, 5_000, 0.75, 2),
+            lambda: zipf_trace(64, 5_000, 1.3, seed=3),
+        ],
+        ids=["uniform", "temporal", "zipf"],
+    )
+    def test_total_routing_within_band(self, make_trace):
+        trace = make_trace()
+        kary = simulate(KArySplayNet(trace.n, 2), trace).total_routing
+        binary = simulate(SplayNet(trace.n), trace).total_routing
+        assert kary == pytest.approx(binary, rel=0.15)
+
+    def test_both_collapse_repeats_to_distance_one(self):
+        kary = KArySplayNet(32, 2)
+        binary = SplayNet(32)
+        kary.serve(5, 29)
+        binary.serve(5, 29)
+        assert kary.serve(5, 29).routing_cost == 1
+        assert binary.serve(5, 29).routing_cost == 1
+
+
+class TestUniformDPvsCentroid:
+    """Remark 10 in miniature: the O(n) centroid construction matches the
+    O(n²k) DP optimum (checked at the odd sizes the grid bench skips)."""
+
+    @pytest.mark.parametrize("n", [11, 23, 37, 61])
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_centroid_cost_equals_uniform_optimum(self, n, k):
+        from repro.analysis.distance import total_distance_via_potentials
+        from repro.core.centroid import build_centroid_tree
+        from repro.optimal.uniform import optimal_uniform_cost
+
+        centroid = total_distance_via_potentials(build_centroid_tree(n, k)) // 2
+        assert centroid == optimal_uniform_cost(n, k)

@@ -1,0 +1,142 @@
+"""Integration tests: the paper's qualitative findings must reproduce.
+
+These use fixed seeds at smoke scale with generous margins — they fail only
+if an algorithmic regression flips a finding's *direction*, which is exactly
+what the reproduction promises to preserve (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.centroid_splaynet import CentroidSplayNet
+from repro.core.splaynet import KArySplayNet
+from repro.core.builders import build_complete_tree
+from repro.analysis.distance import trace_static_cost
+from repro.network.cost import UNIT_ROTATIONS
+from repro.network.simulator import simulate
+from repro.splaynet.splaynet import SplayNet
+from repro.workloads.datacenter import hpc_trace, projector_trace
+from repro.workloads.synthetic import temporal_trace, uniform_trace
+
+
+@pytest.fixture(scope="module")
+def scale():
+    return {"n": 100, "m": 8000, "seed": 2024}
+
+
+class TestFinding1_CostDecreasesWithK:
+    """§5.1: 'the higher the k the lower the total routing cost'."""
+
+    def test_on_uniform(self, scale):
+        trace = uniform_trace(scale["n"], scale["m"], scale["seed"])
+        c2 = simulate(KArySplayNet(scale["n"], 2), trace).total_routing
+        c5 = simulate(KArySplayNet(scale["n"], 5), trace).total_routing
+        c10 = simulate(KArySplayNet(scale["n"], 10), trace).total_routing
+        assert c10 < c5 < c2
+
+    def test_on_temporal(self, scale):
+        trace = temporal_trace(scale["n"], scale["m"], 0.5, scale["seed"])
+        c2 = simulate(KArySplayNet(scale["n"], 2), trace).total_routing
+        c8 = simulate(KArySplayNet(scale["n"], 8), trace).total_routing
+        assert c8 < c2
+
+
+class TestFinding2_FullTreeCrossover:
+    """Tables 4-7: the full tree overtakes SplayNet as k grows on low
+    locality, but loses at every k on high locality."""
+
+    def test_high_locality_splaynet_dominates(self, scale):
+        trace = temporal_trace(scale["n"], scale["m"], 0.9, scale["seed"])
+        for k in (2, 5, 10):
+            dynamic = simulate(KArySplayNet(scale["n"], k), trace).total_routing
+            static = trace_static_cost(build_complete_tree(scale["n"], k), trace)
+            assert dynamic < 0.7 * static, k
+
+    def test_low_locality_full_tree_wins_at_high_k(self, scale):
+        trace = temporal_trace(scale["n"], scale["m"], 0.25, scale["seed"])
+        k = 10
+        dynamic = simulate(KArySplayNet(scale["n"], k), trace).total_routing
+        static = trace_static_cost(build_complete_tree(scale["n"], k), trace)
+        assert dynamic > static
+
+    def test_splaynet_beats_full_binary_tree_at_k2(self, scale):
+        """Every workload in the paper shows Full Tree > SplayNet at k=2."""
+        for trace in (
+            temporal_trace(scale["n"], scale["m"], 0.5, scale["seed"]),
+            hpc_trace(scale["n"], scale["m"], scale["seed"]),
+        ):
+            dynamic = simulate(KArySplayNet(trace.n, 2), trace).total_routing
+            static = trace_static_cost(build_complete_tree(trace.n, 2), trace)
+            assert dynamic < static
+
+
+class TestFinding3_CentroidHeuristic:
+    """Table 8: 3-SplayNet wins on low-locality workloads and loses on
+    high-locality ones (under the §5.1 unit-rotation cost model)."""
+
+    def test_loses_on_high_locality(self, scale):
+        trace = temporal_trace(scale["n"], scale["m"], 0.9, scale["seed"])
+        c3 = simulate(CentroidSplayNet(scale["n"], 2), trace)
+        sp = simulate(SplayNet(scale["n"]), trace)
+        assert sp.total_cost(UNIT_ROTATIONS) < c3.total_cost(UNIT_ROTATIONS)
+
+    def test_wins_on_projector(self, scale):
+        trace = projector_trace(scale["n"], scale["m"], scale["seed"])
+        c3 = simulate(CentroidSplayNet(scale["n"], 2), trace)
+        sp = simulate(SplayNet(scale["n"]), trace)
+        assert sp.total_cost(UNIT_ROTATIONS) > c3.total_cost(UNIT_ROTATIONS)
+
+    def test_wins_on_low_locality_temporal(self, scale):
+        trace = temporal_trace(scale["n"], scale["m"], 0.25, scale["seed"])
+        c3 = simulate(CentroidSplayNet(scale["n"], 2), trace)
+        sp = simulate(SplayNet(scale["n"]), trace)
+        assert sp.total_cost(UNIT_ROTATIONS) > c3.total_cost(UNIT_ROTATIONS)
+
+
+class TestFinding4_OptimalStaticTree:
+    """Tables 1-7: the optimal tree beats k-ary SplayNet by a bounded
+    constant on low locality and loses on the highest locality."""
+
+    def test_bounded_gap_on_low_locality(self):
+        """'our data structure is constant-away from optimality' (§5.1).
+
+        At k=2 and small n the two are nearly tied (the paper's 1.75x gap
+        needs its larger n); the robust shape is the bounded constant and
+        the widening gap as k grows.
+        """
+        from repro.optimal.general import optimal_static_tree
+        from repro.workloads.demand import DemandMatrix
+
+        n, m = 64, 6000
+        trace = temporal_trace(n, m, 0.25, seed=7)
+        demand = DemandMatrix.from_trace(trace)
+        ratios = {}
+        for k in (2, 4, 8):
+            dynamic = simulate(KArySplayNet(n, k), trace).total_routing
+            optimal = trace_static_cost(optimal_static_tree(demand, k).tree, trace)
+            ratios[k] = dynamic / optimal
+            assert 0.5 * optimal < dynamic < 4.0 * optimal
+        assert ratios[8] > ratios[2]  # optimal tree pulls ahead with k
+
+    def test_splaynet_wins_on_highest_locality(self):
+        from repro.optimal.general import optimal_static_tree
+        from repro.workloads.demand import DemandMatrix
+
+        n, m = 64, 6000
+        trace = temporal_trace(n, m, 0.9, seed=7)
+        demand = DemandMatrix.from_trace(trace)
+        dynamic = simulate(KArySplayNet(n, 2), trace).total_routing
+        optimal = trace_static_cost(optimal_static_tree(demand, 2).tree, trace)
+        assert dynamic < optimal
+
+
+class TestEndToEnd:
+    def test_quickstart_flow(self):
+        """The README quickstart must work verbatim."""
+        from repro import KArySplayNet, simulate, uniform_trace
+
+        net = KArySplayNet(n=64, k=4)
+        result = simulate(net, uniform_trace(64, 1000, seed=1))
+        assert result.average_routing > 0
+        net.validate()

@@ -1,0 +1,44 @@
+"""Tests for the cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.cost import CostModel, LINK_CHURN, ROUTING_ONLY, UNIT_ROTATIONS
+from repro.network.protocols import ServeResult
+
+
+class TestCostModel:
+    def test_routing_only(self):
+        r = ServeResult(routing_cost=7, rotations=3, links_changed=10)
+        assert ROUTING_ONLY.total(r) == 7.0
+
+    def test_unit_rotations(self):
+        r = ServeResult(routing_cost=7, rotations=3, links_changed=10)
+        assert UNIT_ROTATIONS.total(r) == 10.0
+
+    def test_link_churn(self):
+        r = ServeResult(routing_cost=7, rotations=3, links_changed=10)
+        assert LINK_CHURN.total(r) == 17.0
+
+    def test_custom_weights(self):
+        model = CostModel(routing_weight=2.0, rotation_cost=0.5, link_cost=0.25)
+        r = ServeResult(routing_cost=4, rotations=2, links_changed=8)
+        assert model.total(r) == 8 + 1 + 2
+
+    def test_describe(self):
+        assert "routing" in ROUTING_ONLY.describe()
+        assert "rotations" in UNIT_ROTATIONS.describe()
+        assert "links" in LINK_CHURN.describe()
+
+
+class TestServeResult:
+    def test_addition(self):
+        a = ServeResult(1, 2, 3)
+        b = ServeResult(10, 20, 30)
+        c = a + b
+        assert (c.routing_cost, c.rotations, c.links_changed) == (11, 22, 33)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ServeResult(1).routing_cost = 5  # type: ignore[misc]

@@ -1,0 +1,90 @@
+"""Tests for the lazy-rebuild meta-algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.network.lazy import LazyRebuildNetwork
+from repro.network.simulator import Simulator, simulate
+from repro.network.static import StaticTreeNetwork
+from repro.core.builders import build_complete_tree
+from repro.workloads.synthetic import permutation_trace, uniform_trace, zipf_trace
+
+
+class TestMechanics:
+    def test_serves_at_tree_distance(self, rng):
+        net = LazyRebuildNetwork(30, 2, alpha=1e12)  # never rebuilds
+        static = StaticTreeNetwork(build_complete_tree(30, 2))
+        for _ in range(50):
+            u = int(rng.integers(1, 31))
+            v = int(rng.integers(1, 31))
+            assert net.serve(u, v).routing_cost == static.serve(u, v).routing_cost
+
+    def test_rebuild_triggered_by_threshold(self):
+        net = LazyRebuildNetwork(20, 2, alpha=50)
+        trace = zipf_trace(20, 400, 1.5, seed=1)
+        simulate(net, trace)
+        assert net.rebuilds >= 2
+
+    def test_no_rebuild_below_threshold(self):
+        net = LazyRebuildNetwork(20, 2, alpha=1e9)
+        simulate(net, uniform_trace(20, 200, seed=1))
+        assert net.rebuilds == 0
+
+    def test_rebuild_reports_link_churn(self):
+        net = LazyRebuildNetwork(20, 2, alpha=30)
+        trace = permutation_trace(20, 300, seed=2)
+        result = simulate(net, trace)
+        assert result.total_links_changed > 0
+        assert result.total_rotations == net.rebuilds
+
+    def test_tree_stays_valid(self):
+        net = LazyRebuildNetwork(25, 3, alpha=100)
+        Simulator(validate_every=100).run(net, zipf_trace(25, 500, 1.3, seed=3))
+
+    def test_self_request_free(self):
+        assert LazyRebuildNetwork(10, 2).serve(4, 4).routing_cost == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ExperimentError):
+            LazyRebuildNetwork(10, 2, alpha=0)
+        with pytest.raises(ExperimentError):
+            LazyRebuildNetwork(10, 2, window=0)
+
+
+class TestAdaptation:
+    def test_beats_oblivious_tree_on_stable_skew(self):
+        """After a rebuild, a skewed demand is served demand-aware."""
+        n, m = 32, 3000
+        trace = permutation_trace(n, m, seed=5)
+        lazy = simulate(LazyRebuildNetwork(n, 2, alpha=500), trace)
+        static = simulate(
+            StaticTreeNetwork(build_complete_tree(n, 2)), trace
+        )
+        assert lazy.total_routing < 0.7 * static.total_routing
+
+    def test_window_adapts_to_drift(self):
+        """A sliding window tracks a demand shift; infinite memory lags."""
+        n = 24
+        first = permutation_trace(n, 1500, seed=6)
+        second = permutation_trace(n, 1500, seed=7)
+        drifting = first.concat(second)
+        windowed = simulate(
+            LazyRebuildNetwork(n, 2, alpha=300, window=500), drifting
+        )
+        unwindowed = simulate(
+            LazyRebuildNetwork(n, 2, alpha=300), drifting
+        )
+        assert windowed.total_routing <= unwindowed.total_routing * 1.1
+
+    def test_alpha_tradeoff(self):
+        """Smaller alpha adapts faster (lower routing, more rebuilds)."""
+        n, m = 32, 2500
+        trace = permutation_trace(n, m, seed=8)
+        fast = LazyRebuildNetwork(n, 2, alpha=200)
+        slow = LazyRebuildNetwork(n, 2, alpha=5000)
+        r_fast = simulate(fast, trace)
+        r_slow = simulate(slow, trace)
+        assert fast.rebuilds > slow.rebuilds
+        assert r_fast.total_routing <= r_slow.total_routing

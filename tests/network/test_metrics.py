@@ -1,0 +1,102 @@
+"""Tests for the per-request series metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.splaynet import KArySplayNet
+from repro.errors import ExperimentError
+from repro.network.metrics import (
+    cumulative_advantage,
+    percentile_table,
+    rolling_mean,
+    summarize_series,
+    warmup_length,
+)
+from repro.network.simulator import Simulator, simulate
+from repro.workloads.synthetic import sequential_trace, uniform_trace
+
+
+def recorded(n=40, m=600, k=3, seed=1):
+    return Simulator(record_series=True).run(
+        KArySplayNet(n, k), uniform_trace(n, m, seed)
+    )
+
+
+class TestRollingMean:
+    def test_flat_series(self):
+        out = rolling_mean(np.full(10, 3.0), 4)
+        assert np.allclose(out, 3.0)
+        assert len(out) == 7
+
+    def test_matches_manual_window(self):
+        values = np.arange(10, dtype=float)
+        out = rolling_mean(values, 3)
+        assert out[0] == pytest.approx(1.0)
+        assert out[-1] == pytest.approx(8.0)
+
+    def test_bad_window(self):
+        with pytest.raises(ExperimentError):
+            rolling_mean(np.ones(5), 6)
+        with pytest.raises(ExperimentError):
+            rolling_mean(np.ones(5), 0)
+
+
+class TestPercentiles:
+    def test_table(self):
+        table = percentile_table(np.arange(1, 101))
+        assert table[50] == pytest.approx(50.5)
+        assert table[100] == 100
+
+    def test_empty(self):
+        assert percentile_table(np.array([]))[50] == 0.0
+
+
+class TestWarmup:
+    def test_decaying_series_has_warmup(self):
+        # expensive start, cheap steady state
+        values = np.concatenate([np.full(400, 10.0), np.full(2000, 2.0)])
+        w = warmup_length(values, window=100)
+        assert 200 <= w <= 800
+
+    def test_flat_series_has_no_warmup(self):
+        assert warmup_length(np.full(1000, 5.0), window=100) == 0
+
+    def test_short_series(self):
+        assert warmup_length(np.ones(10), window=100) == 0
+
+
+class TestCumulativeAdvantage:
+    def test_self_adjustment_pays_off_on_locality(self):
+        n, m = 40, 1500
+        trace = sequential_trace(n, m)
+        sim = Simulator(record_series=True)
+        dynamic = sim.run(KArySplayNet(n, 2), trace)
+        from repro.core.builders import build_complete_tree
+        from repro.network.static import StaticTreeNetwork
+
+        static = sim.run(StaticTreeNetwork(build_complete_tree(n, 2)), trace)
+        adv = cumulative_advantage(dynamic, static)
+        assert adv[-1] > 0  # dynamic ends ahead
+        assert len(adv) == m
+
+    def test_length_mismatch_rejected(self):
+        a = recorded(m=100)
+        b = recorded(m=200)
+        with pytest.raises(ExperimentError):
+            cumulative_advantage(a, b)
+
+    def test_requires_recorded_series(self):
+        plain = simulate(KArySplayNet(20, 2), uniform_trace(20, 50, 1))
+        with pytest.raises(ExperimentError):
+            cumulative_advantage(plain, plain)
+
+
+class TestSummary:
+    def test_fields(self):
+        result = recorded()
+        summary = summarize_series(result)
+        assert summary.mean == pytest.approx(result.average_routing)
+        assert summary.p50 <= summary.p90 <= summary.p99 <= summary.max
+        assert "mean=" in str(summary)

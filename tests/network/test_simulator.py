@@ -1,0 +1,106 @@
+"""Tests for the trace-driven simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.splaynet import KArySplayNet
+from repro.network.cost import CostModel, UNIT_ROTATIONS
+from repro.network.simulator import SimulationResult, Simulator, simulate
+from repro.network.static import StaticTreeNetwork
+from repro.core.builders import build_complete_tree
+from repro.workloads.synthetic import uniform_trace
+from repro.workloads.trace import Trace
+
+
+class TestAccumulation:
+    def test_totals_match_manual_serving(self):
+        trace = uniform_trace(30, 300, seed=1)
+        net_a = KArySplayNet(30, 3)
+        net_b = KArySplayNet(30, 3)
+        result = simulate(net_a, trace)
+        routing = rotations = links = 0
+        for u, v in trace.pairs():
+            r = net_b.serve(u, v)
+            routing += r.routing_cost
+            rotations += r.rotations
+            links += r.links_changed
+        assert result.total_routing == routing
+        assert result.total_rotations == rotations
+        assert result.total_links_changed == links
+
+    def test_static_network_never_adjusts(self):
+        trace = uniform_trace(30, 200, seed=2)
+        result = simulate(StaticTreeNetwork(build_complete_tree(30, 2)), trace)
+        assert result.total_rotations == 0
+        assert result.total_links_changed == 0
+
+    def test_average_routing(self):
+        trace = uniform_trace(20, 100, seed=3)
+        result = simulate(KArySplayNet(20, 2), trace)
+        assert result.average_routing == pytest.approx(result.total_routing / 100)
+
+    def test_empty_trace(self):
+        trace = Trace(5, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        result = simulate(KArySplayNet(5, 2), trace)
+        assert result.total_routing == 0 and result.average_routing == 0.0
+
+
+class TestSeries:
+    def test_series_recorded(self):
+        trace = uniform_trace(20, 50, seed=4)
+        result = Simulator(record_series=True).run(KArySplayNet(20, 2), trace)
+        assert result.routing_series is not None
+        assert len(result.routing_series) == 50
+        assert result.routing_series.sum() == result.total_routing
+        assert result.rotation_series.sum() == result.total_rotations
+
+    def test_series_not_recorded_by_default(self):
+        trace = uniform_trace(20, 50, seed=4)
+        result = simulate(KArySplayNet(20, 2), trace)
+        assert result.routing_series is None
+
+
+class TestValidation:
+    def test_validate_every_invokes_validate(self):
+        calls = []
+
+        class Spy:
+            n = 5
+
+            def serve(self, u, v):
+                from repro.network.protocols import ServeResult
+
+                return ServeResult(1, 0, 0)
+
+            def validate(self):
+                calls.append(1)
+
+        trace = uniform_trace(5, 10, seed=0)
+        Simulator(validate_every=3).run(Spy(), trace)
+        assert len(calls) == 4  # after 3, 6, 9 requests + final
+
+
+class TestResultObject:
+    def test_total_cost_models(self):
+        result = SimulationResult(
+            name="x", n=5, m=10, total_routing=100,
+            total_rotations=20, total_links_changed=40, elapsed_seconds=0.1,
+        )
+        assert result.total_cost() == 100
+        assert result.total_cost(UNIT_ROTATIONS) == 120
+        assert result.total_cost(CostModel(link_cost=1.0)) == 140
+        assert result.average_rotations == 2.0
+
+    def test_str(self):
+        result = SimulationResult(
+            name="demo", n=5, m=10, total_routing=100,
+            total_rotations=20, total_links_changed=40, elapsed_seconds=0.1,
+        )
+        assert "demo" in str(result) and "routing=100" in str(result)
+
+    def test_name_defaults_to_trace_name(self):
+        trace = uniform_trace(10, 20, seed=1)
+        result = simulate(KArySplayNet(10, 2), trace)
+        assert result.name == trace.name

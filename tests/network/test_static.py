@@ -1,0 +1,46 @@
+"""Tests for the static tree network wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builders import build_complete_tree, build_random_tree
+from repro.network.protocols import SelfAdjustingNetwork, ServeResult
+from repro.network.static import StaticTreeNetwork
+from repro.splaynet.tree import BSTNetwork
+
+
+class TestStaticTreeNetwork:
+    def test_serve_returns_tree_distance(self, rng):
+        tree = build_random_tree(40, 3, seed=1)
+        net = StaticTreeNetwork(tree)
+        for _ in range(50):
+            u = int(rng.integers(1, 41))
+            v = int(rng.integers(1, 41))
+            res = net.serve(u, v)
+            assert res.routing_cost == tree.distance(u, v)
+            assert res.rotations == 0 and res.links_changed == 0
+
+    def test_wraps_bst_networks_too(self):
+        net = StaticTreeNetwork(BSTNetwork.balanced(31))
+        assert net.n == 31
+        assert net.serve(1, 31).routing_cost == net.distance(1, 31)
+
+    def test_satisfies_protocol(self):
+        net = StaticTreeNetwork(build_complete_tree(7, 2))
+        assert isinstance(net, SelfAdjustingNetwork)
+
+    def test_validate_delegates(self):
+        net = StaticTreeNetwork(build_complete_tree(7, 2))
+        net.validate()  # must not raise
+
+
+class TestProtocol:
+    def test_dynamic_networks_satisfy_protocol(self):
+        from repro.core.centroid_splaynet import CentroidSplayNet
+        from repro.core.splaynet import KArySplayNet
+        from repro.splaynet.splaynet import SplayNet
+
+        assert isinstance(KArySplayNet(5, 2), SelfAdjustingNetwork)
+        assert isinstance(CentroidSplayNet(5, 2), SelfAdjustingNetwork)
+        assert isinstance(SplayNet(5), SelfAdjustingNetwork)

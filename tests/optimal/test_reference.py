@@ -1,0 +1,71 @@
+"""Tests for the slow reference implementations themselves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optimal.reference import (
+    brute_force_optimal_cost,
+    enumerate_trees,
+    reference_optimal_cost,
+)
+from repro.errors import OptimizationError
+
+
+class TestEnumeration:
+    def test_bst_count_is_catalan(self):
+        """Routing-based 2-ary search trees on n nodes are plain BSTs."""
+        catalan = {1: 1, 2: 2, 3: 5, 4: 14}
+        for n, expected in catalan.items():
+            assert len(list(enumerate_trees(0, n - 1, 2))) == expected
+
+    def test_higher_arity_count_grows(self):
+        n = 4
+        binary = len(list(enumerate_trees(0, n - 1, 2)))
+        ternary = len(list(enumerate_trees(0, n - 1, 3)))
+        assert ternary > binary
+
+    def test_trees_are_valid_parent_maps(self):
+        for tree in enumerate_trees(0, 3, 3):
+            roots = [v for v in range(4) if v not in tree]
+            assert len(roots) == 1
+            # every parent pointer stays in range
+            assert all(0 <= p <= 3 for p in tree.values())
+
+    def test_search_property_holds(self):
+        """In a routing-based k-ary search tree, each subtree is a segment."""
+        for tree in enumerate_trees(0, 4, 3):
+            children: dict[int, list[int]] = {}
+            for c, p in tree.items():
+                children.setdefault(p, []).append(c)
+
+            def subtree(v):
+                out = {v}
+                for c in children.get(v, []):
+                    out |= subtree(c)
+                return out
+
+            for v in range(5):
+                ids = sorted(subtree(v))
+                assert ids == list(range(ids[0], ids[-1] + 1))
+
+
+class TestReferenceDP:
+    def test_zero_demand_zero_cost(self):
+        d = np.zeros((5, 5), dtype=np.int64)
+        assert reference_optimal_cost(d, 2) == 0
+
+    def test_two_nodes(self):
+        d = np.array([[0, 3], [2, 0]])
+        assert reference_optimal_cost(d, 2) == 5  # adjacent: 5 requests × 1
+
+    def test_agreement_between_references(self, rng):
+        for n in (2, 3, 4):
+            d = rng.integers(0, 5, (n, n))
+            np.fill_diagonal(d, 0)
+            assert reference_optimal_cost(d, 2) == brute_force_optimal_cost(d, 2)
+
+    def test_brute_force_size_guard(self):
+        with pytest.raises(OptimizationError):
+            brute_force_optimal_cost(np.zeros((9, 9)), 2)

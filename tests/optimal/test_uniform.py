@@ -1,0 +1,69 @@
+"""Tests for the O(n²k) uniform-workload DP (Theorem 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.distance import total_distance_via_potentials
+from repro.errors import OptimizationError
+from repro.optimal.general import optimal_static_cost_table
+from repro.optimal.uniform import (
+    optimal_uniform_cost,
+    optimal_uniform_table,
+    optimal_uniform_tree,
+)
+
+
+class TestAgainstGeneralDP:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 9, 16, 25])
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_matches_general_dp_on_uniform_demand(self, n, k):
+        demand = np.triu(np.ones((n, n), dtype=np.int64), 1)
+        assert optimal_uniform_cost(n, k) == optimal_static_cost_table(demand, k)
+
+
+class TestReconstruction:
+    @pytest.mark.parametrize("n", [1, 2, 7, 20, 63, 100])
+    @pytest.mark.parametrize("k", [2, 3, 6])
+    def test_tree_cost_matches_dp(self, n, k):
+        result = optimal_uniform_tree(n, k)
+        result.tree.validate()
+        measured = total_distance_via_potentials(result.tree) // 2
+        assert measured == result.cost
+
+    def test_tree_respects_arity(self):
+        result = optimal_uniform_tree(50, 3)
+        for node in result.tree.iter_nodes():
+            assert node.degree <= 3
+
+
+class TestStructure:
+    def test_cost_non_increasing_in_k(self):
+        costs = [optimal_uniform_cost(60, k) for k in (2, 3, 4, 8)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_cost_increasing_in_n(self):
+        costs = [optimal_uniform_cost(n, 3) for n in (5, 10, 20, 40)]
+        assert costs == sorted(costs)
+
+    def test_table_shapes(self):
+        t_cost, b = optimal_uniform_table(10, 3)
+        assert t_cost.shape == (11,)
+        assert b.shape == (4, 11)
+        # forests of at most t trees only improve with t
+        assert np.all(b[3, 1:] <= b[2, 1:])
+
+    def test_known_small_values(self):
+        # two nodes: one edge, one unordered pair at distance 1
+        assert optimal_uniform_cost(2, 2) == 1
+        # three nodes in a path: distances 1+1+2 = 4
+        assert optimal_uniform_cost(3, 2) == 4
+        # three nodes with k=3... still a path or star: star gives 1+1+2=4
+        assert optimal_uniform_cost(3, 3) == 4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(OptimizationError):
+            optimal_uniform_cost(0, 2)
+        with pytest.raises(OptimizationError):
+            optimal_uniform_cost(5, 1)

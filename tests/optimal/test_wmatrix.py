@@ -1,0 +1,65 @@
+"""Tests for the boundary-crossing matrix W (Claim 16 / Lemma 18)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optimal.wmatrix import boundary_crossing_matrix, uniform_boundary_crossing
+
+
+def slow_w(demand: np.ndarray, i: int, j: int) -> int:
+    """Direct transcription of the paper's definition of W[i, j]."""
+    n = demand.shape[0]
+    inside = set(range(i, j + 1))
+    total = 0
+    for u in range(n):
+        for v in range(n):
+            if (u in inside) != (v in inside):
+                total += int(demand[u, v])
+    return total
+
+
+class TestBoundaryCrossing:
+    @pytest.mark.parametrize("n", [1, 2, 3, 6, 10])
+    def test_matches_direct_definition(self, n, rng):
+        demand = rng.integers(0, 7, (n, n))
+        np.fill_diagonal(demand, 0)
+        w = boundary_crossing_matrix(demand)
+        for i in range(n):
+            for length in range(1, n - i + 1):
+                assert w[i, length] == slow_w(demand, i, i + length - 1)
+
+    def test_whole_segment_crosses_nothing(self, rng):
+        demand = rng.integers(0, 5, (8, 8))
+        np.fill_diagonal(demand, 0)
+        w = boundary_crossing_matrix(demand)
+        assert w[0, 8] == 0
+
+    def test_single_node_segment(self):
+        demand = np.zeros((3, 3), dtype=np.int64)
+        demand[0, 2] = 4
+        demand[2, 0] = 1
+        w = boundary_crossing_matrix(demand)
+        assert w[0, 1] == 5  # all traffic of node 0 crosses
+        assert w[1, 1] == 0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            boundary_crossing_matrix(np.zeros((2, 3)))
+
+
+class TestUniformW:
+    def test_lemma18_formula(self):
+        w = uniform_boundary_crossing(10)
+        for length in range(11):
+            assert w[length] == length * (10 - length)
+
+    def test_agrees_with_general_matrix_on_unordered_uniform(self):
+        n = 7
+        demand = np.triu(np.ones((n, n), dtype=np.int64), 1)
+        general = boundary_crossing_matrix(demand)
+        uniform = uniform_boundary_crossing(n)
+        for i in range(n):
+            for length in range(1, n - i + 1):
+                assert general[i, length] == uniform[length]

@@ -1,0 +1,40 @@
+"""Property-based checks: parallel_map semantics are invariant to chunking,
+job counts and backpressure settings."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.pool import ParallelConfig, parallel_map
+
+
+def triple(x: int) -> int:
+    return 3 * x
+
+
+@given(
+    items=st.lists(st.integers(min_value=-10**6, max_value=10**6), max_size=50),
+    chunk=st.integers(min_value=1, max_value=17),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_serial_chunking_invariant(items, chunk):
+    config = ParallelConfig(jobs=1, chunk_size=chunk)
+    assert parallel_map(triple, items, config=config) == [3 * x for x in items]
+
+
+@given(
+    items=st.lists(st.integers(min_value=0, max_value=1000), min_size=2, max_size=24),
+    chunk=st.integers(min_value=1, max_value=7),
+    pending=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=8, deadline=None)  # process pools are slow to spin up
+def test_property_parallel_chunking_invariant(items, chunk, pending):
+    config = ParallelConfig(jobs=2, chunk_size=chunk, max_pending=pending)
+    assert parallel_map(triple, items, config=config) == [3 * x for x in items]
+
+
+@given(items=st.lists(st.integers(), max_size=30))
+@settings(max_examples=30, deadline=None)
+def test_property_output_length_matches_input(items):
+    assert len(parallel_map(triple, items)) == len(items)

@@ -1,0 +1,108 @@
+"""Seed-derivation determinism, independence and label discipline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.seeds import (
+    MAX_SEED,
+    derive_seed,
+    interleave_check,
+    seed_for_cell,
+    spawn_seeds,
+)
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(7, 5) == spawn_seeds(7, 5)
+
+    def test_distinct_children(self):
+        seeds = spawn_seeds(2024, 100)
+        assert len(set(seeds)) == 100
+
+    def test_different_roots_differ(self):
+        assert spawn_seeds(1, 4) != spawn_seeds(2, 4)
+
+    def test_count_zero(self):
+        assert spawn_seeds(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+    def test_range(self):
+        assert all(0 <= s <= MAX_SEED for s in spawn_seeds(3, 50))
+
+    def test_prefix_stability(self):
+        # spawning more children never changes the earlier ones
+        assert spawn_seeds(9, 10)[:4] == spawn_seeds(9, 4)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(2024, "hpc", 3) == derive_seed(2024, "hpc", 3)
+
+    def test_label_sensitivity(self):
+        assert derive_seed(2024, "hpc", 3) != derive_seed(2024, "hpc", 4)
+        assert derive_seed(2024, "hpc") != derive_seed(2024, "fb")
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_type_tagged_labels(self):
+        # int 1, float 1.0, string "1" and True must all hash differently
+        seeds = {
+            derive_seed(0, 1),
+            derive_seed(0, 1.0),
+            derive_seed(0, "1"),
+            derive_seed(0, True),
+        }
+        assert len(seeds) == 4
+
+    def test_none_label(self):
+        assert derive_seed(0, None) == derive_seed(0, None)
+        assert derive_seed(0, None) != derive_seed(0, "none")
+
+    def test_label_boundaries_do_not_merge(self):
+        # ("ab", "c") must differ from ("a", "bc")
+        assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+    def test_unsupported_label_type(self):
+        with pytest.raises(TypeError):
+            derive_seed(0, object())  # type: ignore[arg-type]
+
+    def test_range(self):
+        assert 0 <= derive_seed(123, "x", 5, 2.5) <= MAX_SEED
+
+    @given(
+        root=st.integers(min_value=0, max_value=2**32),
+        a=st.text(max_size=20),
+        b=st.integers(min_value=-(10**6), max_value=10**6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pure_function(self, root, a, b):
+        assert derive_seed(root, a, b) == derive_seed(root, a, b)
+
+
+class TestSeedForCell:
+    def test_axis_order_insensitive(self):
+        assert seed_for_cell(7, {"k": 3, "w": "hpc"}) == seed_for_cell(
+            7, {"w": "hpc", "k": 3}
+        )
+
+    def test_value_sensitive(self):
+        assert seed_for_cell(7, {"k": 3}) != seed_for_cell(7, {"k": 4})
+
+    def test_axis_name_sensitive(self):
+        assert seed_for_cell(7, {"k": 3}) != seed_for_cell(7, {"q": 3})
+
+    def test_grid_of_cells_mostly_unique(self):
+        seeds = [
+            seed_for_cell(11, {"k": k, "n": n, "rep": r})
+            for k in range(2, 11)
+            for n in (50, 100, 200)
+            for r in range(5)
+        ]
+        assert interleave_check(seeds)
+        assert len(set(seeds)) == len(seeds)

@@ -1,0 +1,138 @@
+"""Sweep engine: enumeration order, seeding, selection, parallel equality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.parallel.seeds import seed_for_cell
+from repro.parallel.sweep import SweepCell, SweepResult, SweepSpec, run_sweep
+
+
+def cell_product(cell: SweepCell) -> int:
+    return cell.coords["a"] * cell.coords["b"]
+
+
+def cell_seed(cell: SweepCell) -> int:
+    return cell.seed
+
+
+class TestSweepSpec:
+    def test_size(self):
+        spec = SweepSpec(axes={"a": (1, 2, 3), "b": (10, 20)})
+        assert spec.size() == 6
+
+    def test_size_with_repeats(self):
+        spec = SweepSpec(axes={"a": (1, 2)}, repeats=3)
+        assert spec.size() == 6
+
+    def test_row_major_order(self):
+        spec = SweepSpec(axes={"a": (1, 2), "b": ("x", "y")})
+        coords = [dict(c.coords) for c in spec.cells()]
+        assert coords == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_indices_sequential(self):
+        spec = SweepSpec(axes={"a": (1, 2, 3)})
+        assert [c.index for c in spec.cells()] == [0, 1, 2]
+
+    def test_seeds_match_seed_for_cell(self):
+        spec = SweepSpec(axes={"a": (1, 2)}, root_seed=99)
+        for cell in spec.cells():
+            assert cell.seed == seed_for_cell(99, cell.coords)
+
+    def test_seed_independent_of_grid_shape(self):
+        # the same coordinates get the same seed in a larger grid
+        small = SweepSpec(axes={"a": (1,)}, root_seed=5)
+        large = SweepSpec(axes={"a": (1, 2, 3)}, root_seed=5)
+        seed_small = next(iter(small.cells())).seed
+        seed_large = next(iter(large.cells())).seed
+        assert seed_small == seed_large
+
+    def test_repeats_get_distinct_seeds(self):
+        spec = SweepSpec(axes={"a": (1,)}, repeats=4)
+        seeds = [c.seed for c in spec.cells()]
+        assert len(set(seeds)) == 4
+
+    def test_axis_names_property(self):
+        assert SweepSpec(axes={"a": (1,), "b": (2,)}).axis_names == ("a", "b")
+        assert SweepSpec(axes={"a": (1,)}, repeats=2).axis_names == ("a", "rep")
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepSpec(axes={})
+
+    def test_empty_axis_values_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepSpec(axes={"a": ()})
+
+    def test_bad_repeats(self):
+        with pytest.raises(ExperimentError):
+            SweepSpec(axes={"a": (1,)}, repeats=0)
+
+    def test_reserved_rep_axis(self):
+        with pytest.raises(ExperimentError):
+            SweepSpec(axes={"rep": (1,)}, repeats=2)
+
+    def test_cell_getitem(self):
+        cell = next(iter(SweepSpec(axes={"a": (7,)}).cells()))
+        assert cell["a"] == 7
+
+
+class TestRunSweep:
+    def test_serial_values(self):
+        spec = SweepSpec(axes={"a": (1, 2), "b": (3, 4)})
+        result = run_sweep(cell_product, spec)
+        assert result.values == [3, 4, 6, 8]
+
+    def test_parallel_matches_serial(self):
+        spec = SweepSpec(axes={"a": tuple(range(1, 7)), "b": (2, 5)})
+        serial = run_sweep(cell_product, spec)
+        parallel = run_sweep(cell_product, spec, jobs=2)
+        assert serial.values == parallel.values
+        assert [c.seed for c in serial.cells] == [c.seed for c in parallel.cells]
+
+    def test_value_lookup(self):
+        spec = SweepSpec(axes={"a": (1, 2), "b": (3, 4)})
+        result = run_sweep(cell_product, spec)
+        assert result.value(a=2, b=3) == 6
+
+    def test_value_lookup_ambiguous(self):
+        spec = SweepSpec(axes={"a": (1, 2), "b": (3, 4)})
+        result = run_sweep(cell_product, spec)
+        with pytest.raises(ExperimentError):
+            result.value(a=1)
+
+    def test_select(self):
+        spec = SweepSpec(axes={"a": (1, 2), "b": (3, 4)})
+        result = run_sweep(cell_product, spec)
+        sub = result.select(a=2)
+        assert len(sub) == 2
+        assert sub.values == [6, 8]
+
+    def test_rows_export(self):
+        spec = SweepSpec(axes={"a": (1,), "b": (3,)})
+        rows = run_sweep(cell_product, spec).rows()
+        assert rows[0]["a"] == 1 and rows[0]["b"] == 3 and rows[0]["value"] == 3
+        assert "seed" in rows[0]
+
+    def test_axis_values(self):
+        spec = SweepSpec(axes={"a": (1, 2), "b": (3, 4)})
+        result = run_sweep(cell_product, spec)
+        assert result.axis_values("a") == [1, 2]
+
+    def test_group_mean(self):
+        spec = SweepSpec(axes={"a": (1, 2)}, repeats=2)
+        result = run_sweep(cell_seed, spec)
+        means = result.group_mean(float, "a")
+        assert set(means) == {1, 2}
+
+    def test_deterministic_across_runs(self):
+        spec = SweepSpec(axes={"a": (1, 2, 3)}, root_seed=42)
+        r1 = run_sweep(cell_seed, spec)
+        r2 = run_sweep(cell_seed, spec)
+        assert r1.values == r2.values

@@ -1,0 +1,123 @@
+"""Simulation tasks: registry coverage, worker-side regeneration, equality
+with direct (in-process) simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.distance import trace_static_cost
+from repro.core.builders import build_complete_tree
+from repro.core.splaynet import KArySplayNet
+from repro.errors import ExperimentError
+from repro.network.simulator import Simulator
+from repro.parallel.pool import parallel_map
+from repro.parallel.tasks import (
+    NETWORK_FACTORIES,
+    STATIC_BUILDERS,
+    SimulationTask,
+    SimulationTaskResult,
+    materialize_trace,
+    run_simulation_task,
+    static_cost_task,
+)
+from repro.workloads.synthetic import temporal_trace, uniform_trace
+
+
+class TestMaterializeTrace:
+    @pytest.mark.parametrize(
+        "workload", ["uniform", "hpc", "projector", "facebook", "temporal-0.5", "zipf-1.2"]
+    )
+    def test_known_workloads(self, workload):
+        trace = materialize_trace(workload, 32, 200, seed=3)
+        assert trace.n == 32
+        assert trace.m == 200
+
+    def test_deterministic(self):
+        a = materialize_trace("temporal-0.75", 20, 100, seed=9)
+        b = materialize_trace("temporal-0.75", 20, 100, seed=9)
+        assert (a.sources == b.sources).all()
+        assert (a.targets == b.targets).all()
+
+    def test_matches_direct_generator(self):
+        via_task = materialize_trace("uniform", 16, 50, seed=4)
+        direct = uniform_trace(16, 50, 4)
+        assert (via_task.sources == direct.sources).all()
+
+    def test_unknown_workload(self):
+        with pytest.raises(ExperimentError):
+            materialize_trace("quantum", 16, 50, seed=4)
+
+
+class TestTaskValidation:
+    def test_unknown_algorithm(self):
+        with pytest.raises(ExperimentError):
+            SimulationTask("uniform", 16, 50, 1, "teleport", 2)
+
+    def test_bad_k(self):
+        with pytest.raises(ExperimentError):
+            SimulationTask("uniform", 16, 50, 1, "kary-splaynet", 1)
+
+    def test_registries_disjoint(self):
+        assert not set(NETWORK_FACTORIES) & set(STATIC_BUILDERS)
+
+
+class TestRunSimulationTask:
+    @pytest.mark.parametrize("algorithm", sorted(NETWORK_FACTORIES))
+    def test_online_algorithms_run(self, algorithm):
+        task = SimulationTask("temporal-0.5", 24, 300, 7, algorithm, 3)
+        result = run_simulation_task(task)
+        assert isinstance(result, SimulationTaskResult)
+        assert result.total_routing > 0
+        assert result.task == task
+
+    @pytest.mark.parametrize("algorithm", sorted(STATIC_BUILDERS))
+    def test_static_algorithms_run(self, algorithm):
+        task = SimulationTask("temporal-0.5", 20, 200, 7, algorithm, 3)
+        result = run_simulation_task(task)
+        assert result.total_routing > 0
+        assert result.total_rotations == 0
+        assert result.total_links_changed == 0
+
+    def test_online_matches_direct_simulation(self):
+        n, m, seed, k = 20, 400, 11, 3
+        task = SimulationTask("temporal-0.75", n, m, seed, "kary-splaynet", k)
+        via_task = run_simulation_task(task)
+        trace = temporal_trace(n, m, 0.75, seed)
+        direct = Simulator().run(KArySplayNet(n, k, initial="complete"), trace)
+        assert via_task.total_routing == direct.total_routing
+        assert via_task.total_rotations == direct.total_rotations
+
+    def test_static_matches_direct_cost(self):
+        n, m, seed, k = 20, 400, 11, 4
+        task = SimulationTask("uniform", n, m, seed, "full-tree", k)
+        via_task = run_simulation_task(task)
+        trace = uniform_trace(n, m, seed)
+        assert via_task.total_routing == trace_static_cost(
+            build_complete_tree(n, k), trace
+        )
+
+    def test_average_routing(self):
+        task = SimulationTask("uniform", 16, 100, 2, "full-tree", 2)
+        result = run_simulation_task(task)
+        assert result.average_routing == result.total_routing / 100
+
+    def test_tasks_through_process_pool(self):
+        tasks = [
+            SimulationTask("uniform", 16, 120, 5, "kary-splaynet", k)
+            for k in (2, 3, 4)
+        ]
+        parallel = parallel_map(run_simulation_task, tasks, jobs=2)
+        serial = [run_simulation_task(t) for t in tasks]
+        assert [r.total_routing for r in parallel] == [
+            r.total_routing for r in serial
+        ]
+
+
+class TestStaticCostTask:
+    def test_value(self):
+        task = SimulationTask("uniform", 16, 100, 2, "full-tree", 2)
+        assert static_cost_task(task) == run_simulation_task(task).total_routing
+
+    def test_rejects_online_algorithm(self):
+        with pytest.raises(ExperimentError):
+            static_cost_task(SimulationTask("uniform", 16, 100, 2, "splaynet", 2))

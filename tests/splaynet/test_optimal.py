@@ -1,0 +1,50 @@
+"""Tests for the optimal static BST network (k=2 case of Theorem 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.distance import total_demand_distance
+from repro.optimal.reference import brute_force_optimal_cost
+from repro.splaynet.optimal import optimal_static_bst
+from repro.splaynet.tree import BSTNetwork
+from repro.workloads.demand import DemandMatrix
+from repro.workloads.synthetic import zipf_trace
+
+
+class TestOptimalBST:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_matches_brute_force(self, n, rng):
+        d = rng.integers(0, 5, (n, n))
+        np.fill_diagonal(d, 0)
+        result = optimal_static_bst(DemandMatrix(n, dense=d))
+        assert result.cost == brute_force_optimal_cost(d, 2)
+
+    def test_result_is_valid_bst(self, rng):
+        d = rng.integers(0, 4, (20, 20))
+        np.fill_diagonal(d, 0)
+        result = optimal_static_bst(DemandMatrix(20, dense=d))
+        result.network.validate()
+        assert isinstance(result.network, BSTNetwork)
+
+    def test_cost_matches_measured_distance(self, rng):
+        d = rng.integers(0, 4, (25, 25))
+        np.fill_diagonal(d, 0)
+        demand = DemandMatrix(25, dense=d)
+        result = optimal_static_bst(demand)
+        assert total_demand_distance(result.network, demand) == result.cost
+
+    def test_beats_balanced_bst_on_skew(self):
+        trace = zipf_trace(40, 5000, 1.6, seed=3)
+        demand = DemandMatrix.from_trace(trace)
+        optimal = optimal_static_bst(demand)
+        balanced = total_demand_distance(BSTNetwork.balanced(40), demand)
+        assert optimal.cost < balanced
+
+    def test_single_hot_pair_becomes_adjacent(self):
+        d = np.zeros((10, 10), dtype=np.int64)
+        d[2, 7] = 1000  # nodes 3 and 8, 1-indexed
+        d[0, 1] = 1
+        result = optimal_static_bst(DemandMatrix(10, dense=d))
+        assert result.network.distance(3, 8) == 1

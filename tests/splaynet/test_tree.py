@@ -1,0 +1,117 @@
+"""Tests for the binary search tree network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.distance import TreeDistanceOracle
+from repro.errors import InvalidTreeError
+from repro.splaynet.tree import BSTNetwork, BSTNode
+
+
+class TestBalancedConstruction:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 100, 255, 256])
+    def test_valid_and_complete(self, n):
+        net = BSTNetwork.balanced(n)
+        net.validate()
+        assert net.n == n
+        assert net.height() == max(0, (n).bit_length() - 1)
+
+    def test_small_shapes(self):
+        net = BSTNetwork.balanced(3)
+        assert net.root.key == 2
+        assert net.root.left.key == 1 and net.root.right.key == 3
+
+    def test_invalid_n(self):
+        with pytest.raises(InvalidTreeError):
+            BSTNetwork.balanced(0)
+
+
+class TestQueries:
+    def test_lca_and_distance_match_oracle(self, rng):
+        net = BSTNetwork.balanced(127)
+        oracle = TreeDistanceOracle.from_tree(net)
+        for _ in range(100):
+            u = int(rng.integers(1, 128))
+            v = int(rng.integers(1, 128))
+            assert net.distance(u, v) == oracle.distance(u, v)
+            if u != v:
+                assert net.lca(u, v).key == oracle.lca(u, v)
+
+    def test_search_steps(self):
+        net = BSTNetwork.balanced(7)
+        assert net.search_steps(net.root, net.root.key) == 0
+        assert net.search_steps(net.root, 1) == 2
+
+    def test_depth(self):
+        net = BSTNetwork.balanced(7)
+        assert net.depth(net.root.key) == 0
+        assert net.depth(1) == 2
+
+    def test_missing_key(self):
+        with pytest.raises(InvalidTreeError):
+            BSTNetwork.balanced(7).node(8)
+
+
+class TestRotations:
+    def test_rotate_preserves_bst(self, rng):
+        net = BSTNetwork.balanced(63)
+        for _ in range(200):
+            key = int(rng.integers(1, 64))
+            node = net.node(key)
+            if node.parent is None:
+                continue
+            net.rotate_up(node)
+            assert node.parent is None or True
+        net.validate()
+
+    def test_rotate_root_raises(self):
+        net = BSTNetwork.balanced(7)
+        with pytest.raises(InvalidTreeError):
+            net.rotate_up(net.root)
+
+    def test_rotation_makes_node_the_parent(self):
+        net = BSTNetwork.balanced(7)
+        child = net.root.left
+        old_root = net.root
+        net.rotate_up(child)
+        assert net.root is child
+        assert old_root.parent is child
+
+    def test_link_churn_counts(self, rng):
+        net = BSTNetwork.balanced(63)
+        for _ in range(100):
+            key = int(rng.integers(1, 64))
+            node = net.node(key)
+            if node.parent is None:
+                continue
+            before = net.edge_set()
+            links = net.rotate_up(node)
+            after = net.edge_set()
+            assert links == len(before ^ after)
+
+
+class TestIndexIntegrity:
+    def test_duplicate_keys_rejected(self):
+        root = BSTNode(1)
+        dup = BSTNode(1)
+        root.right = dup
+        dup.parent = root
+        with pytest.raises(InvalidTreeError):
+            BSTNetwork(root, validate=False)
+
+    def test_non_contiguous_rejected(self):
+        root = BSTNode(2)
+        with pytest.raises(InvalidTreeError):
+            BSTNetwork(root, validate=False)
+
+    def test_validate_catches_bst_violation(self):
+        net = BSTNetwork.balanced(7)
+        # swap two keys illegally
+        net.root.left.key, net.root.right.key = (
+            net.root.right.key,
+            net.root.left.key,
+        )
+        with pytest.raises(InvalidTreeError):
+            net.validate()

@@ -1,0 +1,134 @@
+"""ASCII renderer: layout correctness, adapters, charts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builders import build_complete_tree, build_path_tree
+from repro.datastructures.sherk import SherkKarySplayTree
+from repro.datastructures.splay_tree import SplayTree
+from repro.errors import ReproError
+from repro.viz.ascii import (
+    bar_chart,
+    render_kary_network,
+    render_multiway_tree,
+    render_splay_tree,
+    render_tree,
+    sparkline,
+)
+
+
+class TestRenderTree:
+    def test_single_node(self):
+        art = render_tree("x", lambda _: [], lambda n: f"({n})")
+        assert art == "(x)"
+
+    def test_all_labels_present(self):
+        tree = build_complete_tree(15, 2)
+        art = render_kary_network(tree)
+        for nid in range(1, 16):
+            assert f"({nid})" in art
+
+    def test_children_below_parent(self):
+        tree = build_complete_tree(7, 2)
+        art = render_kary_network(tree)
+        lines = art.split("\n")
+        root_row = next(i for i, l in enumerate(lines) if f"({tree.root_id})" in l)
+        assert root_row == 0
+
+    def test_max_nodes_guard(self):
+        tree = build_complete_tree(50, 2)
+        with pytest.raises(ReproError):
+            render_kary_network(tree, max_nodes=10)
+
+    def test_connector_rows_present(self):
+        tree = build_complete_tree(7, 2)
+        art = render_kary_network(tree)
+        assert "+" in art  # multi-child connector rail
+
+    def test_single_child_pipe(self):
+        tree = build_path_tree(3, 2)
+        art = render_kary_network(tree)
+        assert "|" in art
+
+    def test_wide_fanout(self):
+        tree = build_complete_tree(11, 10)
+        art = render_kary_network(tree)
+        assert all(f"({nid})" in art for nid in range(1, 12))
+
+    def test_show_routing(self):
+        tree = build_complete_tree(7, 3)
+        art = render_kary_network(tree, show_routing=True)
+        assert "[" in art and "|" in art
+
+    def test_no_trailing_whitespace(self):
+        tree = build_complete_tree(15, 2)
+        for line in render_kary_network(tree).split("\n"):
+            assert line == line.rstrip()
+
+
+class TestAdapters:
+    def test_splay_tree(self):
+        tree = SplayTree(range(1, 8))
+        art = render_splay_tree(tree)
+        assert "(4)" in art  # balanced root
+
+    def test_empty_splay_tree(self):
+        assert render_splay_tree(SplayTree([])) == "(empty)"
+
+    def test_multiway_tree(self):
+        tree = SherkKarySplayTree(range(1, 20), 4)
+        art = render_multiway_tree(tree)
+        assert "[" in art and "]" in art
+
+    def test_empty_multiway(self):
+        assert render_multiway_tree(SherkKarySplayTree([], 3)) == "(empty)"
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_length(self):
+        assert len(sparkline(range(10))) == 10
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_rows_and_values(self):
+        chart = bar_chart([("alpha", 10.0), ("beta", 5.0)])
+        lines = chart.split("\n")
+        assert len(lines) == 2
+        assert "alpha" in lines[0] and "10" in lines[0]
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_unit_suffix(self):
+        chart = bar_chart([("x", 3.0)], unit="ms")
+        assert "3ms" in chart
+
+    def test_baseline_marker(self):
+        chart = bar_chart([("x", 10.0), ("y", 2.0)], baseline=5.0)
+        assert "|" in chart
+
+    def test_zero_values(self):
+        chart = bar_chart([("x", 0.0)])
+        assert "x" in chart
+
+    def test_width_guard(self):
+        with pytest.raises(ReproError):
+            bar_chart([("x", 1.0)], width=2)
+
+    def test_label_alignment(self):
+        chart = bar_chart([("short", 1.0), ("a-longer-label", 2.0)])
+        lines = chart.split("\n")
+        # bars start at the same column
+        assert lines[0].index("#") == lines[1].index("#")

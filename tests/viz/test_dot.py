@@ -1,0 +1,71 @@
+"""DOT export: syntax shape, escaping, highlighting, cluster pairs."""
+
+from __future__ import annotations
+
+from repro.core.builders import build_complete_tree
+from repro.viz.dot import rotation_pair_dot, tree_to_dot
+
+
+def _kary_adapter(tree):
+    return tree.root, (lambda nd: list(nd.child_iter())), (lambda nd: str(nd.nid))
+
+
+class TestTreeToDot:
+    def test_digraph_shape(self):
+        tree = build_complete_tree(7, 2)
+        root, children, label = _kary_adapter(tree)
+        dot = tree_to_dot(root, children, label)
+        assert dot.startswith("digraph tree {")
+        assert dot.rstrip().endswith("}")
+
+    def test_all_nodes_and_edges(self):
+        tree = build_complete_tree(7, 2)
+        root, children, label = _kary_adapter(tree)
+        dot = tree_to_dot(root, children, label)
+        for nid in range(1, 8):
+            assert f'"{nid}"' in dot
+        assert dot.count("->") == 6  # n-1 edges
+
+    def test_highlight(self):
+        tree = build_complete_tree(3, 2)
+        root, children, label = _kary_adapter(tree)
+        dot = tree_to_dot(root, children, label, highlight={"1"})
+        assert "fillcolor" in dot
+
+    def test_custom_name(self):
+        tree = build_complete_tree(3, 2)
+        root, children, label = _kary_adapter(tree)
+        assert "digraph mygraph {" in tree_to_dot(
+            root, children, label, name="mygraph"
+        )
+
+    def test_escaping(self):
+        dot = tree_to_dot("a\"b", lambda _: [], lambda n: n)
+        assert '\\"' in dot
+
+
+class TestRotationPairDot:
+    def test_two_clusters(self):
+        before = build_complete_tree(7, 2)
+        after = build_complete_tree(7, 3)
+        dot = rotation_pair_dot(
+            before.root,
+            after.root,
+            lambda nd: list(nd.child_iter()),
+            lambda nd: str(nd.nid),
+        )
+        assert "cluster_before" in dot
+        assert "cluster_after" in dot
+        # identities are prefixed so both snapshots coexist
+        assert '"before_1"' in dot and '"after_1"' in dot
+
+    def test_touched_highlight(self):
+        tree = build_complete_tree(3, 2)
+        dot = rotation_pair_dot(
+            tree.root,
+            tree.root,
+            lambda nd: list(nd.child_iter()),
+            lambda nd: str(nd.nid),
+            touched={"2"},
+        )
+        assert dot.count("fillcolor") == 2  # once per cluster

@@ -1,0 +1,94 @@
+"""Paper-figure regeneration: every schematic builds from live structures
+and reflects the claimed topology facts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.viz.figures import (
+    figure1_node_layout,
+    figure2_centroid_tree,
+    figure3_semi_splay_states,
+    figure4_chain_state,
+    figure5_k_splay_states,
+    figure6_k_splay_close_states,
+    figure7_centroid_splaynet,
+    figure8_kplus1_splaynet,
+    render_all_figures,
+)
+
+
+class TestFigure1:
+    def test_cells_match_arity(self):
+        art = figure1_node_layout(k=5)
+        assert art.count("r") >= 4
+        assert "k-1 = 4" in art
+
+    def test_bad_k(self):
+        with pytest.raises(ReproError):
+            figure1_node_layout(k=1)
+
+
+class TestFigure2:
+    def test_builds_and_mentions_blocks(self):
+        art = figure2_centroid_tree(n=30, k=2)
+        assert "k+1 = 3" in art
+        assert "(1)" in art  # nodes rendered
+
+    def test_various_arity(self):
+        art = figure2_centroid_tree(n=40, k=3)
+        assert "k=3" in art
+
+
+class TestRotationFigures:
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_semi_splay_before_after(self, k):
+        art = figure3_semi_splay_states(k=k)
+        assert "BEFORE:" in art and "AFTER:" in art
+
+    def test_chain_state(self):
+        art = figure4_chain_state(k=3)
+        assert "grandparent" in art
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_case1_found_and_applied(self, k):
+        art = figure5_k_splay_states(k=k)
+        assert "case 1" in art
+        assert "BEFORE:" in art and "AFTER:" in art
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_case2_found_and_applied(self, k):
+        art = figure6_k_splay_close_states(k=k)
+        assert "case 2" in art
+        assert "BEFORE:" in art and "AFTER:" in art
+
+
+class TestCentroidFigures:
+    def test_figure7_block_count(self):
+        art = figure7_centroid_splaynet(n=30)
+        # 3-SplayNet: 2k-1 = 3 blocks
+        assert sum(1 for line in art.split("\n") if line.strip().startswith("block")) == 3
+        assert "c1" in art and "c2" in art
+
+    def test_figure8_block_count(self):
+        art = figure8_kplus1_splaynet(n=50, k=3)
+        # (k+1)-SplayNet: 2k-1 = 5 blocks
+        assert sum(1 for line in art.split("\n") if line.strip().startswith("block")) == 5
+
+    def test_figure8_sizes_sum(self):
+        n = 50
+        art = figure8_kplus1_splaynet(n=n, k=3)
+        sizes = [
+            int(line.split(":")[1].split("nodes")[0])
+            for line in art.split("\n")
+            if line.strip().startswith("block")
+        ]
+        assert sum(sizes) == n - 2  # all nodes except the two centroids
+
+
+class TestGallery:
+    def test_all_eight_figures(self):
+        figures = render_all_figures()
+        assert set(figures) == {f"figure{i}" for i in range(1, 9)}
+        assert all(len(text) > 20 for text in figures.values())

@@ -1,0 +1,78 @@
+"""Demand heatmap: shading, pooling, structure visibility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.viz.heatmap import render_demand_heatmap
+from repro.workloads.demand import DemandMatrix
+from repro.workloads.mixtures import elephant_mice_trace
+from repro.workloads.synthetic import uniform_trace
+
+
+class TestRendering:
+    def test_square_output(self):
+        demand = DemandMatrix.from_trace(uniform_trace(20, 2_000, 1))
+        art = render_demand_heatmap(demand, legend=False)
+        lines = art.split("\n")
+        assert len(lines) == 20
+        assert all(len(line) == 20 for line in lines)
+
+    def test_pooling_large_matrix(self):
+        demand = DemandMatrix.from_trace(uniform_trace(200, 5_000, 2))
+        art = render_demand_heatmap(demand, cells=32, legend=False)
+        assert len(art.split("\n")) == 32
+
+    def test_legend(self):
+        demand = DemandMatrix.from_trace(uniform_trace(16, 500, 3))
+        art = render_demand_heatmap(demand)
+        assert "total 500 requests" in art
+
+    def test_empty_matrix(self):
+        demand = DemandMatrix(8, dense=np.zeros((8, 8), dtype=np.int64))
+        art = render_demand_heatmap(demand, legend=False)
+        assert set("".join(art.split("\n"))) == {" "}
+
+    def test_bad_cells(self):
+        demand = DemandMatrix.uniform(4)
+        with pytest.raises(ReproError):
+            render_demand_heatmap(demand, cells=1)
+
+
+class TestStructureVisibility:
+    def test_elephants_show_as_peaks(self):
+        trace = elephant_mice_trace(
+            30, 20_000, elephants=2, elephant_share=0.9, seed=4
+        )
+        demand = DemandMatrix.from_trace(trace)
+        art = render_demand_heatmap(demand, legend=False)
+        flat = "".join(art.split("\n"))
+        # the elephant pair(s) hit the top shades; everything else is faint
+        peaks = sum(flat.count(ch) for ch in "%@")
+        assert 1 <= peaks <= 2
+        assert flat.count(".") + flat.count(":") > 100  # visible mice
+
+    def test_uniform_is_flat(self):
+        demand = DemandMatrix.from_trace(uniform_trace(16, 50_000, 5))
+        art = render_demand_heatmap(demand, legend=False, log_scale=False)
+        shades = {ch for ch in "".join(art.split("\n")) if ch != " "}
+        # heavy sampling: all off-diagonal cells within a couple of shades
+        assert len(shades) <= 4
+
+    def test_diagonal_is_empty(self):
+        demand = DemandMatrix.from_trace(uniform_trace(12, 5_000, 6))
+        art = render_demand_heatmap(demand, legend=False).split("\n")
+        assert all(art[i][i] == " " for i in range(12))
+
+    def test_log_vs_linear(self):
+        trace = elephant_mice_trace(20, 10_000, elephants=1,
+                                    elephant_share=0.95, seed=7)
+        demand = DemandMatrix.from_trace(trace)
+        linear = render_demand_heatmap(demand, legend=False, log_scale=False)
+        logscale = render_demand_heatmap(demand, legend=False, log_scale=True)
+        # under linear shading the mice vanish; log keeps them visible
+        mice_linear = sum(1 for ch in linear if ch not in " @\n")
+        mice_log = sum(1 for ch in logscale if ch not in " @\n")
+        assert mice_log > mice_linear

@@ -1,0 +1,62 @@
+"""Series rendering: recorded-run sparklines and convergence panels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.splaynet import KArySplayNet
+from repro.errors import ReproError
+from repro.network.simulator import Simulator
+from repro.viz.series import convergence_panel, render_series
+from repro.workloads.synthetic import temporal_trace
+
+
+@pytest.fixture(scope="module")
+def recorded_run():
+    trace = temporal_trace(32, 1_500, 0.8, 3)
+    return Simulator(record_series=True).run(
+        KArySplayNet(32, 2), trace, name="demo"
+    )
+
+
+class TestRenderSeries:
+    def test_contains_sparkline_and_stats(self, recorded_run):
+        text = render_series(recorded_run)
+        assert "demo" in text
+        assert "warm-up" in text
+        assert any(ch in text for ch in "▁▂▃▄▅▆▇█")
+
+    def test_bucket_clamping(self, recorded_run):
+        text = render_series(recorded_run, buckets=10_000)
+        assert len(text.split("\n")) == 3
+
+    def test_requires_series(self):
+        trace = temporal_trace(16, 100, 0.5, 1)
+        result = Simulator().run(KArySplayNet(16, 2), trace)
+        with pytest.raises(ReproError):
+            render_series(result)
+
+
+class TestConvergencePanel:
+    def test_aligned_rows(self, recorded_run):
+        panel = convergence_panel({"a": recorded_run, "bb": recorded_run})
+        lines = panel.split("\n")
+        assert len(lines) == 2
+
+        def spark_col(line: str) -> int:
+            return min(line.index(ch) for ch in set(line) if ch in "▁▂▃▄▅▆▇█")
+
+        # sparklines start at the same column (labels padded)
+        assert spark_col(lines[0]) == spark_col(lines[1])
+
+    def test_empty(self):
+        assert convergence_panel({}) == "(no runs)"
+
+    def test_missing_series_rejected(self):
+        trace = temporal_trace(16, 100, 0.5, 1)
+        bare = Simulator().run(KArySplayNet(16, 2), trace)
+        with pytest.raises(ReproError):
+            convergence_panel({"x": bare})
+
+    def test_tail_reported(self, recorded_run):
+        assert "tail" in convergence_panel({"a": recorded_run})

@@ -1,0 +1,132 @@
+"""Tests for the simulated datacenter traces (the paper's data substitutes).
+
+Beyond well-formedness, these tests pin the *complexity fingerprints* the
+substitution argument in DESIGN.md relies on: HPC must be the
+highest-temporal-locality trace, Facebook the lowest, ProjecToR the most
+spatially skewed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.datacenter import (
+    facebook_trace,
+    grid_dimensions,
+    hpc_trace,
+    projector_trace,
+)
+from repro.workloads.stats import summarize_trace
+
+
+class TestGridDimensions:
+    @pytest.mark.parametrize("n", [2, 8, 27, 64, 100, 216, 500, 1000])
+    def test_covers_n(self, n):
+        a, b, c = grid_dimensions(n)
+        assert a * b * c >= n
+
+    def test_roughly_cubic(self):
+        a, b, c = grid_dimensions(512)
+        assert max(a, b, c) <= 4 * min(a, b, c)
+
+
+class TestWellFormed:
+    @pytest.mark.parametrize(
+        "gen,n",
+        [(hpc_trace, 64), (projector_trace, 50), (facebook_trace, 128)],
+    )
+    def test_basic(self, gen, n):
+        tr = gen(n, 3000, 5)
+        assert tr.n == n and tr.m == 3000
+
+    @pytest.mark.parametrize(
+        "gen", [hpc_trace, projector_trace, facebook_trace]
+    )
+    def test_deterministic(self, gen):
+        a, b = gen(64, 1000, 3), gen(64, 1000, 3)
+        assert np.array_equal(a.sources, b.sources)
+        assert np.array_equal(a.targets, b.targets)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(WorkloadError):
+            hpc_trace(1, 10)
+        with pytest.raises(WorkloadError):
+            projector_trace(3, 10)
+        with pytest.raises(WorkloadError):
+            facebook_trace(3, 10)
+
+
+class TestComplexityFingerprints:
+    """The substitution contract: each trace sits in its dataset's regime."""
+
+    @pytest.fixture(scope="class")
+    def summaries(self):
+        m = 20000
+        return {
+            "hpc": summarize_trace(hpc_trace(216, m, 0)),
+            "projector": summarize_trace(projector_trace(100, m, 0)),
+            "facebook": summarize_trace(facebook_trace(512, m, 0)),
+        }
+
+    def test_hpc_has_highest_temporal_locality(self, summaries):
+        assert summaries["hpc"].repeat_fraction > 0.12
+        assert summaries["hpc"].repeat_fraction > summaries["projector"].repeat_fraction
+        assert summaries["hpc"].repeat_fraction > summaries["facebook"].repeat_fraction
+
+    def test_facebook_has_lowest_temporal_locality(self, summaries):
+        assert summaries["facebook"].repeat_fraction < 0.02
+
+    def test_projector_is_most_spatially_skewed(self, summaries):
+        assert summaries["projector"].spatial_skew > summaries["facebook"].spatial_skew
+        assert summaries["projector"].spatial_skew > 0.35
+
+    def test_facebook_has_wide_working_set(self, summaries):
+        assert summaries["facebook"].working_set > 2 * summaries["projector"].working_set
+
+    def test_hpc_demand_is_sparse_and_structured(self):
+        tr = hpc_trace(216, 20000, 0)
+        s = summarize_trace(tr)
+        assert s.density < 0.1  # stencil + collective pairs only
+
+
+class TestHPCStructure:
+    def test_stencil_pairs_are_grid_neighbours(self):
+        tr = hpc_trace(64, 5000, 1, collective_every=0, background=0.0)
+        a, b, c = grid_dimensions(64)
+        for u, v in list(tr.pairs())[:500]:
+            diff = abs((u - 1) - (v - 1))
+            assert diff in (1, a, a * b), (u, v)
+
+    def test_burst_knob_controls_locality(self):
+        from repro.workloads.stats import repeat_fraction
+
+        lo = hpc_trace(64, 10000, 0, mean_burst=2.0)
+        hi = hpc_trace(64, 10000, 0, mean_burst=16.0)
+        assert repeat_fraction(hi) > repeat_fraction(lo) + 0.2
+
+
+class TestProjectorStructure:
+    def test_elephants_dominate(self):
+        tr = projector_trace(100, 20000, 0)
+        pairs, counts = np.unique(
+            tr.sources * 1000 + tr.targets, return_counts=True
+        )
+        top = np.sort(counts)[::-1]
+        elephants = tr.meta["elephants"]
+        assert top[:elephants].sum() > 0.55 * tr.m
+
+    def test_elephant_count_knob(self):
+        tr = projector_trace(100, 1000, 0, elephant_count=6)
+        assert tr.meta["elephants"] == 6
+
+
+class TestFacebookStructure:
+    def test_partner_sets_are_wide(self):
+        tr = facebook_trace(256, 30000, 0)
+        # the busiest source still spreads over many partners
+        src, counts = np.unique(tr.sources, return_counts=True)
+        busiest = src[np.argmax(counts)]
+        partners = np.unique(tr.targets[tr.sources == busiest])
+        assert len(partners) >= 8

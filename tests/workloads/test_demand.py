@@ -1,0 +1,103 @@
+"""Tests for DemandMatrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.demand import DemandMatrix
+from repro.workloads.synthetic import uniform_trace
+from repro.workloads.trace import Trace
+
+
+class TestFromTrace:
+    def test_counts(self):
+        tr = Trace(4, np.array([1, 1, 2]), np.array([2, 2, 3]))
+        d = DemandMatrix.from_trace(tr)
+        assert d.count(1, 2) == 2
+        assert d.count(2, 3) == 1
+        assert d.count(3, 2) == 0
+        assert d.total == 3
+
+    def test_dense_below_limit(self):
+        d = DemandMatrix.from_trace(uniform_trace(100, 1000, 0))
+        assert d.is_dense
+
+    def test_sparse_above_limit(self):
+        d = DemandMatrix.from_trace(uniform_trace(5000, 1000, 0))
+        assert not d.is_dense
+        assert d.total == 1000
+
+    def test_force_dense(self):
+        d = DemandMatrix.from_trace(uniform_trace(5000, 100, 0), force_dense=True)
+        assert d.is_dense
+
+
+class TestUniform:
+    def test_all_ones_off_diagonal(self):
+        d = DemandMatrix.uniform(4)
+        assert d.total == 12
+        assert d.count(1, 1) == 0
+        assert d.count(1, 4) == 1
+
+
+class TestAccessors:
+    def test_marginals(self):
+        tr = Trace(4, np.array([1, 1, 2]), np.array([2, 3, 3]))
+        d = DemandMatrix.from_trace(tr)
+        assert list(d.out_degrees()) == [2, 1, 0, 0]
+        assert list(d.in_degrees()) == [0, 1, 2, 0]
+
+    def test_marginals_sparse(self):
+        tr = uniform_trace(5000, 2000, 1)
+        d = DemandMatrix.from_trace(tr)
+        assert d.out_degrees().sum() == 2000
+        assert d.in_degrees().sum() == 2000
+
+    def test_nonzero_pairs(self):
+        tr = Trace(4, np.array([1, 1]), np.array([2, 2]))
+        d = DemandMatrix.from_trace(tr)
+        assert list(d.nonzero_pairs()) == [(1, 2, 2)]
+
+    def test_nonzero_arrays_sparse_and_dense_agree(self):
+        tr = uniform_trace(50, 500, 2)
+        dense = DemandMatrix.from_trace(tr)
+        sparse = DemandMatrix.from_trace(
+            Trace(5000, tr.sources, tr.targets)
+        )
+        du, dv, dw = dense.nonzero_arrays()
+        su, sv, sw = sparse.nonzero_arrays()
+        assert np.array_equal(du, su) and np.array_equal(dv, sv)
+        assert np.array_equal(dw, sw)
+
+    def test_density(self):
+        d = DemandMatrix.uniform(10)
+        assert d.density() == 1.0
+
+    def test_dense_refuses_huge(self):
+        tr = uniform_trace(20000, 100, 0)
+        d = DemandMatrix.from_trace(tr)
+        with pytest.raises(WorkloadError):
+            d.dense()
+
+
+class TestValidation:
+    def test_both_or_neither_backing(self):
+        with pytest.raises(WorkloadError):
+            DemandMatrix(3)
+        with pytest.raises(WorkloadError):
+            DemandMatrix(
+                3,
+                dense=np.zeros((3, 3), dtype=np.int64),
+                sparse="also",  # type: ignore[arg-type]
+            )
+
+    def test_diagonal_must_be_zero(self):
+        d = np.ones((3, 3), dtype=np.int64)
+        with pytest.raises(WorkloadError):
+            DemandMatrix(3, dense=d)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(WorkloadError):
+            DemandMatrix(4, dense=np.zeros((3, 3), dtype=np.int64))

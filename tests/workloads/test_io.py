@@ -1,0 +1,70 @@
+"""Tests for trace persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.io import (
+    load_trace_csv,
+    load_trace_npz,
+    save_trace_csv,
+    save_trace_npz,
+)
+from repro.workloads.synthetic import temporal_trace
+
+
+@pytest.fixture
+def trace():
+    return temporal_trace(30, 200, 0.5, seed=4)
+
+
+class TestCSV:
+    def test_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "t.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path, n=trace.n)
+        assert np.array_equal(loaded.sources, trace.sources)
+        assert np.array_equal(loaded.targets, trace.targets)
+
+    def test_n_inferred(self, trace, tmp_path):
+        path = tmp_path / "t.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path)
+        assert loaded.n == max(trace.sources.max(), trace.targets.max())
+
+    def test_comments_and_header_skipped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("# comment\nsource,target\n1,2\n2,3\n")
+        loaded = load_trace_csv(path)
+        assert list(loaded.pairs()) == [(1, 2), (2, 3)]
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("1\n")
+        with pytest.raises(WorkloadError):
+            load_trace_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("# nothing\n")
+        with pytest.raises(WorkloadError):
+            load_trace_csv(path)
+
+    def test_name_defaults_to_stem(self, trace, tmp_path):
+        path = tmp_path / "mytrace.csv"
+        save_trace_csv(trace, path)
+        assert load_trace_csv(path).name == "mytrace"
+
+
+class TestNPZ:
+    def test_roundtrip_with_metadata(self, trace, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace_npz(trace, path)
+        loaded = load_trace_npz(path)
+        assert np.array_equal(loaded.sources, trace.sources)
+        assert np.array_equal(loaded.targets, trace.targets)
+        assert loaded.n == trace.n
+        assert loaded.name == trace.name
+        assert loaded.meta["p"] == 0.5

@@ -1,0 +1,172 @@
+"""Mixture/phase workload generators: shape, determinism, regime checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import complexity_report, repeat_excess
+from repro.errors import WorkloadError
+from repro.workloads.mixtures import (
+    elephant_mice_trace,
+    interleave_traces,
+    markov_modulated_trace,
+    phased_trace,
+    shuffle_phase_trace,
+)
+from repro.workloads.synthetic import temporal_trace, uniform_trace
+
+
+class TestElephantMice:
+    def test_shape(self):
+        trace = elephant_mice_trace(50, 5000, seed=1)
+        assert trace.n == 50 and trace.m == 5000
+
+    def test_deterministic(self):
+        a = elephant_mice_trace(50, 1000, seed=9)
+        b = elephant_mice_trace(50, 1000, seed=9)
+        assert (a.sources == b.sources).all() and (a.targets == b.targets).all()
+
+    def test_elephants_dominate(self):
+        trace = elephant_mice_trace(
+            50, 20_000, elephants=3, elephant_share=0.8, seed=2
+        )
+        pairs = trace.sources * 1000 + trace.targets
+        _, counts = np.unique(pairs, return_counts=True)
+        top3 = np.sort(counts)[-3:].sum()
+        assert top3 / trace.m > 0.7
+
+    def test_share_controls_skew(self):
+        low = elephant_mice_trace(50, 10_000, elephant_share=0.2, seed=3)
+        high = elephant_mice_trace(50, 10_000, elephant_share=0.9, seed=3)
+        assert (
+            complexity_report(high).spatial < complexity_report(low).spatial
+        )
+
+    def test_no_self_pairs(self):
+        trace = elephant_mice_trace(10, 5000, elephants=8, seed=4)
+        assert not np.any(trace.sources == trace.targets)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"elephants": 0},
+            {"elephant_share": 0.0},
+            {"elephant_share": 1.0},
+            {"elephants": 10**6},
+        ],
+    )
+    def test_bad_params(self, kwargs):
+        with pytest.raises(WorkloadError):
+            elephant_mice_trace(20, 100, seed=1, **kwargs)
+
+
+class TestMarkovModulated:
+    def test_shape_and_determinism(self):
+        a = markov_modulated_trace(40, 3000, seed=5)
+        b = markov_modulated_trace(40, 3000, seed=5)
+        assert a.m == 3000
+        assert (a.sources == b.sources).all()
+
+    def test_locality_between_regimes(self):
+        # overall repeat excess sits between the pure regimes
+        trace = markov_modulated_trace(
+            60, 20_000, p_local=0.9, stay_local=0.9, stay_mixing=0.9, seed=6
+        )
+        excess = repeat_excess(trace)
+        assert 0.2 < excess < 0.8
+
+    def test_always_local_matches_temporal(self):
+        # stay_local=1 starting LOCAL behaves like temporal_trace(p_local)
+        trace = markov_modulated_trace(
+            60, 20_000, p_local=0.75, stay_local=1.0, stay_mixing=0.0, seed=7
+        )
+        assert repeat_excess(trace) == pytest.approx(0.75, abs=0.05)
+
+    def test_bad_probability(self):
+        with pytest.raises(WorkloadError):
+            markov_modulated_trace(10, 100, p_local=1.5)
+
+    def test_no_self_pairs(self):
+        trace = markov_modulated_trace(8, 4000, seed=8)
+        assert not np.any(trace.sources == trace.targets)
+
+
+class TestPhased:
+    def test_concatenates(self):
+        a = uniform_trace(30, 100, 1)
+        b = temporal_trace(30, 200, 0.9, 1)
+        phased = phased_trace([a, b])
+        assert phased.m == 300
+        assert (phased.sources[:100] == a.sources).all()
+        assert (phased.targets[100:] == b.targets).all()
+
+    def test_meta_counts_phases(self):
+        a = uniform_trace(30, 50, 1)
+        assert phased_trace([a, a, a]).meta["phases"] == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            phased_trace([])
+
+    def test_mismatched_n_rejected(self):
+        with pytest.raises(WorkloadError):
+            phased_trace([uniform_trace(10, 10, 1), uniform_trace(20, 10, 1)])
+
+
+class TestShufflePhase:
+    def test_shape(self):
+        trace = shuffle_phase_trace(64, 1000, seed=1)
+        assert trace.m == 1000
+
+    def test_rounds_are_matchings(self):
+        n = 16
+        trace = shuffle_phase_trace(n, n, workers=n, rounds=2, seed=2)
+        # first n requests form one round: a permutation of the workers
+        assert len(set(trace.sources[:n].tolist())) == n
+        assert len(set(trace.targets[:n].tolist())) == n
+
+    def test_worker_subset(self):
+        trace = shuffle_phase_trace(100, 500, workers=10, seed=3)
+        used = set(trace.sources.tolist()) | set(trace.targets.tolist())
+        assert len(used) == 10
+
+    def test_no_self_pairs(self):
+        trace = shuffle_phase_trace(12, 600, seed=4)
+        assert not np.any(trace.sources == trace.targets)
+
+    @pytest.mark.parametrize("kwargs", [{"workers": 1}, {"workers": 200}, {"rounds": 0}])
+    def test_bad_params(self, kwargs):
+        with pytest.raises(WorkloadError):
+            shuffle_phase_trace(100, 100, seed=1, **kwargs)
+
+
+class TestInterleave:
+    def test_alternating_blocks(self):
+        a = uniform_trace(20, 6, 1)
+        b = uniform_trace(20, 6, 2)
+        mixed = interleave_traces(a, b, period=2)
+        assert mixed.m == 12
+        assert (mixed.sources[0:2] == a.sources[0:2]).all()
+        assert (mixed.sources[2:4] == b.sources[0:2]).all()
+        assert (mixed.sources[4:6] == a.sources[2:4]).all()
+
+    def test_uneven_lengths(self):
+        a = uniform_trace(20, 10, 1)
+        b = uniform_trace(20, 3, 2)
+        mixed = interleave_traces(a, b, period=2)
+        assert mixed.m == 13
+        # all of a and b appear exactly once
+        assert sorted(mixed.sources.tolist()) == sorted(
+            a.sources.tolist() + b.sources.tolist()
+        )
+
+    def test_mismatched_n(self):
+        with pytest.raises(WorkloadError):
+            interleave_traces(uniform_trace(10, 5, 1), uniform_trace(11, 5, 1))
+
+    def test_bad_period(self):
+        with pytest.raises(WorkloadError):
+            interleave_traces(
+                uniform_trace(10, 5, 1), uniform_trace(10, 5, 2), period=0
+            )

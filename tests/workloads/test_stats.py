@@ -1,0 +1,80 @@
+"""Tests for trace statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.stats import (
+    empirical_entropy,
+    pair_entropy,
+    repeat_fraction,
+    source_entropy,
+    summarize_trace,
+    target_entropy,
+    working_set_size,
+)
+from repro.workloads.synthetic import (
+    sequential_trace,
+    temporal_trace,
+    uniform_trace,
+    zipf_trace,
+)
+from repro.workloads.trace import Trace
+
+
+class TestEntropy:
+    def test_uniform_counts(self):
+        assert empirical_entropy(np.array([1, 1, 1, 1])) == pytest.approx(2.0)
+
+    def test_degenerate_counts(self):
+        assert empirical_entropy(np.array([5])) == 0.0
+        assert empirical_entropy(np.array([])) == 0.0
+        assert empirical_entropy(np.array([0, 0])) == 0.0
+
+    def test_marginal_entropies(self):
+        tr = Trace(4, np.array([1, 1, 1, 1]), np.array([2, 3, 2, 3]))
+        assert source_entropy(tr) == 0.0
+        assert target_entropy(tr) == pytest.approx(1.0)
+        assert pair_entropy(tr) == pytest.approx(1.0)
+
+    def test_zipf_less_entropic_than_uniform(self):
+        uni = uniform_trace(100, 20000, 1)
+        skew = zipf_trace(100, 20000, 1.5, 1)
+        assert pair_entropy(skew) < pair_entropy(uni)
+
+
+class TestRepeatFraction:
+    def test_exact_cases(self):
+        tr = Trace(3, np.array([1, 1, 2, 2]), np.array([2, 2, 3, 3]))
+        assert repeat_fraction(tr) == pytest.approx(2 / 3)
+
+    def test_short_traces(self):
+        assert repeat_fraction(Trace(3, np.array([1]), np.array([2]))) == 0.0
+
+    def test_sequential_never_repeats(self):
+        assert repeat_fraction(sequential_trace(10, 100)) == 0.0
+
+
+class TestWorkingSet:
+    def test_constant_pair(self):
+        tr = Trace(3, np.full(100, 1), np.full(100, 2))
+        assert working_set_size(tr, window=10) == 1.0
+
+    def test_empty(self):
+        tr = Trace(3, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert working_set_size(tr) == 0.0
+
+
+class TestSummary:
+    def test_fields_and_str(self):
+        tr = temporal_trace(50, 5000, 0.5, seed=0)
+        s = summarize_trace(tr)
+        assert s.n == 50 and s.m == 5000
+        assert 0.45 < s.repeat_fraction < 0.55
+        assert 0.0 <= s.spatial_skew <= 1.0
+        assert "repeat=" in str(s)
+
+    def test_uniform_has_low_skew(self):
+        s = summarize_trace(uniform_trace(50, 30000, 0))
+        assert s.spatial_skew < 0.05

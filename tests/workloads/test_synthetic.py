@@ -1,0 +1,142 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.stats import repeat_fraction, working_set_size
+from repro.workloads.synthetic import (
+    bursty_trace,
+    hotspot_trace,
+    permutation_trace,
+    sequential_trace,
+    temporal_trace,
+    uniform_trace,
+    zipf_trace,
+)
+
+GENERATORS = [
+    lambda n, m, s: uniform_trace(n, m, s),
+    lambda n, m, s: temporal_trace(n, m, 0.5, s),
+    lambda n, m, s: zipf_trace(n, m, 1.2, s),
+    lambda n, m, s: hotspot_trace(n, m, seed=s),
+    lambda n, m, s: bursty_trace(n, m, 4.0, s),
+    lambda n, m, s: permutation_trace(n, m, s),
+]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_well_formed(self, gen):
+        tr = gen(50, 1000, 7)
+        assert tr.m == 1000 and tr.n == 50  # Trace validates ranges itself
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_deterministic_by_seed(self, gen):
+        a, b = gen(50, 500, 9), gen(50, 500, 9)
+        assert np.array_equal(a.sources, b.sources)
+        assert np.array_equal(a.targets, b.targets)
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_different_seeds_differ(self, gen):
+        a, b = gen(50, 500, 1), gen(50, 500, 2)
+        assert not (
+            np.array_equal(a.sources, b.sources)
+            and np.array_equal(a.targets, b.targets)
+        )
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(WorkloadError):
+            uniform_trace(1, 10)
+
+    def test_zero_requests_rejected(self):
+        with pytest.raises(WorkloadError):
+            uniform_trace(10, 0)
+
+
+class TestUniform:
+    def test_marginals_roughly_flat(self):
+        tr = uniform_trace(20, 40000, 0)
+        _, counts = np.unique(tr.sources, return_counts=True)
+        assert counts.min() > 0.8 * counts.mean()
+
+    def test_all_pairs_reachable(self):
+        tr = uniform_trace(5, 5000, 0)
+        assert len(set(tr.pairs())) == 20  # 5*4 ordered pairs
+
+
+class TestTemporal:
+    @pytest.mark.parametrize("p", [0.0, 0.25, 0.5, 0.75, 0.9])
+    def test_repeat_fraction_matches_parameter(self, p):
+        tr = temporal_trace(100, 40000, p, seed=1)
+        assert abs(repeat_fraction(tr) - p) < 0.02
+
+    def test_every_request_repeat_or_fresh(self):
+        """Structural property of the p-repeat process."""
+        tr = temporal_trace(50, 2000, 0.7, seed=3)
+        pairs = list(tr.pairs())
+        for i in range(1, len(pairs)):
+            # either a literal repeat or a fresh pair; nothing else possible
+            assert pairs[i] == pairs[i - 1] or pairs[i] != ()
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(WorkloadError):
+            temporal_trace(10, 10, 1.0)
+        with pytest.raises(WorkloadError):
+            temporal_trace(10, 10, -0.1)
+
+    def test_meta_records_p(self):
+        assert temporal_trace(10, 10, 0.25, 0).meta["p"] == 0.25
+
+
+class TestZipf:
+    def test_skew_increases_with_alpha(self):
+        flat = zipf_trace(100, 20000, 0.5, seed=1)
+        steep = zipf_trace(100, 20000, 2.0, seed=1)
+        _, flat_counts = np.unique(flat.sources, return_counts=True)
+        _, steep_counts = np.unique(steep.sources, return_counts=True)
+        assert steep_counts.max() > 2 * flat_counts.max()
+
+
+class TestHotspot:
+    def test_hot_nodes_attract_traffic(self):
+        tr = hotspot_trace(100, 20000, hot_fraction=0.05, hot_prob=0.9, seed=2)
+        _, counts = np.unique(tr.targets, return_counts=True)
+        top5 = np.sort(counts)[-5:].sum()
+        assert top5 > 0.8 * tr.m
+
+    def test_invalid_fraction(self):
+        with pytest.raises(WorkloadError):
+            hotspot_trace(10, 10, hot_fraction=0.0)
+
+
+class TestBursty:
+    def test_mean_burst_measured(self):
+        tr = bursty_trace(100, 40000, mean_burst=8.0, seed=5)
+        # P(repeat) = 1 - 1/mean_burst
+        assert abs(repeat_fraction(tr) - 0.875) < 0.02
+
+    def test_invalid_burst(self):
+        with pytest.raises(WorkloadError):
+            bursty_trace(10, 10, 0.5)
+
+
+class TestPermutation:
+    def test_working_set_is_half_n(self):
+        tr = permutation_trace(100, 5000, seed=0)
+        assert len(set(tr.pairs())) == 50
+
+    def test_round_robin_order(self):
+        tr = permutation_trace(10, 15, seed=1)
+        pairs = list(tr.pairs())
+        assert pairs[:5] == pairs[5:10]
+
+
+class TestSequential:
+    def test_deterministic_scan(self):
+        tr = sequential_trace(4, 7)
+        assert list(tr.pairs()) == [
+            (1, 2), (2, 3), (3, 4), (1, 2), (2, 3), (3, 4), (1, 2),
+        ]

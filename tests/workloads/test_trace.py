@@ -1,0 +1,79 @@
+"""Tests for the Trace container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.trace import Trace
+
+
+def make_trace(n=5, pairs=((1, 2), (2, 3), (4, 5))):
+    src = np.array([p[0] for p in pairs])
+    dst = np.array([p[1] for p in pairs])
+    return Trace(n, src, dst, name="t", meta={"x": 1})
+
+
+class TestValidation:
+    def test_basic_fields(self):
+        tr = make_trace()
+        assert tr.n == 5 and tr.m == 3 and len(tr) == 3
+        assert list(tr.pairs()) == [(1, 2), (2, 3), (4, 5)]
+        assert list(iter(tr)) == [(1, 2), (2, 3), (4, 5)]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(WorkloadError):
+            Trace(3, np.array([1]), np.array([4]))
+        with pytest.raises(WorkloadError):
+            Trace(3, np.array([0]), np.array([2]))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(WorkloadError, match="self-loop"):
+            Trace(3, np.array([2]), np.array([2]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            Trace(3, np.array([1, 2]), np.array([2]))
+
+    def test_empty_trace_allowed(self):
+        tr = Trace(3, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert tr.m == 0
+
+    def test_dtype_coerced(self):
+        tr = Trace(3, np.array([1], dtype=np.int32), np.array([2], dtype=np.int32))
+        assert tr.sources.dtype == np.int64
+
+
+class TestOperations:
+    def test_head(self):
+        tr = make_trace()
+        head = tr.head(2)
+        assert head.m == 2 and list(head.pairs()) == [(1, 2), (2, 3)]
+        assert head.meta == tr.meta
+
+    def test_concat(self):
+        tr = make_trace()
+        joined = tr.concat(tr)
+        assert joined.m == 6
+
+    def test_concat_different_n_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_trace(n=5).concat(make_trace(n=6))
+
+    def test_shuffled_preserves_demand(self):
+        tr = make_trace()
+        shuffled = tr.shuffled(seed=1)
+        assert sorted(shuffled.pairs()) == sorted(tr.pairs())
+
+    def test_shuffled_deterministic(self):
+        tr = make_trace()
+        a = tr.shuffled(seed=3)
+        b = tr.shuffled(seed=3)
+        assert list(a.pairs()) == list(b.pairs())
+
+    def test_remapped_dense(self):
+        tr = Trace(100, np.array([10, 90]), np.array([90, 50]))
+        dense = tr.remapped_dense()
+        assert dense.n == 3
+        assert list(dense.pairs()) == [(1, 3), (3, 2)]
