@@ -1,0 +1,57 @@
+"""Engine hot-path benchmark: object vs. flat serve-loop throughput.
+
+Run as a script to emit a machine-readable JSON record (the acceptance
+gate for the flat engine is >= 3x serve-loop throughput at n=1024, k=4 on
+a Zipf trace):
+
+    PYTHONPATH=src python benchmarks/bench_engine_hotpath.py \
+        --output benchmarks/results/BENCH_engine_hotpath.json
+
+The same measurement is exposed as ``python -m repro bench-hotpath`` and
+smoke-tested (at toy scale) in the tier-1 suite; this script is the
+full-scale record keeper for the perf trajectory under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments.hotpath import hotpath_benchmark, write_hotpath_record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-n", "--nodes", type=int, default=1024)
+    parser.add_argument("-k", type=int, default=4)
+    parser.add_argument("-m", "--requests", type=int, default=100_000)
+    parser.add_argument(
+        "--network", choices=("ksplaynet", "centroid-splaynet"),
+        default="ksplaynet",
+    )
+    parser.add_argument("--zipf-alpha", type=float, default=1.2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", default=None, help="also write JSON here")
+    args = parser.parse_args(argv)
+
+    result = hotpath_benchmark(
+        n=args.nodes,
+        k=args.k,
+        m=args.requests,
+        network=args.network,
+        zipf_alpha=args.zipf_alpha,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    print(json.dumps(result, indent=2, sort_keys=True))
+    if args.output:
+        write_hotpath_record(result, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0 if result.get("totals_match", True) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -115,11 +115,15 @@ def audit_splaynet_accesses(
     """
     audits: list[AccessAudit] = []
     for key in keys:
-        root = net.tree.root
+        # Materialize the topology once per step: on the flat engine every
+        # ``net.tree`` access builds a fresh snapshot, so identity-keyed
+        # lookups must all come from the same materialization.
+        tree = net.tree
+        root = tree.root
         sizes = subtree_sizes(root, _kary_children)
         phi_before = sum(math.log2(w) for w in sizes.values())
         rank_root = math.log2(sizes[id(root)])
-        rank_node = math.log2(sizes[id(net.tree.node(key))])
+        rank_node = math.log2(sizes[id(tree.node(key))])
         result = net.access(key)
         phi_after = tree_potential(net.tree.root, _kary_children)
         audits.append(

@@ -9,6 +9,7 @@ Subcommands:
 * ``optimal``    — compute the optimal static tree for a trace's demand
 * ``figures``    — render the paper's schematic figures from live structures
 * ``reproduce``  — regenerate the paper's tables at a chosen scale
+* ``bench-hotpath`` — serve-loop throughput of the object vs. flat engine
 
 Every command is a thin shell over the public API, so anything done here
 can be scripted directly in Python; run with ``-h`` for per-command flags.
@@ -88,12 +89,12 @@ def _load_trace(path: str) -> Trace:
     return load_trace_csv(p)
 
 
-def _build_network(name: str, trace: Trace, k: int, alpha: float):
+def _build_network(name: str, trace: Trace, k: int, alpha: float, engine=None):
     n = trace.n
     if name == "ksplaynet":
-        return KArySplayNet(n, k)
+        return KArySplayNet(n, k, engine=engine)
     if name == "centroid-splaynet":
-        return CentroidSplayNet(n, k)
+        return CentroidSplayNet(n, k, engine=engine)
     if name == "splaynet":
         return SplayNet(n)
     if name == "full-tree":
@@ -156,7 +157,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     trace = _load_trace(args.trace)
-    network = _build_network(args.network, trace, args.k, args.alpha)
+    network = _build_network(args.network, trace, args.k, args.alpha, args.engine)
     result = Simulator().run(network, trace, name=f"{args.network} on {trace.name}")
     print(result)
     print(f"  routing-only cost      : {result.total_cost(ROUTING_ONLY):.0f}")
@@ -172,6 +173,30 @@ def _cmd_optimal(args: argparse.Namespace) -> int:
     print(f"optimal static {args.k}-ary tree: total distance {result.cost}")
     if args.show:
         print(result.tree.render(max_nodes=args.max_render))
+    return 0
+
+
+def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.hotpath import hotpath_benchmark, write_hotpath_record
+
+    result = hotpath_benchmark(
+        n=args.nodes,
+        k=args.k,
+        m=args.requests,
+        network=args.network,
+        zipf_alpha=args.zipf_alpha,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    print(json.dumps(result, indent=2, sort_keys=True))
+    if args.output:
+        write_hotpath_record(result, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if result.get("totals_match") is False:
+        print("error: engine cost totals diverged", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -247,7 +272,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--alpha", type=float, default=10_000.0,
         help="rebuild threshold for the lazy network",
     )
+    sim.add_argument(
+        "--engine", choices=("object", "flat"), default=None,
+        help="tree-engine backend for the self-adjusting networks",
+    )
     sim.set_defaults(func=_cmd_simulate)
+
+    bench = sub.add_parser(
+        "bench-hotpath",
+        help="serve-loop throughput: object vs. flat engine (JSON output)",
+    )
+    bench.add_argument("-n", "--nodes", type=int, default=1024)
+    bench.add_argument("-k", type=int, default=4, help="tree arity")
+    bench.add_argument("-m", "--requests", type=int, default=100_000)
+    bench.add_argument(
+        "--network", choices=("ksplaynet", "centroid-splaynet"),
+        default="ksplaynet",
+    )
+    bench.add_argument("--zipf-alpha", type=float, default=1.2)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--repeats", type=int, default=1,
+        help="timing repeats per engine (best time kept)",
+    )
+    bench.add_argument("--output", default=None, help="also write JSON here")
+    bench.set_defaults(func=_cmd_bench_hotpath)
 
     opt = sub.add_parser("optimal", help="optimal static tree for a trace")
     opt.add_argument("trace", help="trace path (.csv or .npz)")

@@ -18,11 +18,12 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.core.splay import splay_until
+from repro.core.engine import batch_serve
 from repro.core.splaynet import KArySplayNet
 from repro.errors import InvalidTreeError
-from repro.network.protocols import ServeResult
+from repro.network.protocols import BatchServeResult, ServeResult
 
 __all__ = ["CentroidSplayNet", "centroid_splaynet_layout"]
 
@@ -86,7 +87,7 @@ class CentroidSplayNet:
         :func:`centroid_splaynet_layout`.
     k:
         Arity of the inner k-ary SplayNets (``k = 2`` gives 3-SplayNet).
-    initial, policy:
+    initial, policy, engine:
         Passed through to every inner :class:`KArySplayNet`.
     """
 
@@ -97,15 +98,19 @@ class CentroidSplayNet:
         *,
         initial: str = "complete",
         policy: str = "center",
+        engine: Optional[str] = None,
     ) -> None:
         self.c1, self.c2, self._blocks = centroid_splaynet_layout(n, k)
         self._n = n
         self._k = k
         self.policy = policy
         self.subnets = [
-            KArySplayNet(block.size, k, initial=initial, policy=policy)
+            KArySplayNet(
+                block.size, k, initial=initial, policy=policy, engine=engine
+            )
             for block in self._blocks
         ]
+        self.engine = self.subnets[0].engine if self.subnets else "object"
         self._block_los = [block.lo for block in self._blocks]
 
     # ------------------------------------------------------------------
@@ -141,7 +146,7 @@ class CentroidSplayNet:
         idx = self.locate(u)
         block = self._blocks[idx]
         subnet = self.subnets[idx]
-        depth = subnet.tree.depth(u - block.lo + 1)
+        depth = subnet.depth(u - block.lo + 1)
         return block.attach, depth + 1
 
     def distance(self, u: int, v: int) -> int:
@@ -151,12 +156,34 @@ class CentroidSplayNet:
         iu, iv = self.locate(u), self.locate(v)
         if iu == iv and iu >= 0:
             block = self._blocks[iu]
-            return self.subnets[iu].tree.distance(u - block.lo + 1, v - block.lo + 1)
+            return self.subnets[iu].distance(u - block.lo + 1, v - block.lo + 1)
         au, du = self._position(u)
         av, dv = self._position(v)
         return du + dv + (1 if au != av else 0)
 
     # ------------------------------------------------------------------
+    def _serve_totals(self, u: int, v: int) -> tuple[int, int, int]:
+        """Serve one request, returning ``(routing, rotations, links)``."""
+        if u == v:
+            return 0, 0, 0
+        iu, iv = self.locate(u), self.locate(v)
+        if iu == iv and iu >= 0:
+            block = self._blocks[iu]
+            return self.subnets[iu]._serve_totals(
+                u - block.lo + 1, v - block.lo + 1
+            )
+        routing_cost = self.distance(u, v)
+        rotations = 0
+        links = 0
+        for idx, endpoint in ((iu, u), (iv, v)):
+            if idx < 0:
+                continue  # centroids stay put
+            block = self._blocks[idx]
+            r, l = self.subnets[idx].splay_to_root(endpoint - block.lo + 1)
+            rotations += r
+            links += l
+        return routing_cost, rotations, links
+
     def serve(self, u: int, v: int) -> ServeResult:
         """Serve ``(u, v)`` per Section 4.2.
 
@@ -165,25 +192,23 @@ class CentroidSplayNet:
         (the centroids never move).  Routing cost is measured on the
         topology in place when the request arrived, as everywhere else.
         """
-        if u == v:
-            return ServeResult(0, 0, 0)
-        iu, iv = self.locate(u), self.locate(v)
-        if iu == iv and iu >= 0:
-            block = self._blocks[iu]
-            return self.subnets[iu].serve(u - block.lo + 1, v - block.lo + 1)
-        routing_cost = self.distance(u, v)
-        rotations = 0
-        links = 0
-        for idx, endpoint in ((iu, u), (iv, v)):
-            if idx < 0:
-                continue  # centroids stay put
-            block = self._blocks[idx]
-            subnet = self.subnets[idx]
-            node = subnet.tree.node(endpoint - block.lo + 1)
-            r, l = splay_until(subnet.tree, node, None, policy=self.policy)
-            rotations += r
-            links += l
-        return ServeResult(routing_cost, rotations, links)
+        return ServeResult(*self._serve_totals(u, v))
+
+    def serve_trace(
+        self,
+        sources,
+        targets=None,
+        *,
+        record_series: bool = False,
+    ) -> BatchServeResult:
+        """Serve a whole request batch; returns accumulated cost totals.
+
+        Skips per-request :class:`ServeResult` construction; series arrays
+        are only built when ``record_series`` is set.
+        """
+        return batch_serve(
+            self._serve_totals, sources, targets, record_series=record_series
+        )
 
     def validate(self) -> None:
         """Validate every inner SplayNet and the block layout."""

@@ -1,0 +1,188 @@
+"""Tree-engine selection for the self-adjusting networks.
+
+The library ships two interchangeable backends for the k-ary search tree
+hot loop:
+
+* ``"object"`` — the original pointer-linked :class:`~repro.core.node.KAryNode`
+  graph.  Every node is a Python object; rotations rewire attributes.  This
+  backend is the reference implementation: it carries the paranoid
+  per-rotation invariant checks used by the test suite and is the natural
+  representation for structural inspection, rendering and export.
+* ``"flat"`` — the structure-of-arrays engine in :mod:`repro.core.flat`.
+  All node state lives in preallocated flat arrays indexed by node
+  identifier (``parent``, ``pslot``, ``children[nid*k + slot]``,
+  ``routing[nid*(k-1) + j]``, ``smin``, ``smax``) and the k-splay /
+  k-semi-splay rotations are reimplemented as index arithmetic, which
+  removes per-request attribute lookups, helper-call overhead and
+  intermediate object allocation from the serve loop.  The two engines are
+  kept *structurally equivalent*: on the same request sequence they produce
+  identical topologies and identical cost totals (enforced by
+  ``tests/test_flat_engine.py``).
+
+Networks accept an ``engine=`` keyword (threaded through
+:class:`~repro.core.splaynet.KArySplayNet` and
+:class:`~repro.core.centroid_splaynet.CentroidSplayNet`); ``None`` falls
+back to the process-wide default, which is ``"object"`` unless overridden
+by the ``REPRO_ENGINE`` environment variable or
+:func:`set_default_engine`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import EngineError
+
+__all__ = [
+    "ENGINES",
+    "default_engine",
+    "set_default_engine",
+    "resolve_engine",
+    "as_request_lists",
+    "as_request_arrays",
+    "accumulate_serve_totals",
+    "batch_serve",
+]
+
+#: The available tree-engine backends.
+ENGINES = ("object", "flat")
+
+_default_engine = os.environ.get("REPRO_ENGINE", "object")
+
+
+def default_engine() -> str:
+    """The process-wide default engine (``REPRO_ENGINE`` or ``"object"``).
+
+    Validated lazily (not at import time) so a misconfigured environment
+    variable surfaces as a catchable :class:`EngineError` at the call site
+    instead of breaking ``import repro``.
+    """
+    if _default_engine not in ENGINES:
+        raise EngineError(
+            f"REPRO_ENGINE={_default_engine!r} is not one of {ENGINES}"
+        )
+    return _default_engine
+
+
+def set_default_engine(name: str) -> None:
+    """Set the process-wide default engine for networks built afterwards."""
+    global _default_engine
+    if name not in ENGINES:
+        raise EngineError(f"unknown engine {name!r}; choose from {ENGINES}")
+    _default_engine = name
+
+
+def resolve_engine(name: Optional[str]) -> str:
+    """Validate an ``engine=`` argument; ``None`` means the default."""
+    if name is None:
+        return default_engine()
+    if name not in ENGINES:
+        raise EngineError(f"unknown engine {name!r}; choose from {ENGINES}")
+    return name
+
+
+def as_request_lists(sources, targets=None) -> tuple[list[int], list[int]]:
+    """Normalize batched-serve input to two parallel Python int lists.
+
+    Accepts ``(sources, targets)`` as NumPy arrays / sequences, or a single
+    :class:`~repro.workloads.trace.Trace`-like object (anything exposing
+    ``sources``/``targets``) in the first position.  Plain int lists are the
+    fastest thing to iterate in the pure-Python serve loop, so the
+    conversion happens once here instead of per request.
+    """
+    if targets is None:
+        trace_sources = getattr(sources, "sources", None)
+        if trace_sources is None:
+            raise EngineError(
+                "serve_trace needs (sources, targets) arrays or a Trace"
+            )
+        sources, targets = trace_sources, sources.targets
+    src = sources.tolist() if hasattr(sources, "tolist") else list(sources)
+    dst = targets.tolist() if hasattr(targets, "tolist") else list(targets)
+    if len(src) != len(dst):
+        raise EngineError(
+            f"sources/targets length mismatch: {len(src)} != {len(dst)}"
+        )
+    return src, dst
+
+
+def as_request_arrays(sources, targets=None) -> tuple[np.ndarray, np.ndarray]:
+    """Normalize batched-serve input to two parallel NumPy int64 arrays.
+
+    The vectorized counterpart of :func:`as_request_lists`, for networks
+    whose batch path stays in NumPy (static trees, lazy rebuilding).
+    """
+    if targets is None:
+        trace_sources = getattr(sources, "sources", None)
+        if trace_sources is None:
+            raise EngineError(
+                "serve_trace needs (sources, targets) arrays or a Trace"
+            )
+        sources, targets = trace_sources, sources.targets
+    us = np.asarray(sources, dtype=np.int64)
+    vs = np.asarray(targets, dtype=np.int64)
+    if us.ndim != 1 or us.shape != vs.shape:
+        raise EngineError(
+            f"sources/targets must be equal-length 1-D arrays;"
+            f" got shapes {us.shape} and {vs.shape}"
+        )
+    return us, vs
+
+
+def accumulate_serve_totals(
+    serve_totals,
+    sources,
+    targets,
+    routing_series=None,
+    rotation_series=None,
+) -> tuple[int, int, int]:
+    """Accumulate a scalar serving callable over a request batch.
+
+    ``serve_totals(u, v)`` must return ``(routing, rotations, links)``
+    tuples; the optional series buffers are filled per request.  This is
+    the shared fallback loop behind every network's ``serve_trace`` when
+    no fully-inlined batch path applies.
+    """
+    total_r = total_rot = total_l = 0
+    if routing_series is not None:
+        for i in range(len(sources)):
+            r, ro, l = serve_totals(sources[i], targets[i])
+            total_r += r
+            total_rot += ro
+            total_l += l
+            routing_series[i] = r
+            rotation_series[i] = ro
+    else:
+        for u, v in zip(sources, targets):
+            r, ro, l = serve_totals(u, v)
+            total_r += r
+            total_rot += ro
+            total_l += l
+    return total_r, total_rot, total_l
+
+
+def batch_serve(serve_totals, sources, targets=None, *, record_series=False):
+    """The generic ``serve_trace`` body: accumulate a scalar serving core.
+
+    Wraps :func:`as_request_lists` + :func:`accumulate_serve_totals` +
+    result packing, so networks whose batch path is "loop the scalar core"
+    share one implementation.  Returns a
+    :class:`~repro.network.protocols.BatchServeResult`.
+    """
+    from repro.network.protocols import BatchServeResult
+
+    src, dst = as_request_lists(sources, targets)
+    m = len(src)
+    routing_series = rotation_series = None
+    if record_series:
+        routing_series = np.empty(m, dtype=np.int64)
+        rotation_series = np.empty(m, dtype=np.int64)
+    totals = accumulate_serve_totals(
+        serve_totals, src, dst, routing_series, rotation_series
+    )
+    return BatchServeResult(
+        m, totals[0], totals[1], totals[2], routing_series, rotation_series
+    )

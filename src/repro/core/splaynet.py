@@ -10,6 +10,13 @@ behaviour (the paper's "2-ary SplayNet").
 The routing cost charged for a request is the endpoint distance in the
 topology *before* the adjustment; rotations and link churn are reported
 separately (see :class:`repro.network.protocols.ServeResult`).
+
+Two interchangeable backends drive the hot loop (see
+:mod:`repro.core.engine`): ``engine="object"`` serves on the pointer-linked
+:class:`~repro.core.node.KAryNode` graph, ``engine="flat"`` on the
+structure-of-arrays :class:`~repro.core.flat.FlatTree`.  Both produce
+identical topologies and cost totals; the flat engine is several times
+faster on long traces.
 """
 
 from __future__ import annotations
@@ -23,11 +30,13 @@ from repro.core.builders import (
     build_complete_tree,
     build_random_tree,
 )
+from repro.core.engine import as_request_lists, batch_serve, resolve_engine
+from repro.core.flat import FlatTree
 from repro.core.rotations import BLOCK_POLICIES, splay_step
 from repro.core.splay import splay_until
 from repro.core.tree import KAryTreeNetwork
 from repro.errors import InvalidTreeError, RotationError
-from repro.network.protocols import ServeResult
+from repro.network.protocols import BatchServeResult, ServeResult
 
 __all__ = ["KArySplayNet"]
 
@@ -46,7 +55,9 @@ class KArySplayNet:
         Number of network nodes (identifiers ``1..n``).
     k:
         Arity (``k >= 2``; ``k = 2`` is standard SplayNet re-expressed with
-        separate routing arrays).
+        separate routing arrays).  Defaults to 2 when building an initial
+        topology; when an explicit tree is provided its arity is adopted,
+        and a ``k`` that conflicts with it is rejected.
     initial:
         Initial topology: ``"complete"`` (default), ``"balanced"``,
         ``"random"``, or an explicit :class:`KAryTreeNetwork` to adopt.
@@ -59,17 +70,21 @@ class KArySplayNet:
         (Section 4.1's closing remark; see the deep-splay ablation bench).
     seed:
         Seed for the ``"random"`` initial topology.
+    engine:
+        Tree-engine backend, ``"object"`` or ``"flat"`` (``None`` = the
+        process default, see :mod:`repro.core.engine`).
     """
 
     def __init__(
         self,
         n: Optional[int] = None,
-        k: int = 2,
+        k: Optional[int] = None,
         *,
         initial: "str | KAryTreeNetwork" = "complete",
         policy: str = "center",
         splay_depth: int = 2,
         seed: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if policy not in BLOCK_POLICIES:
             raise RotationError(
@@ -79,54 +94,95 @@ class KArySplayNet:
             raise RotationError(f"splay_depth must be >= 2, got {splay_depth}")
         self.policy = policy
         self.splay_depth = splay_depth
+        self.engine = resolve_engine(engine)
         if isinstance(initial, KAryTreeNetwork):
             if n is not None and n != initial.n:
                 raise InvalidTreeError(
                     f"n={n} conflicts with provided tree of size {initial.n}"
+                )
+            if k is not None and k != initial.k:
+                raise InvalidTreeError(
+                    f"k={k} conflicts with provided tree of arity {initial.k}"
                 )
             if initial.routing_based:
                 raise InvalidTreeError(
                     "routing-based trees cannot self-adjust (identifiers double"
                     " as separators); build a non-routing-based initial tree"
                 )
-            self.tree = initial
+            tree = initial
         else:
             if n is None:
                 raise InvalidTreeError("n is required unless a tree is provided")
+            if k is None:
+                k = 2
             if initial == "random":
-                self.tree = build_random_tree(
+                tree = build_random_tree(
                     n, k, np.random.default_rng(seed), validate=False
                 )
             elif initial in _INITIAL_BUILDERS:
-                self.tree = _INITIAL_BUILDERS[initial](n, k, validate=False)
+                tree = _INITIAL_BUILDERS[initial](n, k, validate=False)
             else:
                 raise InvalidTreeError(f"unknown initial topology {initial!r}")
-        if isinstance(initial, KAryTreeNetwork) and initial.k != k and n is not None:
-            raise InvalidTreeError("arity of provided tree conflicts with k")
-        self._k = self.tree.k
+        self._k = tree.k
+        if self.engine == "flat":
+            self._flat: Optional[FlatTree] = FlatTree.from_tree(tree)
+            self._tree: Optional[KAryTreeNetwork] = None
+        else:
+            self._flat = None
+            self._tree = tree
 
     # ------------------------------------------------------------------
     @property
     def n(self) -> int:
-        return self.tree.n
+        if self._flat is not None:
+            return self._flat.n
+        return self._tree.n
 
     @property
     def k(self) -> int:
         return self._k
 
-    def distance(self, u: int, v: int) -> int:
-        return self.tree.distance(u, v)
+    @property
+    def tree(self) -> KAryTreeNetwork:
+        """The current topology as an object tree.
 
-    def serve(self, u: int, v: int) -> ServeResult:
-        """Serve request ``(u, v)``: route, then splay the endpoints together.
-
-        After the call (for ``u != v``) the endpoints are adjacent, so a
-        burst of repeated requests costs 1 per request — the self-adjusting
-        property the paper's experiments exploit on high-locality traces.
+        For the object engine this is the live tree; for the flat engine it
+        is a fresh :class:`KAryTreeNetwork` snapshot materialized from the
+        arrays (mutating it does not affect the network).
         """
+        if self._flat is not None:
+            return self._flat.to_tree()
+        return self._tree
+
+    @property
+    def flat(self) -> Optional[FlatTree]:
+        """The live :class:`FlatTree` backend (``None`` on the object engine)."""
+        return self._flat
+
+    def distance(self, u: int, v: int) -> int:
+        if self._flat is not None:
+            return self._flat.distance(u, v)
+        return self._tree.distance(u, v)
+
+    def depth(self, x: int) -> int:
+        """Depth of node ``x`` in the current topology (root = 0)."""
+        if self._flat is not None:
+            return self._flat.depth(x)
+        return self._tree.depth(x)
+
+    # ------------------------------------------------------------------
+    def _serve_totals(self, u: int, v: int) -> tuple[int, int, int]:
+        """Serve one request, returning ``(routing, rotations, links)``.
+
+        The scalar core shared by :meth:`serve` (which wraps the totals in a
+        :class:`ServeResult`) and the batched paths, which accumulate the
+        bare tuples without per-request object construction.
+        """
+        if self._flat is not None:
+            return self._flat.serve_one(u, v, self.policy, self.splay_depth)
         if u == v:
-            return ServeResult(0, 0, 0)
-        tree = self.tree
+            return 0, 0, 0
+        tree = self._tree
         lca, du, dv = tree.lca(u, v)
         routing_cost = du + dv
         node_u = tree.node(u)
@@ -151,7 +207,54 @@ class KArySplayNet:
             )
             rotations += r2
             links += l2
-        return ServeResult(routing_cost, rotations, links)
+        return routing_cost, rotations, links
+
+    def serve(self, u: int, v: int) -> ServeResult:
+        """Serve request ``(u, v)``: route, then splay the endpoints together.
+
+        After the call (for ``u != v``) the endpoints are adjacent, so a
+        burst of repeated requests costs 1 per request — the self-adjusting
+        property the paper's experiments exploit on high-locality traces.
+        """
+        return ServeResult(*self._serve_totals(u, v))
+
+    def serve_trace(
+        self,
+        sources,
+        targets=None,
+        *,
+        record_series: bool = False,
+    ) -> BatchServeResult:
+        """Serve a whole request batch; returns accumulated cost totals.
+
+        ``sources``/``targets`` are parallel identifier arrays (NumPy or
+        lists), or a single :class:`~repro.workloads.trace.Trace` in the
+        first position.  Per-request :class:`ServeResult` construction is
+        skipped; series arrays are only built when ``record_series`` is
+        set.  This is the fast path :class:`~repro.network.simulator.
+        Simulator` uses when no per-request validation is requested.
+        """
+        if self._flat is None:
+            return batch_serve(
+                self._serve_totals, sources, targets, record_series=record_series
+            )
+        src, dst = as_request_lists(sources, targets)
+        m = len(src)
+        routing_series = rotation_series = None
+        if record_series:
+            routing_series = np.empty(m, dtype=np.int64)
+            rotation_series = np.empty(m, dtype=np.int64)
+        totals = self._flat.serve_many(
+            src,
+            dst,
+            policy=self.policy,
+            depth=self.splay_depth,
+            routing_series=routing_series,
+            rotation_series=rotation_series,
+        )
+        return BatchServeResult(
+            m, totals[0], totals[1], totals[2], routing_series, rotation_series
+        )
 
     def access(self, x: int) -> ServeResult:
         """A splay-*tree* access: search ``x`` from the root, splay it up.
@@ -163,13 +266,20 @@ class KArySplayNet:
         ``O(m + Σ_x n_x log(m / n_x))`` — checked empirically by
         ``bench_theorem12_static_optimality``.
         """
-        tree = self.tree
-        node = tree.node(x)
-        routing_cost = tree.depth(x)
-        rotations, links = splay_until(
-            tree, node, None, policy=self.policy, depth=self.splay_depth
-        )
+        routing_cost = self.depth(x)
+        rotations, links = self.splay_to_root(x)
         return ServeResult(routing_cost, rotations, links)
+
+    def splay_to_root(self, x: int) -> tuple[int, int]:
+        """Splay ``x`` all the way to the root; returns ``(rotations, links)``."""
+        if self._flat is not None:
+            return self._flat.splay_until(
+                x, 0, policy=self.policy, depth=self.splay_depth
+            )
+        tree = self._tree
+        return splay_until(
+            tree, tree.node(x), None, policy=self.policy, depth=self.splay_depth
+        )
 
     def serve_semi(self, u: int, v: int) -> ServeResult:
         """Partially-reactive serving: one splay step per endpoint.
@@ -182,7 +292,23 @@ class KArySplayNet:
         """
         if u == v:
             return ServeResult(0, 0, 0)
-        tree = self.tree
+        flat = self._flat
+        if flat is not None:
+            _, du, dv = flat.lca(u, v)
+            rotations = 0
+            links = 0
+            parent = flat.parent
+            for endpoint in (u, v):
+                p = parent[endpoint]
+                if not p:
+                    continue
+                if parent[p]:
+                    links += flat.splay(endpoint, self.policy)
+                else:
+                    links += flat.semi_splay(endpoint, self.policy)
+                rotations += 1
+            return ServeResult(du + dv, rotations, links)
+        tree = self._tree
         _, du, dv = tree.lca(u, v)
         rotations = 0
         links = 0
@@ -199,7 +325,13 @@ class KArySplayNet:
 
     def validate(self) -> None:
         """Full structural validation of the current topology."""
-        self.tree.validate()
+        if self._flat is not None:
+            self._flat.validate()
+        else:
+            self._tree.validate()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"KArySplayNet(n={self.n}, k={self.k}, policy={self.policy!r})"
+        return (
+            f"KArySplayNet(n={self.n}, k={self.k}, policy={self.policy!r},"
+            f" engine={self.engine!r})"
+        )

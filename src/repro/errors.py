@@ -14,6 +14,7 @@ __all__ = [
     "WorkloadError",
     "OptimizationError",
     "ExperimentError",
+    "EngineError",
 ]
 
 
@@ -51,3 +52,7 @@ class OptimizationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment configuration is inconsistent."""
+
+
+class EngineError(ReproError):
+    """An unknown or unsupported tree-engine backend was requested."""

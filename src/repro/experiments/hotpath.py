@@ -1,0 +1,121 @@
+"""Serve-loop throughput benchmark: object engine vs. flat engine.
+
+The paper's experiments are traces of 10^5–10^6 ``serve(u, v)`` calls, so
+end-to-end reproduction time is dominated by the serve hot loop.  This
+module measures that loop in isolation — requests/second and
+rotations/second for each engine on the same Zipf trace — and emits a
+machine-readable dict, used by ``python -m repro bench-hotpath``, by
+``benchmarks/bench_engine_hotpath.py`` and by the tier-1 smoke test.
+
+The two engines are also cross-checked: their cost totals must agree
+exactly (they implement the same discipline), so a benchmark run doubles as
+an end-to-end equivalence check at benchmark scale.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.centroid_splaynet import CentroidSplayNet
+from repro.core.engine import ENGINES
+from repro.core.splaynet import KArySplayNet
+from repro.errors import ExperimentError
+from repro.workloads.synthetic import zipf_trace
+
+__all__ = ["hotpath_benchmark", "write_hotpath_record"]
+
+
+def _build_network(network: str, n: int, k: int, policy: str, engine: str):
+    if network == "ksplaynet":
+        return KArySplayNet(n, k, policy=policy, engine=engine)
+    if network == "centroid-splaynet":
+        return CentroidSplayNet(n, k, policy=policy, engine=engine)
+    raise ExperimentError(
+        f"unknown hotpath network {network!r};"
+        " choose 'ksplaynet' or 'centroid-splaynet'"
+    )
+
+
+def hotpath_benchmark(
+    n: int = 1024,
+    k: int = 4,
+    m: int = 100_000,
+    *,
+    network: str = "ksplaynet",
+    zipf_alpha: float = 1.2,
+    seed: int = 0,
+    policy: str = "center",
+    repeats: int = 1,
+    engines: Sequence[str] = ENGINES,
+) -> dict:
+    """Measure serve-loop throughput per engine on one Zipf trace.
+
+    Each engine serves the identical trace on a freshly built network
+    (``repeats`` times, best time kept — self-adjustment makes state carry
+    over, so every repeat restarts from the initial topology).  Returns a
+    JSON-serializable dict with per-engine throughput, the flat/object
+    speedup, and an exact cross-engine totals check.
+    """
+    if repeats < 1:
+        raise ExperimentError(f"repeats must be >= 1, got {repeats}")
+    trace = zipf_trace(n, m, zipf_alpha, seed)
+    result: dict = {
+        "benchmark": "engine_hotpath",
+        "config": {
+            "network": network,
+            "n": n,
+            "k": k,
+            "m": m,
+            "trace": trace.name,
+            "zipf_alpha": zipf_alpha,
+            "seed": seed,
+            "policy": policy,
+            "repeats": repeats,
+            "python": platform.python_version(),
+        },
+        "engines": {},
+    }
+    totals: dict[str, tuple[int, int, int]] = {}
+    for engine in engines:
+        best = None
+        batch = None
+        for _ in range(repeats):
+            net = _build_network(network, n, k, policy, engine)
+            t0 = time.perf_counter()
+            batch = net.serve_trace(trace.sources, trace.targets)
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        totals[engine] = (
+            batch.total_routing,
+            batch.total_rotations,
+            batch.total_links_changed,
+        )
+        result["engines"][engine] = {
+            "seconds": best,
+            "requests_per_second": m / best,
+            "rotations_per_second": batch.total_rotations / best,
+            "total_routing": batch.total_routing,
+            "total_rotations": batch.total_rotations,
+            "total_links_changed": batch.total_links_changed,
+        }
+    if len(totals) > 1:
+        reference = next(iter(totals.values()))
+        result["totals_match"] = all(t == reference for t in totals.values())
+    if "object" in result["engines"] and "flat" in result["engines"]:
+        result["speedup_flat_over_object"] = (
+            result["engines"]["flat"]["requests_per_second"]
+            / result["engines"]["object"]["requests_per_second"]
+        )
+    return result
+
+
+def write_hotpath_record(result: dict, path: "str | Path") -> Path:
+    """Persist a benchmark record as pretty-printed JSON."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    return out

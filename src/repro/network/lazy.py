@@ -27,8 +27,9 @@ import numpy as np
 
 from repro.analysis.distance import TreeDistanceOracle
 from repro.core.builders import build_complete_tree
+from repro.core.engine import as_request_arrays
 from repro.errors import ExperimentError
-from repro.network.protocols import ServeResult
+from repro.network.protocols import BatchServeResult, ServeResult
 from repro.optimal.general import optimal_static_tree
 from repro.workloads.demand import DemandMatrix
 
@@ -106,6 +107,87 @@ class LazyRebuildNetwork:
             links = self._rebuild()  # may be 0 when the optimum is unchanged
             rebuilt = 1
         return ServeResult(cost, rebuilt, links)
+
+    def serve_trace(
+        self,
+        sources,
+        targets=None,
+        *,
+        record_series: bool = False,
+    ) -> BatchServeResult:
+        """Serve a whole batch, vectorizing the static stretches.
+
+        Between rebuilds the topology is fixed, so the batched path computes
+        request distances in vectorized oracle queries over geometrically
+        growing windows (bounding total work to O(m) even when rebuilds are
+        frequent), finds the threshold crossing by cumulative sum, and only
+        then pays for a rebuild — identical request-by-request semantics to
+        :meth:`serve` (demand counts are read exclusively at rebuild time,
+        and self-pairs are served at cost 0 without entering the demand).
+        """
+        us_all, vs_all = as_request_arrays(sources, targets)
+        m = len(us_all)
+        routing_series = rotation_series = None
+        if record_series:
+            routing_series = np.zeros(m, dtype=np.int64)
+            rotation_series = np.zeros(m, dtype=np.int64)
+        total_routing = 0
+        total_rebuilds = 0
+        total_links = 0
+        start = 0
+        while start < m:
+            # Grow the lookahead window geometrically until it contains the
+            # threshold crossing (or the end of the trace); recomputation
+            # under growth is bounded by a constant factor of the stretch.
+            threshold = self.alpha - self._cost_since_rebuild
+            window = 2048
+            while True:
+                stop_at = min(start + window, m)
+                costs = self._oracle.distances(
+                    us_all[start:stop_at], vs_all[start:stop_at]
+                )
+                cum = np.cumsum(costs)
+                # First index whose cumulative cost crosses the threshold;
+                # the scalar path rebuilds *after* serving that request.
+                idx = int(np.searchsorted(cum, threshold))
+                if idx < len(costs) or stop_at == m:
+                    break
+                window *= 4
+            trigger = idx < len(costs)
+            end = start + idx + 1 if trigger else m
+            chunk_costs = costs[: end - start]
+            chunk_sum = int(chunk_costs.sum())
+            total_routing += chunk_sum
+            self._cost_since_rebuild += float(chunk_sum)
+            cu = us_all[start:end]
+            cv = vs_all[start:end]
+            # The scalar serve skips u == v entirely: cost 0, no demand.
+            real = cu != cv
+            if not real.all():
+                cu = cu[real]
+                cv = cv[real]
+            np.add.at(self._counts, (cu - 1, cv - 1), 1)
+            if self.window is not None:
+                self._history.extend(zip(cu.tolist(), cv.tolist()))
+                while len(self._history) > self.window:
+                    ou, ov = self._history.popleft()
+                    self._counts[ou - 1, ov - 1] -= 1
+            if record_series:
+                routing_series[start:end] = chunk_costs
+            if trigger:
+                total_links += self._rebuild()
+                total_rebuilds += 1
+                if record_series:
+                    rotation_series[end - 1] = 1
+            start = end
+        return BatchServeResult(
+            m,
+            total_routing,
+            total_rebuilds,
+            total_links,
+            routing_series,
+            rotation_series,
+        )
 
     def _rebuild(self) -> int:
         """Recompute the optimal static tree for the observed demand."""

@@ -11,9 +11,16 @@ via a :class:`~repro.network.cost.CostModel`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import Optional, Protocol, runtime_checkable
 
-__all__ = ["ServeResult", "SelfAdjustingNetwork"]
+import numpy as np
+
+__all__ = [
+    "ServeResult",
+    "BatchServeResult",
+    "SelfAdjustingNetwork",
+    "BatchServingNetwork",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,6 +53,24 @@ class ServeResult:
         )
 
 
+@dataclass(frozen=True, slots=True)
+class BatchServeResult:
+    """Accumulated outcome of serving a whole request batch.
+
+    The batched serve path (``network.serve_trace``) skips per-request
+    :class:`ServeResult` construction and reports scalar totals; the
+    optional per-request series are only materialized when the caller asks
+    for them (``record_series=True``).
+    """
+
+    m: int
+    total_routing: int
+    total_rotations: int = 0
+    total_links_changed: int = 0
+    routing_series: Optional[np.ndarray] = None
+    rotation_series: Optional[np.ndarray] = None
+
+
 @runtime_checkable
 class SelfAdjustingNetwork(Protocol):
     """The interface every network (static or self-adjusting) implements."""
@@ -57,4 +82,15 @@ class SelfAdjustingNetwork(Protocol):
 
     def serve(self, u: int, v: int) -> ServeResult:
         """Serve the request ``(u, v)`` and (possibly) self-adjust."""
+        ...
+
+
+@runtime_checkable
+class BatchServingNetwork(Protocol):
+    """Networks that additionally expose the batched serve fast path."""
+
+    def serve_trace(
+        self, sources, targets=None, *, record_series: bool = False
+    ) -> BatchServeResult:
+        """Serve parallel ``(u, v)`` endpoint arrays; returns totals."""
         ...

@@ -86,25 +86,63 @@ class Simulator:
         *,
         name: str = "",
     ) -> SimulationResult:
-        """Serve every request of ``trace`` on ``network``."""
+        """Serve every request of ``trace`` on ``network``.
+
+        Networks exposing the batched ``serve_trace`` fast path (see
+        :class:`~repro.network.protocols.BatchServingNetwork`) consume the
+        trace's endpoint arrays directly, skipping per-request
+        :class:`~repro.network.protocols.ServeResult` construction — unless
+        ``validate_every`` is set, which needs the request-by-request loop.
+        """
+        validate_every = self.validate_every
+        serve_trace = getattr(network, "serve_trace", None)
+        if serve_trace is not None and not validate_every:
+            start = time.perf_counter()
+            batch = serve_trace(
+                trace.sources, trace.targets, record_series=self.record_series
+            )
+            elapsed = time.perf_counter() - start
+            return SimulationResult(
+                name=name or getattr(trace, "name", ""),
+                n=trace.n,
+                m=trace.m,
+                total_routing=batch.total_routing,
+                total_rotations=batch.total_rotations,
+                total_links_changed=batch.total_links_changed,
+                elapsed_seconds=elapsed,
+                routing_series=batch.routing_series,
+                rotation_series=batch.rotation_series,
+            )
+
         serve = network.serve
         total_routing = 0
         total_rotations = 0
         total_links = 0
         routing_series = np.empty(trace.m, dtype=np.int64) if self.record_series else None
         rotation_series = np.empty(trace.m, dtype=np.int64) if self.record_series else None
-        validate_every = self.validate_every
+        # Materialize the endpoint arrays once; iterating python ints from
+        # lists beats repeated NumPy scalar extraction in the serve loop.
+        sources = trace.sources.tolist()
+        targets = trace.targets.tolist()
         start = time.perf_counter()
-        for i, (u, v) in enumerate(trace.pairs()):
-            result = serve(u, v)
-            total_routing += result.routing_cost
-            total_rotations += result.rotations
-            total_links += result.links_changed
-            if routing_series is not None:
-                routing_series[i] = result.routing_cost
-                rotation_series[i] = result.rotations
-            if validate_every and (i + 1) % validate_every == 0:
-                network.validate()  # type: ignore[attr-defined]
+        if routing_series is None and not validate_every:
+            # Hot scalar path: no per-request bookkeeping beyond the totals.
+            for u, v in zip(sources, targets):
+                result = serve(u, v)
+                total_routing += result.routing_cost
+                total_rotations += result.rotations
+                total_links += result.links_changed
+        else:
+            for i, (u, v) in enumerate(zip(sources, targets)):
+                result = serve(u, v)
+                total_routing += result.routing_cost
+                total_rotations += result.rotations
+                total_links += result.links_changed
+                if routing_series is not None:
+                    routing_series[i] = result.routing_cost
+                    rotation_series[i] = result.rotations
+                if validate_every and (i + 1) % validate_every == 0:
+                    network.validate()  # type: ignore[attr-defined]
         if validate_every:
             network.validate()  # type: ignore[attr-defined]
         elapsed = time.perf_counter() - start

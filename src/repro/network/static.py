@@ -9,8 +9,11 @@ precomputed :class:`~repro.analysis.distance.TreeDistanceOracle`.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.analysis.distance import TreeDistanceOracle
-from repro.network.protocols import ServeResult
+from repro.core.engine import as_request_arrays
+from repro.network.protocols import BatchServeResult, ServeResult
 
 __all__ = ["StaticTreeNetwork"]
 
@@ -40,6 +43,29 @@ class StaticTreeNetwork:
     def serve(self, u: int, v: int) -> ServeResult:
         """Route ``(u, v)``; a static network never adjusts."""
         return ServeResult(self._oracle.distance(u, v), 0, 0)
+
+    def serve_trace(
+        self,
+        sources,
+        targets=None,
+        *,
+        record_series: bool = False,
+    ) -> BatchServeResult:
+        """Serve a whole batch in one vectorized oracle query.
+
+        Static trees never reconfigure, so the batched path is a single
+        O((m + n) log n) vectorized LCA/distance computation instead of m
+        scalar oracle calls.
+        """
+        us, vs = as_request_arrays(sources, targets)
+        costs = self._oracle.distances(us, vs)
+        routing_series = rotation_series = None
+        if record_series:
+            routing_series = costs.astype(np.int64, copy=False)
+            rotation_series = np.zeros(len(us), dtype=np.int64)
+        return BatchServeResult(
+            len(us), int(costs.sum()), 0, 0, routing_series, rotation_series
+        )
 
     def validate(self) -> None:
         validate = getattr(self.tree, "validate", None)

@@ -1,0 +1,60 @@
+"""Smoke tests for the engine hot-path benchmark and its CLI subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ExperimentError
+from repro.experiments.hotpath import hotpath_benchmark, write_hotpath_record
+
+
+class TestHotpathBenchmark:
+    def test_tiny_run_shape_and_equivalence(self):
+        result = hotpath_benchmark(n=32, k=3, m=250, seed=1)
+        assert result["benchmark"] == "engine_hotpath"
+        assert set(result["engines"]) == {"object", "flat"}
+        for engine, stats in result["engines"].items():
+            assert stats["seconds"] > 0
+            assert stats["requests_per_second"] > 0
+            assert stats["total_routing"] > 0
+        # The benchmark doubles as an engine cross-check.
+        assert result["totals_match"] is True
+        assert result["speedup_flat_over_object"] > 0
+
+    def test_centroid_network_variant(self):
+        result = hotpath_benchmark(n=30, k=2, m=150, network="centroid-splaynet")
+        assert result["totals_match"] is True
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ExperimentError):
+            hotpath_benchmark(n=16, k=2, m=50, repeats=0)
+        with pytest.raises(ExperimentError):
+            hotpath_benchmark(n=16, k=2, m=50, network="nope")
+
+    def test_record_writer(self, tmp_path):
+        result = hotpath_benchmark(n=16, k=2, m=80)
+        out = write_hotpath_record(result, tmp_path / "rec" / "bench.json")
+        loaded = json.loads(out.read_text())
+        assert loaded["config"]["n"] == 16
+
+
+class TestBenchHotpathCli:
+    def test_cli_emits_json(self, capsys, tmp_path):
+        out_path = tmp_path / "hotpath.json"
+        rc = main(
+            [
+                "bench-hotpath",
+                "-n", "24",
+                "-k", "2",
+                "-m", "120",
+                "--output", str(out_path),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["n"] == 24
+        assert payload["totals_match"] is True
+        assert json.loads(out_path.read_text()) == payload
