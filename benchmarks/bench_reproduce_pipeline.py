@@ -1,0 +1,58 @@
+"""Reproduction-pipeline benchmark: end-to-end ``run_all`` per tree engine.
+
+Run as a script to emit the machine-readable record that starts the
+reproduction-pipeline perf trajectory (best-of-N CPU time, object vs flat,
+with a cross-engine table-summary equality check):
+
+    PYTHONPATH=src python benchmarks/bench_reproduce_pipeline.py \
+        --output benchmarks/results/BENCH_reproduce_pipeline.json
+
+The default table subset excludes Table 3 and Table 8: at quick scale both
+include the n=1024 Facebook workload, whose optimal-tree DP is
+engine-independent and would dilute the serve-loop signal (the full-grid
+time is the reproduce CLI's own business).  Pass ``--tables``/
+``--table8`` to override.  The same measurement is exposed as
+``python -m repro bench-pipeline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments.pipelinebench import (
+    DEFAULT_REPEATS,
+    DEFAULT_TABLES,
+    reproduce_pipeline_benchmark,
+    write_pipeline_record,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="quick",
+                        choices=("smoke", "quick", "paper"))
+    parser.add_argument("--tables", type=int, nargs="*", default=None)
+    parser.add_argument("--table8", action="store_true",
+                        help="include Table 8 (n=1024 DP at quick scale)")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--output", default=None, help="also write JSON here")
+    args = parser.parse_args(argv)
+
+    record = reproduce_pipeline_benchmark(
+        args.scale,
+        tables=tuple(args.tables) if args.tables is not None else DEFAULT_TABLES,
+        include_table8=args.table8,
+        repeats=args.repeats,
+        verbose=True,
+    )
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if args.output:
+        write_pipeline_record(record, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0 if record.get("summaries_match", True) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

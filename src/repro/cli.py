@@ -9,7 +9,10 @@ Subcommands:
 * ``optimal``    — compute the optimal static tree for a trace's demand
 * ``figures``    — render the paper's schematic figures from live structures
 * ``reproduce``  — regenerate the paper's tables at a chosen scale
+* ``scenarios``  — list/run/export declarative scenario sets (the paper's
+  tables as data; see :mod:`repro.scenarios`)
 * ``bench-hotpath`` — serve-loop throughput of the object vs. flat engine
+* ``bench-pipeline`` — end-to-end ``run_all`` time per engine
 
 Every command is a thin shell over the public API, so anything done here
 can be scripted directly in Python; run with ``-h`` for per-command flags.
@@ -209,6 +212,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         output_dir=args.output,
         verbose=not args.quiet,
         jobs=args.jobs,
+        engine=args.engine,
     )
     print(report.render())
     if args.verify:
@@ -218,6 +222,97 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         print()
         print(summary.render())
         return 0 if summary.passed else 1
+    return 0
+
+
+def _cmd_bench_pipeline(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.pipelinebench import (
+        DEFAULT_TABLES,
+        reproduce_pipeline_benchmark,
+        write_pipeline_record,
+    )
+
+    record = reproduce_pipeline_benchmark(
+        args.scale,
+        tables=tuple(args.tables) if args.tables is not None else DEFAULT_TABLES,
+        include_table8=args.table8,
+        repeats=args.repeats,
+        jobs=args.jobs,
+        verbose=not args.quiet,
+    )
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if args.output:
+        write_pipeline_record(record, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if record.get("summaries_match") is False:
+        print("error: engine table summaries diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# the scenarios subcommand (list / run / export)
+# ----------------------------------------------------------------------
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    from repro.experiments.presets import get_scale
+    from repro.scenarios import expand, scenario_names
+
+    scale = get_scale(args.scale)
+    print(f"registered scenarios (scale: {scale.name}):")
+    for name in scenario_names():
+        specs = expand(name, scale)
+        kinds = sorted({spec.kind for spec in specs})
+        print(f"  {name:10s} {len(specs):4d} cells  [{', '.join(kinds)}]")
+    return 0
+
+
+def _cmd_scenarios_run(args: argparse.Namespace) -> int:
+    from repro.experiments.presets import get_scale
+    from repro.scenarios import JsonlResultSink, default_results_path, expand, run_specs
+
+    scale = get_scale(args.scale)
+    specs = expand(args.name, scale, engine=args.engine)
+    out = args.output
+    if out is None and args.record:
+        out = default_results_path(args.name, scale.name)
+    sink = JsonlResultSink(out) if out else None
+    try:
+        results = run_specs(specs, jobs=args.jobs, sink=sink)
+    finally:
+        if sink is not None:
+            sink.close()
+    print(
+        f"{args.name}: {len(results)} cells at scale {scale.name}"
+        + (f" -> {out}" if out else "")
+    )
+    header = f"{'group':18s} {'algorithm':24s} {'k':>3s} {'n':>6s} {'routing':>12s} {'rotations':>12s} {'avg':>10s}"
+    print(header)
+    for cell in results:
+        spec = cell.spec
+        avg = f"{cell.average_routing:10.3f}" if spec.m else f"{'-':>10s}"
+        print(
+            f"{spec.group:18s} {spec.algorithm:24s} {spec.k:>3d} {spec.n:>6d}"
+            f" {cell.total_routing:>12d} {cell.total_rotations:>12d} {avg}"
+        )
+    return 0
+
+
+def _cmd_scenarios_export(args: argparse.Namespace) -> int:
+    from repro.experiments.presets import get_scale
+    from repro.scenarios import expand, specs_to_json
+
+    scale = get_scale(args.scale)
+    specs = expand(args.name, scale, engine=args.engine)
+    text = specs_to_json(specs)
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"wrote {len(specs)} specs to {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -314,10 +409,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the table cells (0 = all cores)",
     )
     rep.add_argument(
+        "--engine", choices=("object", "flat"), default=None,
+        help="tree-engine backend for the self-adjusting cells"
+             " (default: flat, the fast one; totals are engine-independent)",
+    )
+    rep.add_argument(
         "--verify", action="store_true",
         help="check every qualitative claim and exit nonzero on failure",
     )
     rep.set_defaults(func=_cmd_reproduce)
+
+    scen = sub.add_parser(
+        "scenarios",
+        help="declarative scenario sets: the paper's tables as data",
+    )
+    scen_sub = scen.add_subparsers(dest="action", required=True)
+
+    scen_list = scen_sub.add_parser("list", help="registered scenario sets")
+    scen_list.add_argument("--scale", default=None, choices=("smoke", "quick", "paper"))
+    scen_list.set_defaults(func=_cmd_scenarios_list)
+
+    scen_run = scen_sub.add_parser("run", help="run one scenario set")
+    scen_run.add_argument("name", help="a name from `repro scenarios list`")
+    scen_run.add_argument("--scale", default=None, choices=("smoke", "quick", "paper"))
+    scen_run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the cells (0 = all cores)",
+    )
+    scen_run.add_argument(
+        "--engine", choices=("object", "flat"), default=None,
+        help="tree-engine backend for the self-adjusting cells",
+    )
+    scen_run.add_argument(
+        "--output", default=None,
+        help="stream results to this JSONL file",
+    )
+    scen_run.add_argument(
+        "--record", action="store_true",
+        help="stream results to the conventional benchmarks/results/ path",
+    )
+    scen_run.set_defaults(func=_cmd_scenarios_run)
+
+    scen_export = scen_sub.add_parser(
+        "export", help="expand one scenario set to a JSON spec list"
+    )
+    scen_export.add_argument("name", help="a name from `repro scenarios list`")
+    scen_export.add_argument("--scale", default=None, choices=("smoke", "quick", "paper"))
+    scen_export.add_argument(
+        "--engine", choices=("object", "flat"), default=None,
+        help="pin the tree engine in the exported specs",
+    )
+    scen_export.add_argument("-o", "--output", default=None, help="write here")
+    scen_export.set_defaults(func=_cmd_scenarios_export)
+
+    benchp = sub.add_parser(
+        "bench-pipeline",
+        help="end-to-end run_all time per tree engine (JSON output)",
+    )
+    benchp.add_argument("--scale", default="quick", choices=("smoke", "quick", "paper"))
+    benchp.add_argument(
+        "--tables", type=int, nargs="*", default=None,
+        help="table subset (default: the recorded-trajectory subset"
+             " 1,2,4,5,6,7 — see EXPERIMENTS.md)",
+    )
+    benchp.add_argument(
+        "--table8", action="store_true",
+        help="include Table 8 (n=1024 engine-independent DP at quick scale)",
+    )
+    benchp.add_argument(
+        "--repeats", type=int, default=2,
+        help="timing repeats per engine (best CPU time kept)",
+    )
+    benchp.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (keep 1 for clean CPU-time measurement)",
+    )
+    benchp.add_argument("--quiet", action="store_true")
+    benchp.add_argument("--output", default=None, help="also write JSON here")
+    benchp.set_defaults(func=_cmd_bench_pipeline)
     return parser
 
 

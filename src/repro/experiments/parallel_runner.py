@@ -1,13 +1,17 @@
 """Parallel regeneration of the paper's tables.
 
 Produces *identical* result objects to :mod:`repro.experiments.tables` —
-same traces (cells regenerate the workload from the scale's seed), same
-algorithms, same reductions — but fans the grid of (algorithm, k) cells out
-across worker processes.  Tables 1–7 have up to 27 cells (9 arities × 3
-algorithms), Table 8 has up to 32 (8 workloads × 4 algorithms), so even a
-four-core laptop sees a near-linear win on the DP-heavy cells.
+same traces (cells regenerate the workload from the scale's seed, memoized
+per worker), same algorithms, same reductions — by fanning the grid of
+(algorithm, k) cells out across worker processes.  Tables 1–7 have up to
+27 cells (9 arities × 3 algorithms), Table 8 has up to 32 (8 workloads ×
+4 algorithms), so even a four-core laptop sees a near-linear win on the
+DP-heavy cells.
 
-Equality with the serial path is pinned by tests
+Since the scenario refactor the serial functions themselves take ``jobs``/
+``config`` and execute through the one scenario core
+(:mod:`repro.scenarios.core`); this module survives as the compatibility
+facade.  Equality with the serial path is pinned by tests
 (`tests/experiments/test_parallel_runner.py`), which is the point: the
 parallel harness is an accelerator, never a fork of the experiment logic.
 """
@@ -16,27 +20,16 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import ExperimentError
-from repro.experiments.presets import Scale, WORKLOADS, get_scale
-from repro.experiments.tables import KAryTableResult, Table8Result, Table8Row
-from repro.network.simulator import SimulationResult
-from repro.parallel.pool import ParallelConfig, parallel_map
-from repro.parallel.tasks import SimulationTask, SimulationTaskResult, run_simulation_task
+from repro.experiments.presets import Scale
+from repro.experiments.tables import (
+    KAryTableResult,
+    Table8Result,
+    run_kary_table,
+    run_table8,
+)
+from repro.parallel.pool import ParallelConfig
 
 __all__ = ["run_kary_table_parallel", "run_table8_parallel"]
-
-
-def _series_free_result(cell: SimulationTaskResult, m: int) -> SimulationResult:
-    """Rebuild a summary-only SimulationResult from a cell's scalar totals."""
-    return SimulationResult(
-        name=f"{cell.task.algorithm}@{cell.task.workload}",
-        n=cell.task.n,
-        m=m,
-        total_routing=cell.total_routing,
-        total_rotations=cell.total_rotations,
-        total_links_changed=cell.total_links_changed,
-        elapsed_seconds=0.0,
-    )
 
 
 def run_kary_table_parallel(
@@ -45,44 +38,20 @@ def run_kary_table_parallel(
     scale: Optional[Scale] = None,
     ks: Optional[tuple[int, ...]] = None,
     include_optimal: bool = True,
+    engine: Optional[str] = None,
     jobs: int = 1,
     config: Optional[ParallelConfig] = None,
 ) -> KAryTableResult:
     """Tables 1–7, one cell per (algorithm, k), executed in parallel."""
-    scale = scale or get_scale()
-    ks = ks or scale.ks
-    n = scale.workload_n(workload)
-    m = scale.m
-    want_optimal = include_optimal and n <= scale.optimal_tree_max_n
-
-    tasks: list[SimulationTask] = []
-    for k in ks:
-        tasks.append(SimulationTask(workload, n, m, scale.seed, "kary-splaynet", k))
-        tasks.append(SimulationTask(workload, n, m, scale.seed, "full-tree", k))
-        if want_optimal:
-            tasks.append(SimulationTask(workload, n, m, scale.seed, "optimal-tree", k))
-
-    cells = parallel_map(
-        run_simulation_task, tasks, config=config, jobs=None if config else jobs
+    return run_kary_table(
+        workload,
+        scale=scale,
+        ks=ks,
+        include_optimal=include_optimal,
+        engine=engine,
+        jobs=jobs,
+        config=config,
     )
-
-    result = KAryTableResult(workload=workload, n=n, m=m, ks=tuple(ks))
-    for cell in cells:
-        k = cell.task.k
-        if cell.task.algorithm == "kary-splaynet":
-            result.splaynet[k] = cell.total_routing
-            result.rotations[k] = cell.total_rotations
-            result.links[k] = cell.total_links_changed
-        elif cell.task.algorithm == "full-tree":
-            result.fulltree[k] = cell.total_routing
-        elif cell.task.algorithm == "optimal-tree":
-            result.optimal[k] = cell.total_routing
-        else:  # pragma: no cover - registry is fixed above
-            raise ExperimentError(f"unexpected algorithm {cell.task.algorithm!r}")
-    if not want_optimal:
-        for k in ks:
-            result.optimal[k] = None
-    return result
 
 
 def run_table8_parallel(
@@ -90,47 +59,16 @@ def run_table8_parallel(
     scale: Optional[Scale] = None,
     workloads: Optional[tuple[str, ...]] = None,
     include_optimal: bool = True,
+    engine: Optional[str] = None,
     jobs: int = 1,
     config: Optional[ParallelConfig] = None,
 ) -> Table8Result:
     """Table 8 (the k = 2 centroid case study), cells in parallel."""
-    scale = scale or get_scale()
-    chosen = workloads or WORKLOADS
-    m = scale.m
-
-    tasks: list[SimulationTask] = []
-    for workload in chosen:
-        n = scale.workload_n(workload)
-        want_optimal = include_optimal and n <= scale.optimal_tree_max_n
-        tasks.append(SimulationTask(workload, n, m, scale.seed, "centroid-splaynet", 2))
-        tasks.append(SimulationTask(workload, n, m, scale.seed, "splaynet", 2))
-        tasks.append(SimulationTask(workload, n, m, scale.seed, "full-tree", 2))
-        if want_optimal:
-            tasks.append(SimulationTask(workload, n, m, scale.seed, "optimal-bst", 2))
-
-    cells = parallel_map(
-        run_simulation_task, tasks, config=config, jobs=None if config else jobs
+    return run_table8(
+        scale=scale,
+        workloads=workloads,
+        include_optimal=include_optimal,
+        engine=engine,
+        jobs=jobs,
+        config=config,
     )
-    by_workload: dict[str, dict[str, SimulationTaskResult]] = {}
-    for cell in cells:
-        by_workload.setdefault(cell.task.workload, {})[cell.task.algorithm] = cell
-
-    result = Table8Result()
-    for workload in chosen:
-        group = by_workload[workload]
-        n = scale.workload_n(workload)
-        optimal_cost: Optional[int] = None
-        if "optimal-bst" in group:
-            optimal_cost = group["optimal-bst"].total_routing
-        result.rows.append(
-            Table8Row(
-                workload=workload,
-                n=n,
-                m=m,
-                centroid3=_series_free_result(group["centroid-splaynet"], m),
-                splaynet=_series_free_result(group["splaynet"], m),
-                full_binary_cost=group["full-tree"].total_routing,
-                optimal_bst_cost=optimal_cost,
-            )
-        )
-    return result

@@ -1,0 +1,151 @@
+"""End-to-end reproduction-pipeline benchmark: object vs. flat engine.
+
+Where :mod:`repro.experiments.hotpath` isolates the serve loop, this module
+times the *whole* ``run_all`` reproduction pipeline — trace generation,
+online simulation, static costing and the optimal-tree DPs — per tree
+engine, so the perf trajectory in ``benchmarks/results/`` tracks what a
+user actually waits for.  CPU time (``time.process_time``) is the primary
+metric: wall clock on a loaded box is ±15% noisy, CPU time is stable.
+
+Each engine runs the identical table subset ``repeats`` times (best kept);
+the engines' table summaries are cross-checked for exact equality, so a
+benchmark run doubles as an end-to-end engine-equivalence check at
+pipeline scale.  Used by ``python -m repro bench-pipeline`` and
+``benchmarks/bench_reproduce_pipeline.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.engine import ENGINES
+from repro.errors import ExperimentError
+from repro.experiments.presets import get_scale
+from repro.experiments.runner import run_all
+from repro.experiments.tables import TABLE_WORKLOAD
+
+__all__ = [
+    "DEFAULT_TABLES",
+    "DEFAULT_REPEATS",
+    "reproduce_pipeline_benchmark",
+    "write_pipeline_record",
+]
+
+#: The recorded-trajectory defaults, shared by ``repro bench-pipeline`` and
+#: ``benchmarks/bench_reproduce_pipeline.py`` so both frontends refresh
+#: ``BENCH_reproduce_pipeline.json`` with comparable configurations.
+#: Tables 3 and 8 are excluded: at quick scale both are dominated by the
+#: engine-independent n=1024 optimal-tree DP, which dilutes the signal.
+DEFAULT_TABLES = (1, 2, 4, 5, 6, 7)
+DEFAULT_REPEATS = 2
+
+
+def _comparable_summary(summary: dict) -> dict:
+    """A summary with the timing/engine fields stripped (pure results)."""
+    out = dict(summary)
+    out.pop("elapsed_seconds", None)
+    out.pop("engine", None)
+    return out
+
+
+def reproduce_pipeline_benchmark(
+    scale: str = "quick",
+    *,
+    tables: tuple[int, ...] = DEFAULT_TABLES,
+    include_table8: bool = False,
+    include_remark10: bool = False,
+    repeats: int = DEFAULT_REPEATS,
+    engines: Sequence[str] = ENGINES,
+    jobs: int = 1,
+    verbose: bool = False,
+) -> dict:
+    """Time ``run_all`` per engine on one table subset; best of ``repeats``.
+
+    Defaults follow the recorded trajectory (:data:`DEFAULT_TABLES`,
+    :data:`DEFAULT_REPEATS`): Table 8 and Remark 10 are excluded because
+    their dominant costs (the n=1024 optimal-BST DP, analytic cells) are
+    engine-independent and would only dilute the engine signal.  Returns a
+    JSON-serializable record with per-engine CPU/wall seconds, the
+    flat-over-object speedup and the cross-engine summary check.
+    """
+    if repeats < 1:
+        raise ExperimentError(f"repeats must be >= 1, got {repeats}")
+    if not tables:
+        raise ExperimentError("tables must name at least one of Tables 1-7")
+    unknown = sorted(set(tables) - set(TABLE_WORKLOAD))
+    if unknown:
+        raise ExperimentError(
+            f"unknown table numbers {unknown}; choose from "
+            f"{sorted(TABLE_WORKLOAD)} (Table 8 via include_table8)"
+        )
+    scale_obj = get_scale(scale)
+    record: dict = {
+        "benchmark": "reproduce_pipeline",
+        "config": {
+            "scale": scale_obj.name,
+            "tables": list(tables),
+            "include_table8": include_table8,
+            "include_remark10": include_remark10,
+            "repeats": repeats,
+            "jobs": jobs,
+            "python": platform.python_version(),
+        },
+        "engines": {},
+    }
+    summaries: dict[str, dict] = {}
+    # Interleave engines across repeats (A B A B ...) instead of timing one
+    # engine's repeats back to back, so thermal/load drift cancels.
+    best_cpu: dict[str, float] = {}
+    best_wall: dict[str, float] = {}
+    for repeat in range(repeats):
+        for engine in engines:
+            if verbose:
+                print(
+                    f"[bench-pipeline] {engine} repeat {repeat + 1}/{repeats} ...",
+                    flush=True,
+                )
+            cpu0 = time.process_time()
+            wall0 = time.perf_counter()
+            report = run_all(
+                scale=scale_obj,
+                tables=tables,
+                include_table8=include_table8,
+                include_remark10=include_remark10,
+                verbose=False,
+                jobs=jobs,
+                engine=engine,
+            )
+            cpu = time.process_time() - cpu0
+            wall = time.perf_counter() - wall0
+            if engine not in best_cpu or cpu < best_cpu[engine]:
+                best_cpu[engine] = cpu
+            if engine not in best_wall or wall < best_wall[engine]:
+                best_wall[engine] = wall
+            summaries[engine] = _comparable_summary(report.summary())
+    for engine in engines:
+        record["engines"][engine] = {
+            "cpu_seconds": best_cpu[engine],
+            "wall_seconds": best_wall[engine],
+        }
+    if len(summaries) > 1:
+        reference = next(iter(summaries.values()))
+        record["summaries_match"] = all(
+            summary == reference for summary in summaries.values()
+        )
+    if "object" in best_cpu and "flat" in best_cpu:
+        record["speedup_flat_over_object"] = (
+            best_cpu["object"] / best_cpu["flat"]
+        )
+    return record
+
+
+def write_pipeline_record(record: dict, path: "str | Path") -> Path:
+    """Persist a benchmark record as pretty-printed JSON."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return out

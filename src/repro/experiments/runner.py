@@ -73,6 +73,7 @@ class ReproductionReport:
     table8: Optional[Table8Result] = None
     remark10: Optional[Remark10Result] = None
     elapsed_seconds: float = 0.0
+    engine: Optional[str] = None
 
     def render(self) -> str:
         parts = [f"=== ksan reproduction (scale: {self.scale}) ==="]
@@ -96,6 +97,7 @@ class ReproductionReport:
     def summary(self) -> dict:
         return {
             "scale": self.scale,
+            "engine": self.engine,
             "tables": {
                 str(num): kary_table_summary(res)
                 for num, res in self.kary_tables.items()
@@ -117,43 +119,36 @@ def run_all(
     output_dir: Optional[str | Path] = None,
     verbose: bool = True,
     jobs: int = 1,
+    engine: Optional[str] = None,
 ) -> ReproductionReport:
     """Regenerate every requested table; optionally persist the reports.
 
-    ``jobs > 1`` (or 0 for all cores) fans table cells out across worker
-    processes via :mod:`repro.experiments.parallel_runner`; results are
-    identical to the serial path.
+    Every table executes through the scenario core
+    (:mod:`repro.scenarios.core`): ``jobs > 1`` (or 0 for all cores) fans
+    table cells out across worker processes with results identical to the
+    serial path, and ``engine`` selects the tree-engine backend for the
+    self-adjusting cells (``None`` = the flat engine, the fast default;
+    ``"object"`` = the reference backend — totals are identical either
+    way, see ``tests/scenarios/``).
     """
     scale = scale or get_scale()
-    parallel = jobs != 1
-    if parallel:
-        from repro.experiments.parallel_runner import (
-            run_kary_table_parallel,
-            run_table8_parallel,
-        )
-    report = ReproductionReport(scale=scale.name)
+    report = ReproductionReport(scale=scale.name, engine=engine or "flat")
     start = time.perf_counter()
     for number in tables:
         workload = TABLE_WORKLOAD[number]
         if verbose:
             print(f"[run_all] table {number} ({workload}) ...", flush=True)
-        if parallel:
-            report.kary_tables[number] = run_kary_table_parallel(
-                workload, scale=scale, jobs=jobs
-            )
-        else:
-            report.kary_tables[number] = run_kary_table(workload, scale=scale)
+        report.kary_tables[number] = run_kary_table(
+            workload, scale=scale, jobs=jobs, engine=engine
+        )
     if include_table8:
         if verbose:
             print("[run_all] table 8 (centroid case study) ...", flush=True)
-        if parallel:
-            report.table8 = run_table8_parallel(scale=scale, jobs=jobs)
-        else:
-            report.table8 = run_table8(scale=scale)
+        report.table8 = run_table8(scale=scale, jobs=jobs, engine=engine)
     if include_remark10:
         if verbose:
             print("[run_all] remark 10 (centroid optimality) ...", flush=True)
-        report.remark10 = run_remark10()
+        report.remark10 = run_remark10(jobs=jobs)
     report.elapsed_seconds = time.perf_counter() - start
     if output_dir is not None:
         out = Path(output_dir)

@@ -3,28 +3,35 @@
 Each ``run_*`` function returns a structured result object whose
 ``render()`` (see :mod:`repro.experiments.report`) prints the same rows the
 paper reports; EXPERIMENTS.md records paper-vs-measured values.
+
+Since the scenario refactor these functions are thin adapters: they expand
+their table into a :class:`~repro.scenarios.spec.ScenarioSpec` list via
+:mod:`repro.scenarios.registry` and execute it through the one scenario
+core (:func:`repro.scenarios.core.run_specs`) — serially by default,
+across worker processes with ``jobs``/``config``, on the flat tree engine
+unless ``engine="object"`` is requested.  Result objects are unchanged
+(equality with the historical serial path is pinned by the test suite).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro.analysis.distance import TreeDistanceOracle, trace_static_cost
-from repro.core.builders import build_complete_tree
-from repro.core.centroid import build_centroid_tree
-from repro.core.centroid_splaynet import CentroidSplayNet
-from repro.core.splaynet import KArySplayNet
 from repro.errors import ExperimentError
-from repro.experiments.presets import Scale, get_scale, make_workload
-from repro.network.cost import CostModel, ROUTING_ONLY, UNIT_ROTATIONS
-from repro.network.simulator import SimulationResult, Simulator
-from repro.optimal.general import optimal_static_tree
-from repro.optimal.uniform import optimal_uniform_cost
-from repro.analysis.distance import total_distance_via_potentials
-from repro.splaynet.optimal import optimal_static_bst
-from repro.splaynet.splaynet import SplayNet
-from repro.workloads.demand import DemandMatrix
+from repro.experiments.presets import Scale, WORKLOADS, get_scale
+from repro.network.cost import CostModel, ROUTING_ONLY
+from repro.network.simulator import SimulationResult
+from repro.parallel.pool import ParallelConfig
+from repro.scenarios.core import ScenarioResult, run_specs
+from repro.scenarios.registry import (
+    REMARK10_KS,
+    REMARK10_NS,
+    TABLE_WORKLOAD,
+    kary_table_specs,
+    remark10_specs,
+    table8_specs,
+)
 from repro.workloads.trace import Trace
 
 __all__ = [
@@ -34,21 +41,10 @@ __all__ = [
     "Remark10Result",
     "run_kary_table",
     "run_table8",
+    "run_table8_row",
     "run_remark10",
     "TABLE_WORKLOAD",
 ]
-
-#: Paper table number → workload name (Tables 1-7).
-TABLE_WORKLOAD = {
-    1: "hpc",
-    2: "projector",
-    3: "facebook",
-    4: "temporal-0.25",
-    5: "temporal-0.5",
-    6: "temporal-0.75",
-    7: "temporal-0.9",
-}
-
 
 # ----------------------------------------------------------------------
 # Tables 1-7: k-ary SplayNet vs static trees, k = 2..10
@@ -91,6 +87,35 @@ class KAryTableResult:
         return None if not opt else self.splaynet[k] / opt
 
 
+def _assemble_kary_table(
+    results: Sequence[ScenarioResult],
+    *,
+    workload: str,
+    n: int,
+    m: int,
+    ks: tuple[int, ...],
+) -> KAryTableResult:
+    """Fold scenario cells back into the paper's table shape."""
+    table = KAryTableResult(workload=workload, n=n, m=m, ks=ks)
+    for cell in results:
+        k = cell.spec.k
+        if cell.spec.algorithm == "kary-splaynet":
+            table.splaynet[k] = cell.total_routing
+            table.rotations[k] = cell.total_rotations
+            table.links[k] = cell.total_links_changed
+        elif cell.spec.algorithm == "full-tree":
+            table.fulltree[k] = cell.total_routing
+        elif cell.spec.algorithm == "optimal-tree":
+            table.optimal[k] = cell.total_routing
+        else:  # pragma: no cover - the registry emits exactly these three
+            raise ExperimentError(
+                f"unexpected algorithm {cell.spec.algorithm!r} in k-ary table"
+            )
+    for k in ks:
+        table.optimal.setdefault(k, None)
+    return table
+
+
 def run_kary_table(
     workload: str,
     *,
@@ -99,28 +124,33 @@ def run_kary_table(
     ks: Optional[tuple[int, ...]] = None,
     include_optimal: bool = True,
     initial: str = "complete",
+    engine: Optional[str] = None,
+    jobs: int = 1,
+    config: Optional[ParallelConfig] = None,
 ) -> KAryTableResult:
-    """Regenerate one of the paper's Tables 1-7 for ``workload``."""
+    """Regenerate one of the paper's Tables 1-7 for ``workload``.
+
+    ``trace`` pins an explicit pre-built trace (serial only); otherwise the
+    workload is materialized from the scale's coordinates — once per worker,
+    thanks to the scenario core's trace memo.
+    """
     scale = scale or get_scale()
-    trace = trace if trace is not None else make_workload(workload, scale)
-    ks = ks or scale.ks
-    result = KAryTableResult(
-        workload=workload, n=trace.n, m=trace.m, ks=tuple(ks)
+    ks = tuple(ks or scale.ks)
+    specs = kary_table_specs(
+        workload,
+        scale,
+        n=trace.n if trace is not None else None,
+        m=trace.m if trace is not None else None,
+        ks=ks,
+        include_optimal=include_optimal,
+        initial=initial,
+        engine=engine,
     )
-    demand = DemandMatrix.from_trace(trace)
-    sim = Simulator()
-    for k in ks:
-        run = sim.run(KArySplayNet(trace.n, k, initial=initial), trace)
-        result.splaynet[k] = run.total_routing
-        result.rotations[k] = run.total_rotations
-        result.links[k] = run.total_links_changed
-        result.fulltree[k] = trace_static_cost(build_complete_tree(trace.n, k), trace)
-        if include_optimal and trace.n <= scale.optimal_tree_max_n:
-            opt = optimal_static_tree(demand, k)
-            result.optimal[k] = trace_static_cost(opt.tree, trace)
-        else:
-            result.optimal[k] = None
-    return result
+    traces = {specs[0].trace_key(): trace} if trace is not None else None
+    results = run_specs(specs, jobs=jobs, config=config, traces=traces)
+    n = trace.n if trace is not None else scale.workload_n(workload)
+    m = trace.m if trace is not None else scale.m
+    return _assemble_kary_table(results, workload=workload, n=n, m=m, ks=ks)
 
 
 # ----------------------------------------------------------------------
@@ -168,34 +198,43 @@ class Table8Result:
         raise ExperimentError(f"no Table 8 row for workload {workload!r}")
 
 
-def run_table8_row(
-    workload: str,
-    *,
-    scale: Optional[Scale] = None,
-    trace: Optional[Trace] = None,
-    include_optimal: bool = True,
-) -> Table8Row:
-    """Compute one row of Table 8."""
-    scale = scale or get_scale()
-    trace = trace if trace is not None else make_workload(workload, scale)
-    sim = Simulator()
-    centroid3 = sim.run(CentroidSplayNet(trace.n, 2), trace)
-    splaynet = sim.run(SplayNet(trace.n), trace)
-    full_cost = trace_static_cost(build_complete_tree(trace.n, 2), trace)
-    optimal_cost: Optional[int] = None
-    if include_optimal and trace.n <= scale.optimal_tree_max_n:
-        demand = DemandMatrix.from_trace(trace)
-        opt = optimal_static_bst(demand)
-        optimal_cost = trace_static_cost(opt.network, trace)
-    return Table8Row(
-        workload=workload,
-        n=trace.n,
-        m=trace.m,
-        centroid3=centroid3,
-        splaynet=splaynet,
-        full_binary_cost=full_cost,
-        optimal_bst_cost=optimal_cost,
+def _simulation_result(cell: ScenarioResult) -> SimulationResult:
+    """A summary-only SimulationResult from a cell's scalar totals."""
+    spec = cell.spec
+    return SimulationResult(
+        name=f"{spec.algorithm}@{spec.workload}",
+        n=spec.n,
+        m=spec.m,
+        total_routing=cell.total_routing,
+        total_rotations=cell.total_rotations,
+        total_links_changed=cell.total_links_changed,
+        elapsed_seconds=cell.elapsed_seconds,
     )
+
+
+def _assemble_table8(
+    results: Sequence[ScenarioResult], workloads: Sequence[str]
+) -> Table8Result:
+    by_workload: dict[str, dict[str, ScenarioResult]] = {}
+    for cell in results:
+        by_workload.setdefault(cell.spec.workload, {})[cell.spec.algorithm] = cell
+    table = Table8Result()
+    for workload in workloads:
+        group = by_workload[workload]
+        centroid = group["centroid-splaynet"]
+        optimal = group.get("optimal-bst")
+        table.rows.append(
+            Table8Row(
+                workload=workload,
+                n=centroid.spec.n,
+                m=centroid.spec.m,
+                centroid3=_simulation_result(centroid),
+                splaynet=_simulation_result(group["splaynet"]),
+                full_binary_cost=group["full-tree"].total_routing,
+                optimal_bst_cost=optimal.total_routing if optimal else None,
+            )
+        )
+    return table
 
 
 def run_table8(
@@ -203,17 +242,41 @@ def run_table8(
     scale: Optional[Scale] = None,
     workloads: Optional[tuple[str, ...]] = None,
     include_optimal: bool = True,
+    engine: Optional[str] = None,
+    jobs: int = 1,
+    config: Optional[ParallelConfig] = None,
 ) -> Table8Result:
     """Regenerate the full Table 8."""
-    from repro.experiments.presets import WORKLOADS
-
     scale = scale or get_scale()
-    result = Table8Result()
-    for workload in workloads or WORKLOADS:
-        result.rows.append(
-            run_table8_row(workload, scale=scale, include_optimal=include_optimal)
-        )
-    return result
+    chosen = tuple(workloads or WORKLOADS)
+    specs = table8_specs(
+        scale, workloads=chosen, include_optimal=include_optimal, engine=engine
+    )
+    results = run_specs(specs, jobs=jobs, config=config)
+    return _assemble_table8(results, chosen)
+
+
+def run_table8_row(
+    workload: str,
+    *,
+    scale: Optional[Scale] = None,
+    trace: Optional[Trace] = None,
+    include_optimal: bool = True,
+    engine: Optional[str] = None,
+) -> Table8Row:
+    """Compute one row of Table 8 (serial; supports an explicit trace)."""
+    scale = scale or get_scale()
+    specs = table8_specs(
+        scale,
+        workloads=(workload,),
+        n=trace.n if trace is not None else None,
+        m=trace.m if trace is not None else None,
+        include_optimal=include_optimal,
+        engine=engine,
+    )
+    traces = {specs[0].trace_key(): trace} if trace is not None else None
+    results = run_specs(specs, traces=traces)
+    return _assemble_table8(results, (workload,)).rows[0]
 
 
 # ----------------------------------------------------------------------
@@ -237,18 +300,34 @@ class Remark10Result:
 
 
 def run_remark10(
-    ns: tuple[int, ...] = (10, 25, 50, 100, 200, 400, 600, 999),
-    ks: tuple[int, ...] = (2, 3, 4, 5, 7, 10),
+    ns: tuple[int, ...] = REMARK10_NS,
+    ks: tuple[int, ...] = REMARK10_KS,
+    *,
+    jobs: int = 1,
+    config: Optional[ParallelConfig] = None,
 ) -> Remark10Result:
     """Check centroid-tree optimality against the O(n²k) uniform DP.
 
     Costs are in unordered-pair units (Σ_{u<v} d(u, v)).
     """
+    specs = remark10_specs(ns, ks)
+    results = run_specs(specs, jobs=jobs, config=config)
+    by_cell: dict[tuple[int, int], dict[str, int]] = {}
+    for cell in results:
+        by_cell.setdefault((cell.spec.n, cell.spec.k), {})[
+            cell.spec.algorithm
+        ] = cell.total_routing
     result = Remark10Result()
     for k in ks:
         for n in ns:
-            centroid = total_distance_via_potentials(build_centroid_tree(n, k)) // 2
-            optimal = optimal_uniform_cost(n, k)
-            full = total_distance_via_potentials(build_complete_tree(n, k)) // 2
-            result.entries.append((n, k, centroid, optimal, full))
+            costs = by_cell[(n, k)]
+            result.entries.append(
+                (
+                    n,
+                    k,
+                    costs["centroid-tree-distance"],
+                    costs["optimal-uniform-distance"],
+                    costs["complete-tree-distance"],
+                )
+            )
     return result

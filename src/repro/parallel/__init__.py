@@ -27,14 +27,25 @@ Typical use::
 
 from repro.parallel.pool import ParallelConfig, cpu_jobs, parallel_map, parallel_starmap
 from repro.parallel.seeds import derive_seed, spawn_seeds, seed_for_cell
-from repro.parallel.sweep import SweepCell, SweepResult, SweepSpec, run_sweep
+from repro.parallel.sweep import (
+    SweepCell,
+    SweepResult,
+    SweepSpec,
+    run_scenario_sweep,
+    run_sweep,
+)
 from repro.parallel.tasks import (
+    ENGINE_CAPABLE,
     SimulationTask,
     SimulationTaskResult,
     STATIC_BUILDERS,
     NETWORK_FACTORIES,
+    clear_trace_cache,
+    materialize_trace,
+    materialize_trace_cached,
     run_simulation_task,
     static_cost_task,
+    trace_cache_stats,
 )
 
 __all__ = [
@@ -49,10 +60,16 @@ __all__ = [
     "SweepCell",
     "SweepResult",
     "run_sweep",
+    "run_scenario_sweep",
     "SimulationTask",
     "SimulationTaskResult",
     "run_simulation_task",
     "static_cost_task",
+    "materialize_trace",
+    "materialize_trace_cached",
+    "clear_trace_cache",
+    "trace_cache_stats",
     "NETWORK_FACTORIES",
     "STATIC_BUILDERS",
+    "ENGINE_CAPABLE",
 ]

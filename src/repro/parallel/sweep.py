@@ -2,9 +2,15 @@
 
 A sweep is a cartesian grid over named axes (``k``, ``workload``, ``seed
 repetition``...).  The engine enumerates cells in a deterministic row-major
-order, derives one independent seed per cell, executes cells through
-:func:`repro.parallel.pool.parallel_map`, and reassembles a
+order, derives one independent seed per cell, executes cells through the
+scenario execution core (:func:`repro.scenarios.core.run_cells` — the same
+chokepoint behind the table runners and ``run_all``), and reassembles a
 :class:`SweepResult` that can be queried by coordinate or exported as rows.
+
+Simulation sweeps need no hand-written cell function:
+:func:`run_scenario_sweep` maps axis coordinates straight onto
+:class:`~repro.scenarios.spec.ScenarioSpec` fields, so each cell inherits
+the core's per-worker trace memoization and flat-engine default.
 
 Example
 -------
@@ -22,10 +28,16 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
 
 from repro.errors import ExperimentError
-from repro.parallel.pool import ParallelConfig, parallel_map
+from repro.parallel.pool import ParallelConfig
 from repro.parallel.seeds import seed_for_cell
 
-__all__ = ["SweepSpec", "SweepCell", "SweepResult", "run_sweep"]
+__all__ = [
+    "SweepSpec",
+    "SweepCell",
+    "SweepResult",
+    "run_sweep",
+    "run_scenario_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -179,11 +191,64 @@ def run_sweep(
     ``cell_fn`` must be picklable when ``jobs > 1``.  Values come back in
     enumeration order, so the result is independent of scheduling.
     """
+    # Imported here, not at module level: the scenario core sits above this
+    # package (it consumes repro.parallel.pool/tasks), so a top-level import
+    # would be circular during package initialization.
+    from repro.scenarios.core import run_cells
+
     cells = list(spec.cells())
-    values = parallel_map(cell_fn, cells, config=config, jobs=None if config else jobs)
+    values = run_cells(cell_fn, cells, jobs=jobs, config=config)
     if len(values) != len(cells):
         raise ExperimentError(
             f"sweep produced {len(values)} values for {len(cells)} cells "
             "(a cell failed under on_error='collect'); use parallel_map_outcomes"
         )
     return SweepResult(spec=spec, cells=cells, values=values)
+
+
+@dataclass(frozen=True)
+class _ScenarioCellFn:
+    """Picklable bridge: sweep coordinates → one scenario cell.
+
+    Spec fields come from ``base`` overridden by the cell's coordinates
+    (the synthetic ``rep`` axis is dropped — it exists only to vary the
+    derived seed); a cell that names no ``seed`` gets the sweep's derived
+    per-coordinate seed, so repetitions stay independent.
+    """
+
+    base: Mapping[str, Any]
+
+    def __call__(self, cell: SweepCell) -> Any:
+        from repro.scenarios.core import run_scenario
+        from repro.scenarios.spec import ScenarioSpec
+
+        fields = dict(self.base)
+        fields.update(cell.coords)
+        fields.pop("rep", None)
+        fields.setdefault("seed", cell.seed)
+        return run_scenario(ScenarioSpec(**fields))
+
+
+def run_scenario_sweep(
+    spec: SweepSpec,
+    base: Optional[Mapping[str, Any]] = None,
+    *,
+    jobs: int = 1,
+    config: Optional[ParallelConfig] = None,
+) -> SweepResult:
+    """Run a sweep whose cells are declarative scenario specs.
+
+    Axis names and ``base`` entries are
+    :class:`~repro.scenarios.spec.ScenarioSpec` fields (``workload``,
+    ``n``, ``m``, ``algorithm``, ``k``, ``engine``, ...).  Values are
+    :class:`~repro.scenarios.core.ScenarioResult` objects.
+
+    >>> from repro.parallel import SweepSpec, run_scenario_sweep
+    >>> spec = SweepSpec(axes={"k": (2, 3)}, root_seed=7)
+    >>> result = run_scenario_sweep(
+    ...     spec, {"workload": "uniform", "n": 16, "m": 64,
+    ...            "algorithm": "kary-splaynet"})
+    >>> len(result)
+    2
+    """
+    return run_sweep(_ScenarioCellFn(dict(base or {})), spec, jobs=jobs, config=config)

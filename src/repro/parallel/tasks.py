@@ -5,6 +5,9 @@ start method) and takes a small frozen dataclass describing the cell.  Tasks
 *regenerate* their workload inside the worker from ``(workload, n, m,
 seed)`` — shipping four scalars instead of a million-row trace array keeps
 IPC negligible and makes cells independent of parent-process state.
+Regenerated traces are memoized per worker process (see
+:func:`materialize_trace_cached`), so the up-to-27 cells of one paper table
+materialize their shared trace once per worker rather than once per cell.
 
 Supported algorithm names (``SimulationTask.algorithm``):
 
@@ -29,6 +32,7 @@ from repro.analysis.distance import trace_static_cost
 from repro.core.builders import build_complete_tree
 from repro.core.centroid import build_centroid_tree
 from repro.core.centroid_splaynet import CentroidSplayNet
+from repro.core.engine import ENGINES
 from repro.core.splaynet import KArySplayNet
 from repro.errors import ExperimentError
 from repro.network.lazy import LazyRebuildNetwork
@@ -51,6 +55,9 @@ __all__ = [
     "run_simulation_task",
     "static_cost_task",
     "materialize_trace",
+    "materialize_trace_cached",
+    "clear_trace_cache",
+    "trace_cache_stats",
     "NETWORK_FACTORIES",
     "STATIC_BUILDERS",
 ]
@@ -78,29 +85,111 @@ def materialize_trace(workload: str, n: int, m: int, seed: int) -> Trace:
 
 
 # ----------------------------------------------------------------------
+# per-worker trace memoization
+# ----------------------------------------------------------------------
+#: (workload, n, m, seed) → materialized trace, per process.  A paper table
+#: fans out up to 27 cells over the *same* trace; without this cache every
+#: cell regenerates it from scratch.
+_TRACE_CACHE: dict[tuple[str, int, int, int], Trace] = {}
+#: Keys pre-seeded with caller-provided traces (never auto-evicted: for
+#: those, regeneration from coordinates would produce a *different* trace).
+_PINNED_KEYS: set[tuple[str, int, int, int]] = set()
+#: Bound on distinct auto-cached traces (a full reproduction touches 8
+#: workloads; paper scale is ~8 MB per million-request trace).
+_TRACE_CACHE_MAX = 16
+_trace_cache_hits = 0
+_trace_cache_misses = 0
+
+
+def materialize_trace_cached(workload: str, n: int, m: int, seed: int) -> Trace:
+    """Memoized :func:`materialize_trace` (per-process, bounded).
+
+    Traces are immutable once generated, so sharing one instance across
+    cells is safe; when the memo would exceed :data:`_TRACE_CACHE_MAX`
+    distinct traces the auto-generated entries are dropped — pinned
+    entries (:func:`seed_trace_cache`) always survive.
+    """
+    global _trace_cache_hits, _trace_cache_misses
+    key = (workload, n, m, seed)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        _trace_cache_misses += 1
+        if len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
+            for stale in [k for k in _TRACE_CACHE if k not in _PINNED_KEYS]:
+                del _TRACE_CACHE[stale]
+        trace = materialize_trace(workload, n, m, seed)
+        _TRACE_CACHE[key] = trace
+    else:
+        _trace_cache_hits += 1
+    return trace
+
+
+def seed_trace_cache(trace: Trace, workload: str, seed: int) -> tuple[str, int, int, int]:
+    """Pre-seed (and pin) the memo with an explicit trace; returns the key.
+
+    Used by the serial experiment adapters when a caller hands them a
+    pre-built trace instead of workload coordinates.  Pinned entries are
+    exempt from eviction until :func:`evict_trace` / :func:`clear_trace_cache`.
+    """
+    key = (workload, trace.n, trace.m, seed)
+    _TRACE_CACHE[key] = trace
+    _PINNED_KEYS.add(key)
+    return key
+
+
+def evict_trace(key: tuple[str, int, int, int]) -> None:
+    """Drop one cache entry (undo of :func:`seed_trace_cache`)."""
+    _TRACE_CACHE.pop(key, None)
+    _PINNED_KEYS.discard(key)
+
+
+def clear_trace_cache() -> None:
+    """Empty the per-process trace memo and reset its counters."""
+    global _trace_cache_hits, _trace_cache_misses
+    _TRACE_CACHE.clear()
+    _PINNED_KEYS.clear()
+    _trace_cache_hits = 0
+    _trace_cache_misses = 0
+
+
+def trace_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters of this process's trace memo (for tests)."""
+    return {
+        "hits": _trace_cache_hits,
+        "misses": _trace_cache_misses,
+        "size": len(_TRACE_CACHE),
+    }
+
+
+# ----------------------------------------------------------------------
 # algorithm registries
 # ----------------------------------------------------------------------
-def _make_kary_splaynet(n: int, k: int) -> KArySplayNet:
-    return KArySplayNet(n, k, initial="complete")
+def _make_kary_splaynet(task: "SimulationTask") -> KArySplayNet:
+    return KArySplayNet(task.n, task.k, initial=task.initial, engine=task.engine)
 
-def _make_centroid_splaynet(n: int, k: int) -> CentroidSplayNet:
-    return CentroidSplayNet(n, k)
+def _make_centroid_splaynet(task: "SimulationTask") -> CentroidSplayNet:
+    return CentroidSplayNet(task.n, task.k, engine=task.engine)
 
-def _make_binary_splaynet(n: int, k: int) -> SplayNet:
-    del k  # SplayNet is the k=2 baseline regardless of the axis value
-    return SplayNet(n)
+def _make_binary_splaynet(task: "SimulationTask") -> SplayNet:
+    # SplayNet is the k=2 baseline regardless of the axis value (and has a
+    # single implementation — no engine selection).
+    return SplayNet(task.n)
 
-def _make_lazy(n: int, k: int) -> LazyRebuildNetwork:
-    return LazyRebuildNetwork(n, k)
+def _make_lazy(task: "SimulationTask") -> LazyRebuildNetwork:
+    return LazyRebuildNetwork(task.n, task.k)
 
 
-#: Online (self-adjusting) algorithm name → ``factory(n, k) -> network``.
-NETWORK_FACTORIES: dict[str, Callable[[int, int], object]] = {
+#: Online (self-adjusting) algorithm name → ``factory(task) -> network``.
+NETWORK_FACTORIES: dict[str, Callable[["SimulationTask"], object]] = {
     "kary-splaynet": _make_kary_splaynet,
     "centroid-splaynet": _make_centroid_splaynet,
     "splaynet": _make_binary_splaynet,
     "lazy": _make_lazy,
 }
+
+#: Algorithms whose factory threads the ``engine=`` backend selection
+#: through (the k-ary tree-engine hot loop of :mod:`repro.core.engine`).
+ENGINE_CAPABLE = frozenset({"kary-splaynet", "centroid-splaynet"})
 
 
 def _build_full(trace: Trace, k: int):
@@ -141,6 +230,11 @@ class SimulationTask:
         A key of :data:`NETWORK_FACTORIES` or :data:`STATIC_BUILDERS`.
     k:
         Tree arity (ignored by the binary baselines).
+    engine:
+        Tree-engine backend for :data:`ENGINE_CAPABLE` algorithms
+        (``None`` = the process default; ignored by the rest).
+    initial:
+        Initial topology name for ``kary-splaynet``.
     """
 
     workload: str
@@ -149,6 +243,8 @@ class SimulationTask:
     seed: int
     algorithm: str
     k: int = 2
+    engine: Optional[str] = None
+    initial: str = "complete"
 
     def __post_init__(self) -> None:
         if self.algorithm not in NETWORK_FACTORIES and self.algorithm not in STATIC_BUILDERS:
@@ -158,6 +254,10 @@ class SimulationTask:
             )
         if self.k < 2:
             raise ExperimentError(f"k must be >= 2, got {self.k}")
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ExperimentError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}"
+            )
 
 
 @dataclass(frozen=True)
@@ -180,12 +280,12 @@ def run_simulation_task(task: SimulationTask) -> SimulationTaskResult:
     Static baselines are costed through the distance oracle (no simulation
     loop); online algorithms run the full trace through the simulator.
     """
-    trace = materialize_trace(task.workload, task.n, task.m, task.seed)
+    trace = materialize_trace_cached(task.workload, task.n, task.m, task.seed)
     if task.algorithm in STATIC_BUILDERS:
         tree = STATIC_BUILDERS[task.algorithm](trace, task.k)
         cost = trace_static_cost(tree, trace)
         return SimulationTaskResult(task, cost, 0, 0)
-    network = NETWORK_FACTORIES[task.algorithm](task.n, task.k)
+    network = NETWORK_FACTORIES[task.algorithm](task)
     run = Simulator().run(network, trace)
     return SimulationTaskResult(
         task, run.total_routing, run.total_rotations, run.total_links_changed

@@ -1,0 +1,72 @@
+"""Declarative scenario pipeline: specs, registry, one execution core.
+
+The demand-aware-networking move applied to this repository's own
+evaluation harness: treat the (workload × algorithm × arity × cost model)
+grid as *data*.  :class:`ScenarioSpec` names one cell; the registry expands
+the paper's Tables 1–8 and Remark 10 (plus any user-registered campaign)
+into spec lists; :func:`run_specs` executes any spec list serially or
+across worker processes with per-worker trace memoization and the flat
+tree engine as the online default; :class:`JsonlResultSink` streams results
+to ``benchmarks/results/``.
+
+The classic experiment entry points (``repro.experiments.tables``,
+``run_all``, the parallel runners, simulation sweeps) are thin adapters
+over this package — same result objects, one execution core.
+
+Typical use::
+
+    from repro.scenarios import expand, run_specs
+
+    specs = expand("table4")            # the paper's Table 4 as data
+    results = run_specs(specs, jobs=4)  # deterministic, order-preserving
+"""
+
+from repro.scenarios.spec import (
+    ANALYTIC_ALGORITHMS,
+    COST_MODELS,
+    DEFAULT_ONLINE_ENGINE,
+    ScenarioSpec,
+    specs_from_json,
+    specs_to_json,
+)
+from repro.scenarios.registry import (
+    expand,
+    kary_table_specs,
+    register_scenario,
+    remark10_specs,
+    scenario_names,
+    table8_specs,
+)
+from repro.scenarios.core import (
+    ScenarioResult,
+    run_cells,
+    run_scenario,
+    run_specs,
+)
+from repro.scenarios.sink import (
+    JsonlResultSink,
+    default_results_path,
+    read_results_jsonl,
+)
+
+__all__ = [
+    "ANALYTIC_ALGORITHMS",
+    "COST_MODELS",
+    "DEFAULT_ONLINE_ENGINE",
+    "ScenarioSpec",
+    "ScenarioResult",
+    "specs_to_json",
+    "specs_from_json",
+    "kary_table_specs",
+    "table8_specs",
+    "remark10_specs",
+    "register_scenario",
+    "scenario_names",
+    "expand",
+    "run_scenario",
+    "run_cells",
+    "run_specs",
+    "JsonlResultSink",
+    "default_results_path",
+    "read_results_jsonl",
+]

@@ -1,0 +1,214 @@
+"""The one execution core: run any spec list, serially or across processes.
+
+Every experiment surface of the repository — the serial table functions,
+the parallel table runners, ``run_all``, the sweep engine's simulation
+cells and the ``repro scenarios`` CLI — funnels through
+:func:`run_specs` / :func:`run_cells` here.  That buys three properties in
+one place instead of three divergent code paths:
+
+* **Determinism** — results are reassembled in submission order, so a run
+  is bit-identical for any worker count.
+* **Trace memoization** — cells share the per-process trace memo of
+  :mod:`repro.parallel.tasks`, so a table's up-to-27 cells materialize the
+  workload once per worker instead of once per cell.
+* **Engine policy** — engine-capable online cells default to the flat
+  structure-of-arrays backend (≈3× the object engine on the serve loop);
+  ``engine="object"`` remains one field away for cross-checks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, TypeVar
+
+from repro.analysis.distance import total_distance_via_potentials
+from repro.core.builders import build_complete_tree
+from repro.core.centroid import build_centroid_tree
+from repro.errors import ExperimentError
+from repro.network.cost import CostModel, ROUTING_ONLY, UNIT_ROTATIONS
+from repro.optimal.uniform import optimal_uniform_cost
+from repro.parallel.pool import ParallelConfig, parallel_map
+from repro.parallel.tasks import (
+    evict_trace,
+    run_simulation_task,
+    seed_trace_cache,
+)
+from repro.scenarios.spec import ScenarioSpec
+from repro.workloads.trace import Trace
+
+__all__ = ["ScenarioResult", "run_scenario", "run_cells", "run_specs"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Analytic algorithm → closed-form cost in unordered-pair units.
+_ANALYTIC: dict[str, Callable[[int, int], int]] = {
+    "centroid-tree-distance": lambda n, k: total_distance_via_potentials(
+        build_centroid_tree(n, k)
+    )
+    // 2,
+    "optimal-uniform-distance": lambda n, k: optimal_uniform_cost(n, k),
+    "complete-tree-distance": lambda n, k: total_distance_via_potentials(
+        build_complete_tree(n, k)
+    )
+    // 2,
+}
+
+_COST_MODELS: dict[str, CostModel] = {
+    "routing": ROUTING_ONLY,
+    "unit_rotations": UNIT_ROTATIONS,
+}
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Scalar outcome of one cell (small and picklable by construction)."""
+
+    spec: ScenarioSpec
+    total_routing: int
+    total_rotations: int
+    total_links_changed: int
+    elapsed_seconds: float = 0.0
+
+    @property
+    def average_routing(self) -> float:
+        return self.total_routing / self.spec.m if self.spec.m else 0.0
+
+    def cost(self, model: Optional[CostModel] = None) -> float:
+        """Total cost under a model (default: the spec's ``cost_model``)."""
+        if model is None:
+            model = _COST_MODELS[self.spec.cost_model]
+        return (
+            model.routing_weight * self.total_routing
+            + model.rotation_cost * self.total_rotations
+            + model.link_cost * self.total_links_changed
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly flat record (one JSONL line in the result sink)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "total_routing": self.total_routing,
+            "total_rotations": self.total_rotations,
+            "total_links_changed": self.total_links_changed,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioResult":
+        return cls(
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            total_routing=data["total_routing"],
+            total_rotations=data["total_rotations"],
+            total_links_changed=data["total_links_changed"],
+            elapsed_seconds=data.get("elapsed_seconds", 0.0),
+        )
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Execute one cell (module-level, so it pickles into workers).
+
+    Analytic cells evaluate their closed form; online/static cells bridge
+    to :func:`repro.parallel.tasks.run_simulation_task`, inheriting the
+    worker-side trace memo and the engine threading.
+    """
+    start = time.perf_counter()
+    if spec.kind == "analytic":
+        cost = _ANALYTIC[spec.algorithm](spec.n, spec.k)
+        return ScenarioResult(spec, cost, 0, 0, time.perf_counter() - start)
+    cell = run_simulation_task(spec.task())
+    return ScenarioResult(
+        spec,
+        cell.total_routing,
+        cell.total_rotations,
+        cell.total_links_changed,
+        time.perf_counter() - start,
+    )
+
+
+def run_cells(
+    fn: Callable[[T], R],
+    cells: Iterable[T],
+    *,
+    jobs: int = 1,
+    config: Optional[ParallelConfig] = None,
+) -> list[R]:
+    """The execution chokepoint: ordered map over cells, serial or pooled.
+
+    ``jobs=1`` (default) runs in-process; ``jobs=0``/negative resolves to
+    all cores; an explicit :class:`ParallelConfig` overrides ``jobs``.
+    Both :func:`run_specs` and the sweep engine
+    (:func:`repro.parallel.sweep.run_sweep`) execute through here.
+    """
+    return parallel_map(fn, cells, config=config, jobs=None if config else jobs)
+
+
+def run_specs(
+    specs: Sequence[ScenarioSpec],
+    *,
+    jobs: int = 1,
+    config: Optional[ParallelConfig] = None,
+    sink: Optional[Any] = None,
+    traces: Optional[Mapping[tuple[str, int, int, int], Trace]] = None,
+) -> list[ScenarioResult]:
+    """Run a spec list through the core; results come back in spec order.
+
+    Parameters
+    ----------
+    jobs, config:
+        Worker processes (see :func:`run_cells`).
+    sink:
+        Optional result sink (anything with ``write(result)``, e.g.
+        :class:`repro.scenarios.sink.JsonlResultSink`).  Serial runs
+        stream each result to the sink the moment its cell finishes (a
+        killed campaign keeps every completed cell on disk); pooled runs
+        write the ordered batch when the pool completes.
+    traces:
+        Optional pre-built traces keyed by ``(workload, n, m, seed)``,
+        pre-seeded into the in-process trace memo — for callers holding a
+        custom trace that has no generator.  Serial only: worker processes
+        cannot see the parent's memo.
+    """
+    specs = list(specs)
+    seeded: list[tuple[str, int, int, int]] = []
+    serial = config.resolved_jobs() == 1 if config is not None else jobs == 1
+    if traces:
+        if not serial:
+            raise ExperimentError(
+                "explicit traces require serial execution (jobs=1): worker "
+                "processes regenerate traces from coordinates and cannot see "
+                "the caller's trace objects"
+            )
+        for (workload, n, m, seed), trace in traces.items():
+            if (n, m) != (trace.n, trace.m):
+                raise ExperimentError(
+                    f"traces key ({workload!r}, {n}, {m}, {seed}) does not "
+                    f"match the supplied trace (n={trace.n}, m={trace.m}); "
+                    "cells under the mismatched key would silently run on a "
+                    "regenerated trace"
+                )
+            seeded.append(seed_trace_cache(trace, workload, seed))
+    try:
+        if serial and sink is not None:
+            # True streaming: each cell hits the sink as it completes.
+            # Failures are wrapped exactly as the pooled path wraps them.
+            results = []
+            for index, cell in enumerate(specs):
+                try:
+                    result = run_scenario(cell)
+                except Exception as exc:  # noqa: BLE001 - mirror pool policy
+                    raise ExperimentError(
+                        f"task {index} failed on item {cell!r}: {exc}"
+                    ) from exc
+                sink.write(result)
+                results.append(result)
+            return results
+        results = run_cells(run_scenario, specs, jobs=jobs, config=config)
+    finally:
+        for key in seeded:
+            evict_trace(key)
+    if sink is not None:
+        for result in results:
+            sink.write(result)
+    return results

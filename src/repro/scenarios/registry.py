@@ -1,0 +1,245 @@
+"""Named scenario sets: the paper's evaluation grid as spec lists.
+
+Each entry expands one published experiment — Tables 1–7 (k-ary SplayNet vs
+static trees per workload), Table 8 (the centroid case study) and Remark 10
+(centroid-tree optimality on the uniform workload) — into a flat list of
+:class:`~repro.scenarios.spec.ScenarioSpec` cells at a chosen
+:class:`~repro.experiments.presets.Scale`.  A new experiment campaign costs
+one registry entry (a function ``(scale, engine) -> list[ScenarioSpec]``),
+not a new runner module: the execution core and the CLI pick it up by name.
+
+>>> from repro.scenarios import expand
+>>> specs = expand("table4")          # doctest: +SKIP
+>>> [s.algorithm for s in specs[:3]]  # doctest: +SKIP
+['kary-splaynet', 'full-tree', 'optimal-tree']
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.presets import Scale, WORKLOADS, get_scale
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "TABLE_WORKLOAD",
+    "REMARK10_NS",
+    "REMARK10_KS",
+    "kary_table_specs",
+    "table8_specs",
+    "remark10_specs",
+    "register_scenario",
+    "scenario_names",
+    "expand",
+]
+
+#: Paper table number → workload (Tables 1-7) — the single source of
+#: truth; the experiment adapters (:mod:`repro.experiments.tables`) sit
+#: *above* this layer and re-export it.
+TABLE_WORKLOAD = {
+    1: "hpc",
+    2: "projector",
+    3: "facebook",
+    4: "temporal-0.25",
+    5: "temporal-0.5",
+    6: "temporal-0.75",
+    7: "temporal-0.9",
+}
+
+#: The Remark 10 grid the paper sweeps.
+REMARK10_NS = (10, 25, 50, 100, 200, 400, 600, 999)
+REMARK10_KS = (2, 3, 4, 5, 7, 10)
+
+
+def kary_table_specs(
+    workload: str,
+    scale: Optional[Scale] = None,
+    *,
+    n: Optional[int] = None,
+    m: Optional[int] = None,
+    seed: Optional[int] = None,
+    ks: Optional[Sequence[int]] = None,
+    include_optimal: bool = True,
+    initial: str = "complete",
+    engine: Optional[str] = None,
+    group: str = "",
+) -> list[ScenarioSpec]:
+    """Cells of one of Tables 1–7: per arity, the online k-ary SplayNet,
+    the full k-ary tree and (below the DP budget) the optimal static tree.
+
+    Trace coordinates default to the scale's; pass ``n``/``m``/``seed`` to
+    pin them explicitly (e.g. when costing a pre-built trace).
+    """
+    scale = scale or get_scale()
+    n = n if n is not None else scale.workload_n(workload)
+    m = m if m is not None else scale.m
+    seed = seed if seed is not None else scale.seed
+    ks = tuple(ks or scale.ks)
+    want_optimal = include_optimal and n <= scale.optimal_tree_max_n
+    group = group or f"kary-table:{workload}"
+    specs: list[ScenarioSpec] = []
+    for k in ks:
+        common = dict(workload=workload, n=n, m=m, seed=seed, k=k, group=group)
+        specs.append(
+            ScenarioSpec(
+                algorithm="kary-splaynet", engine=engine, initial=initial, **common
+            )
+        )
+        specs.append(ScenarioSpec(algorithm="full-tree", **common))
+        if want_optimal:
+            specs.append(ScenarioSpec(algorithm="optimal-tree", **common))
+    return specs
+
+
+def table8_specs(
+    scale: Optional[Scale] = None,
+    *,
+    workloads: Optional[Sequence[str]] = None,
+    n: Optional[int] = None,
+    m: Optional[int] = None,
+    include_optimal: bool = True,
+    engine: Optional[str] = None,
+    group: str = "table8",
+) -> list[ScenarioSpec]:
+    """Cells of Table 8: per workload, 3-SplayNet (the k = 2 centroid
+    heuristic), binary SplayNet, the full binary tree and (below the DP
+    budget) the optimal static BST.
+
+    ``n``/``m`` override the scale's coordinates for *every* listed
+    workload — meant for the single-workload, explicit-trace case.
+    """
+    scale = scale or get_scale()
+    specs: list[ScenarioSpec] = []
+    for workload in workloads or WORKLOADS:
+        wn = n if n is not None else scale.workload_n(workload)
+        common = dict(
+            workload=workload,
+            n=wn,
+            m=m if m is not None else scale.m,
+            seed=scale.seed,
+            k=2,
+            group=group,
+        )
+        specs.append(
+            ScenarioSpec(algorithm="centroid-splaynet", engine=engine, **common)
+        )
+        specs.append(ScenarioSpec(algorithm="splaynet", **common))
+        specs.append(ScenarioSpec(algorithm="full-tree", **common))
+        if include_optimal and wn <= scale.optimal_tree_max_n:
+            specs.append(ScenarioSpec(algorithm="optimal-bst", **common))
+    return specs
+
+
+def remark10_specs(
+    ns: Sequence[int] = REMARK10_NS,
+    ks: Sequence[int] = REMARK10_KS,
+    *,
+    group: str = "remark10",
+) -> list[ScenarioSpec]:
+    """The Remark 10 grid: per (n, k), the centroid tree's all-pairs
+    distance, the uniform-DP optimum and the full tree (analytic cells —
+    no trace, ``m = 0``)."""
+    specs: list[ScenarioSpec] = []
+    for k in ks:
+        for n in ns:
+            for algorithm in (
+                "centroid-tree-distance",
+                "optimal-uniform-distance",
+                "complete-tree-distance",
+            ):
+                specs.append(
+                    ScenarioSpec(
+                        workload="uniform",
+                        n=n,
+                        m=0,
+                        seed=0,
+                        algorithm=algorithm,
+                        k=k,
+                        group=group,
+                    )
+                )
+    return specs
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+ScenarioBuilder = Callable[[Scale, Optional[str]], list[ScenarioSpec]]
+
+_REGISTRY: dict[str, ScenarioBuilder] = {}
+
+
+def register_scenario(name: str, builder: ScenarioBuilder) -> None:
+    """Add (or replace) a named scenario set.
+
+    ``builder(scale, engine)`` must return the expanded spec list; the
+    scenario then shows up in :func:`scenario_names`, :func:`expand` and
+    the ``repro scenarios`` CLI.
+    """
+    if not name:
+        raise ExperimentError("scenario name must be non-empty")
+    _REGISTRY[name] = builder
+
+
+def _table_builder(number: int) -> ScenarioBuilder:
+    workload = TABLE_WORKLOAD[number]
+
+    def build(scale: Scale, engine: Optional[str]) -> list[ScenarioSpec]:
+        return kary_table_specs(
+            workload, scale, engine=engine, group=f"table{number}"
+        )
+
+    return build
+
+
+for _number in sorted(TABLE_WORKLOAD):
+    register_scenario(f"table{_number}", _table_builder(_number))
+
+register_scenario(
+    "table8", lambda scale, engine: table8_specs(scale, engine=engine)
+)
+register_scenario(
+    "remark10", lambda scale, engine: remark10_specs()
+)
+register_scenario(
+    # An extra, non-paper campaign showing the marginal cost of a new
+    # scenario: one registry line.  Zipf(1.2) traffic across the arity axis.
+    "zipf",
+    lambda scale, engine: kary_table_specs(
+        "zipf-1.2", scale, n=scale.uniform_n, engine=engine, group="zipf"
+    ),
+)
+
+
+def _build_all(scale: Scale, engine: Optional[str]) -> list[ScenarioSpec]:
+    specs: list[ScenarioSpec] = []
+    for number in sorted(TABLE_WORKLOAD):
+        specs.extend(_REGISTRY[f"table{number}"](scale, engine))
+    specs.extend(_REGISTRY["table8"](scale, engine))
+    specs.extend(_REGISTRY["remark10"](scale, engine))
+    return specs
+
+
+register_scenario("all", _build_all)
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Registered scenario names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def expand(
+    name: str,
+    scale: Optional[Scale] = None,
+    *,
+    engine: Optional[str] = None,
+) -> list[ScenarioSpec]:
+    """Expand a registered scenario into its spec list at a scale."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown scenario {name!r}; choose from {scenario_names()}"
+        ) from None
+    return builder(scale or get_scale(), engine)

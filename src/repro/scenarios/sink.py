@@ -1,0 +1,72 @@
+"""Streaming JSONL result sink for scenario runs.
+
+One :class:`ScenarioResult` per line, written (and flushed) as results are
+handed over.  Serial ``run_specs`` hands cells over one by one, so a
+killed campaign keeps every completed cell on disk and downstream tooling
+can tail the file while it runs; pooled runs hand the ordered batch over
+when the pool completes.  The conventional home for records is
+``benchmarks/results/`` (see :func:`default_results_path`), next to the
+``BENCH_*`` perf artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.scenarios.core import ScenarioResult
+
+__all__ = ["JsonlResultSink", "read_results_jsonl", "default_results_path"]
+
+#: Repository-conventional results directory (relative to the CWD).
+RESULTS_DIR = Path("benchmarks") / "results"
+
+
+def default_results_path(name: str, scale: str) -> Path:
+    """``benchmarks/results/scenario_<name>_<scale>.jsonl``."""
+    return RESULTS_DIR / f"scenario_{name}_{scale}.jsonl"
+
+
+class JsonlResultSink:
+    """Append-ordered JSONL writer for :class:`ScenarioResult` records.
+
+    Opens lazily on the first ``write`` (so constructing a sink never
+    touches the filesystem), creates parent directories, flushes per line.
+    Usable as a context manager; ``close()`` is idempotent.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self._handle = None
+        self.count = 0
+
+    def write(self, result: ScenarioResult) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w")
+        self._handle.write(json.dumps(result.to_dict(), sort_keys=True) + "\n")
+        self._handle.flush()
+        self.count += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlResultSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> Optional[bool]:
+        self.close()
+        return None
+
+
+def read_results_jsonl(path: "str | Path") -> list[ScenarioResult]:
+    """Load a sink file back into result objects (round-trip of ``write``)."""
+    results: list[ScenarioResult] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            results.append(ScenarioResult.from_dict(json.loads(line)))
+    return results

@@ -1,0 +1,197 @@
+"""The scenario execution core: determinism, memoization, sinks, sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.splaynet import KArySplayNet
+from repro.errors import ExperimentError
+from repro.network.cost import UNIT_ROTATIONS
+from repro.network.simulator import Simulator
+from repro.parallel import (
+    SweepSpec,
+    clear_trace_cache,
+    run_scenario_sweep,
+    trace_cache_stats,
+)
+from repro.scenarios import (
+    JsonlResultSink,
+    ScenarioResult,
+    ScenarioSpec,
+    read_results_jsonl,
+    run_scenario,
+    run_specs,
+)
+from repro.workloads.synthetic import temporal_trace, zipf_trace
+
+
+def spec(**overrides):
+    fields = dict(
+        workload="temporal-0.5", n=24, m=300, seed=7, algorithm="kary-splaynet", k=3
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestRunScenario:
+    def test_online_cell_matches_direct_simulation(self):
+        cell = run_scenario(spec())
+        trace = temporal_trace(24, 300, 0.5, 7)
+        direct = Simulator().run(KArySplayNet(24, 3, initial="complete"), trace)
+        assert cell.total_routing == direct.total_routing
+        assert cell.total_rotations == direct.total_rotations
+
+    def test_analytic_cell(self):
+        cell = run_scenario(
+            spec(algorithm="optimal-uniform-distance", m=0, n=10, k=2)
+        )
+        assert cell.total_routing > 0
+        assert cell.total_rotations == 0
+
+    def test_cost_model_selection(self):
+        cell = run_scenario(spec(cost_model="unit_rotations"))
+        assert cell.cost() == cell.cost(UNIT_ROTATIONS)
+        assert cell.cost() > cell.total_routing  # rotations priced in
+
+    def test_result_json_round_trip(self):
+        cell = run_scenario(spec())
+        assert ScenarioResult.from_dict(cell.to_dict()) == cell
+
+
+class TestRunSpecs:
+    def test_order_preserved_and_deterministic(self):
+        specs = [spec(k=k, algorithm=a) for k in (2, 3) for a in ("kary-splaynet", "full-tree")]
+        serial = run_specs(specs)
+        again = run_specs(specs)
+        assert [c.spec for c in serial] == specs
+        assert [c.total_routing for c in serial] == [c.total_routing for c in again]
+
+    def test_parallel_matches_serial(self):
+        specs = [spec(k=k) for k in (2, 3, 4)]
+        serial = run_specs(specs)
+        parallel = run_specs(specs, jobs=2)
+        assert [c.total_routing for c in serial] == [c.total_routing for c in parallel]
+        assert [c.total_rotations for c in serial] == [
+            c.total_rotations for c in parallel
+        ]
+
+    def test_flat_and_object_engines_agree(self):
+        flat = run_specs([spec(engine="flat")])[0]
+        obj = run_specs([spec(engine="object")])[0]
+        assert flat.total_routing == obj.total_routing
+        assert flat.total_rotations == obj.total_rotations
+        assert flat.total_links_changed == obj.total_links_changed
+
+    def test_explicit_trace_override(self):
+        trace = zipf_trace(24, 300, 1.4, seed=99)
+        s = spec(workload="zipf-1.4", seed=99)
+        with_override = run_specs([s], traces={s.trace_key(): trace})[0]
+        direct = Simulator().run(KArySplayNet(24, 3, initial="complete"), trace)
+        assert with_override.total_routing == direct.total_routing
+
+    def test_explicit_trace_requires_serial(self):
+        trace = zipf_trace(24, 300, 1.4, seed=99)
+        s = spec(workload="zipf-1.4", seed=99)
+        with pytest.raises(ExperimentError):
+            run_specs([s], jobs=2, traces={s.trace_key(): trace})
+
+    def test_explicit_trace_key_must_match_trace_coordinates(self):
+        shorter = zipf_trace(24, 299, 1.4, seed=99)
+        s = spec(workload="zipf-1.4", seed=99)  # m=300
+        with pytest.raises(ExperimentError):
+            run_specs([s], traces={s.trace_key(): shorter})
+
+
+class TestTraceMemoization:
+    def test_table_cells_materialize_trace_once(self):
+        clear_trace_cache()
+        specs = [spec(k=k, algorithm=a) for k in (2, 3, 5) for a in ("kary-splaynet", "full-tree")]
+        run_specs(specs)
+        stats = trace_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == len(specs) - 1
+        clear_trace_cache()
+
+    def test_pinned_trace_survives_cache_pressure(self):
+        from repro.parallel.tasks import (
+            _TRACE_CACHE_MAX,
+            evict_trace,
+            materialize_trace_cached,
+            seed_trace_cache,
+        )
+
+        clear_trace_cache()
+        custom = zipf_trace(24, 300, 1.4, seed=99)
+        key = seed_trace_cache(custom, "zipf-1.4", 99)
+        try:
+            # Force enough distinct traces through the memo to trigger its
+            # eviction sweep; the pinned entry must not be swept.
+            for seed in range(_TRACE_CACHE_MAX + 2):
+                materialize_trace_cached("uniform", 8, 16, seed)
+            assert materialize_trace_cached("zipf-1.4", 24, 300, 99) is custom
+        finally:
+            evict_trace(key)
+            clear_trace_cache()
+
+
+class TestSink:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        specs = [spec(k=2), spec(algorithm="full-tree", k=2)]
+        with JsonlResultSink(path) as sink:
+            results = run_specs(specs, sink=sink)
+            assert sink.count == len(specs)
+        assert read_results_jsonl(path) == results
+
+    def test_sink_opens_lazily(self, tmp_path):
+        sink = JsonlResultSink(tmp_path / "sub" / "never.jsonl")
+        sink.close()
+        assert not (tmp_path / "sub").exists()
+
+    def test_serial_run_streams_completed_cells_before_a_crash(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        # The second cell blows up inside trace materialization
+        # (ValueError on the zipf parameter) — the first cell's line must
+        # already be on disk.
+        specs = [spec(k=2), spec(workload="zipf-oops", seed=1)]
+        with JsonlResultSink(path) as sink:
+            with pytest.raises(ExperimentError):
+                run_specs(specs, sink=sink)
+        survivors = read_results_jsonl(path)
+        assert len(survivors) == 1
+        assert survivors[0].spec == specs[0]
+
+
+class TestScenarioSweep:
+    def test_axes_become_spec_fields(self):
+        result = run_scenario_sweep(
+            SweepSpec(axes={"k": (2, 3)}, root_seed=5),
+            {"workload": "uniform", "n": 16, "m": 80, "algorithm": "kary-splaynet"},
+        )
+        assert len(result) == 2
+        assert [cell.spec.k for cell in result.values] == [2, 3]
+        assert all(cell.total_routing > 0 for cell in result.values)
+
+    def test_seed_derived_per_cell_unless_pinned(self):
+        derived = run_scenario_sweep(
+            SweepSpec(axes={"k": (2, 3)}, root_seed=5),
+            {"workload": "uniform", "n": 16, "m": 80, "algorithm": "kary-splaynet"},
+        )
+        seeds = {cell.spec.seed for cell in derived.values}
+        assert len(seeds) == 2  # independent per coordinate
+        pinned = run_scenario_sweep(
+            SweepSpec(axes={"k": (2, 3)}, root_seed=5),
+            {"workload": "uniform", "n": 16, "m": 80, "seed": 1,
+             "algorithm": "kary-splaynet"},
+        )
+        assert {cell.spec.seed for cell in pinned.values} == {1}
+
+    def test_repeats_drop_the_rep_axis(self):
+        result = run_scenario_sweep(
+            SweepSpec(axes={"k": (2,)}, root_seed=5, repeats=2),
+            {"workload": "uniform", "n": 16, "m": 80, "algorithm": "kary-splaynet"},
+        )
+        assert len(result) == 2
+        assert {cell.spec.seed for cell in result.values} == {
+            c.seed for c in result.cells
+        }

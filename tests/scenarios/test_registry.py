@@ -1,0 +1,103 @@
+"""The scenario registry: expansion of the paper's grid, JSON round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.presets import SMOKE
+from repro.experiments.tables import TABLE_WORKLOAD
+from repro.scenarios import (
+    expand,
+    register_scenario,
+    remark10_specs,
+    scenario_names,
+    specs_from_json,
+    specs_to_json,
+)
+from repro.scenarios.registry import _REGISTRY
+
+
+class TestRegistry:
+    def test_every_paper_table_is_registered(self):
+        names = scenario_names()
+        for number in range(1, 8):
+            assert f"table{number}" in names
+        assert "table8" in names and "remark10" in names and "all" in names
+
+    def test_unknown_name(self):
+        with pytest.raises(ExperimentError):
+            expand("table99", SMOKE)
+
+    def test_table_specs_match_paper_workloads(self):
+        for number, workload in TABLE_WORKLOAD.items():
+            specs = expand(f"table{number}", SMOKE)
+            assert {spec.workload for spec in specs} == {workload}
+            assert {spec.k for spec in specs} == set(SMOKE.ks)
+            assert {spec.group for spec in specs} == {f"table{number}"}
+
+    def test_kary_table_cell_structure(self):
+        specs = expand("table5", SMOKE)
+        per_k = len(specs) / len(SMOKE.ks)
+        assert per_k == 3  # online + full tree + optimal (n under DP budget)
+        assert {s.algorithm for s in specs} == {
+            "kary-splaynet", "full-tree", "optimal-tree"
+        }
+
+    def test_optimal_respects_dp_budget(self):
+        import dataclasses
+
+        capped = dataclasses.replace(SMOKE, optimal_tree_max_n=8)
+        specs = expand("table5", capped)
+        assert not any(s.algorithm == "optimal-tree" for s in specs)
+
+    def test_table8_structure(self):
+        specs = expand("table8", SMOKE)
+        uniform = [s for s in specs if s.workload == "uniform"]
+        assert [s.algorithm for s in uniform] == [
+            "centroid-splaynet", "splaynet", "full-tree", "optimal-bst"
+        ]
+        assert all(s.k == 2 for s in specs)
+
+    def test_remark10_is_analytic(self):
+        specs = remark10_specs(ns=(10, 25), ks=(2, 3))
+        assert len(specs) == 2 * 2 * 3
+        assert all(s.kind == "analytic" and s.m == 0 for s in specs)
+
+    def test_all_concatenates_everything(self):
+        total = sum(
+            len(expand(name, SMOKE))
+            for name in scenario_names()
+            if name.startswith("table") or name == "remark10"
+        )
+        assert len(expand("all", SMOKE)) == total
+
+    def test_engine_pins_online_cells_only(self):
+        specs = expand("table4", SMOKE, engine="object")
+        for spec in specs:
+            if spec.algorithm == "kary-splaynet":
+                assert spec.engine == "object"
+            else:
+                assert spec.engine is None
+
+    def test_register_new_scenario(self):
+        register_scenario(
+            "tiny-demo",
+            lambda scale, engine: remark10_specs(ns=(10,), ks=(2,), group="demo"),
+        )
+        try:
+            assert "tiny-demo" in scenario_names()
+            assert len(expand("tiny-demo", SMOKE)) == 3
+        finally:
+            _REGISTRY.pop("tiny-demo", None)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ExperimentError):
+            register_scenario("", lambda scale, engine: [])
+
+
+class TestRegistryJsonRoundTrip:
+    @pytest.mark.parametrize("name", ["table1", "table8", "remark10", "zipf"])
+    def test_expansion_round_trips_through_json(self, name):
+        specs = expand(name, SMOKE)
+        assert specs_from_json(specs_to_json(specs)) == specs

@@ -110,6 +110,57 @@ class TestReproduceJobs:
         assert rc == 0
         assert "Table" in capsys.readouterr().out
 
+    def test_engine_flag_accepted(self, capsys):
+        rc = main(
+            ["reproduce", "--scale", "smoke", "--quiet", "--engine", "object"]
+        )
+        assert rc == 0
+        assert "Table" in capsys.readouterr().out
+
+
+class TestScenarios:
+    def test_list_names_every_table(self, capsys):
+        assert main(["scenarios", "list", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "table7", "table8", "remark10", "all"):
+            assert name in out
+
+    def test_run_prints_cells(self, capsys):
+        rc = main(["scenarios", "run", "table4", "--scale", "smoke"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kary-splaynet" in out and "optimal-tree" in out
+        assert "9 cells" in out
+
+    def test_run_streams_jsonl(self, tmp_path, capsys):
+        out_path = tmp_path / "cells.jsonl"
+        rc = main(
+            ["scenarios", "run", "remark10", "--scale", "smoke",
+             "--output", str(out_path)]
+        )
+        assert rc == 0
+        from repro.scenarios import read_results_jsonl
+
+        results = read_results_jsonl(out_path)
+        assert len(results) == 144
+        assert all(r.spec.kind == "analytic" for r in results)
+
+    def test_export_round_trips(self, tmp_path, capsys):
+        out_path = tmp_path / "new" / "dir" / "specs.json"
+        rc = main(
+            ["scenarios", "export", "table8", "--scale", "smoke",
+             "-o", str(out_path)]
+        )
+        assert rc == 0
+        from repro.scenarios import expand, specs_from_json
+        from repro.experiments.presets import SMOKE
+
+        assert specs_from_json(out_path.read_text()) == expand("table8", SMOKE)
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["scenarios", "run", "table99", "--scale", "smoke"]) == 2
+        assert "error:" in capsys.readouterr().err
+
 
 class TestErrors:
     def test_repro_error_exits_2(self, tmp_path, capsys):
