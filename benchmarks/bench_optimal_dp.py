@@ -1,0 +1,27 @@
+"""Optimal-tree DP subsystem bench (Theorem 2 at pipeline scale).
+
+Pytest-benchmark frontend over :mod:`repro.experiments.optimalbench` — the
+same measurement ``python -m repro bench-optimal`` records into
+``benchmarks/results/BENCH_optimal_dp.json``: the legacy float64 forward
+pass vs. the context-sharing int64 subsystem across the arity sweep, and
+the result cache's cold/warm campaign trajectory.  Scale via
+``REPRO_SCALE`` (the DP-dominated n=1024 tables need quick scale).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.optimalbench import optimal_dp_benchmark
+
+
+def test_optimal_dp_subsystem(benchmark, scale, record_table):
+    record = benchmark.pedantic(
+        lambda: optimal_dp_benchmark(scale.name), rounds=1, iterations=1
+    )
+    assert record["dp"]["costs_match"]
+    assert record["cache"]["summaries_match"]
+    assert record["cache"]["skip_fraction"] == 1.0
+    record_table(
+        "bench_optimal_dp", json.dumps(record, indent=2, sort_keys=True)
+    )

@@ -10,9 +10,12 @@ Subcommands:
 * ``figures``    — render the paper's schematic figures from live structures
 * ``reproduce``  — regenerate the paper's tables at a chosen scale
 * ``scenarios``  — list/run/export declarative scenario sets (the paper's
-  tables as data; see :mod:`repro.scenarios`)
+  tables as data; see :mod:`repro.scenarios`); ``run`` consults the
+  per-cell result cache by default (``--no-cache`` / ``--refresh``)
 * ``bench-hotpath`` — serve-loop throughput of the object vs. flat engine
 * ``bench-pipeline`` — end-to-end ``run_all`` time per engine
+* ``bench-optimal`` — optimal-tree DP subsystem vs. the legacy forward
+  pass, plus the result-cache cold/warm trajectory
 
 Every command is a thin shell over the public API, so anything done here
 can be scripted directly in Python; run with ``-h`` for per-command flags.
@@ -213,6 +216,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         verbose=not args.quiet,
         jobs=args.jobs,
         engine=args.engine,
+        cache=True if (args.cache or args.refresh) else None,
+        refresh=args.refresh,
     )
     print(report.render())
     if args.verify:
@@ -252,6 +257,36 @@ def _cmd_bench_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_optimal(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.optimalbench import (
+        optimal_dp_benchmark,
+        write_optimal_record,
+    )
+
+    record = optimal_dp_benchmark(
+        args.scale,
+        campaign=args.campaign,
+        workload=args.workload,
+        ks=tuple(args.ks) if args.ks is not None else None,
+        include_legacy=not args.no_legacy,
+        verbose=not args.quiet,
+    )
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if args.output:
+        write_optimal_record(record, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    failed = (
+        record["dp"].get("costs_match") is False
+        or record["cache"].get("summaries_match") is False
+    )
+    if failed:
+        print("error: DP subsystem diverged from its oracle", file=sys.stderr)
+        return 1
+    return 0
+
+
 # ----------------------------------------------------------------------
 # the scenarios subcommand (list / run / export)
 # ----------------------------------------------------------------------
@@ -277,9 +312,18 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     out = args.output
     if out is None and args.record:
         out = default_results_path(args.name, scale.name)
+    from repro.scenarios.cache import env_disables_cache
+
     sink = JsonlResultSink(out) if out else None
     try:
-        results = run_specs(specs, jobs=args.jobs, sink=sink)
+        results = run_specs(
+            specs,
+            jobs=args.jobs,
+            sink=sink,
+            # Default on; --no-cache or REPRO_RESULT_CACHE=0 opts out.
+            cache=False if (args.no_cache or env_disables_cache()) else True,
+            refresh=args.refresh,
+        )
     finally:
         if sink is not None:
             sink.close()
@@ -417,6 +461,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="check every qualitative claim and exit nonzero on failure",
     )
+    rep.add_argument(
+        "--cache", action="store_true",
+        help="serve unchanged cells from the per-cell result cache"
+             " (default: only when REPRO_RESULT_CACHE is set)",
+    )
+    rep.add_argument(
+        "--refresh", action="store_true",
+        help="recompute every cell and overwrite its cache entry"
+             " (implies --cache)",
+    )
     rep.set_defaults(func=_cmd_reproduce)
 
     scen = sub.add_parser(
@@ -447,6 +501,14 @@ def build_parser() -> argparse.ArgumentParser:
     scen_run.add_argument(
         "--record", action="store_true",
         help="stream results to the conventional benchmarks/results/ path",
+    )
+    scen_run.add_argument(
+        "--no-cache", action="store_true",
+        help="compute every cell even if the result cache has it",
+    )
+    scen_run.add_argument(
+        "--refresh", action="store_true",
+        help="recompute every cell and overwrite its cache entry",
     )
     scen_run.set_defaults(func=_cmd_scenarios_run)
 
@@ -487,6 +549,32 @@ def build_parser() -> argparse.ArgumentParser:
     benchp.add_argument("--quiet", action="store_true")
     benchp.add_argument("--output", default=None, help="also write JSON here")
     benchp.set_defaults(func=_cmd_bench_pipeline)
+
+    bencho = sub.add_parser(
+        "bench-optimal",
+        help="optimal-tree DP subsystem vs. legacy + cache trajectory (JSON)",
+    )
+    bencho.add_argument("--scale", default="quick", choices=("smoke", "quick", "paper"))
+    bencho.add_argument(
+        "--campaign", default="table3",
+        help="scenario set for the cache cold/warm trajectory"
+             " (default: table3, the DP-dominated one)",
+    )
+    bencho.add_argument(
+        "--workload", default="facebook",
+        help="workload for the before/after DP timing (default: facebook)",
+    )
+    bencho.add_argument(
+        "--ks", type=int, nargs="*", default=None,
+        help="arity sweep for the DP timing (default: the scale's)",
+    )
+    bencho.add_argument(
+        "--no-legacy", action="store_true",
+        help="skip the slow historical forward pass (subsystem timing only)",
+    )
+    bencho.add_argument("--quiet", action="store_true")
+    bencho.add_argument("--output", default=None, help="also write JSON here")
+    bencho.set_defaults(func=_cmd_bench_optimal)
     return parser
 
 

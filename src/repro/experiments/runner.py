@@ -120,6 +120,8 @@ def run_all(
     verbose: bool = True,
     jobs: int = 1,
     engine: Optional[str] = None,
+    cache: Optional[object] = None,
+    refresh: bool = False,
 ) -> ReproductionReport:
     """Regenerate every requested table; optionally persist the reports.
 
@@ -129,7 +131,9 @@ def run_all(
     serial path, and ``engine`` selects the tree-engine backend for the
     self-adjusting cells (``None`` = the flat engine, the fast default;
     ``"object"`` = the reference backend — totals are identical either
-    way, see ``tests/scenarios/``).
+    way, see ``tests/scenarios/``).  ``cache``/``refresh`` select the
+    per-cell result cache (:mod:`repro.scenarios.cache`): with a warm
+    cache a re-run recomputes only cells whose work is new.
     """
     scale = scale or get_scale()
     report = ReproductionReport(scale=scale.name, engine=engine or "flat")
@@ -139,16 +143,19 @@ def run_all(
         if verbose:
             print(f"[run_all] table {number} ({workload}) ...", flush=True)
         report.kary_tables[number] = run_kary_table(
-            workload, scale=scale, jobs=jobs, engine=engine
+            workload, scale=scale, jobs=jobs, engine=engine,
+            cache=cache, refresh=refresh,
         )
     if include_table8:
         if verbose:
             print("[run_all] table 8 (centroid case study) ...", flush=True)
-        report.table8 = run_table8(scale=scale, jobs=jobs, engine=engine)
+        report.table8 = run_table8(
+            scale=scale, jobs=jobs, engine=engine, cache=cache, refresh=refresh
+        )
     if include_remark10:
         if verbose:
             print("[run_all] remark 10 (centroid optimality) ...", flush=True)
-        report.remark10 = run_remark10(jobs=jobs)
+        report.remark10 = run_remark10(jobs=jobs, cache=cache, refresh=refresh)
     report.elapsed_seconds = time.perf_counter() - start
     if output_dir is not None:
         out = Path(output_dir)

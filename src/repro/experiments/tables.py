@@ -127,12 +127,15 @@ def run_kary_table(
     engine: Optional[str] = None,
     jobs: int = 1,
     config: Optional[ParallelConfig] = None,
+    cache: Optional[object] = None,
+    refresh: bool = False,
 ) -> KAryTableResult:
     """Regenerate one of the paper's Tables 1-7 for ``workload``.
 
     ``trace`` pins an explicit pre-built trace (serial only); otherwise the
     workload is materialized from the scale's coordinates — once per worker,
-    thanks to the scenario core's trace memo.
+    thanks to the scenario core's trace memo.  ``cache``/``refresh`` select
+    the per-cell result cache (see :func:`repro.scenarios.core.run_specs`).
     """
     scale = scale or get_scale()
     ks = tuple(ks or scale.ks)
@@ -147,7 +150,9 @@ def run_kary_table(
         engine=engine,
     )
     traces = {specs[0].trace_key(): trace} if trace is not None else None
-    results = run_specs(specs, jobs=jobs, config=config, traces=traces)
+    results = run_specs(
+        specs, jobs=jobs, config=config, traces=traces, cache=cache, refresh=refresh
+    )
     n = trace.n if trace is not None else scale.workload_n(workload)
     m = trace.m if trace is not None else scale.m
     return _assemble_kary_table(results, workload=workload, n=n, m=m, ks=ks)
@@ -245,6 +250,8 @@ def run_table8(
     engine: Optional[str] = None,
     jobs: int = 1,
     config: Optional[ParallelConfig] = None,
+    cache: Optional[object] = None,
+    refresh: bool = False,
 ) -> Table8Result:
     """Regenerate the full Table 8."""
     scale = scale or get_scale()
@@ -252,7 +259,7 @@ def run_table8(
     specs = table8_specs(
         scale, workloads=chosen, include_optimal=include_optimal, engine=engine
     )
-    results = run_specs(specs, jobs=jobs, config=config)
+    results = run_specs(specs, jobs=jobs, config=config, cache=cache, refresh=refresh)
     return _assemble_table8(results, chosen)
 
 
@@ -305,13 +312,15 @@ def run_remark10(
     *,
     jobs: int = 1,
     config: Optional[ParallelConfig] = None,
+    cache: Optional[object] = None,
+    refresh: bool = False,
 ) -> Remark10Result:
     """Check centroid-tree optimality against the O(n²k) uniform DP.
 
     Costs are in unordered-pair units (Σ_{u<v} d(u, v)).
     """
     specs = remark10_specs(ns, ks)
-    results = run_specs(specs, jobs=jobs, config=config)
+    results = run_specs(specs, jobs=jobs, config=config, cache=cache, refresh=refresh)
     by_cell: dict[tuple[int, int], dict[str, int]] = {}
     for cell in results:
         by_cell.setdefault((cell.spec.n, cell.spec.k), {})[

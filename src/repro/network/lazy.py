@@ -191,8 +191,16 @@ class LazyRebuildNetwork:
 
     def _rebuild(self) -> int:
         """Recompute the optimal static tree for the observed demand."""
+        from repro.optimal.context import DemandContext
+
         demand = DemandMatrix(self._n, dense=self._counts.copy())
-        result = optimal_static_tree(demand, self._k)
+        # One-shot context: the observed demand evolves between rebuilds
+        # and would never hit the process-wide content-hash memo — going
+        # through it would only pay the fingerprint and pin dead O(n²)
+        # contexts in the bounded cache.
+        result = optimal_static_tree(
+            demand, self._k, context=DemandContext.from_demand(demand)
+        )
         old_edges = self.tree.edge_set()
         self.tree = result.tree
         self._oracle = TreeDistanceOracle.from_tree(self.tree)

@@ -1,0 +1,209 @@
+"""Shared demand-derived inputs of the optimal-tree DP (the DP subsystem).
+
+A paper table row runs the Theorem 2 DP once per arity on the *same*
+demand: the dense demand matrix, the boundary-crossing matrix ``W``
+(Claim 16) and — where the recurrence permits — the short single-tree
+layers are identical across those runs.  :class:`DemandContext` bundles
+them so they are computed once per demand and shared across every arity,
+and :func:`demand_context` memoizes contexts per process keyed on the
+demand's content, so independent scenario cells over the same workload
+share automatically.
+
+Cross-arity reuse of the single-tree layer rests on a small observation:
+a routing-based tree on a segment of ``L`` identifiers has at most
+``L - 1`` child parts at any node, and the recurrence reserves one unit
+of arity budget per side even when that side is empty — so for every
+arity ``k >= L`` the feasible tree set, and hence ``B[1, i, L]``, is the
+same.  A completed run at arity ``k'`` therefore seeds the ``t = 1``
+rows for lengths ``L <= min(k', k)`` of any later run at arity ``k`` on
+the same demand (see :meth:`DemandContext.reuse_for`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.optimal.wmatrix import boundary_crossing_matrix
+from repro.workloads.demand import DemandMatrix
+
+__all__ = [
+    "DemandContext",
+    "demand_context",
+    "clear_context_cache",
+    "context_cache_stats",
+]
+
+#: Sentinel "infinity" for the exact int64 DP tables.  Chosen so that the
+#: sum of two sentinels (the largest sum the forward pass ever forms)
+#: stays far below 2^63 and any finite cost stays far below one sentinel.
+INT_INF = np.int64(1) << np.int64(61)
+
+#: Finite DP values are bounded by 2 * n * total_demand (at most ``n``
+#: disjoint part segments, each crossed by at most twice the total
+#: traffic); demands whose bound reaches this threshold are rejected
+#: rather than silently overflowing the exact int64 tables.
+_EXACT_LIMIT = 1 << 60
+
+
+def _as_dense_int64(demand) -> np.ndarray:
+    """Validate a demand input and return it as a dense int64 array."""
+    if isinstance(demand, DemandMatrix):
+        d = demand.dense()
+    else:
+        d = np.asarray(demand)
+        if d.ndim != 2 or d.shape[0] != d.shape[1]:
+            raise OptimizationError(f"demand must be square, got shape {d.shape}")
+    if d.dtype.kind == "f":
+        if not np.all(np.isfinite(d)) or np.any(d != np.floor(d)):
+            raise OptimizationError(
+                "demand must hold integral request counts; got non-integral "
+                "float entries (the DP accumulates exact int64 costs)"
+            )
+        d = d.astype(np.int64)
+    elif d.dtype != np.int64:
+        d = d.astype(np.int64)
+    if np.any(d < 0):
+        raise OptimizationError("demand counts must be non-negative")
+    return d
+
+
+def _exact_total(dense: np.ndarray) -> int:
+    """``dense.sum()`` without int64 wraparound.
+
+    The magnitude guard must not be defeated by the very overflow it
+    exists to reject: when entries are large enough that an int64
+    accumulator could wrap (sum bound ``n² · max`` past 2^62), fall back
+    to arbitrary-precision Python ints.
+    """
+    n = dense.shape[0]
+    if n == 0:
+        return 0
+    max_entry = int(dense.max())
+    if max_entry and max_entry > (1 << 62) // (n * n):
+        return int(sum(int(v) for v in dense.ravel()))
+    return int(dense.sum())
+
+
+class DemandContext:
+    """Everything the Theorem 2 forward pass derives from one demand.
+
+    Holds the dense int64 demand, the boundary-crossing matrix ``W`` and a
+    mutable cross-arity reuse slot: the widest single-tree (``t = 1``)
+    layer prefix completed so far.  Build one per demand (directly or via
+    the memoized :func:`demand_context`) and pass it to
+    ``optimal_static_cost_table`` / ``optimal_static_tree`` for every
+    arity in a sweep.
+    """
+
+    __slots__ = ("dense", "w", "total", "_t1_arity", "_t1_prefix")
+
+    def __init__(self, dense: np.ndarray, w: np.ndarray) -> None:
+        self.dense = dense
+        self.w = w
+        self.total = _exact_total(dense)
+        n = dense.shape[0]
+        if 2 * n * self.total >= _EXACT_LIMIT:
+            raise OptimizationError(
+                f"demand too large for the exact int64 DP: bound "
+                f"2*{n}*{self.total} exceeds 2^60"
+            )
+        self._t1_arity = 0
+        self._t1_prefix: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_demand(cls, demand) -> "DemandContext":
+        dense = _as_dense_int64(demand)
+        return cls(dense, boundary_crossing_matrix(dense))
+
+    @property
+    def n(self) -> int:
+        return self.dense.shape[0]
+
+    # -- cross-arity single-tree reuse ---------------------------------
+    def reuse_for(self, k: int) -> tuple[int, Optional[np.ndarray]]:
+        """``(max_length, t1_prefix)`` reusable by a run at arity ``k``.
+
+        Rows ``B[1, :, L]`` for ``1 <= L <= max_length`` may be copied
+        from the prefix instead of re-reduced: a routing-based tree on
+        ``L`` identifiers splits at most ``L - 1`` ways at any node, and
+        the root recurrence reserves one arity unit per side even when a
+        side is empty, so the single-tree optimum is arity-independent
+        once both arities are ``>= L``.
+        """
+        if self._t1_prefix is None:
+            return 0, None
+        return min(self._t1_arity, k), self._t1_prefix
+
+    def offer(self, k: int, t1_table: np.ndarray) -> None:
+        """Record the ``t = 1`` layer of a completed run at arity ``k``.
+
+        Only the columns a future run could reuse (lengths up to ``k``)
+        are copied; wider arities replace narrower prefixes.
+        """
+        if k <= self._t1_arity:
+            return
+        cols = min(k + 1, t1_table.shape[1])
+        self._t1_arity = k
+        self._t1_prefix = t1_table[:, :cols].copy()
+
+
+# ----------------------------------------------------------------------
+# per-process context memoization
+# ----------------------------------------------------------------------
+#: content-fingerprint -> context.  A table row's up-to-9 optimal-tree
+#: cells all derive from one demand; without this memo each cell rebuilds
+#: W and loses the cross-arity t=1 prefix.
+_CONTEXT_CACHE: dict[str, DemandContext] = {}
+#: Contexts are O(n²) ints apiece; a reproduction touches a handful of
+#: distinct demands per process.
+_CONTEXT_CACHE_MAX = 4
+_context_hits = 0
+_context_misses = 0
+
+
+def _fingerprint(dense: np.ndarray) -> str:
+    digest = hashlib.sha1(np.ascontiguousarray(dense).tobytes()).hexdigest()
+    return f"{dense.shape[0]}:{digest}"
+
+
+def demand_context(demand) -> DemandContext:
+    """Memoized :meth:`DemandContext.from_demand` (per-process, bounded).
+
+    Keyed on the demand's *content*, so every caller computing on the
+    same matrix — successive arities of a table row, independent scenario
+    cells, direct API use — shares one context and its reuse slot.
+    """
+    global _context_hits, _context_misses
+    dense = _as_dense_int64(demand)
+    key = _fingerprint(dense)
+    ctx = _CONTEXT_CACHE.get(key)
+    if ctx is None:
+        _context_misses += 1
+        if len(_CONTEXT_CACHE) >= _CONTEXT_CACHE_MAX:
+            _CONTEXT_CACHE.clear()
+        ctx = DemandContext(dense, boundary_crossing_matrix(dense))
+        _CONTEXT_CACHE[key] = ctx
+    else:
+        _context_hits += 1
+    return ctx
+
+
+def clear_context_cache() -> None:
+    """Empty the per-process context memo and reset its counters."""
+    global _context_hits, _context_misses
+    _CONTEXT_CACHE.clear()
+    _context_hits = 0
+    _context_misses = 0
+
+
+def context_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters of this process's context memo (for tests)."""
+    return {
+        "hits": _context_hits,
+        "misses": _context_misses,
+        "size": len(_CONTEXT_CACHE),
+    }

@@ -11,16 +11,23 @@ Dynamic programming over identifier segments, exactly as in Appendix A.1:
   joins the routing array, ``dl`` child trees on ``[i, r)`` and ``k - dl``
   on ``(r, i+L)`` — the routing-based constraint ``dl + dr <= k``.
 
-The forward pass is pure NumPy; the two inner reductions walk *diagonal*
-slices of ``B`` (entry ``[i+s, L-s]`` for fixed ``L``), which
-``as_strided`` exposes as contiguous 2-D views, so the Python-call count is
-O(n·k) while the arithmetic stays the paper's O(n³k).  Reconstruction
-re-derives the argmins on the O(n) visited segments only.
+The forward pass is exact int64 NumPy (a ``2^61`` sentinel plays infinity;
+:mod:`repro.optimal.context` rejects demands whose costs could reach it).
+For each length the two inner reductions run over *diagonal* slices of
+``B`` (entry ``[i+s, L-s]`` for fixed ``L``) which ``as_strided`` exposes
+as 2-D views, reduced one arity-split at a time into preallocated
+buffers — O(n·k) NumPy dispatches while the arithmetic stays the paper's
+O(n³k).  Demand-derived inputs (dense demand, the boundary-crossing
+matrix, the short single-tree layers that are arity-independent) live in
+a :class:`~repro.optimal.context.DemandContext` shared across every arity
+of a sweep.  Reconstruction re-derives the argmins on the O(n) visited
+segments only, with exact integer equality.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
@@ -29,8 +36,7 @@ from repro.core.keyspace import pad_values
 from repro.core.node import KAryNode
 from repro.core.tree import KAryTreeNetwork
 from repro.errors import OptimizationError
-from repro.optimal.wmatrix import boundary_crossing_matrix
-from repro.workloads.demand import DemandMatrix
+from repro.optimal.context import INT_INF, DemandContext, demand_context
 
 __all__ = ["OptimalTreeResult", "optimal_static_cost_table", "optimal_static_tree"]
 
@@ -51,41 +57,79 @@ class OptimalTreeResult:
         return self.tree.k
 
 
-def _dense_demand(demand) -> np.ndarray:
-    if isinstance(demand, DemandMatrix):
-        return demand.dense()
-    d = np.asarray(demand)
-    if d.ndim != 2 or d.shape[0] != d.shape[1]:
-        raise OptimizationError(f"demand must be square, got shape {d.shape}")
-    return d
+def _resolve_context(demand, context: Optional[DemandContext]) -> DemandContext:
+    """The context to run on; guards explicit contexts against misuse.
+
+    An explicit ``context`` must have been built from this ``demand`` —
+    the tables inside it fully determine the answer.  A full content
+    comparison would defeat the sharing, so the guard is the cheap
+    invariant: matching dimension.
+    """
+    if context is None:
+        return demand_context(demand)
+    from repro.workloads.demand import DemandMatrix
+
+    n = (
+        demand.n
+        if isinstance(demand, DemandMatrix)
+        else np.asarray(demand).shape[0]
+    )
+    if context.n != n:
+        raise OptimizationError(
+            f"context was built for n={context.n} but the demand covers "
+            f"n={n} nodes; pass the context built from this demand"
+        )
+    return context
 
 
-def _forward(dense: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-    """Run the DP forward pass; returns ``(B, W)``."""
-    n = dense.shape[0]
+def _forward(ctx: DemandContext, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Run the DP forward pass on a context; returns ``(B, W)``."""
     if k < 2:
         raise OptimizationError(f"arity k must be >= 2, got {k}")
-    w = boundary_crossing_matrix(dense).astype(np.float64)
-    inf = np.inf
-    b = np.full((k + 1, n + 2, n + 1), inf)
-    b[1:, :, 0] = 0.0
+    n = ctx.n
+    w = ctx.w
+    b = np.full((k + 1, n + 2, n + 1), INT_INF, dtype=np.int64)
+    b[1:, :, 0] = 0
     t_table = b[1]  # alias: single-tree costs
     a0, a1 = b[2].strides  # strides of one (n+2, n+1) slice
+    reuse_len, t1_prefix = ctx.reuse_for(k)
+    # Preallocated scratch: the running minimum over roots and the
+    # diagonal-sum buffer (reused by both inner reductions every length).
+    acc = np.empty(n, dtype=np.int64)
+    sbuf = np.empty((n, n + 1), dtype=np.int64)
     for length in range(1, n + 1):
         m = n - length + 1
-        best = np.full(m, inf)
-        for s in range(length):
-            left = b[1:k, 0:m, s] if k > 2 else b[1:2, 0:m, s]
-            right = b[k - 1 : 0 : -1, s + 1 : s + 1 + m, length - 1 - s]
-            cand = (left + right).min(axis=0)
-            np.minimum(best, cand, out=best)
-        b[1, 0:m, length] = best + w[0:m, length]
+        if length <= reuse_len and t1_prefix is not None:
+            # Arity-independent short segments: every routing-based tree
+            # on `length` identifiers splits at most `length - 1` ways at
+            # any node, so B[1, :, length] matches the prefix recorded by
+            # a previous run at arity >= length - 1.
+            b[1, 0:m, length] = t1_prefix[0:m, length]
+        else:
+            best = acc[:m]
+            best.fill(INT_INF)
+            out = sbuf[:length, :m]
+            for d in range(k - 1):  # dl = d + 1 left trees, k - dl right
+                # left[s, j] = B[dl, i=j, s]  (left forest on [i, i+s))
+                left = b[1 + d, 0:m, 0:length].T
+                # right[s, j] = B[k-dl, i=j+s+1, length-1-s] — a diagonal
+                # of the (i, L) plane, exposed as a contiguous 2-D view.
+                slab = b[k - 1 - d]
+                right = as_strided(
+                    slab[1:, length - 1 :],
+                    shape=(length, m),
+                    strides=(a0 - a1, a0),
+                )
+                np.add(left, right, out=out)
+                np.minimum(best, out.min(axis=0), out=best)
+            np.add(best, w[0:m, length], out=b[1, 0:m, length])
         if length >= 2:
             tview = as_strided(
                 t_table[:, 1:],
                 shape=(length - 1, m),
                 strides=(t_table.strides[1], t_table.strides[0]),
             )
+            fout = sbuf[: length - 1, :m]
             for t in range(2, k + 1):
                 prev = b[t - 1]
                 bview = as_strided(
@@ -93,19 +137,30 @@ def _forward(dense: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
                     shape=(length - 1, m),
                     strides=(a0 - a1, a0),
                 )
-                cand = (tview + bview).min(axis=0)
-                b[t, 0:m, length] = np.minimum(b[t - 1, 0:m, length], cand)
+                np.add(tview, bview, out=fout)
+                np.minimum(
+                    b[t - 1, 0:m, length], fout.min(axis=0), out=b[t, 0:m, length]
+                )
         else:
             for t in range(2, k + 1):
                 b[t, 0:m, length] = b[t - 1, 0:m, length]
+    ctx.offer(k, t_table)
     return b, w
 
 
-def optimal_static_cost_table(demand, k: int) -> float:
-    """Only the optimal total distance (no tree reconstruction)."""
-    dense = _dense_demand(demand)
-    b, _ = _forward(dense, k)
-    return float(b[1, 0, dense.shape[0]])
+def optimal_static_cost_table(
+    demand, k: int, *, context: Optional[DemandContext] = None
+) -> int:
+    """Only the optimal total distance (no tree reconstruction).
+
+    ``context`` pins an explicit :class:`DemandContext` **built from this
+    demand** (an arity sweep over one demand shares inputs through it);
+    by default the per-process memoized context for this demand is used,
+    so repeated calls across arities share automatically.
+    """
+    ctx = _resolve_context(demand, context)
+    b, _ = _forward(ctx, k)
+    return int(b[1, 0, ctx.n])
 
 
 # ----------------------------------------------------------------------
@@ -115,17 +170,17 @@ def _single_tree_choice(
     b: np.ndarray, w: np.ndarray, i: int, length: int, k: int
 ) -> tuple[int, int]:
     """Recover ``(s, dl)`` attaining ``B[1, i, L]``."""
-    best_val = np.inf
+    best_val = int(INT_INF)
     best = (0, 1)
     for s in range(length):
         rest = length - 1 - s
         for dl in range(1, k):
-            val = b[dl, i, s] + b[k - dl, i + s + 1, rest]
+            val = int(b[dl, i, s]) + int(b[k - dl, i + s + 1, rest])
             if val < best_val:
                 best_val = val
                 best = (s, dl)
-    target = b[1, i, length] - w[i, length]
-    if not np.isclose(best_val, target, rtol=1e-12, atol=1e-6):
+    target = int(b[1, i, length]) - int(w[i, length])
+    if best_val != target:
         raise OptimizationError(
             f"reconstruction mismatch at segment ({i}, {length}):"
             f" {best_val} != {target}"
@@ -146,10 +201,10 @@ def _partition(
             t -= 1
             continue
         t_table = b[1]
-        best_val = np.inf
+        best_val = int(INT_INF)
         best_s = length
         for s in range(1, length):
-            val = t_table[i, s] + b[t - 1, i + s, length - s]
+            val = int(t_table[i, s]) + int(b[t - 1, i + s, length - s])
             if val < best_val:
                 best_val = val
                 best_s = s
@@ -196,17 +251,22 @@ def _build_tree(
     return node
 
 
-def optimal_static_tree(demand, k: int) -> OptimalTreeResult:
+def optimal_static_tree(
+    demand, k: int, *, context: Optional[DemandContext] = None
+) -> OptimalTreeResult:
     """Theorem 2: optimal static routing-based k-ary search tree network.
 
     ``demand`` is a :class:`DemandMatrix` or a dense 0-indexed count array.
-    Runs in O(n³k) arithmetic / O(n k) NumPy dispatches and O(n²k) memory.
+    Runs in O(n³k) arithmetic / O(n k) NumPy dispatches and O(n²k) memory;
+    ``context`` (default: the process-memoized one for this demand; an
+    explicit one must be built from this demand) shares the
+    demand-derived inputs across the arities of a sweep.
     """
-    dense = _dense_demand(demand)
-    n = dense.shape[0]
+    ctx = _resolve_context(demand, context)
+    n = ctx.n
     if n < 1:
         raise OptimizationError("demand must cover at least one node")
-    b, w = _forward(dense, k)
+    b, w = _forward(ctx, k)
     import sys
 
     old_limit = sys.getrecursionlimit()
@@ -216,4 +276,4 @@ def optimal_static_tree(demand, k: int) -> OptimalTreeResult:
     finally:
         sys.setrecursionlimit(old_limit)
     tree = KAryTreeNetwork(k, root, validate=True, routing_based=True)
-    return OptimalTreeResult(tree=tree, cost=int(round(float(b[1, 0, n]))))
+    return OptimalTreeResult(tree=tree, cost=int(b[1, 0, n]))

@@ -36,12 +36,15 @@ def reference_optimal_cost(demand: np.ndarray, k: int) -> int:
         internal = int(d[i : j + 1, i : j + 1].sum())
         return int(sum(incident[u] for u in inside)) - 2 * internal
 
+    # Exactness note: finite values stay Python ints end to end (min() of
+    # ints returns an int; float("inf") only ever propagates as itself),
+    # so arbitrarily large demands never round through float64.
     @lru_cache(maxsize=None)
-    def single(i: int, j: int) -> float:
+    def single(i: int, j: int) -> "int | float":
         """Cost of one routing-based tree on ``[i, j]`` (the paper's t=1)."""
         if i > j:
-            return 0.0
-        best = float("inf")
+            return 0
+        best: "int | float" = float("inf")
         for r in range(i, j + 1):
             for dl in range(1, k):
                 cost = forest(i, r - 1, dl) + forest(r + 1, j, k - dl)
@@ -49,10 +52,10 @@ def reference_optimal_cost(demand: np.ndarray, k: int) -> int:
         return best + w(i, j)
 
     @lru_cache(maxsize=None)
-    def forest(i: int, j: int, t: int) -> float:
+    def forest(i: int, j: int, t: int) -> "int | float":
         """Cost of at most ``t`` trees covering ``[i, j]``."""
         if i > j:
-            return 0.0
+            return 0
         if t <= 0:
             return float("inf")
         best = single(i, j)

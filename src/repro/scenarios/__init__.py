@@ -47,6 +47,13 @@ from repro.scenarios.sink import (
     JsonlResultSink,
     default_results_path,
     read_results_jsonl,
+    results_root,
+)
+from repro.scenarios.cache import (
+    RESULT_CACHE_VERSION,
+    ResultCache,
+    default_cache_dir,
+    spec_cache_key,
 )
 
 __all__ = [
@@ -69,4 +76,9 @@ __all__ = [
     "JsonlResultSink",
     "default_results_path",
     "read_results_jsonl",
+    "results_root",
+    "RESULT_CACHE_VERSION",
+    "ResultCache",
+    "default_cache_dir",
+    "spec_cache_key",
 ]

@@ -151,6 +151,8 @@ def run_specs(
     config: Optional[ParallelConfig] = None,
     sink: Optional[Any] = None,
     traces: Optional[Mapping[tuple[str, int, int, int], Trace]] = None,
+    cache: Optional[Any] = None,
+    refresh: bool = False,
 ) -> list[ScenarioResult]:
     """Run a spec list through the core; results come back in spec order.
 
@@ -163,16 +165,32 @@ def run_specs(
         :class:`repro.scenarios.sink.JsonlResultSink`).  Serial runs
         stream each result to the sink the moment its cell finishes (a
         killed campaign keeps every completed cell on disk); pooled runs
-        write the ordered batch when the pool completes.
+        write the ordered batch when the pool completes.  Cache hits are
+        written too, so the sink file stays a complete campaign record.
     traces:
         Optional pre-built traces keyed by ``(workload, n, m, seed)``,
         pre-seeded into the in-process trace memo — for callers holding a
         custom trace that has no generator.  Serial only: worker processes
-        cannot see the parent's memo.
+        cannot see the parent's memo.  Cells running on a pinned trace
+        bypass the result cache entirely (their coordinates no longer
+        describe their data).
+    cache:
+        A :class:`repro.scenarios.cache.ResultCache`, ``True`` (the
+        default cache directory), ``False`` (caching off), or ``None`` —
+        defer to the ``REPRO_RESULT_CACHE`` environment variable.  Cells
+        whose spec fingerprint has a recorded result are skipped (serial
+        and pooled alike); freshly computed cells are stored.
+    refresh:
+        With a cache, recompute every cell and overwrite its entry
+        (stale-cache escape hatch).
     """
+    from repro.scenarios.cache import resolve_result_cache
+
     specs = list(specs)
     seeded: list[tuple[str, int, int, int]] = []
     serial = config.resolved_jobs() == 1 if config is not None else jobs == 1
+    resolved_cache = resolve_result_cache(cache)
+    pinned_keys: frozenset = frozenset(traces or ())
     if traces:
         if not serial:
             raise ExperimentError(
@@ -189,22 +207,56 @@ def run_specs(
                     "regenerated trace"
                 )
             seeded.append(seed_trace_cache(trace, workload, seed))
+
+    def cacheable(cell: ScenarioSpec) -> bool:
+        return resolved_cache is not None and cell.trace_key() not in pinned_keys
+
+    def finish(cell: ScenarioSpec, result: ScenarioResult) -> ScenarioResult:
+        if cacheable(cell):
+            resolved_cache.store(result)
+        return result
+
+    hits: dict[int, ScenarioResult] = {}
+    if resolved_cache is not None and not refresh:
+        for index, cell in enumerate(specs):
+            if not cacheable(cell):
+                continue
+            hit = resolved_cache.lookup(cell)
+            if hit is not None:
+                hits[index] = hit
     try:
-        if serial and sink is not None:
-            # True streaming: each cell hits the sink as it completes.
-            # Failures are wrapped exactly as the pooled path wraps them.
+        if serial:
+            # True streaming: each cell hits the sink and the result
+            # cache the moment it completes, so a killed campaign keeps
+            # (and a resumed one skips) every finished cell.  Failures
+            # are wrapped exactly as the pooled path wraps them.
             results = []
             for index, cell in enumerate(specs):
-                try:
-                    result = run_scenario(cell)
-                except Exception as exc:  # noqa: BLE001 - mirror pool policy
-                    raise ExperimentError(
-                        f"task {index} failed on item {cell!r}: {exc}"
-                    ) from exc
-                sink.write(result)
+                if index in hits:
+                    result = hits[index]
+                else:
+                    try:
+                        result = finish(cell, run_scenario(cell))
+                    except Exception as exc:  # noqa: BLE001 - mirror pool policy
+                        raise ExperimentError(
+                            f"task {index} failed on item {cell!r}: {exc}"
+                        ) from exc
+                if sink is not None:
+                    sink.write(result)
                 results.append(result)
             return results
-        results = run_cells(run_scenario, specs, jobs=jobs, config=config)
+        pending = [
+            (index, cell) for index, cell in enumerate(specs) if index not in hits
+        ]
+        computed = run_cells(
+            run_scenario, [cell for _, cell in pending], jobs=jobs, config=config
+        )
+        merged: list[Optional[ScenarioResult]] = [None] * len(specs)
+        for index, hit in hits.items():
+            merged[index] = hit
+        for (index, cell), result in zip(pending, computed):
+            merged[index] = finish(cell, result)
+        results = [result for result in merged if result is not None]
     finally:
         for key in seeded:
             evict_trace(key)

@@ -4,28 +4,67 @@ One :class:`ScenarioResult` per line, written (and flushed) as results are
 handed over.  Serial ``run_specs`` hands cells over one by one, so a
 killed campaign keeps every completed cell on disk and downstream tooling
 can tail the file while it runs; pooled runs hand the ordered batch over
-when the pool completes.  The conventional home for records is
-``benchmarks/results/`` (see :func:`default_results_path`), next to the
-``BENCH_*`` perf artifacts.
+when the pool completes.  Files are opened in **append** mode, so
+re-running or resuming a campaign extends the record instead of silently
+truncating it (pass ``overwrite=True`` for a fresh file).  The
+conventional home for records is ``benchmarks/results/`` — resolved via
+:func:`results_root` against the repository root (or the
+``REPRO_RESULTS_DIR`` environment override), not the current working
+directory, so runs launched from anywhere land in one place.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Optional
 
 from repro.scenarios.core import ScenarioResult
 
-__all__ = ["JsonlResultSink", "read_results_jsonl", "default_results_path"]
+__all__ = [
+    "JsonlResultSink",
+    "read_results_jsonl",
+    "default_results_path",
+    "results_root",
+]
 
-#: Repository-conventional results directory (relative to the CWD).
-RESULTS_DIR = Path("benchmarks") / "results"
+#: Environment override for the results directory.
+RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
+
+
+def results_root(start: Optional[Path] = None) -> Path:
+    """The directory result files (and the result cache) live under.
+
+    Resolution order:
+
+    1. the ``REPRO_RESULTS_DIR`` environment variable, verbatim;
+    2. the nearest ancestor of ``start`` (default: the current
+       directory) containing ``benchmarks/results`` — a checkout,
+       entered anywhere inside it;
+    3. the checkout this package was imported from (``src`` layout), if
+       it carries a ``benchmarks`` directory;
+    4. ``benchmarks/results`` relative to the current directory (the
+       historical fallback — only reached outside any checkout).
+    """
+    env = os.environ.get(RESULTS_DIR_ENV)
+    if env:
+        return Path(env)
+    cwd = start if start is not None else Path.cwd()
+    for base in (cwd, *cwd.parents):
+        candidate = base / "benchmarks" / "results"
+        if candidate.is_dir():
+            return candidate
+    # sink.py -> scenarios -> repro -> src -> <checkout root>
+    pkg_root = Path(__file__).resolve().parents[3]
+    if (pkg_root / "benchmarks").is_dir():
+        return pkg_root / "benchmarks" / "results"
+    return Path("benchmarks") / "results"
 
 
 def default_results_path(name: str, scale: str) -> Path:
-    """``benchmarks/results/scenario_<name>_<scale>.jsonl``."""
-    return RESULTS_DIR / f"scenario_{name}_{scale}.jsonl"
+    """``<results_root>/scenario_<name>_<scale>.jsonl``."""
+    return results_root() / f"scenario_{name}_{scale}.jsonl"
 
 
 class JsonlResultSink:
@@ -33,18 +72,22 @@ class JsonlResultSink:
 
     Opens lazily on the first ``write`` (so constructing a sink never
     touches the filesystem), creates parent directories, flushes per line.
+    The default open mode is **append**: a second session on the same path
+    extends the record, keeping the class's crash-survivability promise
+    across re-runs and resumes.  ``overwrite=True`` truncates instead.
     Usable as a context manager; ``close()`` is idempotent.
     """
 
-    def __init__(self, path: "str | Path") -> None:
+    def __init__(self, path: "str | Path", *, overwrite: bool = False) -> None:
         self.path = Path(path)
+        self.overwrite = overwrite
         self._handle = None
         self.count = 0
 
     def write(self, result: ScenarioResult) -> None:
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = self.path.open("w")
+            self._handle = self.path.open("w" if self.overwrite else "a")
         self._handle.write(json.dumps(result.to_dict(), sort_keys=True) + "\n")
         self._handle.flush()
         self.count += 1

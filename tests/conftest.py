@@ -2,10 +2,29 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 import repro.core.rotations as rotations_module
+
+
+@pytest.fixture(scope="session", autouse=True)
+def isolated_results_dir(tmp_path_factory):
+    """Point result files and the result cache at a session temp dir.
+
+    Result paths anchor to the repository root (repro.scenarios.sink), so
+    without this a test run would write sink/cache files into the real
+    ``benchmarks/results/`` — and, when ``REPRO_RESULT_CACHE`` is on,
+    could serve cells from a stale on-disk cache across code changes.
+    An explicit ``REPRO_RESULTS_DIR`` from the caller wins (CI sets one).
+    """
+    if not os.environ.get("REPRO_RESULTS_DIR"):
+        os.environ["REPRO_RESULTS_DIR"] = str(
+            tmp_path_factory.mktemp("repro-results")
+        )
+    yield
 
 
 @pytest.fixture(autouse=True)

@@ -37,6 +37,42 @@ class TestAgainstReferences:
         d = random_demand(rng, 12)
         assert optimal_static_cost_table(d, 3) == reference_optimal_cost(d, 3)
 
+    @pytest.mark.parametrize("k", [2, 3, 7])
+    def test_matches_legacy_forward_pass(self, k, rng):
+        # The historical float64 implementation, at sizes where the pure
+        # Python reference is too slow.
+        from repro.optimal.legacy import legacy_optimal_cost_table
+
+        d = random_demand(rng, 40)
+        assert optimal_static_cost_table(d, k) == int(
+            round(legacy_optimal_cost_table(d, k))
+        )
+
+
+class TestExactness:
+    """The int64 DP must stay exact where float64 accumulation drifts.
+
+    (The randomized property-test variant lives in
+    ``test_exactness_property.py`` — it needs hypothesis, which is
+    optional.)
+    """
+
+    def test_huge_weights_exceed_float64_precision_but_stay_exact(self):
+        # One hot pair of weight 2^53 + 1 (not representable in float64):
+        # the optimum places it adjacent, so the exact cost is the weight
+        # itself — a float64 pipeline would round it down to 2^53.
+        n = 5
+        big = (1 << 53) + 1
+        d = np.zeros((n, n), dtype=np.int64)
+        d[0, 4] = big
+        cost = optimal_static_cost_table(d, 2)
+        assert cost == reference_optimal_cost(d, 2) == big
+
+    def test_cost_attribute_is_a_python_int(self, rng):
+        result = optimal_static_tree(DemandMatrix(8, dense=random_demand(rng, 8)), 3)
+        assert type(result.cost) is int
+        assert type(optimal_static_cost_table(random_demand(rng, 6), 2)) is int
+
 
 class TestReconstruction:
     @pytest.mark.parametrize("n,k", [(5, 2), (10, 3), (25, 2), (25, 5), (40, 4)])

@@ -106,10 +106,34 @@ class TestTraceMemoization:
     def test_table_cells_materialize_trace_once(self):
         clear_trace_cache()
         specs = [spec(k=k, algorithm=a) for k in (2, 3, 5) for a in ("kary-splaynet", "full-tree")]
-        run_specs(specs)
+        # cache=False: served-from-cache cells would never touch the
+        # trace memo this test is counting.
+        run_specs(specs, cache=False)
         stats = trace_cache_stats()
         assert stats["misses"] == 1
         assert stats["hits"] == len(specs) - 1
+        clear_trace_cache()
+
+    def test_pinning_a_trace_drops_a_stale_demand_entry(self):
+        # Regression: an optimal-tree cell caches the *generated* trace's
+        # demand; pinning a custom trace under the same coordinates must
+        # evict it, or the static optimum is built from the wrong workload.
+        from repro.analysis.distance import trace_static_cost
+        from repro.optimal import DemandContext, optimal_static_tree
+        from repro.workloads.demand import DemandMatrix
+
+        clear_trace_cache()
+        s = spec(algorithm="optimal-tree", k=2, workload="zipf-1.4", seed=99)
+        run_specs([s], cache=False)  # populates the demand memo for the key
+        custom = zipf_trace(24, 300, 2.2, seed=5)
+        pinned = run_specs(
+            [s], cache=False, traces={s.trace_key(): custom}
+        )[0]
+        demand = DemandMatrix.from_trace(custom)
+        expected = optimal_static_tree(
+            demand, 2, context=DemandContext.from_demand(demand)
+        )
+        assert pinned.total_routing == trace_static_cost(expected.tree, custom)
         clear_trace_cache()
 
     def test_pinned_trace_survives_cache_pressure(self):
@@ -160,6 +184,66 @@ class TestSink:
         survivors = read_results_jsonl(path)
         assert len(survivors) == 1
         assert survivors[0].spec == specs[0]
+
+    def test_two_sink_sessions_on_one_path_keep_both_batches(self, tmp_path):
+        # Regression: write() used to open with mode "w", so a resumed or
+        # re-run campaign silently truncated every prior result.
+        path = tmp_path / "campaign.jsonl"
+        first = [spec(k=2)]
+        second = [spec(k=3), spec(algorithm="full-tree", k=2)]
+        with JsonlResultSink(path) as sink:
+            batch1 = run_specs(first, sink=sink)
+        with JsonlResultSink(path) as sink:
+            batch2 = run_specs(second, sink=sink)
+        assert read_results_jsonl(path) == batch1 + batch2
+
+    def test_overwrite_sink_truncates(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        with JsonlResultSink(path) as sink:
+            run_specs([spec(k=2)], sink=sink)
+        with JsonlResultSink(path, overwrite=True) as sink:
+            replacement = run_specs([spec(k=3)], sink=sink)
+        assert read_results_jsonl(path) == replacement
+
+
+class TestResultsPaths:
+    """default_results_path must not scatter files across CWDs."""
+
+    def test_env_override_wins(self, tmp_path, monkeypatch):
+        from repro.scenarios import default_results_path, results_root
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "here"))
+        assert results_root() == tmp_path / "here"
+        assert default_results_path("zipf", "quick") == (
+            tmp_path / "here" / "scenario_zipf_quick.jsonl"
+        )
+
+    def test_anchors_to_enclosing_checkout_from_a_subdirectory(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.scenarios import results_root
+
+        root = tmp_path / "checkout"
+        (root / "benchmarks" / "results").mkdir(parents=True)
+        deep = root / "src" / "repro" / "somewhere"
+        deep.mkdir(parents=True)
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        assert results_root(deep) == root / "benchmarks" / "results"
+        monkeypatch.chdir(deep)  # same answer via the CWD default
+        assert results_root() == root / "benchmarks" / "results"
+
+    def test_falls_back_to_package_checkout_outside_any_repo(self, monkeypatch):
+        import repro.scenarios.sink as sink_module
+
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        from pathlib import Path
+
+        nowhere = Path("/nonexistent") / "deeply" / "nested" / "cwd"
+        expected = Path(sink_module.__file__).resolve().parents[3]
+        assert (
+            sink_module.results_root(nowhere)
+            == expected / "benchmarks" / "results"
+        )
 
 
 class TestScenarioSweep:
