@@ -8,40 +8,51 @@ reactive spectrum — always splay, splay only long routes, splay a coin-flip
 fraction, never splay — on a high-locality trace, and shows how the winner
 flips as the price of one rotation rises.
 
+Each policy is one declarative ``NetworkSpec``: the wrapper chain lives in
+the spec's ``policies`` field, so a wrapped network is built, served (on
+the batched fast path) and serialized exactly like a bare one.
+
 Run:  python examples/adjustment_policies.py
 """
 
-from repro import CostModel, KArySplayNet, bar_chart, simulate, temporal_trace
-from repro.network.policies import (
-    FrozenNetwork,
-    ProbabilisticNetwork,
-    ThresholdedNetwork,
-)
+from repro import CostModel, NetworkSpec, bar_chart, open_session, temporal_trace
 
 N, M, SEED = 128, 15_000, 7
 
 
 def main() -> None:
     trace = temporal_trace(N, M, 0.9, SEED)
-    policies = {
-        "reactive (always)": KArySplayNet(N, 3),
-        "threshold > 2 hops": ThresholdedNetwork(KArySplayNet(N, 3), 2),
-        "threshold > 4 hops": ThresholdedNetwork(KArySplayNet(N, 3), 4),
-        "probabilistic 50%": ProbabilisticNetwork(KArySplayNet(N, 3), 0.5, seed=SEED),
-        "frozen (never)": FrozenNetwork(KArySplayNet(N, 3)),
+    base = NetworkSpec("kary-splaynet", n=N, k=3, engine="flat")
+    specs = {
+        "reactive (always)": base,
+        "threshold > 2 hops": base.replace(
+            policies=[{"policy": "thresholded", "params": {"threshold": 2}}]
+        ),
+        "threshold > 4 hops": base.replace(
+            policies=[{"policy": "thresholded", "params": {"threshold": 4}}]
+        ),
+        "probabilistic 50%": base.replace(
+            policies=[{"policy": "probabilistic", "params": {"q": 0.5, "seed": SEED}}]
+        ),
+        "frozen (never)": base.replace(policies=["frozen"]),
     }
-    results = {name: simulate(net, trace) for name, net in policies.items()}
+
+    results = {}
+    for name, spec in specs.items():
+        session = open_session(spec)
+        session.serve_stream(trace)
+        results[name] = session.metrics
 
     print(f"workload: temporal-0.9, n={N}, m={M}\n")
     print(f"{'policy':20} {'routing':>10} {'rotations':>10}")
-    for name, result in results.items():
-        print(f"{name:20} {result.total_routing:>10d} {result.total_rotations:>10d}")
+    for name, metrics in results.items():
+        print(f"{name:20} {metrics.total_routing:>10d} {metrics.total_rotations:>10d}")
 
     for price in (0.0, 1.0, 5.0, 20.0):
         model = CostModel(rotation_cost=price)
         rows = [
-            (name, round(result.total_cost(model)))
-            for name, result in results.items()
+            (name, round(metrics.total_cost(model)))
+            for name, metrics in results.items()
         ]
         winner = min(rows, key=lambda r: r[1])[0]
         print(f"\ntotal cost at rotation price {price:g} (winner: {winner})")

@@ -3,7 +3,8 @@
 
 Shows the full workload API: composing traces, CSV/NPZ round-trips, the
 complexity fingerprint used throughout the evaluation, and the shuffle
-control experiment from the trace-complexity methodology.
+control experiment from the trace-complexity methodology — served through
+online sessions (``open_session`` + ``serve_stream``).
 
 Run:  python examples/custom_traces.py
 """
@@ -14,14 +15,13 @@ from pathlib import Path
 import numpy as np
 
 from repro import (
-    KArySplayNet,
     Trace,
     bursty_trace,
     load_trace_csv,
     load_trace_npz,
+    open_session,
     save_trace_csv,
     save_trace_npz,
-    simulate,
     summarize_trace,
     uniform_trace,
 )
@@ -57,14 +57,17 @@ def main() -> None:
         assert list(from_csv.pairs()) == list(from_npz.pairs())
         print(f"round-tripped {from_csv.m} requests via CSV and NPZ")
 
-    # 3. The shuffle control: same demand, no temporal structure.
-    original = simulate(KArySplayNet(n, 3), combined)
-    shuffled = simulate(KArySplayNet(n, 3), combined.shuffled(seed=2))
+    # 3. The shuffle control: same demand, no temporal structure.  Each
+    # run is one session streaming the trace through the batched path.
+    original = open_session("kary-splaynet", n=n, k=3)
+    original.serve_stream(combined)
+    shuffled = open_session("kary-splaynet", n=n, k=3)
+    shuffled.serve_stream(combined.shuffled(seed=2))
+    gap = shuffled.metrics.total_routing - original.metrics.total_routing
     print(
-        f"\nself-adjusting cost, original order : {original.total_routing}"
-        f"\nself-adjusting cost, shuffled order : {shuffled.total_routing}"
-        f"\n→ temporal structure was worth "
-        f"{shuffled.total_routing - original.total_routing} hops"
+        f"\nself-adjusting cost, original order : {original.metrics.total_routing}"
+        f"\nself-adjusting cost, shuffled order : {shuffled.metrics.total_routing}"
+        f"\n→ temporal structure was worth {gap} hops"
     )
 
     # 4. A baseline that cannot exploit order shows no such gap.

@@ -8,10 +8,13 @@ baseline, and the full trace-driven evaluation harness.
 
 Quickstart
 ----------
->>> from repro import KArySplayNet, uniform_trace, simulate
->>> net = KArySplayNet(n=64, k=4)
->>> result = simulate(net, uniform_trace(64, 1000, seed=1))
->>> result.average_routing  # doctest: +SKIP
+>>> from repro import open_session, uniform_trace
+>>> session = open_session("kary-splaynet", n=64, k=4, engine="flat")
+>>> session.serve(3, 60)  # doctest: +SKIP
+ServeResult(routing_cost=6, rotations=4, links_changed=10)
+>>> session.serve_stream(uniform_trace(64, 1000, seed=1))  # doctest: +SKIP
+BatchServeResult(m=1000, ...)
+>>> session.metrics.average_routing  # doctest: +SKIP
 3.4
 
 See README.md for the architecture tour and DESIGN.md for the paper mapping.
@@ -59,6 +62,18 @@ from repro.datastructures import (
     SplayTree,
 )
 from repro.errors import ReproError
+from repro.net import (
+    NetworkSpec,
+    PolicySpec,
+    Session,
+    SessionMetrics,
+    SessionSnapshot,
+    build_network,
+    network_algorithms,
+    open_session,
+    register_network,
+    register_policy,
+)
 from repro.parallel import (
     ParallelConfig,
     SweepSpec,
@@ -112,6 +127,17 @@ from repro.viz.ascii import bar_chart, render_kary_network, sparkline
 __version__ = "1.1.0"
 
 __all__ = [
+    # unified network API (spec-driven construction + online sessions)
+    "NetworkSpec",
+    "PolicySpec",
+    "build_network",
+    "register_network",
+    "register_policy",
+    "network_algorithms",
+    "open_session",
+    "Session",
+    "SessionMetrics",
+    "SessionSnapshot",
     # core self-adjusting networks
     "KArySplayNet",
     "CentroidSplayNet",

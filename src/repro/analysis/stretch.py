@@ -124,10 +124,10 @@ def stretch_after_storm(
     rotating the topology), then measures local-routing stretch on
     ``sample`` random pairs of the *final* tree.
     """
-    from repro.core.splaynet import KArySplayNet
+    from repro.net.registry import build_network
 
     rng = np.random.default_rng(seed)
-    net = KArySplayNet(n, k, initial="complete")
+    net = build_network("kary-splaynet", n=n, k=k, initial="complete")
     for _ in range(serves):
         u = int(rng.integers(1, n + 1))
         v = int(rng.integers(1, n + 1))

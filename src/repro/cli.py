@@ -28,17 +28,12 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.core.builders import build_complete_tree
-from repro.core.centroid import build_centroid_tree
-from repro.core.centroid_splaynet import CentroidSplayNet
-from repro.core.splaynet import KArySplayNet
 from repro.errors import ReproError
+from repro.net.registry import build_network
+from repro.net.spec import PolicySpec
 from repro.network.cost import ROUTING_ONLY, UNIT_ROTATIONS
-from repro.network.lazy import LazyRebuildNetwork
 from repro.network.simulator import Simulator
-from repro.network.static import StaticTreeNetwork
 from repro.optimal.general import optimal_static_tree
-from repro.splaynet.splaynet import SplayNet
 from repro.workloads.datacenter import facebook_trace, hpc_trace, projector_trace
 from repro.workloads.demand import DemandMatrix
 from repro.workloads.io import (
@@ -84,8 +79,19 @@ _GENERATORS = {
     "shuffle": lambda n, m, seed, p: shuffle_phase_trace(n, m, seed=seed),
 }
 
-_NETWORKS = ("ksplaynet", "centroid-splaynet", "splaynet", "full-tree",
-             "centroid-tree", "optimal-tree", "lazy")
+#: CLI network name → registry algorithm (the CLI's historical short name
+#: ``ksplaynet`` maps onto the registry's ``kary-splaynet``).
+_CLI_ALGORITHMS = {
+    "ksplaynet": "kary-splaynet",
+    "centroid-splaynet": "centroid-splaynet",
+    "splaynet": "splaynet",
+    "full-tree": "full-tree",
+    "centroid-tree": "centroid-tree",
+    "optimal-tree": "optimal-tree",
+    "optimal-bst": "optimal-bst",
+    "lazy": "lazy",
+}
+_NETWORKS = tuple(_CLI_ALGORITHMS)
 
 
 def _load_trace(path: str) -> Trace:
@@ -95,24 +101,50 @@ def _load_trace(path: str) -> Trace:
     return load_trace_csv(p)
 
 
-def _build_network(name: str, trace: Trace, k: int, alpha: float, engine=None):
-    n = trace.n
-    if name == "ksplaynet":
-        return KArySplayNet(n, k, engine=engine)
-    if name == "centroid-splaynet":
-        return CentroidSplayNet(n, k, engine=engine)
-    if name == "splaynet":
-        return SplayNet(n)
-    if name == "full-tree":
-        return StaticTreeNetwork(build_complete_tree(n, k))
-    if name == "centroid-tree":
-        return StaticTreeNetwork(build_centroid_tree(n, k))
-    if name == "optimal-tree":
-        demand = DemandMatrix.from_trace(trace)
-        return StaticTreeNetwork(optimal_static_tree(demand, k).tree)
-    if name == "lazy":
-        return LazyRebuildNetwork(n, k, alpha=alpha)
-    raise ReproError(f"unknown network {name!r}; choose from {_NETWORKS}")
+def _parse_policy_flag(text: str) -> PolicySpec:
+    """Parse ``--policy name`` / ``--policy name:key=val,key=val``."""
+    name, _, arg_text = text.partition(":")
+    params = {}
+    if arg_text:
+        for item in arg_text.split(","):
+            key, sep, raw = item.partition("=")
+            if not sep or not key:
+                raise ReproError(
+                    f"bad --policy parameter {item!r}; use key=value"
+                )
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
+            params[key] = value
+    return PolicySpec(name, params)
+
+
+def _build_cli_network(
+    name: str,
+    trace: Trace,
+    k: int,
+    alpha: float,
+    engine=None,
+    policies: Sequence[str] = (),
+):
+    """Build the ``simulate`` command's network through the registry."""
+    algorithm = _CLI_ALGORITHMS.get(name)
+    if algorithm is None:
+        raise ReproError(f"unknown network {name!r}; choose from {_NETWORKS}")
+    params = {"alpha": alpha} if algorithm == "lazy" else {}
+    return build_network(
+        algorithm,
+        n=trace.n,
+        k=k,
+        engine=engine,
+        params=params,
+        policies=tuple(_parse_policy_flag(text) for text in policies),
+        trace=trace,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -163,7 +195,10 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     trace = _load_trace(args.trace)
-    network = _build_network(args.network, trace, args.k, args.alpha, args.engine)
+    network = _build_cli_network(
+        args.network, trace, args.k, args.alpha, args.engine,
+        policies=args.policy or (),
+    )
     result = Simulator().run(network, trace, name=f"{args.network} on {trace.name}")
     print(result)
     print(f"  routing-only cost      : {result.total_cost(ROUTING_ONLY):.0f}")
@@ -414,6 +449,12 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument(
         "--engine", choices=("object", "flat"), default=None,
         help="tree-engine backend for the self-adjusting networks",
+    )
+    sim.add_argument(
+        "--policy", action="append", default=None, metavar="NAME[:K=V,...]",
+        help="wrap the network in an adjustment policy (repeatable, applied"
+             " innermost-first): e.g. thresholded:threshold=2,"
+             " probabilistic:q=0.5,seed=7, frozen",
     )
     sim.set_defaults(func=_cmd_simulate)
 

@@ -210,6 +210,21 @@ class CentroidSplayNet:
             self._serve_totals, sources, targets, record_series=record_series
         )
 
+    # ------------------------------------------------------------------
+    def snapshot_state(self):
+        """Checkpoint: the tuple of inner SplayNet states (blocks are fixed)."""
+        return tuple(subnet.snapshot_state() for subnet in self.subnets)
+
+    def restore_state(self, state) -> None:
+        """Rewind every inner SplayNet to a :meth:`snapshot_state` tuple."""
+        if len(state) != len(self.subnets):
+            raise InvalidTreeError(
+                f"snapshot has {len(state)} blocks, network has"
+                f" {len(self.subnets)}"
+            )
+        for subnet, sub_state in zip(self.subnets, state):
+            subnet.restore_state(sub_state)
+
     def validate(self) -> None:
         """Validate every inner SplayNet and the block layout."""
         covered = 2  # the centroids

@@ -162,6 +162,25 @@ class FlatTree:
                     node.attach_child(nodes[c], slot)
         return KAryTreeNetwork(k, nodes[self.root], validate=validate)
 
+    def copy(self) -> "FlatTree":
+        """An independent deep copy of the current topology (O(n)).
+
+        The copy shares no mutable state with the original — per-node
+        child/routing rows are re-materialized — so it can serve as an
+        immutable checkpoint while the original keeps rotating (the
+        session snapshot path of :mod:`repro.net.session`).
+        """
+        twin = type(self)(self.n, self.k)
+        twin.root = self.root
+        twin.parent = list(self.parent)
+        twin.pslot = list(self.pslot)
+        twin.child_rows = [list(row) for row in self.child_rows]
+        twin.routing_rows = [list(row) for row in self.routing_rows]
+        twin.smin = list(self.smin)
+        twin.smax = list(self.smax)
+        twin._ranges_dirty = self._ranges_dirty
+        return twin
+
     def signature(self) -> list[tuple[int, int, tuple[float, ...]]]:
         """Preorder ``(nid, pslot, routing)`` triples (see :func:`tree_signature`)."""
         child_rows, routing_rows, pslot = (

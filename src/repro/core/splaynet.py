@@ -323,6 +323,44 @@ class KArySplayNet:
                 tree.replace_root(outcome.new_top)
         return ServeResult(du + dv, rotations, links)
 
+    # ------------------------------------------------------------------
+    def snapshot_state(self):
+        """An opaque, immutable checkpoint of the current topology.
+
+        The state is engine-native (a :class:`FlatTree` copy or an object
+        tree clone) but :meth:`restore_state` accepts either, so a
+        checkpoint taken on one engine restores on the other — both
+        engines represent the identical topology.
+        """
+        if self._flat is not None:
+            return self._flat.copy()
+        return self._tree.clone()
+
+    def restore_state(self, state) -> None:
+        """Rewind the topology to a :meth:`snapshot_state` checkpoint."""
+        if not isinstance(state, (FlatTree, KAryTreeNetwork)):
+            raise InvalidTreeError(
+                f"cannot restore a KArySplayNet from {type(state).__name__}"
+            )
+        tree_state = state
+        if tree_state.n != self.n or tree_state.k != self._k:
+            raise InvalidTreeError(
+                f"snapshot shape (n={tree_state.n}, k={tree_state.k}) does not"
+                f" match network (n={self.n}, k={self._k})"
+            )
+        if self._flat is not None:
+            self._flat = (
+                tree_state.copy()
+                if isinstance(tree_state, FlatTree)
+                else FlatTree.from_tree(tree_state)
+            )
+        else:
+            self._tree = (
+                tree_state.clone()
+                if isinstance(tree_state, KAryTreeNetwork)
+                else tree_state.to_tree()
+            )
+
     def validate(self) -> None:
         """Full structural validation of the current topology."""
         if self._flat is not None:

@@ -20,23 +20,28 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.core.centroid_splaynet import CentroidSplayNet
 from repro.core.engine import ENGINES
-from repro.core.splaynet import KArySplayNet
 from repro.errors import ExperimentError
+from repro.net.registry import build_network
 from repro.workloads.synthetic import zipf_trace
 
 __all__ = ["hotpath_benchmark", "write_hotpath_record"]
 
+_HOTPATH_ALGORITHMS = {
+    "ksplaynet": "kary-splaynet",
+    "centroid-splaynet": "centroid-splaynet",
+}
+
 
 def _build_network(network: str, n: int, k: int, policy: str, engine: str):
-    if network == "ksplaynet":
-        return KArySplayNet(n, k, policy=policy, engine=engine)
-    if network == "centroid-splaynet":
-        return CentroidSplayNet(n, k, policy=policy, engine=engine)
-    raise ExperimentError(
-        f"unknown hotpath network {network!r};"
-        " choose 'ksplaynet' or 'centroid-splaynet'"
+    algorithm = _HOTPATH_ALGORITHMS.get(network)
+    if algorithm is None:
+        raise ExperimentError(
+            f"unknown hotpath network {network!r};"
+            " choose 'ksplaynet' or 'centroid-splaynet'"
+        )
+    return build_network(
+        algorithm, n=n, k=k, engine=engine, params={"policy": policy}
     )
 
 

@@ -1,0 +1,58 @@
+"""The unified network API: spec-driven construction + online sessions.
+
+This package is the single public front door to every network in the
+repository:
+
+* :class:`NetworkSpec` / :class:`PolicySpec` — declarative, JSON
+  round-tripping descriptions of any network composition (algorithm,
+  size, arity, tree engine, initial topology, algorithm parameters, and
+  an adjustment-policy wrapper chain);
+* :func:`build_network` / :func:`register_network` — the construction
+  registry: built-ins plus user algorithms, all buildable from one call;
+* :func:`open_session` / :class:`Session` — first-class *online* serving
+  (per-request and chunked-stream paths, incremental metrics,
+  snapshot/restore state checkpointing).
+
+Every construction site in the repository — the scenario pipeline, the
+parallel experiment cells, the CLI, the examples — flows through this
+layer, so a ``register_network`` call makes a new algorithm available to
+all of them at once.
+"""
+
+from repro.net.registry import (
+    BuildContext,
+    NetworkAlgorithm,
+    POLICY_WRAPPERS,
+    build_network,
+    engine_capable_algorithms,
+    network_algorithm,
+    network_algorithms,
+    online_algorithms,
+    register_network,
+    register_policy,
+    static_algorithms,
+    unregister_network,
+)
+from repro.net.session import Session, SessionMetrics, SessionSnapshot, open_session
+from repro.net.spec import NetworkSpec, PolicySpec
+
+__all__ = [
+    "BuildContext",
+    "NetworkAlgorithm",
+    "NetworkSpec",
+    "POLICY_WRAPPERS",
+    "PolicySpec",
+    "Session",
+    "SessionMetrics",
+    "SessionSnapshot",
+    "build_network",
+    "engine_capable_algorithms",
+    "network_algorithm",
+    "network_algorithms",
+    "online_algorithms",
+    "open_session",
+    "register_network",
+    "register_policy",
+    "static_algorithms",
+    "unregister_network",
+]

@@ -1,0 +1,358 @@
+"""Online serving sessions: the paper's Section 2 model as a first-class API.
+
+A self-adjusting network is a long-lived serving system, not a batch
+experiment: requests arrive one by one (or in bursts), the network adjusts,
+and costs accumulate over the life of the connection.  :class:`Session`
+wraps any network behind exactly that interface:
+
+* :meth:`Session.serve` — one online request, metrics updated in place;
+* :meth:`Session.serve_stream` — a request stream (any iterable of
+  ``(u, v)`` pairs, or a :class:`~repro.workloads.trace.Trace`), fed
+  through the network's batched ``serve_trace`` fast path one chunk at a
+  time, so throughput matches offline trace replay while the stream stays
+  incremental;
+* :attr:`Session.metrics` — running totals (and optional per-request
+  series) in the Section 2 cost components;
+* :meth:`Session.snapshot` / :meth:`Session.restore` — checkpoint the
+  *full* serving state (topology, auxiliary demand counters, policy RNG
+  streams, metrics) and rewind to it, identically on either tree engine.
+
+``open_session`` accepts anything :func:`~repro.net.registry.build_network`
+accepts, or an already-built network object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Any, Iterable, Iterator, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.net.registry import build_network
+from repro.net.spec import NetworkSpec
+from repro.network.cost import CostModel, ROUTING_ONLY
+from repro.network.protocols import BatchServeResult, ServeResult
+from repro.workloads.demand import DemandMatrix
+
+__all__ = ["Session", "SessionMetrics", "SessionSnapshot", "open_session"]
+
+#: Default request chunk for :meth:`Session.serve_stream`: large enough to
+#: amortize the batched path's per-call overhead, small enough that
+#: metrics stay fresh while a long stream is in flight.
+DEFAULT_CHUNK = 8192
+
+
+@dataclass
+class SessionMetrics:
+    """Running Section 2 cost totals of one serving session.
+
+    ``requests`` counts served requests; the three totals mirror
+    :class:`~repro.network.protocols.ServeResult`.  When the session was
+    opened with ``record_series=True``, the per-request routing/rotation
+    series accumulate in :attr:`routing_series` / :attr:`rotation_series`
+    (Python lists — cheap appends; convert via :meth:`series_arrays`).
+    """
+
+    requests: int = 0
+    total_routing: int = 0
+    total_rotations: int = 0
+    total_links_changed: int = 0
+    routing_series: Optional[list[int]] = field(default=None, repr=False)
+    rotation_series: Optional[list[int]] = field(default=None, repr=False)
+
+    @property
+    def average_routing(self) -> float:
+        return self.total_routing / self.requests if self.requests else 0.0
+
+    @property
+    def average_rotations(self) -> float:
+        return self.total_rotations / self.requests if self.requests else 0.0
+
+    def total_cost(self, model: CostModel = ROUTING_ONLY) -> float:
+        """Total service cost under a :class:`CostModel` (Section 2)."""
+        return (
+            model.routing_weight * self.total_routing
+            + model.rotation_cost * self.total_rotations
+            + model.link_cost * self.total_links_changed
+        )
+
+    def series_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The recorded series as int64 arrays (empty when not recording)."""
+        return (
+            np.asarray(self.routing_series or [], dtype=np.int64),
+            np.asarray(self.rotation_series or [], dtype=np.int64),
+        )
+
+    def copy(self) -> "SessionMetrics":
+        return SessionMetrics(
+            requests=self.requests,
+            total_routing=self.total_routing,
+            total_rotations=self.total_rotations,
+            total_links_changed=self.total_links_changed,
+            routing_series=(
+                list(self.routing_series) if self.routing_series is not None else None
+            ),
+            rotation_series=(
+                list(self.rotation_series)
+                if self.rotation_series is not None
+                else None
+            ),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "total_routing": self.total_routing,
+            "total_rotations": self.total_rotations,
+            "total_links_changed": self.total_links_changed,
+        }
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """An opaque checkpoint of a session (network state + metrics)."""
+
+    state: Any = field(repr=False)
+    metrics: SessionMetrics = field(repr=False)
+    spec: Optional[NetworkSpec] = None
+
+
+def _pair_chunks(
+    pairs: Iterable[tuple[int, int]], chunk: int
+) -> Iterator[tuple[list[int], list[int]]]:
+    """Slice an arbitrary pair iterable into endpoint-list chunks."""
+    iterator = iter(pairs)
+    while True:
+        block = list(islice(iterator, chunk))
+        if not block:
+            return
+        sources = [int(u) for u, _ in block]
+        targets = [int(v) for _, v in block]
+        yield sources, targets
+
+
+class Session:
+    """An open online serving session over one network.
+
+    Construct via :func:`open_session`.  The session owns its running
+    :class:`SessionMetrics`; the underlying network object is exposed as
+    :attr:`network` for inspection (topology export, validation).
+    """
+
+    def __init__(
+        self,
+        network: Any,
+        *,
+        spec: Optional[NetworkSpec] = None,
+        record_series: bool = False,
+    ) -> None:
+        if not hasattr(network, "serve"):
+            raise ExperimentError(
+                f"{type(network).__name__} does not expose serve(u, v)"
+            )
+        self.network = network
+        self.spec = spec
+        self.record_series = record_series
+        self.metrics = SessionMetrics(
+            routing_series=[] if record_series else None,
+            rotation_series=[] if record_series else None,
+        )
+
+    # -- context manager ----------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+    # -- introspection -------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.network.n
+
+    def distance(self, u: int, v: int) -> int:
+        """Endpoint distance in the current topology (no adjustment)."""
+        return self.network.distance(u, v)
+
+    def validate(self) -> None:
+        validate = getattr(self.network, "validate", None)
+        if validate is not None:
+            validate()
+
+    # -- serving -------------------------------------------------------
+    def serve(self, u: int, v: int) -> ServeResult:
+        """Serve one online request; the session metrics accumulate it."""
+        result = self.network.serve(u, v)
+        metrics = self.metrics
+        metrics.requests += 1
+        metrics.total_routing += result.routing_cost
+        metrics.total_rotations += result.rotations
+        metrics.total_links_changed += result.links_changed
+        if metrics.routing_series is not None:
+            metrics.routing_series.append(result.routing_cost)
+            metrics.rotation_series.append(result.rotations)
+        return result
+
+    def serve_stream(
+        self,
+        requests: Union[Iterable[tuple[int, int]], Any],
+        targets: Optional[Any] = None,
+        *,
+        chunk: int = DEFAULT_CHUNK,
+    ) -> BatchServeResult:
+        """Serve a request stream through the batched fast path, chunkwise.
+
+        ``requests`` may be any iterable of ``(u, v)`` pairs (including a
+        generator — the stream is consumed lazily, ``chunk`` requests at a
+        time), a :class:`~repro.workloads.trace.Trace`, or parallel
+        ``(sources, targets)`` arrays.  Each chunk is fed to the network's
+        ``serve_trace`` (networks without one fall back to the scalar
+        serve loop), so a session drives the same engine hot path as
+        offline trace replay.  Returns the accumulated
+        :class:`~repro.network.protocols.BatchServeResult` for *this*
+        stream; :attr:`metrics` advances by the same amounts.
+        """
+        if chunk < 1:
+            raise ExperimentError(f"chunk must be >= 1, got {chunk}")
+        if targets is not None:
+            sources = np.asarray(requests, dtype=np.int64)
+            targets = np.asarray(targets, dtype=np.int64)
+            if sources.shape != targets.shape or sources.ndim != 1:
+                raise ExperimentError(
+                    "serve_stream arrays must be equal-length and 1-D"
+                )
+            chunks: Iterable[tuple[Any, Any]] = (
+                (sources[i : i + chunk], targets[i : i + chunk])
+                for i in range(0, len(sources), chunk)
+            )
+        elif hasattr(requests, "sources"):
+            trace = requests
+            chunks = (
+                (trace.sources[i : i + chunk], trace.targets[i : i + chunk])
+                for i in range(0, trace.m, chunk)
+            )
+        else:
+            chunks = _pair_chunks(requests, chunk)
+
+        serve_trace = getattr(self.network, "serve_trace", None)
+        if serve_trace is None:
+            serve_trace = self._fallback_serve_trace
+        metrics = self.metrics
+        record = metrics.routing_series is not None
+        total_m = total_routing = total_rotations = total_links = 0
+        routing_parts: list[np.ndarray] = []
+        rotation_parts: list[np.ndarray] = []
+        for sources_chunk, targets_chunk in chunks:
+            batch = serve_trace(
+                sources_chunk, targets_chunk, record_series=record
+            )
+            total_m += batch.m
+            total_routing += batch.total_routing
+            total_rotations += batch.total_rotations
+            total_links += batch.total_links_changed
+            if record and batch.routing_series is not None:
+                routing_parts.append(batch.routing_series)
+                rotation_parts.append(batch.rotation_series)
+                metrics.routing_series.extend(batch.routing_series.tolist())
+                metrics.rotation_series.extend(batch.rotation_series.tolist())
+        metrics.requests += total_m
+        metrics.total_routing += total_routing
+        metrics.total_rotations += total_rotations
+        metrics.total_links_changed += total_links
+        return BatchServeResult(
+            total_m,
+            total_routing,
+            total_rotations,
+            total_links,
+            np.concatenate(routing_parts) if routing_parts else None,
+            np.concatenate(rotation_parts) if rotation_parts else None,
+        )
+
+    def _fallback_serve_trace(
+        self, sources, targets=None, *, record_series: bool = False
+    ) -> BatchServeResult:
+        """Per-request fallback for networks without ``serve_trace``."""
+        from repro.core.engine import batch_serve
+
+        serve = self.network.serve
+
+        def serve_totals(u: int, v: int) -> tuple[int, int, int]:
+            result = serve(u, v)
+            return result.routing_cost, result.rotations, result.links_changed
+
+        return batch_serve(
+            serve_totals, sources, targets, record_series=record_series
+        )
+
+    # -- checkpointing -------------------------------------------------
+    def snapshot(self) -> SessionSnapshot:
+        """Checkpoint the full serving state (topology + aux + metrics).
+
+        The snapshot is independent of subsequent serving: restoring it
+        reproduces the exact topology (proven engine-identical by
+        ``tests/net/test_snapshot.py``) and the exact costs of any request
+        sequence replayed after the checkpoint.
+        """
+        snapshot_state = getattr(self.network, "snapshot_state", None)
+        if snapshot_state is None:
+            raise ExperimentError(
+                f"{type(self.network).__name__} does not support snapshots"
+                " (no snapshot_state/restore_state)"
+            )
+        return SessionSnapshot(
+            state=snapshot_state(), metrics=self.metrics.copy(), spec=self.spec
+        )
+
+    def restore(self, snapshot: SessionSnapshot) -> None:
+        """Rewind the session to a :meth:`snapshot` checkpoint."""
+        restore_state = getattr(self.network, "restore_state", None)
+        if restore_state is None:
+            raise ExperimentError(
+                f"{type(self.network).__name__} does not support snapshots"
+                " (no snapshot_state/restore_state)"
+            )
+        restore_state(snapshot.state)
+        self.metrics = snapshot.metrics.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Session(network={type(self.network).__name__}, n={self.n},"
+            f" requests={self.metrics.requests})"
+        )
+
+
+def open_session(
+    spec: Union[NetworkSpec, Mapping[str, Any], str, None] = None,
+    *,
+    network: Optional[Any] = None,
+    trace: Optional[Any] = None,
+    demand: Optional[DemandMatrix] = None,
+    record_series: bool = False,
+    **kwargs: Any,
+) -> Session:
+    """Open an online serving session.
+
+    Accepts everything :func:`~repro.net.registry.build_network` accepts —
+    a :class:`~repro.net.spec.NetworkSpec`, a mapping, an algorithm name
+    plus keyword arguments — or a pre-built network object via
+    ``network=``.  ``trace``/``demand`` feed demand-aware static
+    constructions; ``record_series=True`` accumulates per-request series
+    on the session metrics.
+
+    >>> session = open_session("kary-splaynet", n=64, k=4, engine="flat")
+    >>> session.serve(3, 60).routing_cost  # doctest: +SKIP
+    5
+    """
+    if network is not None:
+        if spec is not None or kwargs:
+            raise ExperimentError(
+                "pass either network= or spec/kwargs to open_session, not both"
+            )
+        return Session(network, record_series=record_series)
+    from repro.net.registry import coerce_network_spec
+
+    resolved = coerce_network_spec(spec, **kwargs)
+    built = build_network(resolved, trace=trace, demand=demand)
+    return Session(built, spec=resolved, record_series=record_series)

@@ -208,6 +208,38 @@ class LazyRebuildNetwork:
         self.rebuilds += 1
         return len(old_edges ^ self.tree.edge_set())
 
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Checkpoint topology *and* accumulation state.
+
+        A lazy network's behaviour depends on more than its tree: the
+        demand counters, sliding-window history and the cost accumulated
+        toward the next rebuild all steer future decisions, so they are
+        captured (and restored) together — a restore mid-stream replays
+        the exact rebuild schedule the original run would have had.
+        """
+        return {
+            "tree": self.tree.clone(),
+            "counts": self._counts.copy(),
+            "history": list(self._history),
+            "cost_since_rebuild": self._cost_since_rebuild,
+            "rebuilds": self.rebuilds,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rewind to a :meth:`snapshot_state` checkpoint."""
+        tree = state["tree"]
+        if tree.n != self._n:
+            raise ExperimentError(
+                f"snapshot has n={tree.n}, network has n={self._n}"
+            )
+        self.tree = tree.clone()
+        self._oracle = TreeDistanceOracle.from_tree(self.tree)
+        self._counts = state["counts"].copy()
+        self._history = deque(state["history"])
+        self._cost_since_rebuild = state["cost_since_rebuild"]
+        self.rebuilds = state["rebuilds"]
+
     def validate(self) -> None:
         self.tree.validate()
 

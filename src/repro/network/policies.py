@@ -20,22 +20,43 @@ All three wrap any :class:`~repro.network.protocols.SelfAdjustingNetwork`
 that additionally exposes ``distance(u, v)`` (every tree network here
 does), and report honest :class:`ServeResult` costs: the routing cost is
 always the distance in the topology the request actually saw.
+
+Wrapped networks are batch-servable: every wrapper exposes ``serve_trace``
+with semantics identical to the per-request loop (policy decisions are
+taken request by request, in order), so the
+:class:`~repro.network.simulator.Simulator` fast path and
+:meth:`Session.serve_stream <repro.net.session.Session.serve_stream>`
+engage for wrapped networks exactly as for bare ones.  The accumulation is
+chunked *between policy decisions*: the scalar core runs one decision at a
+time, and :class:`FrozenNetwork` — whose whole batch is a single static
+stretch (the policy never adjusts) — vectorizes it in one oracle query.
+In the spec-driven API these wrappers are the policy chain of a
+:class:`~repro.net.spec.NetworkSpec` (``policies=[...]``); see
+:data:`repro.net.registry.POLICY_WRAPPERS`.
 """
 
 from __future__ import annotations
 
+import copy
 from typing import Optional
 
 import numpy as np
 
+from repro.core.engine import batch_serve
 from repro.errors import ExperimentError
-from repro.network.protocols import ServeResult
+from repro.network.protocols import BatchServeResult, ServeResult
 
 __all__ = ["ThresholdedNetwork", "ProbabilisticNetwork", "FrozenNetwork"]
 
 
 class _Wrapper:
-    """Shared plumbing: delegate everything except the serve decision."""
+    """Shared plumbing: delegate everything except the serve decision.
+
+    Subclasses implement ``_serve_totals(u, v) -> (routing, rotations,
+    links)`` — the scalar decision core shared by :meth:`serve` (which
+    wraps it in a :class:`ServeResult`) and :meth:`serve_trace` (which
+    accumulates bare tuples without per-request object construction).
+    """
 
     def __init__(self, inner) -> None:
         if not hasattr(inner, "serve") or not hasattr(inner, "distance"):
@@ -43,10 +64,26 @@ class _Wrapper:
                 "wrapped network must expose serve(u, v) and distance(u, v)"
             )
         self.inner = inner
+        # The inner scalar core when the network exposes one (the k-ary
+        # SplayNets do); falls back to unpacking ServeResult objects.
+        inner_totals = getattr(inner, "_serve_totals", None)
+        if inner_totals is None:
+            def inner_totals(u: int, v: int) -> tuple[int, int, int]:
+                result = inner.serve(u, v)
+                return (
+                    result.routing_cost,
+                    result.rotations,
+                    result.links_changed,
+                )
+        self._inner_totals = inner_totals
 
     @property
     def n(self) -> int:
         return self.inner.n
+
+    @property
+    def k(self) -> int:
+        return self.inner.k
 
     def distance(self, u: int, v: int) -> int:
         return self.inner.distance(u, v)
@@ -55,6 +92,50 @@ class _Wrapper:
         validate = getattr(self.inner, "validate", None)
         if validate is not None:
             validate()
+
+    # -- serving -------------------------------------------------------
+    def _serve_totals(self, u: int, v: int) -> tuple[int, int, int]:
+        raise NotImplementedError
+
+    def serve(self, u: int, v: int) -> ServeResult:
+        return ServeResult(*self._serve_totals(u, v))
+
+    def serve_trace(
+        self,
+        sources,
+        targets=None,
+        *,
+        record_series: bool = False,
+    ) -> BatchServeResult:
+        """Serve a whole batch under the policy; identical semantics to
+        per-request :meth:`serve` (decisions are taken in request order).
+        """
+        return batch_serve(
+            self._serve_totals, sources, targets, record_series=record_series
+        )
+
+    # -- checkpointing -------------------------------------------------
+    def _extra_state(self) -> dict:
+        """Policy-local state beyond the inner network (counters, RNG)."""
+        return {}
+
+    def _restore_extra(self, extra: dict) -> None:
+        pass
+
+    def snapshot_state(self) -> dict:
+        """Checkpoint: inner network state + policy-local state."""
+        snapshot_inner = getattr(self.inner, "snapshot_state", None)
+        if snapshot_inner is None:
+            raise ExperimentError(
+                f"wrapped {type(self.inner).__name__} does not support"
+                " snapshots (no snapshot_state/restore_state)"
+            )
+        return {"inner": snapshot_inner(), "extra": self._extra_state()}
+
+    def restore_state(self, state: dict) -> None:
+        """Rewind to a :meth:`snapshot_state` checkpoint."""
+        self.inner.restore_state(state["inner"])
+        self._restore_extra(state["extra"])
 
 
 class ThresholdedNetwork(_Wrapper):
@@ -75,13 +156,20 @@ class ThresholdedNetwork(_Wrapper):
         self.served = 0
         self.adjusted = 0
 
-    def serve(self, u: int, v: int) -> ServeResult:
+    def _serve_totals(self, u: int, v: int) -> tuple[int, int, int]:
         self.served += 1
         d = self.inner.distance(u, v)
         if d <= self.threshold:
-            return ServeResult(d, 0, 0)
+            return d, 0, 0
         self.adjusted += 1
-        return self.inner.serve(u, v)
+        return self._inner_totals(u, v)
+
+    def _extra_state(self) -> dict:
+        return {"served": self.served, "adjusted": self.adjusted}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self.served = extra["served"]
+        self.adjusted = extra["adjusted"]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ThresholdedNetwork(threshold={self.threshold}, inner={self.inner!r})"
@@ -91,7 +179,8 @@ class ProbabilisticNetwork(_Wrapper):
     """Adjust each request independently with probability ``q``.
 
     ``q = 1`` is fully reactive, ``q = 0`` is frozen.  The decision stream
-    is seeded, so runs are reproducible.
+    is seeded, so runs are reproducible — and it is checkpointed with the
+    network, so a restored session replays identical coin flips.
     """
 
     def __init__(self, inner, q: float, *, seed: Optional[int] = None) -> None:
@@ -103,12 +192,24 @@ class ProbabilisticNetwork(_Wrapper):
         self.served = 0
         self.adjusted = 0
 
-    def serve(self, u: int, v: int) -> ServeResult:
+    def _serve_totals(self, u: int, v: int) -> tuple[int, int, int]:
         self.served += 1
         if self.q > 0.0 and self._rng.random() < self.q:
             self.adjusted += 1
-            return self.inner.serve(u, v)
-        return ServeResult(self.inner.distance(u, v), 0, 0)
+            return self._inner_totals(u, v)
+        return self.inner.distance(u, v), 0, 0
+
+    def _extra_state(self) -> dict:
+        return {
+            "served": self.served,
+            "adjusted": self.adjusted,
+            "rng_state": copy.deepcopy(self._rng.bit_generator.state),
+        }
+
+    def _restore_extra(self, extra: dict) -> None:
+        self.served = extra["served"]
+        self.adjusted = extra["adjusted"]
+        self._rng.bit_generator.state = copy.deepcopy(extra["rng_state"])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ProbabilisticNetwork(q={self.q}, inner={self.inner!r})"
@@ -118,8 +219,57 @@ class FrozenNetwork(_Wrapper):
     """Never adjust: the inner network's *current* topology as a static
     baseline (e.g. freeze a warmed-up SplayNet and replay the tail)."""
 
-    def serve(self, u: int, v: int) -> ServeResult:
-        return ServeResult(self.inner.distance(u, v), 0, 0)
+    def __init__(self, inner) -> None:
+        super().__init__(inner)
+        # Built on first batched serve; valid for the wrapper's lifetime
+        # because the policy never adjusts (restore_state drops it, since
+        # a restore is the one sanctioned way the topology can change).
+        self._oracle = None
+
+    def _serve_totals(self, u: int, v: int) -> tuple[int, int, int]:
+        return self.inner.distance(u, v), 0, 0
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._oracle = None
+
+    def serve_trace(
+        self,
+        sources,
+        targets=None,
+        *,
+        record_series: bool = False,
+    ) -> BatchServeResult:
+        """A frozen batch is one static stretch: vectorize it outright.
+
+        The policy never adjusts, so every batch sees one topology; if the
+        inner network can export it (a ``tree`` attribute, as every tree
+        network here has), batches collapse into vectorized queries
+        against a distance oracle built once per wrapper — the same fast
+        path as :class:`~repro.network.static.StaticTreeNetwork`.
+        Networks without an exportable tree fall back to the scalar
+        decision loop.
+        """
+        oracle = self._oracle
+        if oracle is None:
+            tree = getattr(self.inner, "tree", None)
+            if tree is None:
+                return super().serve_trace(
+                    sources, targets, record_series=record_series
+                )
+            from repro.analysis.distance import TreeDistanceOracle
+
+            oracle = self._oracle = TreeDistanceOracle.from_tree(tree)
+        from repro.core.engine import as_request_arrays
+
+        us, vs = as_request_arrays(sources, targets)
+        costs = oracle.distances(us, vs)
+        routing_series = rotation_series = None
+        if record_series:
+            routing_series = costs.astype(np.int64, copy=False)
+            rotation_series = np.zeros(len(us), dtype=np.int64)
+        return BatchServeResult(
+            len(us), int(costs.sum()), 0, 0, routing_series, rotation_series
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FrozenNetwork(inner={self.inner!r})"

@@ -67,6 +67,14 @@ class StaticTreeNetwork:
             len(us), int(costs.sum()), 0, 0, routing_series, rotation_series
         )
 
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> None:
+        """Static topologies carry no mutable serving state."""
+        return None
+
+    def restore_state(self, state: None) -> None:
+        """No-op: a static network is always at its initial state."""
+
     def validate(self) -> None:
         validate = getattr(self.tree, "validate", None)
         if validate is not None:

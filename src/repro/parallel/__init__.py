@@ -35,11 +35,8 @@ from repro.parallel.sweep import (
     run_sweep,
 )
 from repro.parallel.tasks import (
-    ENGINE_CAPABLE,
     SimulationTask,
     SimulationTaskResult,
-    STATIC_BUILDERS,
-    NETWORK_FACTORIES,
     clear_trace_cache,
     materialize_trace,
     materialize_trace_cached,
@@ -69,7 +66,4 @@ __all__ = [
     "materialize_trace_cached",
     "clear_trace_cache",
     "trace_cache_stats",
-    "NETWORK_FACTORIES",
-    "STATIC_BUILDERS",
-    "ENGINE_CAPABLE",
 ]

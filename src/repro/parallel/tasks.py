@@ -9,37 +9,25 @@ Regenerated traces are memoized per worker process (see
 :func:`materialize_trace_cached`), so the up-to-27 cells of one paper table
 materialize their shared trace once per worker rather than once per cell.
 
-Supported algorithm names (``SimulationTask.algorithm``):
-
-====================  =====================================================
-``kary-splaynet``     :class:`~repro.core.splaynet.KArySplayNet` (k from task)
-``centroid-splaynet`` :class:`~repro.core.centroid_splaynet.CentroidSplayNet`
-``splaynet``          binary :class:`~repro.splaynet.splaynet.SplayNet`
-``lazy``              :class:`~repro.network.lazy.LazyRebuildNetwork`
-``full-tree``         static full/complete k-ary tree
-``centroid-tree``     static centroid k-ary tree
-``optimal-tree``      optimal static routing-based k-ary tree (Theorem 2 DP)
-``optimal-bst``       optimal static BST network (the [22] DP)
-====================  =====================================================
+Supported algorithm names (``SimulationTask.algorithm``) are whatever the
+network construction registry (:mod:`repro.net.registry`) knows: the
+built-ins (``kary-splaynet``, ``centroid-splaynet``, ``splaynet``,
+``lazy``, ``full-tree``, ``centroid-tree``, ``optimal-tree``,
+``optimal-bst``) plus anything added via
+:func:`repro.net.register_network` — a registered algorithm is
+immediately runnable as a parallel experiment cell, no table edits here.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
-from repro.analysis.distance import trace_static_cost
-from repro.core.builders import build_complete_tree
-from repro.core.centroid import build_centroid_tree
-from repro.core.centroid_splaynet import CentroidSplayNet
 from repro.core.engine import ENGINES
-from repro.core.splaynet import KArySplayNet
 from repro.errors import ExperimentError
-from repro.network.lazy import LazyRebuildNetwork
+from repro.net.registry import build_network, require_algorithm
+from repro.net.spec import NetworkSpec
 from repro.network.simulator import Simulator
-from repro.optimal.general import optimal_static_tree
-from repro.splaynet.optimal import optimal_static_bst
-from repro.splaynet.splaynet import SplayNet
 from repro.workloads.datacenter import facebook_trace, hpc_trace, projector_trace
 from repro.workloads.demand import DemandMatrix
 from repro.workloads.synthetic import (
@@ -59,8 +47,6 @@ __all__ = [
     "materialize_demand_cached",
     "clear_trace_cache",
     "trace_cache_stats",
-    "NETWORK_FACTORIES",
-    "STATIC_BUILDERS",
 ]
 
 
@@ -192,61 +178,6 @@ def trace_cache_stats() -> dict[str, int]:
 
 
 # ----------------------------------------------------------------------
-# algorithm registries
-# ----------------------------------------------------------------------
-def _make_kary_splaynet(task: "SimulationTask") -> KArySplayNet:
-    return KArySplayNet(task.n, task.k, initial=task.initial, engine=task.engine)
-
-def _make_centroid_splaynet(task: "SimulationTask") -> CentroidSplayNet:
-    return CentroidSplayNet(task.n, task.k, engine=task.engine)
-
-def _make_binary_splaynet(task: "SimulationTask") -> SplayNet:
-    # SplayNet is the k=2 baseline regardless of the axis value (and has a
-    # single implementation — no engine selection).
-    return SplayNet(task.n)
-
-def _make_lazy(task: "SimulationTask") -> LazyRebuildNetwork:
-    return LazyRebuildNetwork(task.n, task.k)
-
-
-#: Online (self-adjusting) algorithm name → ``factory(task) -> network``.
-NETWORK_FACTORIES: dict[str, Callable[["SimulationTask"], object]] = {
-    "kary-splaynet": _make_kary_splaynet,
-    "centroid-splaynet": _make_centroid_splaynet,
-    "splaynet": _make_binary_splaynet,
-    "lazy": _make_lazy,
-}
-
-#: Algorithms whose factory threads the ``engine=`` backend selection
-#: through (the k-ary tree-engine hot loop of :mod:`repro.core.engine`).
-ENGINE_CAPABLE = frozenset({"kary-splaynet", "centroid-splaynet"})
-
-
-def _build_full(trace: Trace, task: "SimulationTask"):
-    return build_complete_tree(trace.n, task.k)
-
-def _build_centroid(trace: Trace, task: "SimulationTask"):
-    return build_centroid_tree(trace.n, task.k)
-
-def _build_optimal_kary(trace: Trace, task: "SimulationTask"):
-    # Shared demand + the per-demand DP context memo (repro.optimal.context)
-    # make an arity sweep over one workload compute its inputs once.
-    return optimal_static_tree(materialize_demand_cached(trace, task), task.k).tree
-
-def _build_optimal_bst(trace: Trace, task: "SimulationTask"):
-    return optimal_static_bst(materialize_demand_cached(trace, task)).network
-
-
-#: Static baseline name → ``builder(trace, task) -> tree``.
-STATIC_BUILDERS: dict[str, Callable[[Trace, "SimulationTask"], object]] = {
-    "full-tree": _build_full,
-    "centroid-tree": _build_centroid,
-    "optimal-tree": _build_optimal_kary,
-    "optimal-bst": _build_optimal_bst,
-}
-
-
-# ----------------------------------------------------------------------
 # the task objects
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -258,12 +189,12 @@ class SimulationTask:
     workload, n, m, seed:
         Trace coordinates, regenerated in the worker.
     algorithm:
-        A key of :data:`NETWORK_FACTORIES` or :data:`STATIC_BUILDERS`.
+        A name registered in :mod:`repro.net.registry` (online or static).
     k:
         Tree arity (ignored by the binary baselines).
     engine:
-        Tree-engine backend for :data:`ENGINE_CAPABLE` algorithms
-        (``None`` = the process default; ignored by the rest).
+        Tree-engine backend for engine-capable algorithms (``None`` = the
+        process default; ignored by the rest).
     initial:
         Initial topology name for ``kary-splaynet``.
     """
@@ -278,17 +209,23 @@ class SimulationTask:
     initial: str = "complete"
 
     def __post_init__(self) -> None:
-        if self.algorithm not in NETWORK_FACTORIES and self.algorithm not in STATIC_BUILDERS:
-            raise ExperimentError(
-                f"unknown algorithm {self.algorithm!r}; choose from "
-                f"{sorted(NETWORK_FACTORIES) + sorted(STATIC_BUILDERS)}"
-            )
+        require_algorithm(self.algorithm)
         if self.k < 2:
             raise ExperimentError(f"k must be >= 2, got {self.k}")
         if self.engine is not None and self.engine not in ENGINES:
             raise ExperimentError(
                 f"unknown engine {self.engine!r}; choose from {ENGINES}"
             )
+
+    def network_spec(self) -> NetworkSpec:
+        """The construction spec this cell builds its network from."""
+        return NetworkSpec(
+            algorithm=self.algorithm,
+            n=self.n,
+            k=self.k,
+            engine=self.engine,
+            initial=self.initial,
+        )
 
 
 @dataclass(frozen=True)
@@ -308,15 +245,24 @@ class SimulationTaskResult:
 def run_simulation_task(task: SimulationTask) -> SimulationTaskResult:
     """Execute one cell: regenerate the trace, run the algorithm, reduce.
 
-    Static baselines are costed through the distance oracle (no simulation
-    loop); online algorithms run the full trace through the simulator.
+    Both kinds build through :func:`repro.net.build_network`.  Static
+    baselines are costed through their precomputed distance oracle in one
+    vectorized ``serve_trace`` query (no simulation loop); online
+    algorithms run the full trace through the simulator.  Demand-aware
+    constructions receive the per-process memoized demand matrix
+    (:func:`materialize_demand_cached`), so an arity sweep over one
+    workload counts its trace into a matrix once.
     """
     trace = materialize_trace_cached(task.workload, task.n, task.m, task.seed)
-    if task.algorithm in STATIC_BUILDERS:
-        tree = STATIC_BUILDERS[task.algorithm](trace, task)
-        cost = trace_static_cost(tree, trace)
+    entry = require_algorithm(task.algorithm)
+    if entry.kind == "static":
+        demand = (
+            materialize_demand_cached(trace, task) if entry.needs_demand else None
+        )
+        network = build_network(task.network_spec(), demand=demand)
+        cost = int(network.serve_trace(trace.sources, trace.targets).total_routing)
         return SimulationTaskResult(task, cost, 0, 0)
-    network = NETWORK_FACTORIES[task.algorithm](task)
+    network = build_network(task.network_spec())
     run = Simulator().run(network, trace)
     return SimulationTaskResult(
         task, run.total_routing, run.total_rotations, run.total_links_changed
@@ -325,7 +271,7 @@ def run_simulation_task(task: SimulationTask) -> SimulationTaskResult:
 
 def static_cost_task(task: SimulationTask) -> int:
     """Cost-only variant for static baselines (used by sweep reductions)."""
-    if task.algorithm not in STATIC_BUILDERS:
+    if require_algorithm(task.algorithm).kind != "static":
         raise ExperimentError(
             f"static_cost_task requires a static algorithm, got {task.algorithm!r}"
         )

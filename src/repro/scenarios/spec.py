@@ -14,13 +14,17 @@ Three cell kinds share the one spec shape:
 
 ``online``
     A self-adjusting network served a trace through the simulator
-    (algorithms in :data:`repro.parallel.tasks.NETWORK_FACTORIES`).
+    (algorithms in :func:`repro.net.online_algorithms`).
 ``static``
     A static tree costed against a trace via the distance oracle
-    (algorithms in :data:`repro.parallel.tasks.STATIC_BUILDERS`).
+    (algorithms in :func:`repro.net.static_algorithms`).
 ``analytic``
     A closed-form quantity with no trace at all (``m = 0``) — the Remark 10
     all-pairs distance grid (algorithms in :data:`ANALYTIC_ALGORITHMS`).
+
+Algorithm names resolve against the network construction registry
+(:mod:`repro.net.registry`), so a :func:`repro.net.register_network` call
+makes a new algorithm schedulable as a scenario cell with no changes here.
 """
 
 from __future__ import annotations
@@ -32,12 +36,12 @@ from typing import Any, Iterable, Mapping, Optional
 
 from repro.core.engine import ENGINES
 from repro.errors import ExperimentError
-from repro.parallel.tasks import (
-    ENGINE_CAPABLE,
-    NETWORK_FACTORIES,
-    STATIC_BUILDERS,
-    SimulationTask,
+from repro.net.registry import (
+    engine_capable_algorithms,
+    online_algorithms,
+    static_algorithms,
 )
+from repro.parallel.tasks import SimulationTask
 
 __all__ = [
     "ANALYTIC_ALGORITHMS",
@@ -79,8 +83,8 @@ class ScenarioSpec:
     n, m, seed:
         Trace coordinates; ``m = 0`` for analytic cells.
     algorithm:
-        A key of ``NETWORK_FACTORIES``, ``STATIC_BUILDERS`` or
-        :data:`ANALYTIC_ALGORITHMS`.
+        A name registered in :mod:`repro.net.registry` (online or
+        static) or one of :data:`ANALYTIC_ALGORITHMS`.
     k:
         Tree arity.
     engine:
@@ -111,7 +115,7 @@ class ScenarioSpec:
 
     def __post_init__(self) -> None:
         known = (
-            set(NETWORK_FACTORIES) | set(STATIC_BUILDERS) | set(ANALYTIC_ALGORITHMS)
+            online_algorithms() | static_algorithms() | set(ANALYTIC_ALGORITHMS)
         )
         if self.algorithm not in known:
             raise ExperimentError(
@@ -140,9 +144,9 @@ class ScenarioSpec:
     @property
     def kind(self) -> str:
         """``"online"``, ``"static"`` or ``"analytic"``."""
-        if self.algorithm in NETWORK_FACTORIES:
+        if self.algorithm in online_algorithms():
             return "online"
-        if self.algorithm in STATIC_BUILDERS:
+        if self.algorithm in static_algorithms():
             return "static"
         return "analytic"
 
@@ -152,7 +156,7 @@ class ScenarioSpec:
         Engine-capable online cells default to
         :data:`DEFAULT_ONLINE_ENGINE`; every other kind has no engine.
         """
-        if self.algorithm in ENGINE_CAPABLE:
+        if self.algorithm in engine_capable_algorithms():
             return self.engine or DEFAULT_ONLINE_ENGINE
         return None
 

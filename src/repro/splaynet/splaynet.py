@@ -103,5 +103,18 @@ class SplayNet:
     def validate(self) -> None:
         self.tree.validate()
 
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> BSTNetwork:
+        """An independent deep copy of the current topology."""
+        return self.tree.clone()
+
+    def restore_state(self, state: BSTNetwork) -> None:
+        """Rewind the topology to a :meth:`snapshot_state` checkpoint."""
+        if state.n != self.n:
+            raise ValueError(
+                f"snapshot has n={state.n}, network has n={self.n}"
+            )
+        self.tree = state.clone()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SplayNet(n={self.n})"

@@ -180,6 +180,19 @@ class BSTNetwork:
             (a, b) if a < b else (b, a) for a, b in self.iter_edges()
         )
 
+    def clone(self) -> "BSTNetwork":
+        """A deep copy of the network (fresh node objects, same layout)."""
+        twins = {key: BSTNode(key) for key in self._index}
+        for key, node in self._index.items():
+            twin = twins[key]
+            if node.left is not None:
+                twin.left = twins[node.left.key]
+                twin.left.parent = twin
+            if node.right is not None:
+                twin.right = twins[node.right.key]
+                twin.right.parent = twin
+        return BSTNetwork(twins[self.root.key], validate=False)
+
     # ------------------------------------------------------------------
     # rotations (textbook, with parent pointers)
     # ------------------------------------------------------------------

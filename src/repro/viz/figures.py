@@ -29,6 +29,7 @@ from repro.core.centroid_splaynet import CentroidSplayNet
 from repro.core.rotations import k_semi_splay, k_splay
 from repro.core.tree import KAryTreeNetwork
 from repro.errors import ReproError
+from repro.net.registry import build_network
 from repro.viz.ascii import render_kary_network
 
 __all__ = [
@@ -179,7 +180,7 @@ def _centroid_layout_text(net: CentroidSplayNet, title: str) -> str:
 
 def figure7_centroid_splaynet(n: int = 30) -> str:
     """Figure 7: the 3-SplayNet structure (k = 2)."""
-    net = CentroidSplayNet(n, 2)
+    net = build_network("centroid-splaynet", n=n, k=2)
     return _centroid_layout_text(
         net, f"3-SplayNet, n={n}: c1 above c2; 2k-1 = 3 SplayNet blocks"
     )
@@ -187,7 +188,7 @@ def figure7_centroid_splaynet(n: int = 30) -> str:
 
 def figure8_kplus1_splaynet(n: int = 50, k: int = 3) -> str:
     """Figure 8: the general (k+1)-SplayNet structure."""
-    net = CentroidSplayNet(n, k)
+    net = build_network("centroid-splaynet", n=n, k=k)
     return _centroid_layout_text(
         net,
         f"(k+1)-SplayNet, n={n}, k={k}: c1 has k-1 small blocks, c2 has k"

@@ -1,0 +1,122 @@
+"""NetworkSpec / PolicySpec: validation, normalization, JSON round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.net import NetworkSpec, PolicySpec
+from repro.net.spec import freeze_params
+
+
+class TestFreezeParams:
+    def test_mapping_sorted(self):
+        assert freeze_params({"b": 1, "a": 2}) == (("a", 2), ("b", 1))
+
+    def test_none(self):
+        assert freeze_params(None) == ()
+
+    def test_idempotent(self):
+        frozen = freeze_params({"x": 1.5})
+        assert freeze_params(frozen) == frozen
+
+    def test_rejects_non_scalar(self):
+        with pytest.raises(ExperimentError):
+            freeze_params({"x": [1, 2]})
+
+    def test_rejects_non_string_name(self):
+        with pytest.raises(ExperimentError):
+            freeze_params({1: "x"}.items())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ExperimentError):
+            freeze_params([("a", 1), ("a", 2)])
+
+
+class TestPolicySpec:
+    def test_params_normalized(self):
+        spec = PolicySpec("thresholded", {"threshold": 2})
+        assert spec.params == (("threshold", 2),)
+        assert spec.params_dict() == {"threshold": 2}
+
+    def test_round_trip(self):
+        spec = PolicySpec("probabilistic", {"q": 0.5, "seed": 7})
+        assert PolicySpec.from_dict(spec.to_dict()) == spec
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ExperimentError):
+            PolicySpec("")
+
+    def test_unknown_dict_field_rejected(self):
+        with pytest.raises(ExperimentError):
+            PolicySpec.from_dict({"policy": "frozen", "extra": 1})
+
+
+class TestNetworkSpec:
+    def test_defaults(self):
+        spec = NetworkSpec("kary-splaynet", n=64)
+        assert spec.k == 2
+        assert spec.engine is None
+        assert spec.initial == "complete"
+        assert spec.params == ()
+        assert spec.policies == ()
+
+    def test_hashable(self):
+        a = NetworkSpec("kary-splaynet", n=64, params={"policy": "center"})
+        b = NetworkSpec("kary-splaynet", n=64, params={"policy": "center"})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ExperimentError):
+            NetworkSpec("teleport", n=8)
+
+    def test_bad_n(self):
+        with pytest.raises(ExperimentError):
+            NetworkSpec("kary-splaynet", n=0)
+
+    def test_bad_k(self):
+        with pytest.raises(ExperimentError):
+            NetworkSpec("kary-splaynet", n=8, k=1)
+
+    def test_bad_engine(self):
+        with pytest.raises(ExperimentError):
+            NetworkSpec("kary-splaynet", n=8, engine="gpu")
+
+    def test_policies_accept_names_and_dicts(self):
+        spec = NetworkSpec(
+            "kary-splaynet",
+            n=8,
+            policies=["frozen", {"policy": "thresholded", "params": {"threshold": 1}}],
+        )
+        assert spec.policies == (
+            PolicySpec("frozen"),
+            PolicySpec("thresholded", {"threshold": 1}),
+        )
+
+    def test_json_round_trip(self):
+        spec = NetworkSpec(
+            "lazy",
+            n=32,
+            k=3,
+            params={"alpha": 500.0, "window": 100},
+            policies=[PolicySpec("thresholded", {"threshold": 2})],
+        )
+        assert NetworkSpec.from_json(spec.to_json()) == spec
+
+    def test_json_round_trip_engine(self):
+        spec = NetworkSpec("centroid-splaynet", n=16, k=2, engine="flat")
+        rebuilt = NetworkSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        assert rebuilt.engine == "flat"
+
+    def test_from_dict_strict(self):
+        with pytest.raises(ExperimentError):
+            NetworkSpec.from_dict({"algorithm": "lazy", "n": 8, "m": 100})
+
+    def test_replace_and_bare(self):
+        spec = NetworkSpec("kary-splaynet", n=8, policies=["frozen"])
+        assert spec.replace(k=4).k == 4
+        assert spec.bare().policies == ()
+        assert spec.bare().algorithm == spec.algorithm

@@ -9,11 +9,10 @@ from repro.analysis.distance import trace_static_cost
 from repro.core.builders import build_complete_tree
 from repro.core.splaynet import KArySplayNet
 from repro.errors import ExperimentError
+from repro.net import online_algorithms, static_algorithms
 from repro.network.simulator import Simulator
 from repro.parallel.pool import parallel_map
 from repro.parallel.tasks import (
-    NETWORK_FACTORIES,
-    STATIC_BUILDERS,
     SimulationTask,
     SimulationTaskResult,
     materialize_trace,
@@ -58,11 +57,11 @@ class TestTaskValidation:
             SimulationTask("uniform", 16, 50, 1, "kary-splaynet", 1)
 
     def test_registries_disjoint(self):
-        assert not set(NETWORK_FACTORIES) & set(STATIC_BUILDERS)
+        assert not online_algorithms() & static_algorithms()
 
 
 class TestRunSimulationTask:
-    @pytest.mark.parametrize("algorithm", sorted(NETWORK_FACTORIES))
+    @pytest.mark.parametrize("algorithm", sorted(online_algorithms()))
     def test_online_algorithms_run(self, algorithm):
         task = SimulationTask("temporal-0.5", 24, 300, 7, algorithm, 3)
         result = run_simulation_task(task)
@@ -70,7 +69,7 @@ class TestRunSimulationTask:
         assert result.total_routing > 0
         assert result.task == task
 
-    @pytest.mark.parametrize("algorithm", sorted(STATIC_BUILDERS))
+    @pytest.mark.parametrize("algorithm", sorted(static_algorithms()))
     def test_static_algorithms_run(self, algorithm):
         task = SimulationTask("temporal-0.5", 20, 200, 7, algorithm, 3)
         result = run_simulation_task(task)

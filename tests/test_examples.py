@@ -19,8 +19,9 @@ FAST_EXAMPLES = [
     ("quickstart.py", [], "topology re-validated"),
     ("rotation_gallery.py", ["3"], "Figure 5"),
     ("key_migration.py", [], "identifiers before == after: True"),
-    ("custom_traces.py", [], ""),
+    ("custom_traces.py", [], "temporal structure was worth"),
     ("convergence.py", [], "two-phase workload"),
+    ("adjustment_policies.py", [], "winner"),
 ]
 
 

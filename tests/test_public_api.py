@@ -1,0 +1,82 @@
+"""The public API surface: ``repro.__all__`` is importable and documented.
+
+Every ``__all__`` entry must (1) resolve to a real attribute — a stale
+name breaks ``from repro import *`` and any tutorial using it — and
+(2) appear in README.md's "Public API" section, so the documented surface
+and the exported surface cannot drift apart silently.  The new unified
+network API must be part of that surface.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def _api_section() -> str:
+    text = README.read_text()
+    match = re.search(r"## Public API\n(.*?)\n## ", text, flags=re.S)
+    assert match, "README.md must contain a '## Public API' section"
+    return match.group(1)
+
+
+@pytest.mark.parametrize("name", sorted(repro.__all__))
+def test_all_entry_imports(name):
+    assert hasattr(repro, name), f"repro.__all__ lists {name!r} but it is missing"
+
+
+def test_no_duplicate_exports():
+    assert len(repro.__all__) == len(set(repro.__all__))
+
+
+def test_every_export_documented_in_readme():
+    section = _api_section()
+    missing = [
+        name
+        for name in repro.__all__
+        if f"`{name}`" not in section
+    ]
+    assert not missing, (
+        f"README.md 'Public API' section is missing {missing}; keep the"
+        " documented surface in sync with repro.__all__"
+    )
+
+
+def test_readme_documents_no_phantom_names():
+    """Backticked identifiers in the API section must actually be exported
+    (catches documentation of since-removed names)."""
+    section = _api_section()
+    documented = set(re.findall(r"`([A-Za-z_][A-Za-z0-9_]*)`", section))
+    # Words that are prose markup, not exports.
+    documented -= {"repro", "tests"}
+    phantom = documented - set(repro.__all__)
+    assert not phantom, f"README documents non-exported names: {sorted(phantom)}"
+
+
+def test_net_api_exported():
+    for name in (
+        "NetworkSpec",
+        "PolicySpec",
+        "build_network",
+        "register_network",
+        "register_policy",
+        "network_algorithms",
+        "open_session",
+        "Session",
+        "SessionMetrics",
+        "SessionSnapshot",
+    ):
+        assert name in repro.__all__, f"net API name {name!r} not exported"
+
+
+def test_star_import_clean():
+    namespace: dict = {}
+    exec("from repro import *", namespace)  # noqa: S102 - deliberate
+    missing = [name for name in repro.__all__ if name not in namespace]
+    assert not missing
