@@ -10,16 +10,24 @@ chunked stream through the batched engine hot path.
 Run:  python examples/quickstart.py
 """
 
-from repro import NetworkSpec, open_session, summarize_trace, uniform_trace
+from repro import (
+    NetworkSpec,
+    best_available_engine,
+    open_session,
+    summarize_trace,
+    uniform_trace,
+)
 
 
 def main() -> None:
     n, k = 64, 4
 
     # A self-adjusting network of 64 nodes as a 4-ary search tree on the
-    # flat structure-of-arrays engine, starting from the complete
-    # (balanced) topology.  The spec is data: it round-trips through JSON.
-    spec = NetworkSpec("kary-splaynet", n=n, k=k, engine="flat")
+    # fastest tree engine this process can use (the compiled "native"
+    # kernel where a C toolchain exists, the pure-Python "flat" engine
+    # otherwise), starting from the complete (balanced) topology.  The
+    # spec is data: it round-trips through JSON.
+    spec = NetworkSpec("kary-splaynet", n=n, k=k, engine=best_available_engine())
     print(f"spec: {spec.to_json()}")
     session = open_session(spec)
     print(f"network: {session.network}")

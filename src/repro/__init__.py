@@ -53,6 +53,7 @@ from repro.core.builders import (
 )
 from repro.core.centroid import build_centroid_tree
 from repro.core.centroid_splaynet import CentroidSplayNet
+from repro.core.engine import best_available_engine, native_available
 from repro.core.rotations import k_semi_splay, k_splay
 from repro.core.splaynet import KArySplayNet
 from repro.core.tree import KAryTreeNetwork
@@ -138,6 +139,8 @@ __all__ = [
     "Session",
     "SessionMetrics",
     "SessionSnapshot",
+    "best_available_engine",
+    "native_available",
     # core self-adjusting networks
     "KArySplayNet",
     "CentroidSplayNet",

@@ -230,6 +230,7 @@ def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
         zipf_alpha=args.zipf_alpha,
         seed=args.seed,
         repeats=args.repeats,
+        engines=args.engines,
     )
     print(json.dumps(result, indent=2, sort_keys=True))
     if args.output:
@@ -447,7 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="rebuild threshold for the lazy network",
     )
     sim.add_argument(
-        "--engine", choices=("object", "flat"), default=None,
+        "--engine", choices=("object", "flat", "native"), default=None,
         help="tree-engine backend for the self-adjusting networks",
     )
     sim.add_argument(
@@ -460,7 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench-hotpath",
-        help="serve-loop throughput: object vs. flat engine (JSON output)",
+        help="serve-loop throughput per tree engine (JSON output)",
     )
     bench.add_argument("-n", "--nodes", type=int, default=1024)
     bench.add_argument("-k", type=int, default=4, help="tree arity")
@@ -473,7 +474,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument(
         "--repeats", type=int, default=1,
-        help="timing repeats per engine (best time kept)",
+        help="interleaved timing repeats per engine (best kept)",
+    )
+    bench.add_argument(
+        "--engines", nargs="+", choices=("object", "flat", "native"),
+        default=None,
+        help="engine subset to measure (default: every available engine)",
     )
     bench.add_argument("--output", default=None, help="also write JSON here")
     bench.set_defaults(func=_cmd_bench_hotpath)
@@ -494,7 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the table cells (0 = all cores)",
     )
     rep.add_argument(
-        "--engine", choices=("object", "flat"), default=None,
+        "--engine", choices=("object", "flat", "native"), default=None,
         help="tree-engine backend for the self-adjusting cells"
              " (default: flat, the fast one; totals are engine-independent)",
     )
@@ -532,7 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the cells (0 = all cores)",
     )
     scen_run.add_argument(
-        "--engine", choices=("object", "flat"), default=None,
+        "--engine", choices=("object", "flat", "native"), default=None,
         help="tree-engine backend for the self-adjusting cells",
     )
     scen_run.add_argument(
@@ -559,7 +565,7 @@ def build_parser() -> argparse.ArgumentParser:
     scen_export.add_argument("name", help="a name from `repro scenarios list`")
     scen_export.add_argument("--scale", default=None, choices=("smoke", "quick", "paper"))
     scen_export.add_argument(
-        "--engine", choices=("object", "flat"), default=None,
+        "--engine", choices=("object", "flat", "native"), default=None,
         help="pin the tree engine in the exported specs",
     )
     scen_export.add_argument("-o", "--output", default=None, help="write here")

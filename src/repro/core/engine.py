@@ -1,6 +1,6 @@
 """Tree-engine selection for the self-adjusting networks.
 
-The library ships two interchangeable backends for the k-ary search tree
+The library ships three interchangeable backends for the k-ary search tree
 hot loop:
 
 * ``"object"`` — the original pointer-linked :class:`~repro.core.node.KAryNode`
@@ -14,10 +14,18 @@ hot loop:
   ``routing[nid*(k-1) + j]``, ``smin``, ``smax``) and the k-splay /
   k-semi-splay rotations are reimplemented as index arithmetic, which
   removes per-request attribute lookups, helper-call overhead and
-  intermediate object allocation from the serve loop.  The two engines are
-  kept *structurally equivalent*: on the same request sequence they produce
-  identical topologies and identical cost totals (enforced by
-  ``tests/test_flat_engine.py``).
+  intermediate object allocation from the serve loop.
+* ``"native"`` — the compiled C kernel behind :mod:`repro.core.native`:
+  the same flat layout, with the batched serve loop executed by
+  ``src/repro/core/_native/kernel.c`` (built on demand with the local C
+  toolchain).  When no toolchain is available the engine degrades to
+  ``"flat"`` with a one-time warning, so ``engine="native"`` is always
+  safe to request.
+
+All backends are kept *structurally equivalent*: on the same request
+sequence they produce identical topologies and identical cost totals
+(enforced by ``tests/test_flat_engine.py`` and
+``tests/test_native_engine.py``).
 
 Networks accept an ``engine=`` keyword (threaded through
 :class:`~repro.core.splaynet.KArySplayNet` and
@@ -30,6 +38,7 @@ by the ``REPRO_ENGINE`` environment variable or
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Optional
 
 import numpy as np
@@ -38,7 +47,10 @@ from repro.errors import EngineError
 
 __all__ = [
     "ENGINES",
+    "best_available_engine",
     "default_engine",
+    "engine_tree_class",
+    "native_available",
     "set_default_engine",
     "resolve_engine",
     "as_request_lists",
@@ -48,9 +60,49 @@ __all__ = [
 ]
 
 #: The available tree-engine backends.
-ENGINES = ("object", "flat")
+ENGINES = ("object", "flat", "native")
 
 _default_engine = os.environ.get("REPRO_ENGINE", "object")
+
+_native_fallback_warned = False
+
+
+def native_available() -> bool:
+    """Whether the compiled serve kernel can be used in this process.
+
+    True once :mod:`repro.core._native` has compiled (or loaded a cached)
+    shared library; False when ``REPRO_NATIVE=0`` or no C toolchain is
+    present (the failure reason is in ``repro.core._native.build_error()``).
+    """
+    from repro.core import _native
+
+    return _native.available()
+
+
+def best_available_engine() -> str:
+    """The fastest tree engine usable in this process.
+
+    ``"native"`` when the compiled kernel is available, else ``"flat"``.
+    The examples and benchmarks route their default engine choice through
+    here so they automatically pick up the kernel where it exists.
+    """
+    return "native" if native_available() else "flat"
+
+
+def _warn_native_unavailable() -> None:
+    global _native_fallback_warned
+    if _native_fallback_warned:
+        return
+    _native_fallback_warned = True
+    from repro.core import _native
+
+    warnings.warn(
+        "engine='native' requested but the compiled serve kernel is"
+        f" unavailable ({_native.build_error()}); falling back to the"
+        " pure-Python 'flat' engine",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def default_engine() -> str:
@@ -76,12 +128,41 @@ def set_default_engine(name: str) -> None:
 
 
 def resolve_engine(name: Optional[str]) -> str:
-    """Validate an ``engine=`` argument; ``None`` means the default."""
+    """Validate an ``engine=`` argument; ``None`` means the default.
+
+    ``"native"`` degrades gracefully: when the compiled kernel cannot be
+    built or loaded in this process the resolution is ``"flat"`` (the
+    structurally-identical pure-Python engine) and a ``RuntimeWarning``
+    is emitted once per process.
+    """
     if name is None:
-        return default_engine()
-    if name not in ENGINES:
+        name = default_engine()
+    elif name not in ENGINES:
         raise EngineError(f"unknown engine {name!r}; choose from {ENGINES}")
+    if name == "native" and not native_available():
+        _warn_native_unavailable()
+        return "flat"
     return name
+
+
+def engine_tree_class(name: str):
+    """The :class:`~repro.core.flat.FlatTree` subclass behind an engine.
+
+    Valid for the array-backed engines only (``"flat"`` / ``"native"``);
+    the object engine has no flat backing class.  Imported lazily — the
+    flat modules import helpers from here at load time.
+    """
+    if name == "flat":
+        from repro.core.flat import FlatTree
+
+        return FlatTree
+    if name == "native":
+        from repro.core.native import NativeTree
+
+        return NativeTree
+    raise EngineError(
+        f"engine {name!r} has no flat tree class (choose 'flat' or 'native')"
+    )
 
 
 def as_request_lists(sources, targets=None) -> tuple[list[int], list[int]]:

@@ -102,6 +102,12 @@ class FlatTree:
         "_epoch",
     )
 
+    #: Whether :meth:`serve_many` is fastest on NumPy request arrays
+    #: (the native kernel) rather than Python int lists (this class's
+    #: pure-Python loop).  Callers that normalize batched input consult
+    #: this to skip a round trip through the other representation.
+    prefers_request_arrays = False
+
     def __init__(self, n: int, k: int) -> None:
         if k < 2:
             raise InvalidTreeError(f"arity k must be >= 2, got {k}")
@@ -162,6 +168,26 @@ class FlatTree:
                     node.attach_child(nodes[c], slot)
         return KAryTreeNetwork(k, nodes[self.root], validate=validate)
 
+    @classmethod
+    def from_flat(cls, other: "FlatTree") -> "FlatTree":
+        """An independent deep copy of ``other``'s topology (O(n)).
+
+        ``cls`` and ``type(other)`` may differ — this is how a snapshot
+        taken on one array-backed engine is adopted by the other (both
+        :class:`FlatTree` and :class:`~repro.core.native.NativeTree`
+        share the list-backed state layout).
+        """
+        twin = cls(other.n, other.k)
+        twin.root = other.root
+        twin.parent = list(other.parent)
+        twin.pslot = list(other.pslot)
+        twin.child_rows = [list(row) for row in other.child_rows]
+        twin.routing_rows = [list(row) for row in other.routing_rows]
+        twin.smin = list(other.smin)
+        twin.smax = list(other.smax)
+        twin._ranges_dirty = other._ranges_dirty
+        return twin
+
     def copy(self) -> "FlatTree":
         """An independent deep copy of the current topology (O(n)).
 
@@ -170,16 +196,7 @@ class FlatTree:
         immutable checkpoint while the original keeps rotating (the
         session snapshot path of :mod:`repro.net.session`).
         """
-        twin = type(self)(self.n, self.k)
-        twin.root = self.root
-        twin.parent = list(self.parent)
-        twin.pslot = list(self.pslot)
-        twin.child_rows = [list(row) for row in self.child_rows]
-        twin.routing_rows = [list(row) for row in self.routing_rows]
-        twin.smin = list(self.smin)
-        twin.smax = list(self.smax)
-        twin._ranges_dirty = self._ranges_dirty
-        return twin
+        return type(self).from_flat(self)
 
     def signature(self) -> list[tuple[int, int, tuple[float, ...]]]:
         """Preorder ``(nid, pslot, routing)`` triples (see :func:`tree_signature`)."""

@@ -1,0 +1,187 @@
+"""The compiled tree engine: :class:`NativeTree` behind ``engine="native"``.
+
+``NativeTree`` is a :class:`~repro.core.flat.FlatTree` whose batched serve
+loop runs in the C kernel of :mod:`repro.core._native` instead of the
+pure-Python inlined loop.  Everything else — construction, conversion,
+scalar serving, rotations, snapshots, validation — is inherited unchanged,
+so the class stays interchangeable with :class:`FlatTree` everywhere
+(``isinstance`` checks, cross-engine snapshot transfer via
+:meth:`FlatTree.from_flat`, the equivalence suite).
+
+The division of labour per :meth:`serve_many` call:
+
+1. *Pack*: the list-backed flat state (``parent``/``pslot``/``child_rows``/
+   ``routing_rows``) is marshalled into contiguous int64/float64 NumPy
+   buffers — O(n·k), negligible against any real batch.
+2. *Serve*: ``repro_serve_batch`` runs the whole batch over those buffers
+   (LCA walk, k-splay / k-semi-splay rotation groups, cost accounting) with
+   zero Python involvement.
+3. *Unpack*: the buffers are converted back to the list layout, and the
+   lazy caches (subtree ranges, self-slot positions) are marked dirty
+   exactly as the Python batch loop leaves them.
+
+Unsupported configurations (deep-splay ``depth != 2``, arity beyond the
+kernel's static scratch, a kernel that failed to load after construction)
+delegate to the inherited pure-Python path, which is structurally
+identical by the engine-equivalence contract.
+"""
+
+from __future__ import annotations
+
+import ctypes
+
+import numpy as np
+
+from repro.core import _native
+from repro.core.flat import FlatTree
+from repro.core.rotations import BLOCK_POLICIES
+from repro.errors import EngineError, RotationError
+
+__all__ = ["NativeTree"]
+
+#: Block-policy encoding shared with kernel.c.
+_POLICY_CODES = {"center": 0, "left": 1, "right": 2}
+
+
+class NativeTree(FlatTree):
+    """A :class:`FlatTree` whose batched serve loop is the C kernel."""
+
+    __slots__ = ("_c_visit", "_c_vdepth", "_c_epoch")
+
+    prefers_request_arrays = True
+
+    def __init__(self, n: int, k: int) -> None:
+        super().__init__(n, k)
+        # Persistent epoch-stamped scratch for the kernel's LCA walk
+        # (allocated lazily on the first batched serve).
+        self._c_visit = None
+        self._c_vdepth = None
+        self._c_epoch = 0
+
+    def serve_many(
+        self,
+        sources,
+        targets,
+        *,
+        policy: str = "center",
+        depth: int = 2,
+        routing_series=None,
+        rotation_series=None,
+    ) -> tuple[int, int, int]:
+        """Serve a whole request batch in the compiled kernel.
+
+        Same contract as :meth:`FlatTree.serve_many` — scalar cost totals,
+        optional preallocated series buffers — and the same results bit
+        for bit (pinned by ``tests/test_native_engine.py``).
+        """
+        if policy not in BLOCK_POLICIES:
+            raise RotationError(
+                f"unknown block policy {policy!r}; choose from {BLOCK_POLICIES}"
+            )
+        if (routing_series is None) != (rotation_series is None):
+            raise EngineError(
+                "routing_series and rotation_series must be provided together"
+            )
+        kernel = _native.load_kernel()
+        if depth != 2 or self.k > _native.MAX_NATIVE_K or kernel is None:
+            # Deep-splay and oversized arities run the (equivalent)
+            # pure-Python discipline; a kernel that vanished after
+            # construction degrades the same way.
+            return super().serve_many(
+                sources,
+                targets,
+                policy=policy,
+                depth=depth,
+                routing_series=routing_series,
+                rotation_series=rotation_series,
+            )
+
+        n, k = self.n, self.k
+        km1 = k - 1
+
+        src = np.ascontiguousarray(sources, dtype=np.int64)
+        dst = np.ascontiguousarray(targets, dtype=np.int64)
+        m = min(src.shape[0], dst.shape[0])  # zip() semantics
+        if m:
+            # Only non-self pairs index the arrays in the kernel: u == v
+            # short-circuits before any access (so a degenerate
+            # out-of-range self-pair serves at cost 0 here exactly as the
+            # Python engines serve it).
+            su, sv = src[:m], dst[:m]
+            bad = ((su < 1) | (su > n) | (sv < 1) | (sv > n)) & (su != sv)
+            if bad.any():
+                raise EngineError(
+                    f"request identifiers must be in 1..{n} for the"
+                    " native kernel"
+                )
+
+        # -- pack the list-backed state into contiguous buffers ---------
+        parent = np.array(self.parent, dtype=np.int64)
+        pslot = np.array(self.pslot, dtype=np.int64)
+        children = np.array(self.child_rows, dtype=np.int64)
+        routing = np.zeros((n + 1, km1), dtype=np.float64)
+        if n:
+            routing[1:] = self.routing_rows[1:]
+        if self._c_visit is None:
+            self._c_visit = np.zeros(n + 1, dtype=np.int64)
+            self._c_vdepth = np.zeros(n + 1, dtype=np.int64)
+        root_io = np.array([self.root], dtype=np.int64)
+        epoch_io = np.array([self._c_epoch], dtype=np.int64)
+        totals = np.zeros(3, dtype=np.int64)
+        record = routing_series is not None
+        if record:
+            routing_out = np.empty(m, dtype=np.int64)
+            rotation_out = np.empty(m, dtype=np.int64)
+            routing_ptr = routing_out.ctypes.data
+            rotation_ptr = rotation_out.ctypes.data
+        else:
+            routing_ptr = rotation_ptr = None
+
+        status = kernel.repro_serve_batch(
+            ctypes.c_int64(n),
+            ctypes.c_int64(k),
+            root_io.ctypes.data,
+            parent.ctypes.data,
+            pslot.ctypes.data,
+            children.ctypes.data,
+            routing.ctypes.data,
+            self._c_visit.ctypes.data,
+            self._c_vdepth.ctypes.data,
+            epoch_io.ctypes.data,
+            src.ctypes.data,
+            dst.ctypes.data,
+            ctypes.c_int64(m),
+            ctypes.c_int64(_POLICY_CODES[policy]),
+            routing_ptr,
+            rotation_ptr,
+            totals.ctypes.data,
+        )
+        if status != 0:  # pragma: no cover - guarded by the k check above
+            raise EngineError(f"native serve kernel failed (status {status})")
+
+        # -- unpack the mutated buffers back into the list layout --------
+        self.parent = parent.tolist()
+        self.pslot = pslot.tolist()
+        self.child_rows = children.tolist()
+        rows = routing.tolist()
+        rows[0] = []
+        self.routing_rows = rows
+        self.root = int(root_io[0])
+        self._c_epoch = int(epoch_io[0])
+        self._ranges_dirty = True
+
+        if record:
+            routing_series[:m] = (
+                routing_out
+                if isinstance(routing_series, np.ndarray)
+                else routing_out.tolist()
+            )
+            rotation_series[:m] = (
+                rotation_out
+                if isinstance(rotation_series, np.ndarray)
+                else rotation_out.tolist()
+            )
+        return int(totals[0]), int(totals[1]), int(totals[2])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NativeTree(n={self.n}, k={self.k}, root={self.root})"

@@ -30,7 +30,13 @@ from repro.core.builders import (
     build_complete_tree,
     build_random_tree,
 )
-from repro.core.engine import as_request_lists, batch_serve, resolve_engine
+from repro.core.engine import (
+    as_request_arrays,
+    as_request_lists,
+    batch_serve,
+    engine_tree_class,
+    resolve_engine,
+)
 from repro.core.flat import FlatTree
 from repro.core.rotations import BLOCK_POLICIES, splay_step
 from repro.core.splay import splay_until
@@ -71,8 +77,10 @@ class KArySplayNet:
     seed:
         Seed for the ``"random"`` initial topology.
     engine:
-        Tree-engine backend, ``"object"`` or ``"flat"`` (``None`` = the
-        process default, see :mod:`repro.core.engine`).
+        Tree-engine backend, ``"object"``, ``"flat"`` or ``"native"``
+        (``None`` = the process default, see :mod:`repro.core.engine`).
+        ``"native"`` resolves to ``"flat"`` with a one-time warning when
+        the compiled kernel is unavailable.
     """
 
     def __init__(
@@ -124,12 +132,14 @@ class KArySplayNet:
             else:
                 raise InvalidTreeError(f"unknown initial topology {initial!r}")
         self._k = tree.k
-        if self.engine == "flat":
-            self._flat: Optional[FlatTree] = FlatTree.from_tree(tree)
-            self._tree: Optional[KAryTreeNetwork] = None
+        if self.engine == "object":
+            self._flat: Optional[FlatTree] = None
+            self._tree: Optional[KAryTreeNetwork] = tree
         else:
-            self._flat = None
-            self._tree = tree
+            # "flat" or "native": both are FlatTree layouts; the native
+            # subclass swaps the batched serve loop for the C kernel.
+            self._flat = engine_tree_class(self.engine).from_tree(tree)
+            self._tree = None
 
     # ------------------------------------------------------------------
     @property
@@ -238,7 +248,12 @@ class KArySplayNet:
             return batch_serve(
                 self._serve_totals, sources, targets, record_series=record_series
             )
-        src, dst = as_request_lists(sources, targets)
+        if self._flat.prefers_request_arrays and self.splay_depth == 2:
+            # The native kernel consumes int64 arrays directly — going
+            # through Python lists would box and re-unbox every request.
+            src, dst = as_request_arrays(sources, targets)
+        else:
+            src, dst = as_request_lists(sources, targets)
         m = len(src)
         routing_series = rotation_series = None
         if record_series:
@@ -349,10 +364,14 @@ class KArySplayNet:
                 f" match network (n={self.n}, k={self._k})"
             )
         if self._flat is not None:
+            # Adopt the snapshot into this engine's own tree class:
+            # flat/native checkpoints transfer freely in either direction
+            # (both carry the same list-backed state layout).
+            cls = type(self._flat)
             self._flat = (
-                tree_state.copy()
+                cls.from_flat(tree_state)
                 if isinstance(tree_state, FlatTree)
-                else FlatTree.from_tree(tree_state)
+                else cls.from_tree(tree_state)
             )
         else:
             self._tree = (

@@ -1,4 +1,4 @@
-"""Serve-loop throughput benchmark: object engine vs. flat engine.
+"""Serve-loop throughput benchmark: object vs. flat vs. native engine.
 
 The paper's experiments are traces of 10^5–10^6 ``serve(u, v)`` calls, so
 end-to-end reproduction time is dominated by the serve hot loop.  This
@@ -7,9 +7,17 @@ rotations/second for each engine on the same Zipf trace — and emits a
 machine-readable dict, used by ``python -m repro bench-hotpath``, by
 ``benchmarks/bench_engine_hotpath.py`` and by the tier-1 smoke test.
 
-The two engines are also cross-checked: their cost totals must agree
-exactly (they implement the same discipline), so a benchmark run doubles as
-an end-to-end equivalence check at benchmark scale.
+Methodology (PR 5): engines are *interleaved* across repeats (engine A,
+B, C, then A, B, C again, ...) rather than measured back to back, so slow
+thermal/load drift hits every engine equally; and every measurement
+records CPU time (``time.process_time``) next to wall clock, with the
+best-of-``repeats`` kept per engine for both.  Recorded speedups are
+computed from CPU time — on a loaded box wall-clock ratios wander by
+±15%, CPU ratios do not.
+
+The engines are also cross-checked: their cost totals must agree exactly
+(they implement the same discipline), so a benchmark run doubles as an
+end-to-end equivalence check at benchmark scale.
 """
 
 from __future__ import annotations
@@ -20,17 +28,38 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.core.engine import ENGINES
+from repro.core.engine import ENGINES, native_available
 from repro.errors import ExperimentError
 from repro.net.registry import build_network
 from repro.workloads.synthetic import zipf_trace
 
-__all__ = ["hotpath_benchmark", "write_hotpath_record"]
+__all__ = [
+    "SPEEDUP_PAIRS",
+    "default_hotpath_engines",
+    "hotpath_benchmark",
+    "write_hotpath_record",
+]
 
 _HOTPATH_ALGORITHMS = {
     "ksplaynet": "kary-splaynet",
     "centroid-splaynet": "centroid-splaynet",
 }
+
+#: Engine pairs reported as ``speedup_<fast>_over_<slow>`` when both ran.
+SPEEDUP_PAIRS = (("flat", "object"), ("native", "object"), ("native", "flat"))
+
+
+def default_hotpath_engines() -> tuple[str, ...]:
+    """Every engine measurable in this process.
+
+    ``"native"`` is included only when the compiled kernel is available —
+    benchmarking its silent flat fallback would record a lie.
+    """
+    return tuple(
+        engine
+        for engine in ENGINES
+        if engine != "native" or native_available()
+    )
 
 
 def _build_network(network: str, n: int, k: int, policy: str, engine: str):
@@ -55,18 +84,40 @@ def hotpath_benchmark(
     seed: int = 0,
     policy: str = "center",
     repeats: int = 1,
-    engines: Sequence[str] = ENGINES,
+    engines: Optional[Sequence[str]] = None,
 ) -> dict:
     """Measure serve-loop throughput per engine on one Zipf trace.
 
-    Each engine serves the identical trace on a freshly built network
-    (``repeats`` times, best time kept — self-adjustment makes state carry
-    over, so every repeat restarts from the initial topology).  Returns a
-    JSON-serializable dict with per-engine throughput, the flat/object
-    speedup, and an exact cross-engine totals check.
+    Each engine serves the identical trace on a freshly built network;
+    the ``repeats`` rounds interleave the engines and the best wall-clock
+    and best CPU time are kept per engine (self-adjustment makes state
+    carry over, so every measurement restarts from the initial topology).
+    ``engines`` defaults to :func:`default_hotpath_engines`; requesting
+    ``"native"`` explicitly on a machine without the kernel is an error
+    rather than a silently mislabeled flat measurement.  Returns a
+    JSON-serializable dict with per-engine throughput (wall and CPU),
+    pairwise speedups, and an exact cross-engine totals check.
     """
     if repeats < 1:
         raise ExperimentError(f"repeats must be >= 1, got {repeats}")
+    if engines is None:
+        engines = default_hotpath_engines()
+    engines = tuple(engines)
+    if not engines:
+        raise ExperimentError("need at least one engine to benchmark")
+    for engine in engines:
+        if engine not in ENGINES:
+            raise ExperimentError(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
+            )
+    if "native" in engines and not native_available():
+        from repro.core import _native
+
+        raise ExperimentError(
+            "engine 'native' requested but the compiled kernel is"
+            f" unavailable ({_native.build_error()}); drop it from"
+            " --engines or fix the toolchain"
+        )
     trace = zipf_trace(n, m, zipf_alpha, seed)
     result: dict = {
         "benchmark": "engine_hotpath",
@@ -80,29 +131,45 @@ def hotpath_benchmark(
             "seed": seed,
             "policy": policy,
             "repeats": repeats,
+            "engines": list(engines),
+            "interleaved": True,
             "python": platform.python_version(),
         },
         "engines": {},
     }
+    best_wall: dict[str, float] = {}
+    best_cpu: dict[str, float] = {}
+    batches: dict[str, object] = {}
+    for _ in range(repeats):
+        for engine in engines:
+            net = _build_network(network, n, k, policy, engine)
+            w0 = time.perf_counter()
+            c0 = time.process_time()
+            batch = net.serve_trace(trace.sources, trace.targets)
+            cpu = time.process_time() - c0
+            wall = time.perf_counter() - w0
+            if engine not in best_wall or wall < best_wall[engine]:
+                best_wall[engine] = wall
+            if engine not in best_cpu or cpu < best_cpu[engine]:
+                best_cpu[engine] = cpu
+            batches[engine] = batch
+
     totals: dict[str, tuple[int, int, int]] = {}
     for engine in engines:
-        best = None
-        batch = None
-        for _ in range(repeats):
-            net = _build_network(network, n, k, policy, engine)
-            t0 = time.perf_counter()
-            batch = net.serve_trace(trace.sources, trace.targets)
-            elapsed = time.perf_counter() - t0
-            best = elapsed if best is None else min(best, elapsed)
+        batch = batches[engine]
+        wall = best_wall[engine]
+        cpu = best_cpu[engine]
         totals[engine] = (
             batch.total_routing,
             batch.total_rotations,
             batch.total_links_changed,
         )
         result["engines"][engine] = {
-            "seconds": best,
-            "requests_per_second": m / best,
-            "rotations_per_second": batch.total_rotations / best,
+            "seconds": wall,
+            "cpu_seconds": cpu,
+            "requests_per_second": m / wall,
+            "requests_per_second_cpu": m / cpu if cpu > 0 else float("inf"),
+            "rotations_per_second": batch.total_rotations / wall,
             "total_routing": batch.total_routing,
             "total_rotations": batch.total_rotations,
             "total_links_changed": batch.total_links_changed,
@@ -110,11 +177,14 @@ def hotpath_benchmark(
     if len(totals) > 1:
         reference = next(iter(totals.values()))
         result["totals_match"] = all(t == reference for t in totals.values())
-    if "object" in result["engines"] and "flat" in result["engines"]:
-        result["speedup_flat_over_object"] = (
-            result["engines"]["flat"]["requests_per_second"]
-            / result["engines"]["object"]["requests_per_second"]
-        )
+    for fast, slow in SPEEDUP_PAIRS:
+        if fast in best_cpu and slow in best_cpu and best_cpu[fast] > 0:
+            result[f"speedup_{fast}_over_{slow}"] = (
+                best_cpu[slow] / best_cpu[fast]
+            )
+            result[f"speedup_{fast}_over_{slow}_wall"] = (
+                best_wall[slow] / best_wall[fast]
+            )
     return result
 
 

@@ -22,8 +22,9 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.core.engine import ENGINES
+from repro.core.engine import ENGINES, native_available
 from repro.errors import ExperimentError
+from repro.experiments.hotpath import SPEEDUP_PAIRS, default_hotpath_engines
 from repro.experiments.presets import get_scale
 from repro.experiments.runner import run_all
 from repro.experiments.tables import TABLE_WORKLOAD
@@ -59,7 +60,7 @@ def reproduce_pipeline_benchmark(
     include_table8: bool = False,
     include_remark10: bool = False,
     repeats: int = DEFAULT_REPEATS,
-    engines: Sequence[str] = ENGINES,
+    engines: Optional[Sequence[str]] = None,
     jobs: int = 1,
     verbose: bool = False,
 ) -> dict:
@@ -74,6 +75,21 @@ def reproduce_pipeline_benchmark(
     """
     if repeats < 1:
         raise ExperimentError(f"repeats must be >= 1, got {repeats}")
+    if engines is None:
+        engines = default_hotpath_engines()
+    for engine in engines:
+        if engine not in ENGINES:
+            raise ExperimentError(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
+            )
+    if "native" in engines and not native_available():
+        from repro.core import _native
+
+        raise ExperimentError(
+            "engine 'native' requested but the compiled kernel is"
+            f" unavailable ({_native.build_error()}); drop it from the"
+            " engine list or fix the toolchain"
+        )
     if not tables:
         raise ExperimentError("tables must name at least one of Tables 1-7")
     unknown = sorted(set(tables) - set(TABLE_WORKLOAD))
@@ -136,10 +152,11 @@ def reproduce_pipeline_benchmark(
         record["summaries_match"] = all(
             summary == reference for summary in summaries.values()
         )
-    if "object" in best_cpu and "flat" in best_cpu:
-        record["speedup_flat_over_object"] = (
-            best_cpu["object"] / best_cpu["flat"]
-        )
+    for fast, slow in SPEEDUP_PAIRS:
+        if fast in best_cpu and slow in best_cpu and best_cpu[fast] > 0:
+            record[f"speedup_{fast}_over_{slow}"] = (
+                best_cpu[slow] / best_cpu[fast]
+            )
     return record
 
 

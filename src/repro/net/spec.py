@@ -140,7 +140,11 @@ class NetworkSpec:
         Tree arity (``>= 2``; the binary baselines ignore it).
     engine:
         Tree-engine backend for engine-capable algorithms (``"object"`` /
-        ``"flat"``; ``None`` = the process default).  Ignored by the rest.
+        ``"flat"`` / ``"native"``; ``None`` = the process default).
+        Ignored by the rest.  ``"native"`` is always a valid spec value —
+        construction degrades to ``"flat"`` (with a one-time warning)
+        when the compiled kernel is unavailable, so specs round-trip
+        between machines with and without a C toolchain.
     initial:
         Initial topology name for the self-adjusting k-ary networks.
     params:

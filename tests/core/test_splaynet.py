@@ -7,6 +7,7 @@ import pytest
 
 from repro.analysis.entropy import entropy_bound
 from repro.core.builders import build_balanced_tree, build_complete_tree
+from repro.core.flat import tree_signature
 from repro.core.splaynet import KArySplayNet
 from repro.errors import InvalidTreeError, RotationError
 from repro.network.simulator import Simulator, simulate
@@ -24,8 +25,13 @@ class TestConstruction:
 
     def test_explicit_tree_adopted(self):
         tree = build_balanced_tree(20, 3)
-        net = KArySplayNet(initial=tree)
+        # Identity (not just topology equality) is an object-engine
+        # property: the array-backed engines snapshot the tree instead.
+        net = KArySplayNet(initial=tree, engine="object")
         assert net.tree is tree
+        for engine in ("flat", "native"):
+            adopted = KArySplayNet(initial=tree, engine=engine)
+            assert tree_signature(adopted.tree) == tree_signature(tree)
 
     def test_n_conflict_rejected(self):
         tree = build_balanced_tree(20, 3)

@@ -16,9 +16,12 @@ from repro.experiments.pipelinebench import (
 
 class TestReproducePipelineBenchmark:
     def test_smoke_run_shape_and_equivalence(self):
+        from repro.experiments.hotpath import default_hotpath_engines
+
         record = reproduce_pipeline_benchmark("smoke", tables=(6,), repeats=1)
         assert record["benchmark"] == "reproduce_pipeline"
-        assert set(record["engines"]) == {"object", "flat"}
+        assert set(record["engines"]) == set(default_hotpath_engines())
+        assert {"object", "flat"} <= set(record["engines"])
         for stats in record["engines"].values():
             assert stats["cpu_seconds"] > 0
             assert stats["wall_seconds"] > 0

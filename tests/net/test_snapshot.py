@@ -64,24 +64,40 @@ class TestKArySnapshotBothEngines:
         assert _serve_costs(session, *tail) == first_costs
 
     def test_snapshot_transfers_across_engines(self):
-        """A checkpoint taken on one engine restores on the other —
-        the engines represent the identical topology."""
+        """A mid-stream checkpoint taken on any engine restores on any
+        other — all engines represent the identical topology."""
         n, k = 48, 3
         warmup = _request_block(n, 300, seed=3)
         tail = _request_block(n, 120, seed=4)
 
-        flat_session = open_session("kary-splaynet", n=n, k=k, engine="flat")
-        flat_session.serve_stream(*warmup)
-        checkpoint = flat_session.snapshot()
-        flat_costs = _serve_costs(flat_session, *tail)
+        checkpoints = {}
+        costs = {}
+        for engine in ENGINES:
+            session = open_session("kary-splaynet", n=n, k=k, engine=engine)
+            session.serve_stream(*warmup)
+            checkpoints[engine] = session.snapshot()
+            costs[engine] = _serve_costs(session, *tail)
+        reference = costs[ENGINES[0]]
+        assert all(c == reference for c in costs.values())
 
-        object_session = open_session("kary-splaynet", n=n, k=k, engine="object")
-        object_session.restore(checkpoint)
-        assert (
-            _topology_signature(object_session.network)
-            == _topology_signature(build_restored(n, k, checkpoint))
-        )
-        assert _serve_costs(object_session, *tail) == flat_costs
+        for source_engine in ENGINES:
+            for target_engine in ENGINES:
+                if source_engine == target_engine:
+                    continue
+                session = open_session(
+                    "kary-splaynet", n=n, k=k, engine=target_engine
+                )
+                session.restore(checkpoints[source_engine])
+                assert (
+                    _topology_signature(session.network)
+                    == _topology_signature(
+                        build_restored(n, k, checkpoints[source_engine])
+                    )
+                ), (source_engine, target_engine)
+                assert _serve_costs(session, *tail) == reference, (
+                    source_engine,
+                    target_engine,
+                )
 
     def test_restore_resets_metrics(self):
         session = open_session("kary-splaynet", n=16, k=2)
@@ -220,7 +236,8 @@ from hypothesis import strategies as st  # noqa: E402
 def test_snapshot_restore_property(seed, k, split):
     """Property: for any request sequence and any checkpoint position, the
     restored session replays the tail at identical costs with identical
-    final topology, and the two engines agree on both."""
+    final topology, and every engine (object, flat and — where the kernel
+    is available — native) agrees on both."""
     n = 32
     rng = np.random.default_rng(seed)
     sources = rng.integers(1, n + 1, size=250).tolist()
@@ -239,4 +256,4 @@ def test_snapshot_restore_property(seed, k, split):
         assert _serve_costs(session, *tail) == costs
         assert _topology_signature(session.network) == final
         outcomes.append((costs, final))
-    assert outcomes[0] == outcomes[1]
+    assert all(outcome == outcomes[0] for outcome in outcomes)

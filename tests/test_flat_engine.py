@@ -145,6 +145,28 @@ class TestScalarEquivalence:
 
 
 class TestBatchedEquivalence:
+    def test_all_engines_batched_equivalence(self):
+        """Every registered engine — object, flat and native (which is
+        flat's silent stand-in when the kernel is unavailable) — produces
+        the identical topology and cost totals on one batched trace."""
+        n, k, m = 40, 4, 400
+        trace = zipf_trace(n, m, 1.25, seed=8)
+        totals = {}
+        signatures = {}
+        for engine in ENGINES:
+            net = KArySplayNet(n, k, engine=engine)
+            batch = net.serve_trace(trace)
+            totals[engine] = (
+                batch.total_routing,
+                batch.total_rotations,
+                batch.total_links_changed,
+            )
+            signatures[engine] = tree_signature(net.tree)
+        reference_totals = totals["object"]
+        reference_signature = signatures["object"]
+        assert all(t == reference_totals for t in totals.values()), totals
+        assert all(s == reference_signature for s in signatures.values())
+
     @pytest.mark.parametrize("k", [2, 3, 5])
     def test_serve_trace_matches_scalar_loop(self, k):
         n, m = 32, 300
