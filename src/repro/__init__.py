@@ -62,7 +62,7 @@ from repro.datastructures import (
     SherkKarySplayTree,
     SplayTree,
 )
-from repro.errors import ReproError
+from repro.errors import FaultInjected, ReliabilityError, ReproError
 from repro.net import (
     NetworkSpec,
     PolicySpec,
@@ -81,6 +81,7 @@ from repro.parallel import (
     parallel_map,
     run_sweep,
 )
+from repro.reliability import FaultPlan, inject_faults
 from repro.network.cost import CostModel, LINK_CHURN, ROUTING_ONLY, UNIT_ROTATIONS
 from repro.network.lazy import LazyRebuildNetwork
 from repro.network.metrics import cumulative_advantage, summarize_series
@@ -228,11 +229,16 @@ __all__ = [
     "parallel_map",
     "SweepSpec",
     "run_sweep",
+    # reliability (fault injection, recovery)
+    "FaultPlan",
+    "inject_faults",
     # visualization
     "render_kary_network",
     "bar_chart",
     "sparkline",
     # errors
     "ReproError",
+    "ReliabilityError",
+    "FaultInjected",
     "__version__",
 ]

@@ -346,19 +346,26 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     scale = get_scale(args.scale)
     specs = expand(args.name, scale, engine=args.engine)
     out = args.output
-    if out is None and args.record:
+    if out is None and (args.record or args.resume):
         out = default_results_path(args.name, scale.name)
     from repro.scenarios.cache import env_disables_cache
 
+    config = None
+    if args.retries:
+        from repro.parallel.pool import ParallelConfig
+
+        config = ParallelConfig(jobs=args.jobs, retries=args.retries)
     sink = JsonlResultSink(out) if out else None
     try:
         results = run_specs(
             specs,
             jobs=args.jobs,
+            config=config,
             sink=sink,
             # Default on; --no-cache or REPRO_RESULT_CACHE=0 opts out.
             cache=False if (args.no_cache or env_disables_cache()) else True,
             refresh=args.refresh,
+            resume=args.resume,
         )
     finally:
         if sink is not None:
@@ -556,6 +563,15 @@ def build_parser() -> argparse.ArgumentParser:
     scen_run.add_argument(
         "--refresh", action="store_true",
         help="recompute every cell and overwrite its cache entry",
+    )
+    scen_run.add_argument(
+        "--resume", action="store_true",
+        help="seed completed cells from the output file (after a crash)"
+        " and compute only the rest",
+    )
+    scen_run.add_argument(
+        "--retries", type=int, default=0,
+        help="re-attempts per failing cell (deterministic backoff)",
     )
     scen_run.set_defaults(func=_cmd_scenarios_run)
 

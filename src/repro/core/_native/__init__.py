@@ -37,6 +37,9 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
+from repro.errors import FaultInjected
+from repro.reliability.faults import fire_fault
+
 __all__ = [
     "MAX_NATIVE_K",
     "available",
@@ -173,8 +176,21 @@ def _load() -> ctypes.CDLL:
         )
     source = src.read_bytes()
     out = _so_path(source, compiler)
-    if not out.is_file():
+    # A zero-size cache entry (e.g. disk-full or a crash between create
+    # and publish on a filesystem without atomic replace) is not a
+    # library: treat it as absent rather than letting CDLL choke on it.
+    if not out.is_file() or out.stat().st_size == 0:
         _compile(compiler, src, out)
+    fault = fire_fault("native.load", context=str(out))
+    if fault is not None:
+        if fault.mode == "corrupt":
+            # Smash the cached artifact so the load below exercises the
+            # rebuild-from-scratch recovery path.
+            out.write_bytes(b"\x7fNOT-AN-ELF" + os.urandom(32))
+        else:
+            raise FaultInjected(
+                f"injected kernel load failure: {fault.detail or fault.point}"
+            )
     try:
         return _configure(ctypes.CDLL(str(out)))
     except Exception:

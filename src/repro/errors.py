@@ -15,6 +15,8 @@ __all__ = [
     "OptimizationError",
     "ExperimentError",
     "EngineError",
+    "ReliabilityError",
+    "FaultInjected",
 ]
 
 
@@ -56,3 +58,24 @@ class ExperimentError(ReproError):
 
 class EngineError(ReproError):
     """An unknown or unsupported tree-engine backend was requested."""
+
+
+class ReliabilityError(ReproError):
+    """A fault-tolerance guarantee could not be upheld.
+
+    Raised by the reliability layer (:mod:`repro.reliability`) when
+    recovery is impossible or corruption is detected: a task exceeded its
+    retry budget or timeout, the worker pool kept dying across respawns,
+    a restored checkpoint failed its post-restore audit, or a resume was
+    requested without a readable campaign record.
+    """
+
+
+class FaultInjected(ReliabilityError):
+    """Marker raised by a deterministic injected fault (never organically).
+
+    The fault-injection harness (:mod:`repro.reliability.faults`) raises
+    this from its named injection points so tests and CI can tell an
+    injected failure apart from a real one.  Production code treats it as
+    any other transient failure — retry/recovery paths must absorb it.
+    """

@@ -15,7 +15,13 @@ wraps any network behind exactly that interface:
   series) in the Section 2 cost components;
 * :meth:`Session.snapshot` / :meth:`Session.restore` — checkpoint the
   *full* serving state (topology, auxiliary demand counters, policy RNG
-  streams, metrics) and rewind to it, identically on either tree engine.
+  streams, metrics) and rewind to it, identically on either tree engine;
+* **auto-checkpointing** — ``open_session(..., checkpoint_every=N)``
+  takes a :meth:`Session.snapshot` every ``N`` served requests,
+  :meth:`Session.recover` rewinds to the latest one after a fault, and
+  :meth:`Session.audit` re-validates every structural and buffer
+  invariant — run automatically after **every** restore, so a corrupted
+  checkpoint is detected at recovery time, never silently served.
 
 ``open_session`` accepts anything :func:`~repro.net.registry.build_network`
 accepts, or an already-built network object.
@@ -29,11 +35,12 @@ from typing import Any, Iterable, Iterator, Mapping, Optional, Union
 
 import numpy as np
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, ReliabilityError
 from repro.net.registry import build_network
 from repro.net.spec import NetworkSpec
 from repro.network.cost import CostModel, ROUTING_ONLY
 from repro.network.protocols import BatchServeResult, ServeResult
+from repro.reliability.faults import fire_fault
 from repro.workloads.demand import DemandMatrix
 
 __all__ = ["Session", "SessionMetrics", "SessionSnapshot", "open_session"]
@@ -147,14 +154,22 @@ class Session:
         *,
         spec: Optional[NetworkSpec] = None,
         record_series: bool = False,
+        checkpoint_every: Optional[int] = None,
     ) -> None:
         if not hasattr(network, "serve"):
             raise ExperimentError(
                 f"{type(network).__name__} does not expose serve(u, v)"
             )
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ExperimentError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         self.network = network
         self.spec = spec
         self.record_series = record_series
+        self.checkpoint_every = checkpoint_every
+        self._auto_checkpoint: Optional[SessionSnapshot] = None
+        self._since_checkpoint = 0
         self.metrics = SessionMetrics(
             routing_series=[] if record_series else None,
             rotation_series=[] if record_series else None,
@@ -193,6 +208,7 @@ class Session:
         if metrics.routing_series is not None:
             metrics.routing_series.append(result.routing_cost)
             metrics.rotation_series.append(result.rotations)
+        self._count_toward_checkpoint(1)
         return result
 
     def serve_stream(
@@ -257,10 +273,13 @@ class Session:
                 rotation_parts.append(batch.rotation_series)
                 metrics.routing_series.extend(batch.routing_series.tolist())
                 metrics.rotation_series.extend(batch.rotation_series.tolist())
-        metrics.requests += total_m
-        metrics.total_routing += total_routing
-        metrics.total_rotations += total_rotations
-        metrics.total_links_changed += total_links
+            # Auto-checkpoint between chunks: metrics must already cover
+            # the chunk when the snapshot is cut, so advance them first.
+            metrics.requests += batch.m
+            metrics.total_routing += batch.total_routing
+            metrics.total_rotations += batch.total_rotations
+            metrics.total_links_changed += batch.total_links_changed
+            self._count_toward_checkpoint(batch.m)
         return BatchServeResult(
             total_m,
             total_routing,
@@ -301,12 +320,22 @@ class Session:
                 f"{type(self.network).__name__} does not support snapshots"
                 " (no snapshot_state/restore_state)"
             )
+        state = snapshot_state()
+        fault = fire_fault("session.snapshot", context=type(state).__name__)
+        if fault is not None and fault.mode == "corrupt":
+            state = _corrupt_state(state)
         return SessionSnapshot(
-            state=snapshot_state(), metrics=self.metrics.copy(), spec=self.spec
+            state=state, metrics=self.metrics.copy(), spec=self.spec
         )
 
     def restore(self, snapshot: SessionSnapshot) -> None:
-        """Rewind the session to a :meth:`snapshot` checkpoint."""
+        """Rewind the session to a :meth:`snapshot` checkpoint.
+
+        Every restore is followed by a full :meth:`audit`, so a snapshot
+        corrupted between checkpoint and recovery raises
+        :class:`~repro.errors.ReliabilityError` here instead of silently
+        serving a broken topology.
+        """
         restore_state = getattr(self.network, "restore_state", None)
         if restore_state is None:
             raise ExperimentError(
@@ -315,12 +344,136 @@ class Session:
             )
         restore_state(snapshot.state)
         self.metrics = snapshot.metrics.copy()
+        self._since_checkpoint = 0
+        self.audit()
+
+    def _count_toward_checkpoint(self, served: int) -> None:
+        """Advance the auto-checkpoint counter; cut one when due."""
+        if self.checkpoint_every is None:
+            return
+        self._since_checkpoint += served
+        if self._since_checkpoint >= self.checkpoint_every:
+            self._auto_checkpoint = self.snapshot()
+            self._since_checkpoint = 0
+
+    @property
+    def last_checkpoint(self) -> Optional[SessionSnapshot]:
+        """The most recent auto-checkpoint (``None`` before the first)."""
+        return self._auto_checkpoint
+
+    def recover(self) -> SessionSnapshot:
+        """Rewind to the latest auto-checkpoint and re-audit everything.
+
+        The crash-recovery entry point for sessions opened with
+        ``checkpoint_every``: after an exception mid-stream (or any
+        suspicion the in-memory state is bad), ``recover()`` restores the
+        last checkpoint — topology, auxiliary state and metrics — runs
+        the full :meth:`audit`, and returns the snapshot it recovered to,
+        so the caller knows exactly which requests to replay.
+        """
+        if self._auto_checkpoint is None:
+            raise ReliabilityError(
+                "no auto-checkpoint to recover to: open the session with"
+                " checkpoint_every=N (or restore an explicit snapshot)"
+            )
+        self.restore(self._auto_checkpoint)
+        return self._auto_checkpoint
+
+    def audit(self) -> None:
+        """Invariant pass over the live serving state; raises on corruption.
+
+        Three layers, all fatal via
+        :class:`~repro.errors.ReliabilityError`:
+
+        * **structural** — the network's own ``validate()`` (for the flat
+          and native engines that is the full cross-check against a
+          rebuilt object tree, cached subtree ranges included);
+        * **buffer consistency** — flat/native array lengths must match
+          the declared shape (``n``, ``k``), catching truncated or
+          mis-sized state smuggled in through a bad checkpoint;
+        * **metrics sanity** — totals non-negative and recorded series
+          exactly ``requests`` long.
+        """
+        try:
+            self.validate()
+        except Exception as exc:
+            raise ReliabilityError(
+                f"session audit failed structural validation: {exc}"
+            ) from exc
+        self._audit_buffers()
+        self._audit_metrics()
+
+    def _audit_buffers(self) -> None:
+        """Flat/native engines: array shapes must match the topology."""
+        flat = getattr(self.network, "_flat", None)
+        if flat is None or not hasattr(flat, "parent"):
+            return
+        n, k = flat.n, flat.k
+        expected = {
+            "parent": n + 1,
+            "pslot": n + 1,
+            "child_rows": n + 1,
+            "routing_rows": n + 1,
+        }
+        for name, length in expected.items():
+            rows = getattr(flat, name, None)
+            if rows is not None and len(rows) != length:
+                raise ReliabilityError(
+                    f"session audit: {name} has {len(rows)} entries,"
+                    f" expected {length} (n={n})"
+                )
+        for nid in range(1, n + 1):
+            if len(flat.child_rows[nid]) != k:
+                raise ReliabilityError(
+                    f"session audit: node {nid} has"
+                    f" {len(flat.child_rows[nid])} child slots, expected {k}"
+                )
+
+    def _audit_metrics(self) -> None:
+        metrics = self.metrics
+        if (
+            metrics.requests < 0
+            or metrics.total_routing < 0
+            or metrics.total_rotations < 0
+            or metrics.total_links_changed < 0
+        ):
+            raise ReliabilityError(
+                f"session audit: negative metrics {metrics.to_dict()}"
+            )
+        if metrics.routing_series is not None and (
+            len(metrics.routing_series) != metrics.requests
+            or len(metrics.rotation_series) != metrics.requests
+        ):
+            raise ReliabilityError(
+                "session audit: recorded series length"
+                f" {len(metrics.routing_series)} does not match"
+                f" requests={metrics.requests}"
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Session(network={type(self.network).__name__}, n={self.n},"
             f" requests={self.metrics.requests})"
         )
+
+
+def _corrupt_state(state: Any) -> Any:
+    """Deliberately damage a checkpoint state (``session.snapshot`` fault).
+
+    Tree-engine states (anything carrying a ``parent`` array) get one
+    self-parenting entry — invisible to shallow use, guaranteed fatal to
+    a structural ``validate()``.  States this helper cannot tamper raise
+    :class:`FaultInjected` outright instead of pretending.
+    """
+    from repro.errors import FaultInjected
+
+    parent = getattr(state, "parent", None)
+    if parent is not None and getattr(state, "n", 0) >= 1:
+        parent[1] = 1
+        return state
+    raise FaultInjected(
+        f"injected snapshot corruption: cannot tamper {type(state).__name__}"
+    )
 
 
 def open_session(
@@ -330,6 +483,7 @@ def open_session(
     trace: Optional[Any] = None,
     demand: Optional[DemandMatrix] = None,
     record_series: bool = False,
+    checkpoint_every: Optional[int] = None,
     **kwargs: Any,
 ) -> Session:
     """Open an online serving session.
@@ -339,7 +493,10 @@ def open_session(
     plus keyword arguments — or a pre-built network object via
     ``network=``.  ``trace``/``demand`` feed demand-aware static
     constructions; ``record_series=True`` accumulates per-request series
-    on the session metrics.
+    on the session metrics; ``checkpoint_every=N`` auto-snapshots the
+    full serving state every ``N`` requests so
+    :meth:`Session.recover` can rewind past a crash (each restore is
+    audited — see :meth:`Session.audit`).
 
     >>> session = open_session("kary-splaynet", n=64, k=4, engine="flat")
     >>> session.serve(3, 60).routing_cost  # doctest: +SKIP
@@ -350,9 +507,18 @@ def open_session(
             raise ExperimentError(
                 "pass either network= or spec/kwargs to open_session, not both"
             )
-        return Session(network, record_series=record_series)
+        return Session(
+            network,
+            record_series=record_series,
+            checkpoint_every=checkpoint_every,
+        )
     from repro.net.registry import coerce_network_spec
 
     resolved = coerce_network_spec(spec, **kwargs)
     built = build_network(resolved, trace=trace, demand=demand)
-    return Session(built, spec=resolved, record_series=record_series)
+    return Session(
+        built,
+        spec=resolved,
+        record_series=record_series,
+        checkpoint_every=checkpoint_every,
+    )

@@ -1,0 +1,107 @@
+"""Bounded retry with deterministic exponential backoff.
+
+One small policy object shared by every retry site in the repository (the
+pool's serial and process paths, and any caller wrapping a flaky external
+step).  Delays are deterministic — ``base * factor**attempt``, capped —
+because reproducibility is the house rule: a retried campaign must behave
+identically run to run, so there is no jitter by default.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro.errors import ReliabilityError
+
+__all__ = ["RetryPolicy", "backoff_delays", "call_with_retries"]
+
+R = TypeVar("R")
+
+
+def backoff_delays(
+    retries: int,
+    *,
+    base: float = 0.05,
+    factor: float = 2.0,
+    cap: float = 2.0,
+) -> list[float]:
+    """The sleep schedule for ``retries`` re-attempts: [base, base*factor, ...].
+
+    Deterministic and capped; ``retries=0`` returns an empty schedule.
+    """
+    if retries < 0:
+        raise ReliabilityError(f"retries must be >= 0, got {retries}")
+    return [min(cap, base * factor**i) for i in range(retries)]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to re-attempt a failed task, and how fast.
+
+    Attributes
+    ----------
+    retries:
+        Re-attempts after the first try (``0`` = fail fast, the default).
+    base, factor, cap:
+        Exponential-backoff schedule parameters (seconds); see
+        :func:`backoff_delays`.
+    retry_on:
+        Exception classes considered transient.  Anything else fails
+        immediately regardless of budget.  Default: every ``Exception``.
+    """
+
+    retries: int = 0
+    base: float = 0.05
+    factor: float = 2.0
+    cap: float = 2.0
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,)
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ReliabilityError(f"retries must be >= 0, got {self.retries}")
+        if self.base < 0 or self.factor < 1 or self.cap < 0:
+            raise ReliabilityError(
+                "backoff needs base >= 0, factor >= 1, cap >= 0; got "
+                f"base={self.base}, factor={self.factor}, cap={self.cap}"
+            )
+
+    def delays(self) -> list[float]:
+        """The full deterministic sleep schedule for this policy."""
+        return backoff_delays(
+            self.retries, base=self.base, factor=self.factor, cap=self.cap
+        )
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before re-attempt number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ReliabilityError(f"attempt is 1-based, got {attempt}")
+        return min(self.cap, self.base * self.factor ** (attempt - 1))
+
+    def is_transient(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.retry_on)
+
+
+def call_with_retries(
+    fn: Callable[[], R],
+    policy: RetryPolicy,
+    *,
+    sleep: Optional[Callable[[float], None]] = None,
+) -> R:
+    """Run ``fn`` under ``policy``; re-raise the last failure when spent.
+
+    ``sleep`` is injectable for tests (default: :func:`time.sleep`).
+    """
+    do_sleep = time.sleep if sleep is None else sleep
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except policy.retry_on:
+            attempt += 1
+            if attempt > policy.retries:
+                raise
+            delay = policy.delay(attempt)
+            if delay > 0:
+                do_sleep(delay)

@@ -19,7 +19,9 @@ one place instead of three divergent code paths:
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, TypeVar
 
 from repro.analysis.distance import total_distance_via_potentials
@@ -28,7 +30,12 @@ from repro.core.centroid import build_centroid_tree
 from repro.errors import ExperimentError
 from repro.network.cost import CostModel, ROUTING_ONLY, UNIT_ROTATIONS
 from repro.optimal.uniform import optimal_uniform_cost
-from repro.parallel.pool import ParallelConfig, parallel_map
+from repro.parallel.pool import (
+    ParallelConfig,
+    _call_item,
+    parallel_map,
+    parallel_map_outcomes,
+)
 from repro.parallel.tasks import (
     evict_trace,
     run_simulation_task,
@@ -153,20 +160,28 @@ def run_specs(
     traces: Optional[Mapping[tuple[str, int, int, int], Trace]] = None,
     cache: Optional[Any] = None,
     refresh: bool = False,
+    resume: bool = False,
 ) -> list[ScenarioResult]:
     """Run a spec list through the core; results come back in spec order.
 
     Parameters
     ----------
     jobs, config:
-        Worker processes (see :func:`run_cells`).
+        Worker processes (see :func:`run_cells`).  The config's
+        reliability knobs apply on every path: ``retries``/``backoff``
+        re-attempt transiently failing cells (serial and pooled),
+        ``task_timeout``/``pool_respawns`` bound stuck and killed workers
+        (pooled), and ``on_error="collect"`` turns per-cell failures into
+        skipped cells — a warning per failure, the campaign completes,
+        and the returned list holds the cells that succeeded (still in
+        spec order).  The default remains fail-fast.
     sink:
         Optional result sink (anything with ``write(result)``, e.g.
-        :class:`repro.scenarios.sink.JsonlResultSink`).  Serial runs
-        stream each result to the sink the moment its cell finishes (a
-        killed campaign keeps every completed cell on disk); pooled runs
-        write the ordered batch when the pool completes.  Cache hits are
-        written too, so the sink file stays a complete campaign record.
+        :class:`repro.scenarios.sink.JsonlResultSink`).  Every completed
+        cell streams to the sink the moment it finishes — serially in
+        spec order, pooled in completion order — so a killed campaign
+        keeps every finished cell on disk.  Cache hits are written too,
+        so the sink file stays a complete campaign record.
     traces:
         Optional pre-built traces keyed by ``(workload, n, m, seed)``,
         pre-seeded into the in-process trace memo — for callers holding a
@@ -183,12 +198,22 @@ def run_specs(
     refresh:
         With a cache, recompute every cell and overwrite its entry
         (stale-cache escape hatch).
+    resume:
+        Crash-safe campaign resume: seed completed cells from the sink's
+        existing JSONL record (tolerant of a truncated tail — see
+        :func:`repro.scenarios.sink.read_results_jsonl`) and run only the
+        remainder.  Requires a path-backed, append-mode sink; resumed
+        cells are returned in place but **not** re-written to the file,
+        so the record stays deduplicated.  Combined with the result
+        cache, a re-run after any interruption recomputes only cells
+        that genuinely never finished.
     """
     from repro.scenarios.cache import resolve_result_cache
 
     specs = list(specs)
     seeded: list[tuple[str, int, int, int]] = []
     serial = config.resolved_jobs() == 1 if config is not None else jobs == 1
+    on_error = config.on_error if config is not None else "raise"
     resolved_cache = resolve_result_cache(cache)
     pinned_keys: frozenset = frozenset(traces or ())
     if traces:
@@ -216,10 +241,19 @@ def run_specs(
             resolved_cache.store(result)
         return result
 
+    # -- resume: seed completed cells from the sink's on-disk record ----
+    resumed: dict[int, ScenarioResult] = {}
+    if resume:
+        resumed = _seed_resume(specs, sink)
+        for index, result in resumed.items():
+            # Re-store into the result cache so the *next* interruption
+            # recovers these cells even without the JSONL record.
+            finish(specs[index], result)
+
     hits: dict[int, ScenarioResult] = {}
     if resolved_cache is not None and not refresh:
         for index, cell in enumerate(specs):
-            if not cacheable(cell):
+            if index in resumed or not cacheable(cell):
                 continue
             hit = resolved_cache.lookup(cell)
             if hit is not None:
@@ -229,38 +263,130 @@ def run_specs(
             # True streaming: each cell hits the sink and the result
             # cache the moment it completes, so a killed campaign keeps
             # (and a resumed one skips) every finished cell.  Failures
-            # are wrapped exactly as the pooled path wraps them.
+            # are wrapped exactly as the pooled path wraps them; with
+            # ``on_error="collect"`` they become skipped cells instead.
+            retry = (config or ParallelConfig()).retry_policy()
             results = []
             for index, cell in enumerate(specs):
-                if index in hits:
-                    result = hits[index]
+                fresh = False
+                if index in resumed:
+                    result = resumed[index]
+                elif index in hits:
+                    result, fresh = hits[index], True
                 else:
-                    try:
-                        result = finish(cell, run_scenario(cell))
-                    except Exception as exc:  # noqa: BLE001 - mirror pool policy
-                        raise ExperimentError(
-                            f"task {index} failed on item {cell!r}: {exc}"
-                        ) from exc
-                if sink is not None:
+                    result, fresh = _run_one_serial(
+                        index, cell, retry, on_error, finish
+                    )
+                    if result is None:
+                        continue
+                if sink is not None and fresh:
                     sink.write(result)
                 results.append(result)
             return results
         pending = [
-            (index, cell) for index, cell in enumerate(specs) if index not in hits
+            (index, cell)
+            for index, cell in enumerate(specs)
+            if index not in hits and index not in resumed
         ]
-        computed = run_cells(
-            run_scenario, [cell for _, cell in pending], jobs=jobs, config=config
-        )
         merged: list[Optional[ScenarioResult]] = [None] * len(specs)
         for index, hit in hits.items():
             merged[index] = hit
-        for (index, cell), result in zip(pending, computed):
-            merged[index] = finish(cell, result)
+            if sink is not None:
+                sink.write(hit)
+        for index, prior in resumed.items():
+            merged[index] = prior
+
+        def stream(outcome) -> None:
+            # Runs in the parent as each pooled cell completes: cache
+            # store + sink write immediately, so an abort later in the
+            # campaign cannot lose this cell.
+            if not outcome.ok:
+                warnings.warn(
+                    f"cell {pending[outcome.index][1]!r} failed after"
+                    f" {outcome.attempts} attempt(s): {outcome.error}",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return
+            spec_index, cell = pending[outcome.index]
+            result = finish(cell, outcome.value)
+            merged[spec_index] = result
+            if sink is not None:
+                sink.write(result)
+
+        parallel_map_outcomes(
+            run_scenario,
+            [cell for _, cell in pending],
+            config=config,
+            jobs=None if config else jobs,
+            on_outcome=stream,
+        )
         results = [result for result in merged if result is not None]
     finally:
         for key in seeded:
             evict_trace(key)
-    if sink is not None:
-        for result in results:
-            sink.write(result)
     return results
+
+
+def _seed_resume(
+    specs: Sequence[ScenarioSpec], sink: Optional[Any]
+) -> dict[int, ScenarioResult]:
+    """Map spec indices to results recovered from the sink's JSONL file."""
+    from collections import deque
+
+    from repro.scenarios.sink import read_results_jsonl
+
+    path = getattr(sink, "path", None)
+    if path is None:
+        raise ExperimentError(
+            "resume=True needs a path-backed sink (e.g. JsonlResultSink)"
+            " so completed cells can be recovered from its file"
+        )
+    if getattr(sink, "overwrite", False):
+        raise ExperimentError(
+            "resume=True with an overwrite sink would discard the very"
+            " record it resumes from; use append mode"
+        )
+    resumed: dict[int, ScenarioResult] = {}
+    path = Path(path)
+    if not path.exists():
+        return resumed
+    prior: dict[str, Any] = {}
+    for result in read_results_jsonl(path):
+        prior.setdefault(result.spec.to_json(), deque()).append(result)
+    for index, cell in enumerate(specs):
+        bucket = prior.get(cell.to_json())
+        if bucket:
+            resumed[index] = bucket.popleft()
+    return resumed
+
+
+def _run_one_serial(
+    index: int,
+    cell: ScenarioSpec,
+    retry,
+    on_error: str,
+    finish,
+) -> tuple[Optional[ScenarioResult], bool]:
+    """One serial cell under the retry/error policy; ``None`` = skipped."""
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return finish(cell, _call_item(run_scenario, cell)), True
+        except Exception as exc:  # noqa: BLE001 - policy decides
+            if attempts <= retry.retries and retry.is_transient(exc):
+                delay = retry.delay(attempts)
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            if on_error == "raise":
+                raise ExperimentError(
+                    f"task {index} failed on item {cell!r}: {exc}"
+                ) from exc
+            warnings.warn(
+                f"cell {cell!r} failed after {attempts} attempt(s): {exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None, False

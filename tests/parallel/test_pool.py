@@ -134,6 +134,105 @@ class TestStarmap:
         assert parallel_starmap(add, pairs, jobs=2) == [a + b for a, b in pairs]
 
 
+def flaky_until_marker(item) -> int:
+    """Fail until a marker file exists (created on the first attempt).
+
+    File-backed state survives process boundaries, so the pooled retry
+    path genuinely re-dispatches and succeeds on the second attempt.
+    """
+    marker, value = item
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return value
+    os.close(fd)
+    raise ValueError(f"first attempt on {value} always fails")
+
+
+class TestCollectOutcomes:
+    """on_error='collect' contracts: ordering, payloads, streaming."""
+
+    def test_outcomes_come_back_in_submission_order(self):
+        config = ParallelConfig(jobs=2, on_error="collect")
+        items = list(range(20, 0, -1))
+        outcomes = parallel_map_outcomes(fail_on_three, items, config=config)
+        assert [o.index for o in outcomes] == list(range(len(items)))
+        assert [o.value for o in outcomes if o.ok] == [
+            x for x in items if x != 3
+        ]
+
+    def test_error_payload_carries_the_original_exception(self):
+        config = ParallelConfig(jobs=2, on_error="collect")
+        outcomes = parallel_map_outcomes(
+            fail_on_three, [3, 1, 2], config=config
+        )
+        failed = outcomes[0]
+        assert not failed.ok
+        assert failed.index == 0
+        assert failed.value is None
+        assert isinstance(failed.error, ValueError)
+        assert "three is right out" in str(failed.error)
+        assert failed.attempts == 1
+
+    def test_serial_and_pooled_collect_agree(self):
+        items = [1, 3, 4, 3, 5]
+        serial = parallel_map_outcomes(
+            fail_on_three, items, config=ParallelConfig(on_error="collect")
+        )
+        pooled = parallel_map_outcomes(
+            fail_on_three,
+            items,
+            config=ParallelConfig(jobs=2, on_error="collect"),
+        )
+        assert [(o.index, o.ok, o.value) for o in serial] == [
+            (o.index, o.ok, o.value) for o in pooled
+        ]
+
+    def test_on_outcome_streams_each_terminal_outcome_once(self):
+        streamed = []
+        config = ParallelConfig(jobs=2, on_error="collect")
+        outcomes = parallel_map_outcomes(
+            fail_on_three,
+            [1, 3, 4, 5],
+            config=config,
+            on_outcome=streamed.append,
+        )
+        # Streaming happens in completion order; same terminal outcomes.
+        assert sorted(o.index for o in streamed) == [0, 1, 2, 3]
+        assert {(o.index, o.ok) for o in streamed} == {
+            (o.index, o.ok) for o in outcomes
+        }
+
+    def test_on_outcome_serial_is_submission_ordered(self):
+        streamed = []
+        parallel_map_outcomes(
+            fail_on_three,
+            [1, 3, 4],
+            config=ParallelConfig(on_error="collect"),
+            on_outcome=streamed.append,
+        )
+        assert [o.index for o in streamed] == [0, 1, 2]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_retries_recover_and_count_attempts(self, jobs, tmp_path):
+        items = [(str(tmp_path / f"marker-{i}"), i) for i in range(4)]
+        config = ParallelConfig(
+            jobs=jobs, on_error="collect", retries=1, backoff=0.0
+        )
+        outcomes = parallel_map_outcomes(
+            flaky_until_marker, items, config=config
+        )
+        assert [o.ok for o in outcomes] == [True] * 4
+        assert [o.value for o in outcomes] == [0, 1, 2, 3]
+        assert [o.attempts for o in outcomes] == [2, 2, 2, 2]
+
+    def test_retries_exhausted_keeps_the_last_error(self):
+        config = ParallelConfig(on_error="collect", retries=2, backoff=0.0)
+        outcomes = parallel_map_outcomes(fail_on_three, [3], config=config)
+        assert not outcomes[0].ok
+        assert outcomes[0].attempts == 3  # first try + two retries
+
+
 class TestConfigValidation:
     def test_bad_chunk_size(self):
         with pytest.raises(ExperimentError):

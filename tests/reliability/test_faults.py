@@ -1,0 +1,250 @@
+"""The fault-injection harness itself: plans, counters, ledger, retry."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import FaultInjected, ReliabilityError, ReproError
+from repro.reliability import (
+    FAULTS_ENV,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    active_fault_plan,
+    backoff_delays,
+    call_with_retries,
+    clear_fault_plan,
+    fire_fault,
+    inject_faults,
+    install_fault_plan,
+)
+
+
+class TestFaultSpec:
+    def test_defaults_fire_first_invocation_only(self):
+        spec = FaultSpec("pool.task")
+        assert spec.mode == "error"
+        assert spec.at == (1,)
+        assert spec.match == ""
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ReliabilityError, match="unknown fault mode"):
+            FaultSpec("pool.task", mode="explode")
+
+    def test_rejects_zero_based_indices(self):
+        with pytest.raises(ReliabilityError, match="1-based"):
+            FaultSpec("pool.task", at=(0,))
+
+    def test_rejects_empty_point(self):
+        with pytest.raises(ReliabilityError):
+            FaultSpec("")
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec("sink.write", mode="truncate", at=(2, 5), match="seed")
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ReliabilityError, match="unknown FaultSpec fields"):
+            FaultSpec.from_dict({"point": "x", "when": 3})
+
+    def test_errors_are_repro_errors(self):
+        assert issubclass(ReliabilityError, ReproError)
+        assert issubclass(FaultInjected, ReliabilityError)
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec("pool.task", mode="kill", at=(3,)),
+                FaultSpec("sink.write", mode="truncate"),
+            ),
+            ledger=str(tmp_path / "ledger"),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_env_round_trip_inline_json(self):
+        plan = FaultPlan(specs=(FaultSpec("native.load", mode="corrupt"),))
+        assert FaultPlan.from_env(plan.to_env()) == plan
+
+    def test_env_at_path_indirection(self, tmp_path):
+        plan = FaultPlan(specs=(FaultSpec("pool.task"),))
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        assert FaultPlan.from_env(f"@{path}") == plan
+
+    def test_from_json_rejects_non_object(self):
+        with pytest.raises(ReliabilityError):
+            FaultPlan.from_json("[1, 2]")
+
+    def test_for_point_filters(self):
+        plan = FaultPlan(
+            specs=(FaultSpec("a.b"), FaultSpec("c.d"), FaultSpec("a.b", at=(2,)))
+        )
+        assert len(plan.for_point("a.b")) == 2
+        assert plan.for_point("nope") == ()
+
+
+class TestFiring:
+    def test_no_plan_is_a_no_op(self):
+        assert active_fault_plan() is None
+        assert fire_fault("pool.task", context="anything") is None
+
+    def test_error_mode_raises_at_the_named_invocation(self):
+        plan = FaultPlan(specs=(FaultSpec("pool.task", at=(2,)),))
+        with inject_faults(plan):
+            assert fire_fault("pool.task") is None  # invocation 1
+            with pytest.raises(FaultInjected, match="invocation 2"):
+                fire_fault("pool.task")  # invocation 2
+            assert fire_fault("pool.task") is None  # invocation 3
+
+    def test_non_error_modes_return_the_spec_for_the_site(self):
+        plan = FaultPlan(specs=(FaultSpec("sink.write", mode="truncate"),))
+        with inject_faults(plan):
+            fired = fire_fault("sink.write")
+            assert fired is not None and fired.mode == "truncate"
+            assert fire_fault("sink.write") is None
+
+    def test_match_narrows_to_context(self):
+        plan = FaultPlan(specs=(FaultSpec("pool.task", match="seed=3"),))
+        with inject_faults(plan):
+            # Non-matching contexts do not even count as invocations.
+            assert fire_fault("pool.task", context="seed=1") is None
+            assert fire_fault("pool.task", context="seed=2") is None
+            with pytest.raises(FaultInjected):
+                fire_fault("pool.task", context="cell seed=3 of 9")
+
+    def test_points_count_independently(self):
+        plan = FaultPlan(
+            specs=(FaultSpec("a.b", at=(1,)), FaultSpec("c.d", at=(1,)))
+        )
+        with inject_faults(plan):
+            with pytest.raises(FaultInjected):
+                fire_fault("a.b")
+            with pytest.raises(FaultInjected):
+                fire_fault("c.d")
+
+    def test_install_resets_counters(self):
+        plan = FaultPlan(specs=(FaultSpec("a.b", at=(1,)),))
+        install_fault_plan(plan)
+        with pytest.raises(FaultInjected):
+            fire_fault("a.b")
+        install_fault_plan(plan)
+        with pytest.raises(FaultInjected):
+            fire_fault("a.b")
+        clear_fault_plan()
+
+    def test_context_manager_deactivates_on_exit(self):
+        with inject_faults(FaultPlan(specs=(FaultSpec("a.b"),))):
+            pass
+        assert active_fault_plan() is None
+        assert fire_fault("a.b") is None
+
+    def test_plan_adopted_from_environment(self):
+        plan = FaultPlan(specs=(FaultSpec("pool.task", at=(1,)),))
+        os.environ[FAULTS_ENV] = plan.to_env()
+        clear_fault_plan()  # forget, so the env is (re)examined
+        try:
+            assert active_fault_plan() == plan
+            with pytest.raises(FaultInjected):
+                fire_fault("pool.task")
+        finally:
+            del os.environ[FAULTS_ENV]
+            clear_fault_plan()
+
+
+class TestLedger:
+    def test_ledger_counts_survive_counter_reset(self, tmp_path):
+        """The file-backed ledger is what keeps a killed worker killed once.
+
+        Re-installing the plan wipes in-process counters — the stand-in
+        for a freshly respawned worker process — yet the invocation index
+        keeps advancing because claims live on disk.
+        """
+        plan = FaultPlan(
+            specs=(FaultSpec("pool.task", at=(1,)),),
+            ledger=str(tmp_path / "ledger"),
+        )
+        install_fault_plan(plan)
+        with pytest.raises(FaultInjected):
+            fire_fault("pool.task")
+        install_fault_plan(plan)  # "new process": counters gone, ledger not
+        assert fire_fault("pool.task") is None  # index 2: does not re-fire
+        clear_fault_plan()
+
+    def test_ledger_markers_are_per_point_and_match(self, tmp_path):
+        ledger = tmp_path / "ledger"
+        plan = FaultPlan(
+            specs=(FaultSpec("a.b", at=(2,)), FaultSpec("c.d", at=(1,))),
+            ledger=str(ledger),
+        )
+        with inject_faults(plan):
+            assert fire_fault("a.b") is None
+            with pytest.raises(FaultInjected):
+                fire_fault("c.d")
+            with pytest.raises(FaultInjected):
+                fire_fault("a.b")
+        names = sorted(p.name for p in ledger.iterdir())
+        assert names == ["a.b..1", "a.b..2", "c.d..1"]
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_is_deterministic_and_capped(self):
+        assert backoff_delays(0) == []
+        assert backoff_delays(3, base=0.1, factor=2.0, cap=0.3) == [
+            0.1,
+            0.2,
+            0.3,
+        ]
+
+    def test_backoff_rejects_negative_retries(self):
+        with pytest.raises(ReliabilityError):
+            backoff_delays(-1)
+
+    def test_policy_delay_matches_schedule(self):
+        policy = RetryPolicy(retries=3, base=0.05, factor=2.0, cap=2.0)
+        assert policy.delays() == [policy.delay(i) for i in (1, 2, 3)]
+
+    def test_policy_validation(self):
+        with pytest.raises(ReliabilityError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ReliabilityError):
+            RetryPolicy(factor=0.5)
+
+    def test_is_transient_respects_retry_on(self):
+        policy = RetryPolicy(retries=1, retry_on=(ValueError,))
+        assert policy.is_transient(ValueError("x"))
+        assert not policy.is_transient(KeyError("x"))
+
+    def test_call_with_retries_recovers_then_gives_up(self):
+        calls = {"n": 0}
+        sleeps: list[float] = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ValueError("transient")
+            return "ok"
+
+        policy = RetryPolicy(retries=2, base=0.01)
+        assert call_with_retries(flaky, policy, sleep=sleeps.append) == "ok"
+        assert calls["n"] == 3
+        assert sleeps == policy.delays()[:2]
+
+        calls["n"] = -10  # now needs 13 attempts; budget allows 3
+        with pytest.raises(ValueError):
+            call_with_retries(flaky, policy, sleep=sleeps.append)
+
+    def test_call_with_retries_non_transient_fails_fast(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise KeyError("permanent")
+
+        policy = RetryPolicy(retries=5, retry_on=(ValueError,))
+        with pytest.raises(KeyError):
+            call_with_retries(broken, policy, sleep=lambda _: None)
+        assert calls["n"] == 1
