@@ -64,6 +64,7 @@ from repro.datastructures import (
 )
 from repro.errors import FaultInjected, ReliabilityError, ReproError
 from repro.net import (
+    LatencyStats,
     NetworkSpec,
     PolicySpec,
     Session,
@@ -74,6 +75,12 @@ from repro.net import (
     open_session,
     register_network,
     register_policy,
+)
+from repro.serving import (
+    FarmMetrics,
+    ServeFarm,
+    ShardRouter,
+    shard_for_key,
 )
 from repro.parallel import (
     ParallelConfig,
@@ -140,8 +147,14 @@ __all__ = [
     "Session",
     "SessionMetrics",
     "SessionSnapshot",
+    "LatencyStats",
     "best_available_engine",
     "native_available",
+    # sharded serving (the serve farm)
+    "ServeFarm",
+    "FarmMetrics",
+    "ShardRouter",
+    "shard_for_key",
     # core self-adjusting networks
     "KArySplayNet",
     "CentroidSplayNet",

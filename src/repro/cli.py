@@ -16,6 +16,10 @@ Subcommands:
 * ``bench-pipeline`` — end-to-end ``run_all`` time per engine
 * ``bench-optimal`` — optimal-tree DP subsystem vs. the legacy forward
   pass, plus the result-cache cold/warm trajectory
+* ``bench-servefarm`` — resident vs. marshalled vs. flat scalar serving,
+  plus serve-farm shard scaling (aggregate req/s, p50/p99 latency)
+* ``bench-report`` — render ``benchmarks/results/BENCH_*.json`` into a
+  markdown perf-trajectory table
 
 Every command is a thin shell over the public API, so anything done here
 can be scripted directly in Python; run with ``-h`` for per-command flags.
@@ -320,6 +324,54 @@ def _cmd_bench_optimal(args: argparse.Namespace) -> int:
     if failed:
         print("error: DP subsystem diverged from its oracle", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_bench_servefarm(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.servebench import (
+        servefarm_benchmark,
+        write_servefarm_record,
+    )
+
+    record = servefarm_benchmark(
+        n=args.nodes,
+        k=args.k,
+        scalar_m=args.scalar_requests,
+        farm_m=args.farm_requests,
+        zipf_alpha=args.zipf_alpha,
+        seed=args.seed,
+        repeats=args.repeats,
+        scalar_modes=args.modes,
+        shard_counts=tuple(args.shards),
+        keys=args.keys,
+        window=args.window,
+    )
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if args.output:
+        write_servefarm_record(record, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    failed = (
+        record["scalar"].get("totals_match") is False
+        or record["farm"].get("totals_match") is False
+    )
+    if failed:
+        print("error: serving-mode cost totals diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    from repro.experiments.trajectory import render_trajectory
+
+    text = render_trajectory(args.results_dir)
+    print(text, end="")
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text)
+        print(f"wrote {args.output}", file=sys.stderr)
     return 0
 
 
@@ -638,6 +690,54 @@ def build_parser() -> argparse.ArgumentParser:
     bencho.add_argument("--quiet", action="store_true")
     bencho.add_argument("--output", default=None, help="also write JSON here")
     bencho.set_defaults(func=_cmd_bench_optimal)
+
+    benchs = sub.add_parser(
+        "bench-servefarm",
+        help="resident scalar serving + serve-farm shard scaling (JSON)",
+    )
+    benchs.add_argument("-n", "--nodes", type=int, default=1024)
+    benchs.add_argument("-k", type=int, default=4, help="tree arity")
+    benchs.add_argument(
+        "--scalar-requests", type=int, default=2_000,
+        help="requests per scalar serving mode (0 skips the scalar part)",
+    )
+    benchs.add_argument(
+        "--farm-requests", type=int, default=100_000,
+        help="requests through the farm per shard count (0 skips)",
+    )
+    benchs.add_argument("--zipf-alpha", type=float, default=1.2)
+    benchs.add_argument("--seed", type=int, default=0)
+    benchs.add_argument(
+        "--repeats", type=int, default=1,
+        help="interleaved timing repeats (best kept)",
+    )
+    benchs.add_argument(
+        "--modes", nargs="+", choices=("resident", "marshalled", "flat"),
+        default=None,
+        help="scalar mode subset (default: every mode measurable here)",
+    )
+    benchs.add_argument(
+        "--shards", type=int, nargs="+", default=(1, 2),
+        help="farm shard counts to measure",
+    )
+    benchs.add_argument("--keys", type=int, default=8, help="session keys")
+    benchs.add_argument(
+        "--window", type=int, default=8_192,
+        help="requests per farm dispatch window",
+    )
+    benchs.add_argument("--output", default=None, help="also write JSON here")
+    benchs.set_defaults(func=_cmd_bench_servefarm)
+
+    benchr = sub.add_parser(
+        "bench-report",
+        help="markdown perf-trajectory table over recorded BENCH_*.json",
+    )
+    benchr.add_argument(
+        "--results-dir", default=None,
+        help="directory of BENCH_*.json records (default benchmarks/results)",
+    )
+    benchr.add_argument("-o", "--output", default=None, help="write here")
+    benchr.set_defaults(func=_cmd_bench_report)
     return parser
 
 

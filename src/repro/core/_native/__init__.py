@@ -53,8 +53,9 @@ __all__ = [
 MAX_NATIVE_K = 40
 
 #: Expected ``repro_kernel_abi()`` value; stale cached shared objects that
-#: report a different version are rebuilt.
-_ABI_VERSION = 1
+#: report a different version are rebuilt.  Version 2 added the
+#: resident-tree handle API.
+_ABI_VERSION = 2
 
 _COMPILERS = ("cc", "gcc", "clang")
 _CFLAGS = ("-O3", "-fPIC", "-shared", "-fvisibility=default")
@@ -160,6 +161,57 @@ def _configure(lib: ctypes.CDLL) -> ctypes.CDLL:
         ctypes.c_void_p,  # rotation_series (nullable)
         ctypes.c_void_p,  # totals
     )
+    # -- resident-tree handle API (ABI v2) ---------------------------------
+    fn = lib.repro_tree_create
+    fn.restype = ctypes.c_void_p
+    fn.argtypes = (ctypes.c_int64, ctypes.c_int64)  # n, k
+    fn = lib.repro_tree_load
+    fn.restype = None
+    fn.argtypes = (
+        ctypes.c_void_p,  # handle
+        ctypes.c_int64,  # root
+        ctypes.c_void_p,  # parent
+        ctypes.c_void_p,  # pslot
+        ctypes.c_void_p,  # children
+        ctypes.c_void_p,  # routing
+    )
+    fn = lib.repro_tree_sync_out
+    fn.restype = None
+    fn.argtypes = (
+        ctypes.c_void_p,  # handle
+        ctypes.c_void_p,  # root_out
+        ctypes.c_void_p,  # parent
+        ctypes.c_void_p,  # pslot
+        ctypes.c_void_p,  # children
+        ctypes.c_void_p,  # routing
+    )
+    fn = lib.repro_tree_root
+    fn.restype = ctypes.c_int64
+    fn.argtypes = (ctypes.c_void_p,)
+    fn = lib.repro_tree_serve_batch
+    fn.restype = ctypes.c_int64
+    fn.argtypes = (
+        ctypes.c_void_p,  # handle
+        ctypes.c_void_p,  # sources
+        ctypes.c_void_p,  # targets
+        ctypes.c_int64,  # m
+        ctypes.c_int64,  # policy
+        ctypes.c_void_p,  # routing_series (nullable)
+        ctypes.c_void_p,  # rotation_series (nullable)
+        ctypes.c_void_p,  # totals
+    )
+    fn = lib.repro_tree_serve_one
+    fn.restype = ctypes.c_int64
+    fn.argtypes = (
+        ctypes.c_void_p,  # handle
+        ctypes.c_int64,  # u
+        ctypes.c_int64,  # v
+        ctypes.c_int64,  # policy
+        ctypes.c_void_p,  # totals
+    )
+    fn = lib.repro_tree_destroy
+    fn.restype = None
+    fn.argtypes = (ctypes.c_void_p,)
     return lib
 
 

@@ -24,6 +24,7 @@
  */
 
 #include <stdint.h>
+#include <stdlib.h>
 #include <string.h>
 
 /* Mirror of repro.core.keyspace.MAX_K: the separator-value discipline
@@ -33,8 +34,10 @@
 
 /* Bumped whenever the entry-point signature or semantics change; the
  * Python loader refuses stale cached shared objects that report a
- * different version. */
-#define RK_ABI_VERSION 1
+ * different version.  Version 2 added the resident-tree handle API
+ * (repro_tree_create / load / serve_batch / serve_one / sync_out /
+ * destroy). */
+#define RK_ABI_VERSION 2
 
 int64_t repro_kernel_abi(void) { return RK_ABI_VERSION; }
 
@@ -734,39 +737,19 @@ static int64_t rk_splay(rk_ctx *c, int64_t z, int64_t y, int64_t x)
     return grand;
 }
 
-/* Serve a whole request batch over the flat arrays.
- *
- * Mirrors FlatTree.serve_many (depth == 2 discipline).  root_io and
- * epoch_io are one-element in/out buffers; totals is a three-element out
- * buffer (routing, rotations, links); routing_series / rotation_series
- * are optional length-m out buffers (both NULL or both set).
- *
- * Returns 0 on success, 1 when the arity is outside the supported range
- * (the caller then falls back to the Python engine). */
-int64_t repro_serve_batch(int64_t n, int64_t k, int64_t *root_io,
-                          int64_t *parent, int64_t *pslot, int64_t *children,
-                          double *routing, int64_t *visit, int64_t *vdepth,
-                          int64_t *epoch_io, const int64_t *sources,
-                          const int64_t *targets, int64_t m, int64_t policy,
-                          int64_t *routing_series, int64_t *rotation_series,
-                          int64_t *totals)
+/* The per-request serve loop shared by the marshalled batch entry and
+ * the resident-tree handle API.  ``c`` must be fully initialized (arity,
+ * policy flags, buffers, root); epoch_io is a one-element in/out buffer;
+ * totals is a three-element out buffer (routing, rotations, links);
+ * routing_series / rotation_series are optional length-m out buffers
+ * (both NULL or both set). */
+static void rk_serve_requests(rk_ctx *c, int64_t *visit, int64_t *vdepth,
+                              int64_t *epoch_io, const int64_t *sources,
+                              const int64_t *targets, int64_t m,
+                              int64_t *routing_series,
+                              int64_t *rotation_series, int64_t *totals)
 {
-    (void)n;
-    if (k < 2 || k > RK_MAX_K)
-        return 1;
-    rk_ctx c;
-    c.k = k;
-    c.km1 = k - 1;
-    c.km2 = 2 * (k - 1);
-    c.half = (k - 1) / 2;
-    c.pol_center = (policy == 0);
-    c.pol_left = (policy == 1);
-    c.parent = parent;
-    c.pslot = pslot;
-    c.children = children;
-    c.routing = routing;
-    c.root = *root_io;
-    c.lk = 0;
+    int64_t *parent = c->parent;
     int64_t epoch = *epoch_io;
     int64_t total_r = 0, total_rot = 0, total_l = 0;
     const int rec = (routing_series != NULL);
@@ -807,7 +790,7 @@ int64_t repro_serve_batch(int64_t n, int64_t k, int64_t *root_io,
         const int64_t req_routing = vdepth[node] + dv;
         total_r += req_routing;
         int64_t rot = 0;
-        c.lk = 0;
+        c->lk = 0;
         /* --- splay u into the LCA's position, then v below u --------- */
         int64_t climb, stop;
         int final;
@@ -830,9 +813,9 @@ int64_t repro_serve_batch(int64_t n, int64_t k, int64_t *root_io,
                 const int64_t g = parent[p];
                 rot++;
                 if (g == stop || g == 0)
-                    p = rk_semi(&c, climb, p, g);
+                    p = rk_semi(c, climb, p, g);
                 else
-                    p = rk_splay(&c, climb, p, g);
+                    p = rk_splay(c, climb, p, g);
             }
             if (final)
                 break;
@@ -841,17 +824,188 @@ int64_t repro_serve_batch(int64_t n, int64_t k, int64_t *root_io,
             final = 1;
         }
         total_rot += rot;
-        total_l += c.lk;
+        total_l += c->lk;
         if (rec) {
             routing_series[i] = req_routing;
             rotation_series[i] = rot;
         }
     }
 
-    *root_io = c.root;
     *epoch_io = epoch;
     totals[0] = total_r;
     totals[1] = total_rot;
     totals[2] = total_l;
+}
+
+/* Populate an rk_ctx from raw buffers; returns 0 when the arity is
+ * outside the kernel's static scratch. */
+static int rk_ctx_init(rk_ctx *c, int64_t k, int64_t policy, int64_t *parent,
+                       int64_t *pslot, int64_t *children, double *routing,
+                       int64_t root)
+{
+    if (k < 2 || k > RK_MAX_K)
+        return 0;
+    c->k = k;
+    c->km1 = k - 1;
+    c->km2 = 2 * (k - 1);
+    c->half = (k - 1) / 2;
+    c->pol_center = (policy == 0);
+    c->pol_left = (policy == 1);
+    c->parent = parent;
+    c->pslot = pslot;
+    c->children = children;
+    c->routing = routing;
+    c->root = root;
+    c->lk = 0;
+    return 1;
+}
+
+/* Serve a whole request batch over caller-owned flat arrays (the
+ * marshalled entry used before the handle API existed; kept for the
+ * marshalled-vs-resident benchmark and as a stateless escape hatch).
+ *
+ * Mirrors FlatTree.serve_many (depth == 2 discipline).  root_io and
+ * epoch_io are one-element in/out buffers; totals is a three-element out
+ * buffer (routing, rotations, links); routing_series / rotation_series
+ * are optional length-m out buffers (both NULL or both set).
+ *
+ * Returns 0 on success, 1 when the arity is outside the supported range
+ * (the caller then falls back to the Python engine). */
+int64_t repro_serve_batch(int64_t n, int64_t k, int64_t *root_io,
+                          int64_t *parent, int64_t *pslot, int64_t *children,
+                          double *routing, int64_t *visit, int64_t *vdepth,
+                          int64_t *epoch_io, const int64_t *sources,
+                          const int64_t *targets, int64_t m, int64_t policy,
+                          int64_t *routing_series, int64_t *rotation_series,
+                          int64_t *totals)
+{
+    (void)n;
+    rk_ctx c;
+    if (!rk_ctx_init(&c, k, policy, parent, pslot, children, routing,
+                     *root_io))
+        return 1;
+    rk_serve_requests(&c, visit, vdepth, epoch_io, sources, targets, m,
+                      routing_series, rotation_series, totals);
+    *root_io = c.root;
     return 0;
+}
+
+/* ====================================================================
+ * Resident-tree handle API (ABI v2).
+ *
+ * repro_tree_create allocates a handle whose int64/double buffers the
+ * kernel owns across calls, so serving costs no per-call marshalling:
+ * the Python side loads the flat state once (repro_tree_load), serves
+ * any mix of batches (repro_tree_serve_batch) and single requests
+ * (repro_tree_serve_one) against the resident buffers, and copies the
+ * state back out only on snapshot/inspection (repro_tree_sync_out).
+ * ==================================================================== */
+
+typedef struct {
+    int64_t n, k, root, epoch;
+    int64_t *parent;   /* one calloc block: parent, pslot, visit,   */
+    int64_t *pslot;    /* vdepth, then the (n+1) x k children rows  */
+    int64_t *visit;
+    int64_t *vdepth;
+    int64_t *children;
+    double *routing;   /* (n+1) x (k-1), separate block */
+} rk_tree;
+
+void *repro_tree_create(int64_t n, int64_t k)
+{
+    if (n < 0 || k < 2 || k > RK_MAX_K)
+        return 0;
+    rk_tree *t = (rk_tree *)malloc(sizeof(rk_tree));
+    if (!t)
+        return 0;
+    const size_t rows = (size_t)(n + 1);
+    t->parent = (int64_t *)calloc(rows * (size_t)(4 + k), sizeof(int64_t));
+    t->routing = (double *)calloc(rows * (size_t)(k - 1), sizeof(double));
+    if (!t->parent || !t->routing) {
+        free(t->parent);
+        free(t->routing);
+        free(t);
+        return 0;
+    }
+    t->pslot = t->parent + rows;
+    t->visit = t->pslot + rows;
+    t->vdepth = t->visit + rows;
+    t->children = t->vdepth + rows;
+    t->n = n;
+    t->k = k;
+    t->root = 0;
+    t->epoch = 0;
+    return t;
+}
+
+/* Copy a marshalled flat state into the resident buffers.  The epoch
+ * counter is *not* reset: stale visit stamps can then never collide with
+ * a fresh walk. */
+void repro_tree_load(void *handle, int64_t root, const int64_t *parent,
+                     const int64_t *pslot, const int64_t *children,
+                     const double *routing)
+{
+    rk_tree *t = (rk_tree *)handle;
+    const size_t rows = (size_t)(t->n + 1);
+    memcpy(t->parent, parent, rows * sizeof(int64_t));
+    memcpy(t->pslot, pslot, rows * sizeof(int64_t));
+    memcpy(t->children, children, rows * (size_t)t->k * sizeof(int64_t));
+    memcpy(t->routing, routing, rows * (size_t)(t->k - 1) * sizeof(double));
+    t->root = root;
+}
+
+/* Copy the resident state back out (the dirty-flag sync target). */
+void repro_tree_sync_out(void *handle, int64_t *root_out, int64_t *parent,
+                         int64_t *pslot, int64_t *children, double *routing)
+{
+    rk_tree *t = (rk_tree *)handle;
+    const size_t rows = (size_t)(t->n + 1);
+    memcpy(parent, t->parent, rows * sizeof(int64_t));
+    memcpy(pslot, t->pslot, rows * sizeof(int64_t));
+    memcpy(children, t->children, rows * (size_t)t->k * sizeof(int64_t));
+    memcpy(routing, t->routing, rows * (size_t)(t->k - 1) * sizeof(double));
+    *root_out = t->root;
+}
+
+int64_t repro_tree_root(void *handle)
+{
+    return ((rk_tree *)handle)->root;
+}
+
+/* Serve a request batch against the resident buffers; same contract as
+ * repro_serve_batch minus the marshalling. */
+int64_t repro_tree_serve_batch(void *handle, const int64_t *sources,
+                               const int64_t *targets, int64_t m,
+                               int64_t policy, int64_t *routing_series,
+                               int64_t *rotation_series, int64_t *totals)
+{
+    rk_tree *t = (rk_tree *)handle;
+    rk_ctx c;
+    if (!rk_ctx_init(&c, t->k, policy, t->parent, t->pslot, t->children,
+                     t->routing, t->root))
+        return 1;
+    rk_serve_requests(&c, t->visit, t->vdepth, &t->epoch, sources, targets,
+                      m, routing_series, rotation_series, totals);
+    t->root = c.root;
+    return 0;
+}
+
+/* Scalar serve: one request, no batch marshalling on either side of the
+ * boundary (the Session.serve hot path). */
+int64_t repro_tree_serve_one(void *handle, int64_t u, int64_t v,
+                             int64_t policy, int64_t *totals)
+{
+    const int64_t src[1] = {u};
+    const int64_t dst[1] = {v};
+    return repro_tree_serve_batch(handle, src, dst, 1, policy, 0, 0, totals);
+}
+
+void repro_tree_destroy(void *handle)
+{
+    rk_tree *t = (rk_tree *)handle;
+    if (!t)
+        return;
+    free(t->parent);
+    free(t->routing);
+    free(t);
 }

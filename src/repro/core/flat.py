@@ -168,6 +168,16 @@ class FlatTree:
                     node.attach_child(nodes[c], slot)
         return KAryTreeNetwork(k, nodes[self.root], validate=validate)
 
+    def _sync_lists(self) -> None:
+        """Hook for engines whose authoritative state lives elsewhere.
+
+        :class:`~repro.core.native.NativeTree` overrides this to copy its
+        C-resident buffers back into the list-backed state before any
+        consumer reads it (snapshot, inspection, cross-engine transfer).
+        For the pure-Python engine the lists *are* the state: no-op.
+        """
+        return None
+
     @classmethod
     def from_flat(cls, other: "FlatTree") -> "FlatTree":
         """An independent deep copy of ``other``'s topology (O(n)).
@@ -177,6 +187,7 @@ class FlatTree:
         :class:`FlatTree` and :class:`~repro.core.native.NativeTree`
         share the list-backed state layout).
         """
+        other._sync_lists()
         twin = cls(other.n, other.k)
         twin.root = other.root
         twin.parent = list(other.parent)

@@ -1,34 +1,40 @@
 """The compiled tree engine: :class:`NativeTree` behind ``engine="native"``.
 
-``NativeTree`` is a :class:`~repro.core.flat.FlatTree` whose batched serve
-loop runs in the C kernel of :mod:`repro.core._native` instead of the
-pure-Python inlined loop.  Everything else — construction, conversion,
-scalar serving, rotations, snapshots, validation — is inherited unchanged,
-so the class stays interchangeable with :class:`FlatTree` everywhere
-(``isinstance`` checks, cross-engine snapshot transfer via
-:meth:`FlatTree.from_flat`, the equivalence suite).
+``NativeTree`` is a :class:`~repro.core.flat.FlatTree` whose serve paths
+run in the C kernel of :mod:`repro.core._native` — and, since ABI v2,
+whose authoritative state lives in a **resident kernel handle** between
+calls.  The state protocol:
 
-The division of labour per :meth:`serve_many` call:
+* The first kernel serve allocates a handle (``repro_tree_create``) and
+  loads the list-backed flat state into it once (``repro_tree_load``).
+  While the handle is *resident*, batches (``repro_tree_serve_batch``)
+  and single requests (``repro_tree_serve_one``) run against the
+  C-owned buffers with zero per-call marshalling — the scalar path costs
+  one ctypes call, not an O(n·k) pack/unpack round trip.
+* Any consumer of the Python list state — snapshot/copy, signature,
+  ``to_tree``, validation, LCA/depth queries, the Python-side rotation
+  entry points, cross-engine transfer via :meth:`FlatTree.from_flat` —
+  triggers :meth:`_sync_lists` first: one ``repro_tree_sync_out`` copies
+  the resident buffers back into the lists (in place, so long-lived
+  aliases stay valid) and clears the resident flag.  The next kernel
+  serve reloads the handle.  This is the dirty-flag sync the equivalence
+  and snapshot suites pin down.
 
-1. *Pack*: the list-backed flat state (``parent``/``pslot``/``child_rows``/
-   ``routing_rows``) is marshalled into contiguous int64/float64 NumPy
-   buffers — O(n·k), negligible against any real batch.
-2. *Serve*: ``repro_serve_batch`` runs the whole batch over those buffers
-   (LCA walk, k-splay / k-semi-splay rotation groups, cost accounting) with
-   zero Python involvement.
-3. *Unpack*: the buffers are converted back to the list layout, and the
-   lazy caches (subtree ranges, self-slot positions) are marked dirty
-   exactly as the Python batch loop leaves them.
+Residency can be disabled (``set_resident(False)`` or
+``REPRO_NATIVE_RESIDENT=0``), which restores the previous marshalled
+behaviour — every call loads and syncs the full state — used by
+``repro bench-servefarm`` to measure the resident win honestly.
 
 Unsupported configurations (deep-splay ``depth != 2``, arity beyond the
 kernel's static scratch, a kernel that failed to load after construction)
-delegate to the inherited pure-Python path, which is structurally
-identical by the engine-equivalence contract.
+sync and delegate to the inherited pure-Python path, which is
+structurally identical by the engine-equivalence contract.
 """
 
 from __future__ import annotations
 
 import ctypes
+import os
 
 import numpy as np
 
@@ -37,26 +43,193 @@ from repro.core.flat import FlatTree
 from repro.core.rotations import BLOCK_POLICIES
 from repro.errors import EngineError, RotationError
 
-__all__ = ["NativeTree"]
+__all__ = ["NativeTree", "resident_enabled", "set_resident"]
 
 #: Block-policy encoding shared with kernel.c.
 _POLICY_CODES = {"center": 0, "left": 1, "right": 2}
 
 
-class NativeTree(FlatTree):
-    """A :class:`FlatTree` whose batched serve loop is the C kernel."""
+def _env_resident() -> bool:
+    return os.environ.get("REPRO_NATIVE_RESIDENT", "").strip().lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
 
-    __slots__ = ("_c_visit", "_c_vdepth", "_c_epoch")
+
+_resident_mode = _env_resident()
+
+
+def resident_enabled() -> bool:
+    """Whether serves keep tree state resident in the kernel handle."""
+    return _resident_mode
+
+
+def set_resident(enabled: bool) -> bool:
+    """Enable/disable residency process-wide; returns the previous mode.
+
+    With residency off every kernel call marshals the full flat state in
+    and back out (the pre-ABI-v2 behaviour) — the comparison baseline of
+    the serve-farm benchmark, and an escape hatch should a resident-state
+    bug ever need ruling out in production.
+    """
+    global _resident_mode
+    previous = _resident_mode
+    _resident_mode = bool(enabled)
+    return previous
+
+
+class NativeTree(FlatTree):
+    """A :class:`FlatTree` served by the C kernel via a resident handle."""
+
+    __slots__ = ("_lib", "_handle", "_resident", "_c_totals")
 
     prefers_request_arrays = True
 
     def __init__(self, n: int, k: int) -> None:
         super().__init__(n, k)
-        # Persistent epoch-stamped scratch for the kernel's LCA walk
-        # (allocated lazily on the first batched serve).
-        self._c_visit = None
-        self._c_vdepth = None
-        self._c_epoch = 0
+        self._lib = None  # the CDLL that owns _handle (survives loader resets)
+        self._handle = None
+        self._resident = False
+        self._c_totals = None
+
+    def __del__(self) -> None:
+        try:
+            handle, lib = self._handle, self._lib
+        except AttributeError:  # pragma: no cover - init never completed
+            return
+        if handle and lib is not None:
+            try:
+                lib.repro_tree_destroy(handle)
+            except Exception:  # pragma: no cover - interpreter shutdown
+                pass
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    # resident-state protocol
+    # ------------------------------------------------------------------
+    def _pack(self):
+        """Marshal the list-backed state into contiguous buffers (O(n·k))."""
+        n, km1 = self.n, self.k - 1
+        parent = np.array(self.parent, dtype=np.int64)
+        pslot = np.array(self.pslot, dtype=np.int64)
+        children = np.array(self.child_rows, dtype=np.int64)
+        routing = np.zeros((n + 1, km1), dtype=np.float64)
+        if n:
+            routing[1:] = self.routing_rows[1:]
+        return parent, pslot, children, routing
+
+    def _ensure_resident(self):
+        """Make the kernel handle authoritative; returns it (or ``None``).
+
+        Allocates the handle on first use and loads the current list
+        state whenever the lists are authoritative (after construction,
+        after a sync-out, after Python-side rotations).  ``None`` means
+        the kernel cannot own this tree (no kernel, or allocation
+        failed) and the caller must take the pure-Python path.
+        """
+        if self._resident:
+            return self._handle
+        kernel = _native.load_kernel()
+        if kernel is None:
+            return None
+        if self._handle is None:
+            handle = kernel.repro_tree_create(self.n, self.k)
+            if not handle:
+                return None
+            self._lib = kernel
+            self._handle = handle
+            self._c_totals = (ctypes.c_int64 * 3)()
+        parent, pslot, children, routing = self._pack()
+        self._lib.repro_tree_load(
+            self._handle,
+            self.root,
+            parent.ctypes.data,
+            pslot.ctypes.data,
+            children.ctypes.data,
+            routing.ctypes.data,
+        )
+        self._resident = True
+        return self._handle
+
+    def _sync_lists(self) -> None:
+        """Dirty-flag sync: copy resident kernel state back into the lists.
+
+        No-op unless the handle is authoritative.  Updates the lists *in
+        place* so references handed out earlier (e.g. a bound
+        ``flat.parent`` in :meth:`KArySplayNet.serve_semi`) observe the
+        synced state.  After the sync the lists are authoritative again;
+        the next kernel serve reloads the handle.
+        """
+        if not self._resident:
+            return
+        n, k, km1 = self.n, self.k, self.k - 1
+        parent = np.empty(n + 1, dtype=np.int64)
+        pslot = np.empty(n + 1, dtype=np.int64)
+        children = np.empty((n + 1, k), dtype=np.int64)
+        routing = np.empty((n + 1, km1), dtype=np.float64)
+        root_out = np.empty(1, dtype=np.int64)
+        self._lib.repro_tree_sync_out(
+            self._handle,
+            root_out.ctypes.data,
+            parent.ctypes.data,
+            pslot.ctypes.data,
+            children.ctypes.data,
+            routing.ctypes.data,
+        )
+        self.parent[:] = parent.tolist()
+        self.pslot[:] = pslot.tolist()
+        self.child_rows[:] = children.tolist()
+        rows = routing.tolist()
+        rows[0] = []
+        self.routing_rows[:] = rows
+        self.root = int(root_out[0])
+        self._resident = False
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def serve_one(
+        self, u: int, v: int, policy: str = "center", depth: int = 2
+    ) -> tuple[int, int, int]:
+        """Serve one request through the resident scalar kernel entry.
+
+        The ``Session.serve`` hot path: no batch marshalling, no state
+        copies — one ctypes call against the resident handle.  Falls back
+        to the (equivalent) pure-Python path for deep splay, oversized
+        arity, or a missing kernel.
+        """
+        code = _POLICY_CODES.get(policy)
+        if code is None:
+            raise RotationError(
+                f"unknown block policy {policy!r}; choose from {BLOCK_POLICIES}"
+            )
+        if depth != 2 or self.k > _native.MAX_NATIVE_K:
+            self._sync_lists()
+            return super().serve_one(u, v, policy, depth)
+        if u == v:
+            # Mirrors the engines' self-pair short-circuit, including for
+            # out-of-range identifiers (served at cost 0, never indexed).
+            return 0, 0, 0
+        n = self.n
+        if not (1 <= u <= n) or not (1 <= v <= n):
+            raise EngineError(
+                f"request identifiers must be in 1..{n} for the native kernel"
+            )
+        if self._ensure_resident() is None:
+            self._sync_lists()
+            return super().serve_one(u, v, policy, depth)
+        totals = self._c_totals
+        status = self._lib.repro_tree_serve_one(
+            self._handle, u, v, code, totals
+        )
+        if status != 0:  # pragma: no cover - arity guarded above
+            raise EngineError(f"native serve kernel failed (status {status})")
+        self._ranges_dirty = True
+        if not _resident_mode:
+            self._sync_lists()
+        return int(totals[0]), int(totals[1]), int(totals[2])
 
     def serve_many(
         self,
@@ -72,7 +245,9 @@ class NativeTree(FlatTree):
 
         Same contract as :meth:`FlatTree.serve_many` — scalar cost totals,
         optional preallocated series buffers — and the same results bit
-        for bit (pinned by ``tests/test_native_engine.py``).
+        for bit (pinned by ``tests/test_native_engine.py``).  Only the
+        request arrays cross the ctypes boundary; the tree state stays
+        resident in the handle.
         """
         if policy not in BLOCK_POLICIES:
             raise RotationError(
@@ -82,11 +257,10 @@ class NativeTree(FlatTree):
             raise EngineError(
                 "routing_series and rotation_series must be provided together"
             )
-        kernel = _native.load_kernel()
-        if depth != 2 or self.k > _native.MAX_NATIVE_K or kernel is None:
+        if depth != 2 or self.k > _native.MAX_NATIVE_K:
             # Deep-splay and oversized arities run the (equivalent)
-            # pure-Python discipline; a kernel that vanished after
-            # construction degrades the same way.
+            # pure-Python discipline.
+            self._sync_lists()
             return super().serve_many(
                 sources,
                 targets,
@@ -96,9 +270,7 @@ class NativeTree(FlatTree):
                 rotation_series=rotation_series,
             )
 
-        n, k = self.n, self.k
-        km1 = k - 1
-
+        n = self.n
         src = np.ascontiguousarray(sources, dtype=np.int64)
         dst = np.ascontiguousarray(targets, dtype=np.int64)
         m = min(src.shape[0], dst.shape[0])  # zip() semantics
@@ -114,19 +286,19 @@ class NativeTree(FlatTree):
                     f"request identifiers must be in 1..{n} for the"
                     " native kernel"
                 )
+        if self._ensure_resident() is None:
+            # A kernel that vanished after construction (or a failed
+            # handle allocation) degrades to the pure-Python path.
+            self._sync_lists()
+            return super().serve_many(
+                sources,
+                targets,
+                policy=policy,
+                depth=depth,
+                routing_series=routing_series,
+                rotation_series=rotation_series,
+            )
 
-        # -- pack the list-backed state into contiguous buffers ---------
-        parent = np.array(self.parent, dtype=np.int64)
-        pslot = np.array(self.pslot, dtype=np.int64)
-        children = np.array(self.child_rows, dtype=np.int64)
-        routing = np.zeros((n + 1, km1), dtype=np.float64)
-        if n:
-            routing[1:] = self.routing_rows[1:]
-        if self._c_visit is None:
-            self._c_visit = np.zeros(n + 1, dtype=np.int64)
-            self._c_vdepth = np.zeros(n + 1, dtype=np.int64)
-        root_io = np.array([self.root], dtype=np.int64)
-        epoch_io = np.array([self._c_epoch], dtype=np.int64)
         totals = np.zeros(3, dtype=np.int64)
         record = routing_series is not None
         if record:
@@ -137,17 +309,8 @@ class NativeTree(FlatTree):
         else:
             routing_ptr = rotation_ptr = None
 
-        status = kernel.repro_serve_batch(
-            ctypes.c_int64(n),
-            ctypes.c_int64(k),
-            root_io.ctypes.data,
-            parent.ctypes.data,
-            pslot.ctypes.data,
-            children.ctypes.data,
-            routing.ctypes.data,
-            self._c_visit.ctypes.data,
-            self._c_vdepth.ctypes.data,
-            epoch_io.ctypes.data,
+        status = self._lib.repro_tree_serve_batch(
+            self._handle,
             src.ctypes.data,
             dst.ctypes.data,
             ctypes.c_int64(m),
@@ -156,19 +319,11 @@ class NativeTree(FlatTree):
             rotation_ptr,
             totals.ctypes.data,
         )
-        if status != 0:  # pragma: no cover - guarded by the k check above
+        if status != 0:  # pragma: no cover - arity guarded above
             raise EngineError(f"native serve kernel failed (status {status})")
-
-        # -- unpack the mutated buffers back into the list layout --------
-        self.parent = parent.tolist()
-        self.pslot = pslot.tolist()
-        self.child_rows = children.tolist()
-        rows = routing.tolist()
-        rows[0] = []
-        self.routing_rows = rows
-        self.root = int(root_io[0])
-        self._c_epoch = int(epoch_io[0])
         self._ranges_dirty = True
+        if not _resident_mode:
+            self._sync_lists()
 
         if record:
             routing_series[:m] = (
@@ -183,5 +338,66 @@ class NativeTree(FlatTree):
             )
         return int(totals[0]), int(totals[1]), int(totals[2])
 
+    # ------------------------------------------------------------------
+    # list-state consumers: sync the resident handle out first
+    # ------------------------------------------------------------------
+    def to_tree(self, *, validate: bool = False):
+        self._sync_lists()
+        return super().to_tree(validate=validate)
+
+    def signature(self):
+        self._sync_lists()
+        return super().signature()
+
+    def refresh_ranges(self) -> None:
+        self._sync_lists()
+        super().refresh_ranges()
+
+    def depth(self, nid: int) -> int:
+        self._sync_lists()
+        return super().depth(nid)
+
+    def lca(self, u: int, v: int) -> tuple[int, int, int]:
+        self._sync_lists()
+        return super().lca(u, v)
+
+    def semi_splay(self, y: int, policy: str = "center") -> int:
+        self._sync_lists()
+        return super().semi_splay(y, policy)
+
+    def splay(self, z: int, policy: str = "center") -> int:
+        self._sync_lists()
+        return super().splay(z, policy)
+
+    def semi_splay_fast(self, y: int, policy: str = "center") -> int:
+        self._sync_lists()
+        return super().semi_splay_fast(y, policy)
+
+    def splay_fast(self, z: int, policy: str = "center") -> int:
+        self._sync_lists()
+        return super().splay_fast(z, policy)
+
+    def generalized_splay(self, chain: list[int]) -> int:
+        self._sync_lists()
+        return super().generalized_splay(chain)
+
+    def splay_until(
+        self,
+        node: int,
+        stop: int,
+        *,
+        policy: str = "center",
+        depth: int = 2,
+    ) -> tuple[int, int]:
+        self._sync_lists()
+        return super().splay_until(node, stop, policy=policy, depth=depth)
+
+    def validate(self) -> None:
+        self._sync_lists()
+        super().validate()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"NativeTree(n={self.n}, k={self.k}, root={self.root})"
+        return (
+            f"NativeTree(n={self.n}, k={self.k}, root={self.root},"
+            f" resident={self._resident})"
+        )

@@ -1,0 +1,126 @@
+"""Perf-trajectory report over the recorded benchmark JSON files.
+
+Every performance PR records its headline measurement as a pretty-printed
+``benchmarks/results/BENCH_*.json`` file (hotpath, pipeline, optimal DP,
+serve farm, ...).  This module renders that directory into one markdown
+table — the repo's performance trajectory at a glance — for
+``python -m repro bench-report``.
+
+The extraction is deliberately schema-free: any numeric key named
+``speedup_*`` / ``scaling_*`` (formatted as a ratio), any
+``*requests_per_second*`` (formatted as throughput) and any
+``latency_p50/p99_seconds`` found anywhere in a record becomes a row, and
+any boolean ``*match*`` key becomes an equality check.  New benchmark
+records that follow the house conventions show up in the report without
+touching this module.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.errors import ExperimentError
+
+__all__ = [
+    "DEFAULT_RESULTS_DIR",
+    "load_benchmark_records",
+    "record_checks",
+    "record_metrics",
+    "render_trajectory",
+]
+
+DEFAULT_RESULTS_DIR = Path("benchmarks") / "results"
+
+
+def load_benchmark_records(
+    results_dir: Union[str, Path, None] = None,
+) -> dict[str, dict]:
+    """All ``BENCH_*.json`` records in a directory, by file name (sorted)."""
+    directory = Path(results_dir) if results_dir else DEFAULT_RESULTS_DIR
+    if not directory.is_dir():
+        raise ExperimentError(f"no results directory at {directory}")
+    records: dict[str, dict] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ExperimentError(f"unreadable record {path}: {exc}") from exc
+        if isinstance(data, dict):
+            records[path.name] = data
+    return records
+
+
+def _walk(record: dict, prefix: str = "") -> Iterator[tuple[str, object]]:
+    for key in sorted(record):
+        value = record[key]
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            yield from _walk(value, path)
+        else:
+            yield path, value
+
+
+def _format_throughput(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M req/s"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}k req/s"
+    return f"{value:.0f} req/s"
+
+
+def record_metrics(record: dict) -> list[tuple[str, str]]:
+    """The (metric path, formatted value) rows of one benchmark record."""
+    rows: list[tuple[str, str]] = []
+    for path, value in _walk(record):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        leaf = path.rsplit(".", 1)[-1]
+        if leaf.startswith("speedup_") or leaf.startswith("scaling_"):
+            rows.append((path, f"{value:.2f}x"))
+        elif "requests_per_second" in leaf:
+            rows.append((path, _format_throughput(value)))
+        elif leaf in ("latency_p50_seconds", "latency_p99_seconds"):
+            rows.append((path, f"{value * 1e6:.1f} us"))
+    return rows
+
+
+def record_checks(record: dict) -> list[tuple[str, bool]]:
+    """The (check path, passed) equality gates of one benchmark record."""
+    return [
+        (path, bool(value))
+        for path, value in _walk(record)
+        if isinstance(value, bool) and "match" in path.rsplit(".", 1)[-1]
+    ]
+
+
+def render_trajectory(results_dir: Union[str, Path, None] = None) -> str:
+    """Render the results directory as a markdown perf-trajectory report."""
+    records = load_benchmark_records(results_dir)
+    lines = ["# Performance trajectory", ""]
+    if not records:
+        lines.append("No `BENCH_*.json` records found.")
+        return "\n".join(lines) + "\n"
+    lines += [
+        "| record | metric | value |",
+        "| --- | --- | --- |",
+    ]
+    for name, record in records.items():
+        label: Optional[str] = name
+        for path, value in record_metrics(record):
+            lines.append(f"| {label or ''} | `{path}` | {value} |")
+            label = None  # record name printed once per group
+        if label is not None:
+            lines.append(f"| {label} | | (no trajectory metrics) |")
+    checks = [
+        (name, path, passed)
+        for name, record in records.items()
+        for path, passed in record_checks(record)
+    ]
+    if checks:
+        lines += ["", "## Equality checks", ""]
+        for name, path, passed in checks:
+            mark = "PASS" if passed else "**FAIL**"
+            lines.append(f"- {mark} `{name}` `{path}`")
+    return "\n".join(lines) + "\n"

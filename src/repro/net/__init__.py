@@ -33,11 +33,18 @@ from repro.net.registry import (
     static_algorithms,
     unregister_network,
 )
-from repro.net.session import Session, SessionMetrics, SessionSnapshot, open_session
+from repro.net.session import (
+    LatencyStats,
+    Session,
+    SessionMetrics,
+    SessionSnapshot,
+    open_session,
+)
 from repro.net.spec import NetworkSpec, PolicySpec
 
 __all__ = [
     "BuildContext",
+    "LatencyStats",
     "NetworkAlgorithm",
     "NetworkSpec",
     "POLICY_WRAPPERS",

@@ -29,6 +29,8 @@ accepts, or an already-built network object.
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass, field
 from itertools import islice
 from typing import Any, Iterable, Iterator, Mapping, Optional, Union
@@ -43,12 +45,107 @@ from repro.network.protocols import BatchServeResult, ServeResult
 from repro.reliability.faults import fire_fault
 from repro.workloads.demand import DemandMatrix
 
-__all__ = ["Session", "SessionMetrics", "SessionSnapshot", "open_session"]
+__all__ = [
+    "LatencyStats",
+    "Session",
+    "SessionMetrics",
+    "SessionSnapshot",
+    "open_session",
+]
 
 #: Default request chunk for :meth:`Session.serve_stream`: large enough to
 #: amortize the batched path's per-call overhead, small enough that
-#: metrics stay fresh while a long stream is in flight.
+#: metrics stay fresh while a long stream is in flight.  Used when the
+#: caller does not pass an explicit ``chunk`` (auto-sizing additionally
+#: caps the chunk at ``checkpoint_every`` so auto-checkpoint cadence is
+#: never stretched by a large chunk).
 DEFAULT_CHUNK = 8192
+
+#: Log2-bucket range of :class:`LatencyStats`: 2**-30 s (~1 ns) up to
+#: 2**10 s (~17 min) — any real per-request latency lands inside.
+_LAT_MIN_EXP = -30
+_LAT_MAX_EXP = 10
+
+
+class LatencyStats:
+    """Constant-memory per-request latency histogram with percentiles.
+
+    Latencies are counted in log2 buckets (factor-2 resolution from
+    nanoseconds to minutes), so recording is O(1), memory is a fixed
+    ~40-int list regardless of stream length, and histograms from
+    different shards merge exactly — the aggregation path of the serve
+    farm.  Percentile queries return the geometric midpoint of the
+    bucket containing the requested rank: right for dashboards and
+    regression tracking (is p99 1 µs or 1 ms?), not for microsecond-exact
+    timing claims.
+    """
+
+    __slots__ = ("counts", "total")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (_LAT_MAX_EXP - _LAT_MIN_EXP + 1)
+        self.total = 0
+
+    def record(self, seconds: float, count: int = 1) -> None:
+        """Count ``count`` requests observed at ``seconds`` latency each."""
+        if count <= 0:
+            return
+        if seconds > 0.0:
+            exp = math.frexp(seconds)[1]  # seconds in [2**(exp-1), 2**exp)
+        else:
+            exp = _LAT_MIN_EXP
+        idx = min(max(exp - _LAT_MIN_EXP, 0), len(self.counts) - 1)
+        self.counts[idx] += count
+        self.total += count
+
+    def percentile(self, q: float) -> float:
+        """Latency (seconds) at quantile ``q`` in [0, 1]; 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ExperimentError(f"quantile must be in [0, 1], got {q}")
+        if not self.total:
+            return 0.0
+        rank = q * (self.total - 1)
+        acc = 0
+        for idx, count in enumerate(self.counts):
+            acc += count
+            if acc > rank:
+                exp = idx + _LAT_MIN_EXP
+                # Geometric midpoint of [2**(exp-1), 2**exp).
+                return 1.5 * 2.0 ** (exp - 1)
+        return 1.5 * 2.0 ** (_LAT_MAX_EXP - 1)  # pragma: no cover
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def merge(self, other: "LatencyStats") -> None:
+        """Fold another histogram in (exact — buckets are aligned)."""
+        for idx, count in enumerate(other.counts):
+            self.counts[idx] += count
+        self.total += other.total
+
+    def copy(self) -> "LatencyStats":
+        twin = LatencyStats()
+        twin.counts = list(self.counts)
+        twin.total = self.total
+        return twin
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "count": self.total,
+            "p50_seconds": self.p50,
+            "p99_seconds": self.p99,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LatencyStats(count={self.total}, p50={self.p50:.2e},"
+            f" p99={self.p99:.2e})"
+        )
 
 
 @dataclass
@@ -68,10 +165,21 @@ class SessionMetrics:
     total_links_changed: int = 0
     routing_series: Optional[list[int]] = field(default=None, repr=False)
     rotation_series: Optional[list[int]] = field(default=None, repr=False)
+    latency: LatencyStats = field(default_factory=LatencyStats, repr=False)
 
     @property
     def average_routing(self) -> float:
         return self.total_routing / self.requests if self.requests else 0.0
+
+    @property
+    def latency_p50(self) -> float:
+        """Median observed per-request latency (seconds; see LatencyStats)."""
+        return self.latency.p50
+
+    @property
+    def latency_p99(self) -> float:
+        """Tail (99th percentile) per-request latency in seconds."""
+        return self.latency.p99
 
     @property
     def average_rotations(self) -> float:
@@ -106,9 +214,13 @@ class SessionMetrics:
                 if self.rotation_series is not None
                 else None
             ),
+            latency=self.latency.copy(),
         )
 
     def to_dict(self) -> dict[str, Any]:
+        # Deliberately excludes latency: this dict is the *deterministic*
+        # metrics view, compared cell for cell across runs by the
+        # reliability suites (timing never is deterministic).
         return {
             "requests": self.requests,
             "total_routing": self.total_routing,
@@ -199,8 +311,10 @@ class Session:
     # -- serving -------------------------------------------------------
     def serve(self, u: int, v: int) -> ServeResult:
         """Serve one online request; the session metrics accumulate it."""
+        t0 = time.perf_counter()
         result = self.network.serve(u, v)
         metrics = self.metrics
+        metrics.latency.record(time.perf_counter() - t0)
         metrics.requests += 1
         metrics.total_routing += result.routing_cost
         metrics.total_rotations += result.rotations
@@ -211,12 +325,24 @@ class Session:
         self._count_toward_checkpoint(1)
         return result
 
+    def _auto_chunk(self) -> int:
+        """Chunk size when the caller does not pick one.
+
+        :data:`DEFAULT_CHUNK`, capped at ``checkpoint_every`` so the
+        auto-checkpoint cadence the session was opened with is honoured
+        chunk by chunk instead of being stretched to chunk granularity.
+        """
+        chunk = DEFAULT_CHUNK
+        if self.checkpoint_every is not None:
+            chunk = min(chunk, self.checkpoint_every)
+        return max(1, chunk)
+
     def serve_stream(
         self,
         requests: Union[Iterable[tuple[int, int]], Any],
         targets: Optional[Any] = None,
         *,
-        chunk: int = DEFAULT_CHUNK,
+        chunk: Optional[int] = None,
     ) -> BatchServeResult:
         """Serve a request stream through the batched fast path, chunkwise.
 
@@ -226,11 +352,17 @@ class Session:
         ``(sources, targets)`` arrays.  Each chunk is fed to the network's
         ``serve_trace`` (networks without one fall back to the scalar
         serve loop), so a session drives the same engine hot path as
-        offline trace replay.  Returns the accumulated
+        offline trace replay.  ``chunk=None`` (the default) auto-sizes via
+        :meth:`_auto_chunk`; small explicit chunks are fine on every
+        engine — the native engine keeps its tree state resident in the
+        kernel handle, so a chunk of 1 costs one ctypes call, not a full
+        state marshalling round trip.  Returns the accumulated
         :class:`~repro.network.protocols.BatchServeResult` for *this*
         stream; :attr:`metrics` advances by the same amounts.
         """
-        if chunk < 1:
+        if chunk is None:
+            chunk = self._auto_chunk()
+        elif chunk < 1:
             raise ExperimentError(f"chunk must be >= 1, got {chunk}")
         if targets is not None:
             sources = np.asarray(requests, dtype=np.int64)
@@ -261,9 +393,16 @@ class Session:
         routing_parts: list[np.ndarray] = []
         rotation_parts: list[np.ndarray] = []
         for sources_chunk, targets_chunk in chunks:
+            t0 = time.perf_counter()
             batch = serve_trace(
                 sources_chunk, targets_chunk, record_series=record
             )
+            if batch.m:
+                # Per-request latency attributed evenly across the chunk —
+                # the right granularity for p50/p99 of a batched stream.
+                metrics.latency.record(
+                    (time.perf_counter() - t0) / batch.m, batch.m
+                )
             total_m += batch.m
             total_routing += batch.total_routing
             total_rotations += batch.total_rotations

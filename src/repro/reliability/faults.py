@@ -41,6 +41,11 @@ interpreted by the site):
                        checkpointed tree state so a post-restore
                        :meth:`Session.audit` must detect it;
                        ``error`` fails the snapshot)
+``farm.serve``         around one dispatched window in a serve-farm shard
+                       worker (``error`` raises :class:`FaultInjected`,
+                       relayed to the farm parent; ``kill`` hard-exits the
+                       worker — the parent respawns it and replays its
+                       journal; use a ledger so the kill stays fired)
 =====================  ======================================================
 """
 

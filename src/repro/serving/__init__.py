@@ -1,0 +1,20 @@
+"""Sharded online serving: hash-routed worker farm over resident trees.
+
+The :mod:`repro.net` session API serves one network in one process; this
+package scales it out.  A :class:`ServeFarm` hash-partitions session keys
+across worker processes (:class:`ShardRouter`), each worker owning its
+shard's sessions — resident native trees where the compiled kernel is
+available, the flat engine otherwise — with batched dispatch, aggregate
+incremental metrics, and journal-replay recovery of killed workers.
+"""
+
+from repro.serving.farm import FARM_FAULT_POINT, FarmMetrics, ServeFarm
+from repro.serving.router import ShardRouter, shard_for_key
+
+__all__ = [
+    "FARM_FAULT_POINT",
+    "FarmMetrics",
+    "ServeFarm",
+    "ShardRouter",
+    "shard_for_key",
+]

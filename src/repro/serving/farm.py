@@ -1,0 +1,514 @@
+"""The sharded serve farm: resident native trees across worker processes.
+
+:class:`ServeFarm` scales the single-process serving stack *out*: session
+keys are hash-partitioned (:mod:`repro.serving.router`) across worker
+processes, each worker owning one shard's sessions — resident
+:class:`~repro.core.native.NativeTree` handles behind the
+:func:`~repro.net.session.open_session` API (degrading per worker to the
+flat engine when the kernel is unavailable, e.g. ``REPRO_NATIVE=0``).
+The parent dispatches batched request windows to all owning shards before
+collecting any acknowledgement, so shards serve concurrently; aggregate
+metrics (cost totals plus a mergeable latency histogram) accumulate
+incrementally from the acks.
+
+Fault tolerance follows the PR 6 pool-hardening playbook:
+
+* every worker batch passes a ``farm.serve`` injection point
+  (:func:`~repro.reliability.faults.fire_fault`), so the reliability
+  suite can kill a worker deterministically mid-campaign;
+* a dead worker (broken pipe on send or EOF on receive) is respawned and
+  its state rebuilt by **journal replay**: the parent keeps every
+  acknowledged batch per shard and replays them — the serve discipline is
+  deterministic, so the rebuilt trees are cell-for-cell identical — then
+  re-sends the in-flight batch.  Replay acks are dropped, so nothing is
+  double counted.  Kill-style faults need a ledger-backed
+  :class:`~repro.reliability.faults.FaultPlan` (exactly as with
+  ``pool.task``) so the respawned worker does not re-fire the kill;
+* the respawn budget (``max_respawns``) turns a crash loop into a loud
+  :class:`~repro.errors.ReliabilityError` instead of a hang.
+
+The journal makes recovery exact at the cost of O(total requests) parent
+memory; campaigns that outgrow it should checkpoint per session
+(``open_session(checkpoint_every=...)`` inside the worker) and truncate —
+the benchmark and test campaigns here stay well inside it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Any, Iterable, Mapping, Optional, Union
+
+from repro.errors import ExperimentError, ReliabilityError
+from repro.net.session import DEFAULT_CHUNK, LatencyStats
+from repro.net.spec import NetworkSpec
+from repro.network.protocols import BatchServeResult
+from repro.serving.router import ShardRouter
+
+__all__ = ["FarmMetrics", "ServeFarm"]
+
+#: Injection point fired in a worker before serving each dispatched
+#: window (see repro.reliability.faults for the catalogue).
+FARM_FAULT_POINT = "farm.serve"
+
+
+@dataclass
+class FarmMetrics:
+    """Aggregate incremental metrics of a whole farm (all shards)."""
+
+    requests: int = 0
+    total_routing: int = 0
+    total_rotations: int = 0
+    total_links_changed: int = 0
+    windows: int = 0
+    #: Summed worker-side serve CPU seconds per shard.  ``max`` over
+    #: shards is the farm's critical path — the farm's aggregate capacity
+    #: (``requests / max``) scales with shard count even when the host
+    #: has fewer cores than shards, where wall clock (and worker wall
+    #: time, inflated by timesharing) cannot show it.
+    busy_seconds: dict[int, float] = field(default_factory=dict, repr=False)
+    latency: LatencyStats = field(default_factory=LatencyStats, repr=False)
+
+    @property
+    def average_routing(self) -> float:
+        return self.total_routing / self.requests if self.requests else 0.0
+
+    @property
+    def latency_p50(self) -> float:
+        return self.latency.p50
+
+    @property
+    def latency_p99(self) -> float:
+        return self.latency.p99
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """The busiest shard's total serve time (0.0 before any batch)."""
+        return max(self.busy_seconds.values(), default=0.0)
+
+    def record_batch(
+        self,
+        shard: int,
+        m: int,
+        routing: int,
+        rotations: int,
+        links: int,
+        elapsed: float,
+        cpu: float,
+    ) -> None:
+        self.requests += m
+        self.total_routing += routing
+        self.total_rotations += rotations
+        self.total_links_changed += links
+        self.windows += 1
+        self.busy_seconds[shard] = self.busy_seconds.get(shard, 0.0) + cpu
+        if m:
+            self.latency.record(elapsed / m, m)
+
+    def to_dict(self) -> dict[str, Any]:
+        # Cost fields are deterministic; latency is reported separately
+        # (same split as SessionMetrics.to_dict).
+        return {
+            "requests": self.requests,
+            "total_routing": self.total_routing,
+            "total_rotations": self.total_rotations,
+            "total_links_changed": self.total_links_changed,
+        }
+
+
+def _worker_main(conn, spec_data: dict, shard_index: int) -> None:
+    """One shard's serve loop: sessions owned here, commands via pipe.
+
+    Messages in: ``("serve", batches, replay)`` with ``batches`` a list of
+    ``(key, sources, targets)``; ``("status",)``; ``("metrics",)``;
+    ``("close",)``.  Every reply is a tuple whose first element is
+    ``"ok"`` or ``"error"``; serve acks carry the batch totals, the wall
+    and CPU time spent serving (wall feeds the latency histogram, CPU
+    the contention-immune per-shard busy accounting), and the echoed
+    ``replay`` flag.
+    """
+    # Imports inside the worker: with the spawn start method this module
+    # is re-imported fresh, and the kernel loads (or degrades to flat)
+    # per process.
+    from repro.net.session import open_session
+    from repro.reliability.faults import fire_fault, kill_process
+
+    sessions: dict[Any, Any] = {}
+    try:
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == "serve":
+                _, batches, replay = message
+                try:
+                    fault = fire_fault(
+                        FARM_FAULT_POINT, context=f"shard={shard_index}"
+                    )
+                    if fault is not None and fault.mode == "kill":
+                        kill_process(fault)
+                    started = time.perf_counter()
+                    cpu_started = time.process_time()
+                    m = routing = rotations = links = 0
+                    for key, sources, targets in batches:
+                        session = sessions.get(key)
+                        if session is None:
+                            session = open_session(spec_data)
+                            sessions[key] = session
+                        batch = session.serve_stream(sources, targets)
+                        m += batch.m
+                        routing += batch.total_routing
+                        rotations += batch.total_rotations
+                        links += batch.total_links_changed
+                    cpu = time.process_time() - cpu_started
+                    elapsed = time.perf_counter() - started
+                    conn.send(
+                        (
+                            "ok",
+                            m,
+                            routing,
+                            rotations,
+                            links,
+                            elapsed,
+                            cpu,
+                            replay,
+                        )
+                    )
+                except Exception as exc:  # noqa: BLE001 - relayed to parent
+                    conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            elif command == "status":
+                from repro.core.engine import native_available
+
+                conn.send(
+                    (
+                        "ok",
+                        {
+                            "shard": shard_index,
+                            "pid": os.getpid(),
+                            "native_available": native_available(),
+                            "sessions": {
+                                key: getattr(
+                                    session.network, "engine", "object"
+                                )
+                                for key, session in sessions.items()
+                            },
+                        },
+                    )
+                )
+            elif command == "metrics":
+                conn.send(
+                    (
+                        "ok",
+                        {
+                            key: session.metrics.to_dict()
+                            for key, session in sessions.items()
+                        },
+                    )
+                )
+            elif command == "close":
+                conn.send(("ok",))
+                return
+            else:  # pragma: no cover - protocol misuse
+                conn.send(("error", f"unknown farm command {command!r}"))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent gone
+        return
+
+
+def _farm_context():
+    """Start method for farm workers: fork where supported, else spawn."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+class ServeFarm:
+    """A shard-routed farm of serving workers (one process per shard).
+
+    >>> farm = ServeFarm("kary-splaynet", n=64, k=4, shards=2)
+    >>> farm.serve("user-7", 3, 60)          # doctest: +SKIP
+    >>> farm.serve_stream(stream)            # (key, u, v) iterable
+    >>> farm.metrics.latency_p99             # aggregate, incremental
+    >>> farm.close()
+
+    Constructor arguments besides the farm knobs are exactly
+    :func:`~repro.net.session.open_session`'s spec inputs — a
+    :class:`~repro.net.spec.NetworkSpec`, a mapping, or an algorithm name
+    plus keyword arguments.  One session is opened lazily per key in the
+    owning worker.  Use as a context manager to guarantee teardown.
+    """
+
+    def __init__(
+        self,
+        spec: Union[NetworkSpec, Mapping[str, Any], str, None] = None,
+        *,
+        shards: int = 2,
+        window: int = DEFAULT_CHUNK,
+        max_respawns: int = 2,
+        **kwargs: Any,
+    ) -> None:
+        if shards < 1:
+            raise ExperimentError(f"shards must be >= 1, got {shards}")
+        if window < 1:
+            raise ExperimentError(f"window must be >= 1, got {window}")
+        if max_respawns < 0:
+            raise ExperimentError(
+                f"max_respawns must be >= 0, got {max_respawns}"
+            )
+        from repro.net.registry import coerce_network_spec
+
+        self.spec = coerce_network_spec(spec, **kwargs)
+        if self.spec.engine is None:
+            # Workers own resident native trees unless the spec pins an
+            # engine; resolution happens per worker process, so a farm
+            # degrades to the flat engine wherever the kernel is
+            # unavailable (REPRO_NATIVE=0, no C toolchain).
+            self.spec = self.spec.replace(engine="native")
+        self._spec_data = self.spec.to_dict()
+        self.shards = shards
+        self.window = window
+        self.max_respawns = max_respawns
+        self.respawns = 0
+        self.router = ShardRouter(shards)
+        self.metrics = FarmMetrics()
+        self._journal: list[list[list[tuple[Any, list[int], list[int]]]]] = [
+            [] for _ in range(shards)
+        ]
+        self._ctx = _farm_context()
+        self._procs: list[Optional[Any]] = [None] * shards
+        self._conns: list[Optional[Any]] = [None] * shards
+        self._closed = False
+        for shard in range(shards):
+            self._start_worker(shard)
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "ServeFarm":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _start_worker(self, shard: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._spec_data, shard),
+            daemon=True,
+            name=f"repro-serve-shard-{shard}",
+        )
+        proc.start()
+        child_conn.close()
+        self._procs[shard] = proc
+        self._conns[shard] = parent_conn
+
+    def close(self) -> None:
+        """Shut every worker down and join it (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in range(self.shards):
+            conn = self._conns[shard]
+            if conn is None:
+                continue
+            try:
+                conn.send(("close",))
+                conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            conn.close()
+            self._conns[shard] = None
+        for shard in range(self.shards):
+            proc = self._procs[shard]
+            if proc is not None:
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+                self._procs[shard] = None
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ExperimentError("serve farm is closed")
+
+    # -- fault recovery ------------------------------------------------
+    def _respawn(self, shard: int) -> None:
+        """Replace a dead worker and rebuild its state by journal replay."""
+        self.respawns += 1
+        if self.respawns > self.max_respawns:
+            raise ReliabilityError(
+                f"serve farm gave up after {self.max_respawns} respawn(s):"
+                f" shard {shard} keeps dying"
+            )
+        old_conn = self._conns[shard]
+        if old_conn is not None:
+            old_conn.close()
+        old_proc = self._procs[shard]
+        if old_proc is not None:
+            old_proc.join(timeout=5.0)
+            if old_proc.is_alive():  # pragma: no cover - defensive
+                old_proc.terminate()
+                old_proc.join(timeout=5.0)
+        self._start_worker(shard)
+        # Deterministic rebuild: replay every acknowledged batch in order.
+        # Replay acks carry replay=True and are not re-aggregated; a
+        # ledger-backed fault plan guarantees a fired kill stays fired.
+        conn = self._conns[shard]
+        for batches in self._journal[shard]:
+            try:
+                conn.send(("serve", batches, True))
+                reply = conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                self._respawn(shard)  # budget-bounded recursion
+                return
+            if reply[0] == "error":
+                raise ReliabilityError(
+                    f"serve farm shard {shard} failed during journal"
+                    f" replay: {reply[1]}"
+                )
+
+    # -- dispatch ------------------------------------------------------
+    def _send_serve(self, shard: int, batches) -> None:
+        try:
+            self._conns[shard].send(("serve", batches, False))
+        except (BrokenPipeError, OSError):
+            self._respawn(shard)
+            self._conns[shard].send(("serve", batches, False))
+
+    def _await_ack(self, shard: int, batches):
+        """Collect one non-replay serve ack, surviving a worker death."""
+        while True:
+            try:
+                reply = self._conns[shard].recv()
+            except (EOFError, OSError):
+                self._respawn(shard)
+                self._send_serve(shard, batches)
+                continue
+            if reply[0] == "error":
+                raise ReliabilityError(
+                    f"serve farm shard {shard} failed: {reply[1]}"
+                )
+            _, m, routing, rotations, links, elapsed, cpu, replay = reply
+            if replay:  # stale ack from a pre-respawn replay: drop
+                continue
+            return m, routing, rotations, links, elapsed, cpu
+
+    def _dispatch(
+        self, grouped: Mapping[int, list[tuple[Any, list[int], list[int]]]]
+    ) -> tuple[int, int, int, int]:
+        """Send one window to all owning shards, then collect the acks.
+
+        All sends complete before the first receive, so shards serve the
+        window concurrently; acknowledged batches enter the journal.
+        """
+        for shard, batches in grouped.items():
+            self._send_serve(shard, batches)
+        totals = [0, 0, 0, 0]
+        for shard, batches in grouped.items():
+            m, routing, rotations, links, elapsed, cpu = self._await_ack(
+                shard, batches
+            )
+            self.metrics.record_batch(
+                shard, m, routing, rotations, links, elapsed, cpu
+            )
+            self._journal[shard].append(batches)
+            totals[0] += m
+            totals[1] += routing
+            totals[2] += rotations
+            totals[3] += links
+        return tuple(totals)  # type: ignore[return-value]
+
+    # -- serving -------------------------------------------------------
+    def serve(self, key: Any, u: int, v: int) -> None:
+        """Serve one request for ``key`` on its owning shard (round trip)."""
+        self.serve_batch(key, [u], [v])
+
+    def serve_batch(self, key: Any, sources, targets) -> BatchServeResult:
+        """Serve one key's request batch on its owning shard."""
+        self._check_open()
+        sources = [int(u) for u in sources]
+        targets = [int(v) for v in targets]
+        if len(sources) != len(targets):
+            raise ExperimentError(
+                "serve_batch sources and targets must be equal length"
+            )
+        shard = self.router.shard_of(key)
+        m, routing, rotations, links = self._dispatch(
+            {shard: [(key, sources, targets)]}
+        )
+        return BatchServeResult(m, routing, rotations, links, None, None)
+
+    def serve_stream(
+        self,
+        requests: Iterable[tuple[Any, int, int]],
+        *,
+        window: Optional[int] = None,
+    ) -> BatchServeResult:
+        """Serve a keyed request stream, ``window`` requests per round.
+
+        ``requests`` is any iterable of ``(key, u, v)``.  Each window is
+        hash-split across the owning shards and dispatched to all of them
+        before any acknowledgement is awaited — the farm's concurrent hot
+        path.  Returns the accumulated totals for this stream;
+        :attr:`metrics` advances by the same amounts.
+        """
+        self._check_open()
+        if window is None:
+            window = self.window
+        elif window < 1:
+            raise ExperimentError(f"window must be >= 1, got {window}")
+        iterator = iter(requests)
+        totals = [0, 0, 0, 0]
+        while True:
+            block = list(islice(iterator, window))
+            if not block:
+                break
+            m, routing, rotations, links = self._dispatch(
+                self.router.split(block)
+            )
+            totals[0] += m
+            totals[1] += routing
+            totals[2] += rotations
+            totals[3] += links
+        return BatchServeResult(
+            totals[0], totals[1], totals[2], totals[3], None, None
+        )
+
+    # -- introspection -------------------------------------------------
+    def _query(self, shard: int, command: str):
+        self._check_open()
+        conn = self._conns[shard]
+        conn.send((command,))
+        reply = conn.recv()
+        if reply[0] == "error":
+            raise ReliabilityError(
+                f"serve farm shard {shard} failed {command}: {reply[1]}"
+            )
+        return reply[1]
+
+    def status(self) -> list[dict[str, Any]]:
+        """Per-shard liveness report: pid, kernel availability, engines."""
+        return [self._query(shard, "status") for shard in range(self.shards)]
+
+    def session_metrics(self) -> dict[Any, dict[str, Any]]:
+        """Authoritative per-key metrics, collected from the workers.
+
+        Deterministic cost dicts (:meth:`SessionMetrics.to_dict`) — the
+        cell-for-cell comparison surface of the reliability suite.
+        """
+        merged: dict[Any, dict[str, Any]] = {}
+        for shard in range(self.shards):
+            merged.update(self._query(shard, "metrics"))
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServeFarm(shards={self.shards},"
+            f" requests={self.metrics.requests},"
+            f" respawns={self.respawns}, closed={self._closed})"
+        )

@@ -7,7 +7,7 @@ import pytest
 
 from repro.errors import ExperimentError
 from repro.net import NetworkSpec, Session, build_network, open_session
-from repro.workloads.synthetic import zipf_trace
+from repro.workloads.synthetic import uniform_trace, zipf_trace
 
 
 def _zipf(n=1024, m=20_000, seed=0):
@@ -202,3 +202,106 @@ class TestWrappedSessionsTakeBatchedPath:
         total = [scalar_net.serve(int(u), int(v)) for u, v in trace.pairs()]
         assert batched.total_routing == sum(r.routing_cost for r in total)
         assert batched.total_rotations == sum(r.rotations for r in total)
+
+
+class TestLatencyStats:
+    def test_percentiles_from_histogram(self):
+        from repro.net import LatencyStats
+
+        stats = LatencyStats()
+        assert stats.total == 0
+        assert stats.p50 == 0.0 and stats.p99 == 0.0
+        for _ in range(90):
+            stats.record(1e-6)
+        for _ in range(10):
+            stats.record(1e-3)
+        assert stats.total == 100
+        # Bucketed percentiles: right order of magnitude, monotone.
+        assert 5e-7 < stats.p50 < 5e-6
+        assert 2e-4 < stats.p99 < 5e-3
+        assert stats.p50 <= stats.p99
+
+    def test_merge_is_exact_and_copy_independent(self):
+        from repro.net import LatencyStats
+
+        a, b, combined = LatencyStats(), LatencyStats(), LatencyStats()
+        for i in range(1, 50):
+            seconds = i * 3.7e-6
+            (a if i % 2 else b).record(seconds)
+            combined.record(seconds)
+        merged = a.copy()
+        merged.merge(b)
+        assert merged.to_dict() == combined.to_dict()
+        assert a.total == 25  # the copy did not alias a
+
+    def test_weighted_record_counts(self):
+        from repro.net import LatencyStats
+
+        stats = LatencyStats()
+        stats.record(2e-6, 500)
+        assert stats.total == 500
+        assert stats.p50 == stats.p99
+
+    def test_bad_quantile_rejected(self):
+        from repro.net import LatencyStats
+
+        stats = LatencyStats()
+        stats.record(1e-6)
+        with pytest.raises(ExperimentError):
+            stats.percentile(1.5)
+        with pytest.raises(ExperimentError):
+            stats.percentile(-0.1)
+
+
+class TestSessionLatency:
+    def test_scalar_serve_records_latency(self):
+        session = open_session("kary-splaynet", n=16, k=2, engine="flat")
+        for _ in range(10):
+            session.serve(1, 9)
+        assert session.metrics.latency.total == 10
+        assert session.metrics.latency_p99 >= session.metrics.latency_p50 > 0
+
+    def test_stream_records_per_request_latency(self):
+        session = open_session("kary-splaynet", n=32, k=3, engine="flat")
+        trace = uniform_trace(32, 200, seed=3)
+        session.serve_stream(trace, chunk=50)
+        assert session.metrics.latency.total == 200
+        assert session.metrics.latency_p50 > 0
+
+    def test_latency_excluded_from_deterministic_view(self):
+        """to_dict is compared cell-for-cell across differently-timed
+        runs (reliability suites), so timing must stay out of it."""
+        session = open_session("kary-splaynet", n=16, k=2, engine="flat")
+        session.serve(1, 9)
+        assert "latency" not in session.metrics.to_dict()
+        copied = session.metrics.copy()
+        assert copied.latency.total == 1
+        copied.latency.record(1.0)
+        assert session.metrics.latency.total == 1  # copy did not alias
+
+
+class TestAutoChunk:
+    def test_default_chunk_is_auto_sized(self):
+        from repro.net.session import DEFAULT_CHUNK
+
+        session = open_session("kary-splaynet", n=16, k=2, engine="flat")
+        assert session._auto_chunk() == DEFAULT_CHUNK
+        capped = open_session(
+            "kary-splaynet", n=16, k=2, engine="flat", checkpoint_every=100
+        )
+        assert capped._auto_chunk() == 100
+
+    def test_auto_chunk_honours_checkpoint_cadence(self):
+        session = open_session(
+            "kary-splaynet", n=32, k=2, engine="flat", checkpoint_every=25
+        )
+        trace = uniform_trace(32, 100, seed=7)
+        session.serve_stream(trace)  # chunk=None -> auto
+        # Four auto-checkpoints were cut, one per 25 requests.
+        assert session.metrics.requests == 100
+        assert session.last_checkpoint is not None
+
+    def test_explicit_bad_chunk_still_rejected(self):
+        session = open_session("kary-splaynet", n=16, k=2, engine="flat")
+        with pytest.raises(ExperimentError):
+            session.serve_stream([(1, 2)], chunk=0)

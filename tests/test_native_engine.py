@@ -317,3 +317,110 @@ class TestNativeTreeUnit:
         trace = zipf_trace(30, 400, 1.3, seed=3)
         nat.serve_many(trace.sources.tolist(), trace.targets.tolist())
         nat.validate()
+
+
+# ----------------------------------------------------------------------
+# the resident runtime (kernel-owned tree state across calls)
+# ----------------------------------------------------------------------
+@needs_kernel
+class TestResidentRuntime:
+    """The handle-based kernel API: C-owned buffers, dirty-flag sync.
+
+    A resident NativeTree keeps its authoritative state inside the
+    kernel handle between serves; every inspection / snapshot /
+    cross-engine path must transparently sync it back.  Disabling
+    residency (``set_resident(False)``) restores the marshalled
+    per-call round trip — both modes must be request-for-request
+    identical to each other and to the flat and object engines.
+    """
+
+    def test_scalar_serves_stay_resident_and_match_object(self):
+        from repro.core import native as native_module
+
+        n, k = 36, 3
+        obj = KArySplayNet(n, k, engine="object")
+        nat = KArySplayNet(n, k, engine="native")
+        assert native_module.resident_enabled()
+        trace = uniform_trace(n, 300, seed=11)
+        for i, (u, v) in enumerate(trace.pairs()):
+            assert result_tuple(obj.serve(u, v)) == result_tuple(
+                nat.serve(u, v)
+            ), i
+            if i % 40 == 0:
+                # Inspection forces a handle -> lists sync mid-stream.
+                assert tree_signature(obj.tree) == nat.flat.signature()
+        assert tree_signature(obj.tree) == nat.flat.signature()
+        nat.flat.validate()
+
+    def test_marshalled_mode_is_identical(self):
+        from repro.core.native import set_resident
+
+        n, k = 30, 4
+        trace = zipf_trace(n, 250, 1.2, seed=5)
+        resident = KArySplayNet(n, k, engine="native")
+        marshalled = KArySplayNet(n, k, engine="native")
+        for u, v in trace.pairs():
+            a = result_tuple(resident.serve(u, v))
+            previous = set_resident(False)
+            try:
+                b = result_tuple(marshalled.serve(u, v))
+            finally:
+                set_resident(previous)
+            assert a == b
+        assert resident.flat.signature() == marshalled.flat.signature()
+
+    def test_scalar_out_of_range_rejected_resident(self):
+        nat = KArySplayNet(12, 2, engine="native")
+        with pytest.raises(EngineError, match="1..12"):
+            nat.serve(1, 13)
+        # Degenerate out-of-range self-pair short-circuits at cost 0.
+        assert result_tuple(nat.serve(50, 50)) == (0, 0, 0)
+
+    def test_mid_stream_snapshot_restore_through_sync(self):
+        """A checkpoint cut while the kernel owns the state (dirty-flag
+        sync path) must restore identically on every engine."""
+        n, k = 32, 3
+        first = zipf_trace(n, 200, 1.3, seed=21)
+        rest = zipf_trace(n, 200, 1.3, seed=22)
+        native_session = open_session(
+            "kary-splaynet", n=n, k=k, engine="native"
+        )
+        native_session.serve_stream(first)  # state now lives in the handle
+        checkpoint = native_session.snapshot()
+        outcomes = {}
+        for engine in ENGINES:
+            session = open_session("kary-splaynet", n=n, k=k, engine=engine)
+            session.restore(checkpoint)
+            batch = session.serve_stream(rest)
+            flat = getattr(session.network, "flat", None)
+            signature = (
+                flat.signature()
+                if flat is not None
+                else tree_signature(session.network.tree)
+            )
+            outcomes[engine] = (
+                batch.total_routing,
+                batch.total_rotations,
+                batch.total_links_changed,
+                signature,
+            )
+        native_continue = native_session.serve_stream(rest)
+        assert outcomes["native"] == outcomes["flat"] == outcomes["object"]
+        assert native_continue.total_routing == outcomes["native"][0]
+        assert native_session.network.flat.signature() == outcomes["native"][3]
+
+    def test_cross_engine_adoption_syncs_resident_state(self):
+        """FlatTree.from_flat on a resident tree must see the kernel's
+        topology, not the stale Python lists."""
+        from repro.core.builders import build_balanced_tree
+
+        nat = NativeTree.from_tree(build_balanced_tree(24, 3))
+        trace = zipf_trace(24, 150, 1.2, seed=8)
+        nat.serve_many(trace.sources.tolist(), trace.targets.tolist())
+        as_flat = FlatTree.from_flat(nat)
+        assert as_flat.signature() == nat.signature()
+        # And the adopted copy serves identically afterwards.
+        more = zipf_trace(24, 80, 1.2, seed=9)
+        assert nat.serve_many(
+            more.sources.tolist(), more.targets.tolist()
+        ) == as_flat.serve_many(more.sources.tolist(), more.targets.tolist())
