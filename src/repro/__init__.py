@@ -89,6 +89,17 @@ from repro.parallel import (
     run_sweep,
 )
 from repro.reliability import FaultPlan, inject_faults
+from repro.results import (
+    JsonlStore,
+    ResultStore,
+    SqliteStore,
+    copy_results,
+    default_store_path,
+    iter_results_jsonl,
+    open_store,
+    read_results_jsonl,
+    spec_store_hash,
+)
 from repro.network.cost import CostModel, LINK_CHURN, ROUTING_ONLY, UNIT_ROTATIONS
 from repro.network.lazy import LazyRebuildNetwork
 from repro.network.metrics import cumulative_advantage, summarize_series
@@ -245,6 +256,16 @@ __all__ = [
     # reliability (fault injection, recovery)
     "FaultPlan",
     "inject_faults",
+    # results storage (pluggable campaign record backends)
+    "ResultStore",
+    "JsonlStore",
+    "SqliteStore",
+    "open_store",
+    "copy_results",
+    "iter_results_jsonl",
+    "read_results_jsonl",
+    "default_store_path",
+    "spec_store_hash",
     # visualization
     "render_kary_network",
     "bar_chart",

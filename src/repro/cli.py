@@ -11,7 +11,10 @@ Subcommands:
 * ``reproduce``  — regenerate the paper's tables at a chosen scale
 * ``scenarios``  — list/run/export declarative scenario sets (the paper's
   tables as data; see :mod:`repro.scenarios`); ``run`` consults the
-  per-cell result cache by default (``--no-cache`` / ``--refresh``)
+  per-cell result cache by default (``--no-cache`` / ``--refresh``),
+  records to either results backend (``--store jsonl|sqlite``), and
+  ``export --to`` converts a campaign's record between backends
+* ``bench-store`` — results-store ingest/lookup throughput, JSONL vs SQLite
 * ``bench-hotpath`` — serve-loop throughput of the object vs. flat engine
 * ``bench-pipeline`` — end-to-end ``run_all`` time per engine
 * ``bench-optimal`` — optimal-tree DP subsystem vs. the legacy forward
@@ -393,13 +396,14 @@ def _cmd_scenarios_list(args: argparse.Namespace) -> int:
 
 def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     from repro.experiments.presets import get_scale
-    from repro.scenarios import JsonlResultSink, default_results_path, expand, run_specs
+    from repro.results import default_store_path, open_store
+    from repro.scenarios import expand, run_specs
 
     scale = get_scale(args.scale)
     specs = expand(args.name, scale, engine=args.engine)
     out = args.output
     if out is None and (args.record or args.resume):
-        out = default_results_path(args.name, scale.name)
+        out = default_store_path(args.name, scale.name, args.store or "jsonl")
     from repro.scenarios.cache import env_disables_cache
 
     config = None
@@ -407,7 +411,10 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
         from repro.parallel.pool import ParallelConfig
 
         config = ParallelConfig(jobs=args.jobs, retries=args.retries)
-    sink = JsonlResultSink(out) if out else None
+    # --store overrides; otherwise the backend follows the path suffix.
+    sink = (
+        open_store(out, backend=args.store, scale=scale.name) if out else None
+    )
     try:
         results = run_specs(
             specs,
@@ -422,10 +429,15 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     finally:
         if sink is not None:
             sink.close()
-    print(
-        f"{args.name}: {len(results)} cells at scale {scale.name}"
-        + (f" -> {out}" if out else "")
-    )
+    recorded = ""
+    if sink is not None:
+        # Honest resume accounting: `count` is this session's writes only,
+        # so say how many records the file already held.
+        recorded = (
+            f" -> {out} ({sink.count} written, {sink.preexisting} preexisting,"
+            f" {sink.total} total)"
+        )
+    print(f"{args.name}: {len(results)} cells at scale {scale.name}" + recorded)
     header = f"{'group':18s} {'algorithm':24s} {'k':>3s} {'n':>6s} {'routing':>12s} {'rotations':>12s} {'avg':>10s}"
     print(header)
     for cell in results:
@@ -443,6 +455,26 @@ def _cmd_scenarios_export(args: argparse.Namespace) -> int:
     from repro.scenarios import expand, specs_to_json
 
     scale = get_scale(args.scale)
+    if args.to is not None:
+        # Record conversion: stream the campaign's result record into the
+        # other backend (JSONL ↔ SQLite), cell for cell.
+        from repro.results import copy_results, default_store_path
+
+        other = {"jsonl": "sqlite", "sqlite": "jsonl"}[args.to]
+        source = Path(args.source) if args.source else default_store_path(
+            args.name, scale.name, other
+        )
+        if not source.exists():
+            raise ReproError(
+                f"no result record at {source}; run the campaign first or"
+                " pass --from"
+            )
+        out = Path(args.output) if args.output else default_store_path(
+            args.name, scale.name, args.to
+        )
+        copied = copy_results(source, out)
+        print(f"converted {copied} results: {source} -> {out}")
+        return 0
     specs = expand(args.name, scale, engine=args.engine)
     text = specs_to_json(specs)
     if args.output:
@@ -452,6 +484,30 @@ def _cmd_scenarios_export(args: argparse.Namespace) -> int:
         print(f"wrote {len(specs)} specs to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_bench_store(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.storebench import (
+        results_store_benchmark,
+        write_store_record,
+    )
+
+    record = results_store_benchmark(
+        cells=args.cells,
+        lookups=args.lookups,
+        batch=args.batch,
+        seed=args.seed,
+    )
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if args.output:
+        write_store_record(record, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if record.get("roundtrip_match") is False:
+        print("error: store backends disagree on the record", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -602,11 +658,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scen_run.add_argument(
         "--output", default=None,
-        help="stream results to this JSONL file",
+        help="stream results to this record file (.jsonl or .sqlite)",
     )
     scen_run.add_argument(
         "--record", action="store_true",
         help="stream results to the conventional benchmarks/results/ path",
+    )
+    scen_run.add_argument(
+        "--store", choices=("jsonl", "sqlite"), default=None,
+        help="results backend (default: inferred from the output path"
+             " suffix, jsonl otherwise)",
     )
     scen_run.add_argument(
         "--no-cache", action="store_true",
@@ -628,13 +689,25 @@ def build_parser() -> argparse.ArgumentParser:
     scen_run.set_defaults(func=_cmd_scenarios_run)
 
     scen_export = scen_sub.add_parser(
-        "export", help="expand one scenario set to a JSON spec list"
+        "export",
+        help="expand one scenario set to a JSON spec list, or convert its"
+             " result record between store backends (--to)",
     )
     scen_export.add_argument("name", help="a name from `repro scenarios list`")
     scen_export.add_argument("--scale", default=None, choices=("smoke", "quick", "paper"))
     scen_export.add_argument(
         "--engine", choices=("object", "flat", "native"), default=None,
         help="pin the tree engine in the exported specs",
+    )
+    scen_export.add_argument(
+        "--to", choices=("jsonl", "sqlite"), default=None,
+        help="convert the campaign's result record to this backend"
+             " instead of exporting specs",
+    )
+    scen_export.add_argument(
+        "--from", dest="source", default=None,
+        help="source record for --to (default: the campaign's"
+             " conventional path in the other backend)",
     )
     scen_export.add_argument("-o", "--output", default=None, help="write here")
     scen_export.set_defaults(func=_cmd_scenarios_export)
@@ -727,6 +800,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     benchs.add_argument("--output", default=None, help="also write JSON here")
     benchs.set_defaults(func=_cmd_bench_servefarm)
+
+    benchst = sub.add_parser(
+        "bench-store",
+        help="results-store ingest/lookup benchmark, JSONL vs SQLite (JSON)",
+    )
+    benchst.add_argument(
+        "--cells", type=int, default=50_000,
+        help="synthetic results to ingest per backend",
+    )
+    benchst.add_argument(
+        "--lookups", type=int, default=5,
+        help="spec-hash lookups to time per backend (each JSONL lookup"
+             " scans the whole file — keep this small)",
+    )
+    benchst.add_argument(
+        "--batch", type=int, default=1000,
+        help="rows per SQLite ingest transaction",
+    )
+    benchst.add_argument("--seed", type=int, default=0)
+    benchst.add_argument("--output", default=None, help="also write JSON here")
+    benchst.set_defaults(func=_cmd_bench_store)
 
     benchr = sub.add_parser(
         "bench-report",

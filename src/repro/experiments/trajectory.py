@@ -25,6 +25,7 @@ from repro.errors import ExperimentError
 
 __all__ = [
     "DEFAULT_RESULTS_DIR",
+    "campaign_records",
     "load_benchmark_records",
     "record_checks",
     "record_metrics",
@@ -95,6 +96,34 @@ def record_checks(record: dict) -> list[tuple[str, bool]]:
     ]
 
 
+def campaign_records(
+    results_dir: Union[str, Path, None] = None,
+) -> list[tuple[str, str, int]]:
+    """The directory's scenario result records, read through the store API.
+
+    Every ``scenario_*`` record file — either backend — becomes a
+    ``(file name, backend, cell count)`` row, so the report shows the
+    recorded campaigns next to the benchmark metrics regardless of which
+    store wrote them.
+    """
+    from repro.results import open_store
+
+    directory = Path(results_dir) if results_dir else DEFAULT_RESULTS_DIR
+    if not directory.is_dir():
+        return []
+    rows: list[tuple[str, str, int]] = []
+    for path in sorted(directory.glob("scenario_*")):
+        if path.suffix not in (".jsonl", ".sqlite", ".sqlite3", ".db"):
+            continue
+        backend = "jsonl" if path.suffix == ".jsonl" else "sqlite"
+        store = open_store(path)
+        try:
+            rows.append((path.name, backend, store.count_records()))
+        finally:
+            store.close()
+    return rows
+
+
 def render_trajectory(results_dir: Union[str, Path, None] = None) -> str:
     """Render the results directory as a markdown perf-trajectory report."""
     records = load_benchmark_records(results_dir)
@@ -123,4 +152,15 @@ def render_trajectory(results_dir: Union[str, Path, None] = None) -> str:
         for name, path, passed in checks:
             mark = "PASS" if passed else "**FAIL**"
             lines.append(f"- {mark} `{name}` `{path}`")
+    campaigns = campaign_records(results_dir)
+    if campaigns:
+        lines += [
+            "",
+            "## Recorded campaigns",
+            "",
+            "| record | backend | cells |",
+            "| --- | --- | --- |",
+        ]
+        for name, backend, count in campaigns:
+            lines.append(f"| {name} | {backend} | {count} |")
     return "\n".join(lines) + "\n"

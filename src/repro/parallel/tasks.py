@@ -26,11 +26,12 @@ from typing import Optional
 from repro.core.engine import ENGINES
 from repro.errors import ExperimentError
 from repro.net.registry import build_network, require_algorithm
-from repro.net.spec import NetworkSpec
+from repro.net.spec import NetworkSpec, freeze_params
 from repro.network.simulator import Simulator
 from repro.workloads.datacenter import facebook_trace, hpc_trace, projector_trace
 from repro.workloads.demand import DemandMatrix
 from repro.workloads.synthetic import (
+    permutation_trace,
     temporal_trace,
     uniform_trace,
     zipf_trace,
@@ -64,6 +65,8 @@ def materialize_trace(workload: str, n: int, m: int, seed: int) -> Trace:
         return projector_trace(n, m, seed)
     if workload == "facebook":
         return facebook_trace(n, m, seed)
+    if workload == "permutation":
+        return permutation_trace(n, m, seed)
     if workload.startswith("temporal-"):
         return temporal_trace(n, m, float(workload.split("-", 1)[1]), seed)
     if workload.startswith("zipf-"):
@@ -197,6 +200,9 @@ class SimulationTask:
         process default; ignored by the rest).
     initial:
         Initial topology name for ``kary-splaynet``.
+    params:
+        Frozen ``(name, value)`` algorithm parameters, forwarded to the
+        network constructor (e.g. ``alpha`` for ``lazy``).
     """
 
     workload: str
@@ -207,8 +213,10 @@ class SimulationTask:
     k: int = 2
     engine: Optional[str] = None
     initial: str = "complete"
+    params: tuple = ()
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "params", freeze_params(self.params))
         require_algorithm(self.algorithm)
         if self.k < 2:
             raise ExperimentError(f"k must be >= 2, got {self.k}")
@@ -225,6 +233,7 @@ class SimulationTask:
             k=self.k,
             engine=self.engine,
             initial=self.initial,
+            params=self.params,
         )
 
 

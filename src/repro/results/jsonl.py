@@ -1,0 +1,304 @@
+"""The JSONL result store: one flushed line per cell, crash-safe.
+
+One :class:`~repro.scenarios.core.ScenarioResult` per line, written (and
+flushed) as results are handed over.  ``run_specs`` streams every cell to
+the store the moment it completes — serially in spec order, pooled in
+completion order — so a killed campaign keeps every completed cell on
+disk and downstream tooling can tail the file while it runs.  Files are
+opened in **append** mode, so re-running or resuming a campaign extends
+the record instead of silently truncating it (pass ``overwrite=True``
+for a fresh file).
+
+Crash-safety contract: each record is emitted as **one** ``write`` call
+of one complete line and flushed before ``write`` returns, so a process
+killed between records never tears the file — and a process killed *mid*
+record tears at most the final line.  :func:`iter_results_jsonl` upholds
+the matching read guarantee: a truncated trailing line is skipped with a
+warning (never an exception), so the record of an interrupted campaign
+stays loadable and ``run_specs(..., resume=True)`` can seed from it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Any, Iterable, Iterator, List, Optional
+
+from repro.results.store import matches_filters
+
+__all__ = [
+    "JSONL_SCHEMA_VERSION",
+    "JsonlStore",
+    "iter_results_jsonl",
+    "read_results_jsonl",
+]
+
+#: Version of the one-record-per-line layout (bump on a breaking change
+#: to the line shape; additive spec fields are handled by the tolerant
+#: ``ScenarioSpec.from_dict`` defaults and need no bump).
+JSONL_SCHEMA_VERSION = 1
+
+
+class JsonlStore:
+    """Append-ordered JSONL result store (the historical sink, refactored).
+
+    Opens lazily on the first ``write`` (so constructing a store never
+    touches the filesystem), creates parent directories, emits each
+    record as a single complete-line ``write`` and flushes it.  The
+    default open mode is **append**: a second session on the same path
+    extends the record, keeping the class's crash-survivability promise
+    across re-runs and resumes (a torn partial line left by a killed
+    writer is truncated away before the first append, so the file stays
+    a sequence of whole records).  ``overwrite=True`` truncates instead;
+    ``fsync=True`` additionally forces each line to stable storage
+    (survives power loss, not just process death — at a per-line
+    ``fsync`` cost).  Usable as a context manager; ``close()`` is
+    idempotent.
+
+    Session accounting: ``count`` is the number of records *this store
+    instance* wrote, ``preexisting`` the number of complete records the
+    file already held when this instance first looked, and ``total``
+    their sum — so a resumed campaign's summary can say "3 new cells, 24
+    already recorded" instead of a misleading bare ``count``.
+
+    Fault-injection point ``sink.write``: ``error`` fails the write
+    before anything reaches the file; ``truncate`` deliberately leaves a
+    torn partial line (the stand-in for a SIGKILL mid-``write``) and then
+    fails — exercised by the reliability suite to pin the tolerant read
+    path.
+    """
+
+    def __init__(
+        self,
+        path: "str | Path",
+        *,
+        overwrite: bool = False,
+        fsync: bool = False,
+        scale: Optional[str] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.overwrite = overwrite
+        self.fsync = fsync
+        self.scale = scale
+        self._handle = None
+        self.count = 0
+        self._preexisting: Optional[int] = None
+
+    # -- session accounting --------------------------------------------
+    def _count_complete_records(self) -> int:
+        """Complete (newline-terminated, non-blank) records on disk now."""
+        try:
+            count = 0
+            with self.path.open("r") as handle:
+                for line in handle:
+                    if line.endswith("\n") and line.strip():
+                        count += 1
+            return count
+        except FileNotFoundError:
+            return 0
+
+    @property
+    def preexisting(self) -> int:
+        """Records the file held before this instance's first write."""
+        if self._preexisting is None:
+            self._preexisting = (
+                0 if self.overwrite else self._count_complete_records()
+            )
+        return self._preexisting
+
+    @property
+    def total(self) -> int:
+        """``preexisting + count`` — the record's size after this session."""
+        return self.preexisting + self.count
+
+    # -- write path ----------------------------------------------------
+    def _repair_torn_tail(self) -> None:
+        """Truncate a partial trailing line left by a killed writer.
+
+        Append mode would otherwise glue the next record onto the torn
+        fragment, corrupting a line *mid*-file — beyond what the tolerant
+        reader forgives.  Trimming back to the last complete line keeps
+        the file a sequence of whole records; the torn cell is simply
+        recomputed by ``resume``.
+        """
+        try:
+            with self.path.open("rb+") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                if size == 0:
+                    return
+                handle.seek(size - 1)
+                if handle.read(1) == b"\n":
+                    return
+                handle.seek(0)
+                data = handle.read()
+                keep = data.rfind(b"\n") + 1  # 0 when no newline at all
+                handle.truncate(keep)
+        except FileNotFoundError:
+            return
+
+    def write(self, result) -> None:
+        from repro.errors import FaultInjected
+        from repro.reliability.faults import fire_fault
+
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            if not self.overwrite:
+                self._repair_torn_tail()
+            # Snapshot the prior record count before this session appends.
+            if self._preexisting is None:
+                self._preexisting = (
+                    0 if self.overwrite else self._count_complete_records()
+                )
+            self._handle = self.path.open("w" if self.overwrite else "a")
+        line = json.dumps(result.to_dict(), sort_keys=True) + "\n"
+        spec = fire_fault("sink.write", context=result.spec.to_json())
+        if spec is not None and spec.mode == "truncate":
+            # Simulate a kill mid-write: half the line lands, no newline.
+            self._handle.write(line[: max(1, len(line) // 2)])
+            self._handle.flush()
+            raise FaultInjected(
+                f"injected torn write at {self.path}: {spec.detail or spec.point}"
+            )
+        self._handle.write(line)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self.count += 1
+
+    def append(self, result) -> None:
+        """Protocol synonym of :meth:`write` (one durable record)."""
+        self.write(result)
+
+    def append_many(self, results: Iterable[Any]) -> int:
+        """Append a stream of records; returns how many landed.
+
+        JSONL has no cheaper batch mode than its per-line contract, so
+        this is a loop over :meth:`write` — the method exists so the
+        :class:`~repro.results.store.ResultStore` ingest surface is
+        uniform across backends.
+        """
+        appended = 0
+        for result in results:
+            self.write(result)
+            appended += 1
+        return appended
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> Optional[bool]:
+        self.close()
+        return None
+
+    # -- read path -----------------------------------------------------
+    def __iter__(self) -> Iterator[Any]:
+        """Stream the file's records in append order (O(1) memory).
+
+        Reads through a separate handle, so iterating a store that is
+        also being written (resume seeding before the first new cell,
+        tailing a live campaign) is safe.
+        """
+        if not self.path.exists():
+            return
+        yield from iter_results_jsonl(self.path)
+
+    def query(
+        self,
+        *,
+        spec_hash: Optional[str] = None,
+        group: Optional[str] = None,
+        scale: Optional[str] = None,
+        workload: Optional[str] = None,
+        algorithm: Optional[str] = None,
+        k: Optional[int] = None,
+        n: Optional[int] = None,
+    ) -> Iterator[Any]:
+        """Filtered scan over the record (the JSONL ``WHERE`` clause).
+
+        Every filter is applied record-by-record while streaming — a
+        JSONL store has no indexes, which is exactly the asymmetry the
+        SQLite backend exists to fix.  ``scale`` matches the store-level
+        campaign label (JSONL lines carry no scale column).
+        """
+        if scale is not None and scale != self.scale:
+            return
+        for result in self:
+            if matches_filters(
+                result,
+                spec_hash=spec_hash,
+                group=group,
+                workload=workload,
+                algorithm=algorithm,
+                k=k,
+                n=n,
+            ):
+                yield result
+
+    def count_records(self, **filters: Any) -> int:
+        """Number of records matching the filters (full count unfiltered)."""
+        if not filters:
+            return self._count_complete_records()
+        return sum(1 for _ in self.query(**filters))
+
+    def schema_version(self) -> int:
+        return JSONL_SCHEMA_VERSION
+
+
+def iter_results_jsonl(path: "str | Path") -> Iterator[Any]:
+    """Stream a record file back as result objects, one line at a time.
+
+    The O(1)-memory core of :func:`read_results_jsonl`: resume seeding
+    over a multi-gigabyte campaign record holds one line in memory, not
+    the whole file.  Tolerates the one corruption a killed writer can
+    leave behind: a **truncated trailing line** (partial JSON with or
+    without its newline) is skipped with a :class:`RuntimeWarning`
+    instead of raising, so the completed cells of an interrupted campaign
+    stay loadable.  Malformed JSON *before* the final line is not a crash
+    artifact — single-``write`` line appends cannot tear mid-file — so it
+    still raises :class:`json.JSONDecodeError`.
+    """
+    from repro.scenarios.core import ScenarioResult
+
+    path = Path(path)
+    # A decode failure is held back one step: only if another non-blank
+    # line follows is it mid-file corruption (raise); a failure on the
+    # final non-blank line is the torn tail the write contract permits.
+    held_error: Optional[tuple[int, json.JSONDecodeError]] = None
+    with path.open("r") as handle:
+        for number, raw in enumerate(handle, 1):
+            line = raw.strip()
+            if not line:
+                continue
+            if held_error is not None:
+                raise held_error[1]
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                held_error = (number, exc)
+                continue
+            yield ScenarioResult.from_dict(data)
+    if held_error is not None:
+        warnings.warn(
+            f"{path}: skipping truncated trailing line {held_error[0]}"
+            " (partial write from an interrupted run)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+
+def read_results_jsonl(path: "str | Path") -> List[Any]:
+    """Load a record file into a list (compatibility shim).
+
+    Thin wrapper over :func:`iter_results_jsonl` — same tolerance and
+    warning semantics, whole-campaign list materialized.  Prefer the
+    iterator (or :class:`JsonlStore` iteration) for large records.
+    """
+    return list(iter_results_jsonl(path))

@@ -1,0 +1,74 @@
+"""Where result records live: the results root and conventional paths.
+
+Every store backend anchors its files under one directory —
+``benchmarks/results/`` resolved against the repository root (or the
+``REPRO_RESULTS_DIR`` environment override), never the current working
+directory — so campaigns launched from anywhere land in one place.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+__all__ = [
+    "RESULTS_DIR_ENV",
+    "STORE_EXTENSIONS",
+    "results_root",
+    "default_results_path",
+    "default_store_path",
+]
+
+#: Environment override for the results directory.
+RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
+
+#: Store backend name → conventional file extension.
+STORE_EXTENSIONS = {"jsonl": "jsonl", "sqlite": "sqlite"}
+
+
+def results_root(start: Optional[Path] = None) -> Path:
+    """The directory result files (and the result cache) live under.
+
+    Resolution order:
+
+    1. the ``REPRO_RESULTS_DIR`` environment variable, verbatim;
+    2. the nearest ancestor of ``start`` (default: the current
+       directory) containing ``benchmarks/results`` — a checkout,
+       entered anywhere inside it;
+    3. the checkout this package was imported from (``src`` layout), if
+       it carries a ``benchmarks`` directory;
+    4. ``benchmarks/results`` relative to the current directory (the
+       historical fallback — only reached outside any checkout).
+    """
+    env = os.environ.get(RESULTS_DIR_ENV)
+    if env:
+        return Path(env)
+    cwd = start if start is not None else Path.cwd()
+    for base in (cwd, *cwd.parents):
+        candidate = base / "benchmarks" / "results"
+        if candidate.is_dir():
+            return candidate
+    # paths.py -> results -> repro -> src -> <checkout root>
+    pkg_root = Path(__file__).resolve().parents[3]
+    if (pkg_root / "benchmarks").is_dir():
+        return pkg_root / "benchmarks" / "results"
+    return Path("benchmarks") / "results"
+
+
+def default_results_path(name: str, scale: str) -> Path:
+    """``<results_root>/scenario_<name>_<scale>.jsonl`` (the historical
+    JSONL convention; see :func:`default_store_path` for other backends)."""
+    return default_store_path(name, scale, "jsonl")
+
+
+def default_store_path(name: str, scale: str, backend: str = "jsonl") -> Path:
+    """The conventional record path of a campaign for a store backend."""
+    try:
+        extension = STORE_EXTENSIONS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown store backend {backend!r}; choose from"
+            f" {sorted(STORE_EXTENSIONS)}"
+        ) from None
+    return results_root() / f"scenario_{name}_{scale}.{extension}"

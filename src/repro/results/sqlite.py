@@ -1,0 +1,375 @@
+"""The SQLite result store: indexed, transactional, million-cell scale.
+
+One row per :class:`~repro.scenarios.core.ScenarioResult`, keyed by the
+spec's canonical JSON plus its content hash
+(:func:`~repro.results.store.spec_store_hash`), with the query-bearing
+spec coordinates — scenario (``group``), algorithm, ``k``, ``n``,
+workload and the campaign's scale label — denormalized into indexed
+columns.  Where the JSONL backend answers a spec-hash lookup by scanning
+the whole file, this backend answers it from a B-tree.
+
+Durability model (mirrors the JSONL crash contract):
+
+* the database runs in **WAL mode** — a writer killed mid-transaction
+  loses only the uncommitted transaction; every committed row survives
+  and the next open recovers cleanly from the write-ahead log;
+* :meth:`SqliteStore.write` commits each record individually (the
+  streaming contract ``run_specs`` relies on: a killed campaign keeps
+  every completed cell);
+* :meth:`SqliteStore.append_many` is the **batched ingest** path —
+  records are grouped into multi-row transactions (``batch`` per
+  commit), trading per-record durability for throughput;
+* ``synchronous=NORMAL`` survives process death (SIGKILL); pass
+  ``fsync=True`` for ``synchronous=FULL`` (survives power loss), the
+  analogue of the JSONL store's per-line ``fsync``.
+
+Schema evolution: a ``schema_version`` table records the layout version;
+opening a database written by a *newer* layout refuses loudly, and
+opening an older one walks the :data:`SqliteStore.MIGRATIONS` hook table
+(from-version → migration callable) forward step by step, so record
+files keep working across schema changes instead of being re-ingested.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Any, Callable, ClassVar, Dict, Iterable, Iterator, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["SQLITE_SCHEMA_VERSION", "SqliteStore"]
+
+#: Current layout version (bump alongside a MIGRATIONS entry from the
+#: previous version whenever the table shape changes).
+SQLITE_SCHEMA_VERSION = 1
+
+_CREATE_RESULTS = """
+CREATE TABLE IF NOT EXISTS results (
+    id INTEGER PRIMARY KEY,
+    spec_hash TEXT NOT NULL,
+    spec_json TEXT NOT NULL,
+    workload TEXT NOT NULL,
+    scenario TEXT NOT NULL,
+    algorithm TEXT NOT NULL,
+    k INTEGER NOT NULL,
+    n INTEGER NOT NULL,
+    scale TEXT,
+    total_routing INTEGER NOT NULL,
+    total_rotations INTEGER NOT NULL,
+    total_links_changed INTEGER NOT NULL,
+    elapsed_seconds REAL NOT NULL
+)
+"""
+
+_INDEXES = (
+    "CREATE INDEX IF NOT EXISTS idx_results_spec_hash ON results(spec_hash)",
+    "CREATE INDEX IF NOT EXISTS idx_results_scenario ON results(scenario)",
+    "CREATE INDEX IF NOT EXISTS idx_results_algorithm ON results(algorithm)",
+    "CREATE INDEX IF NOT EXISTS idx_results_k ON results(k)",
+    "CREATE INDEX IF NOT EXISTS idx_results_n ON results(n)",
+    "CREATE INDEX IF NOT EXISTS idx_results_scale ON results(scale)",
+)
+
+_INSERT = """
+INSERT INTO results (
+    spec_hash, spec_json, workload, scenario, algorithm, k, n, scale,
+    total_routing, total_rotations, total_links_changed, elapsed_seconds
+) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+"""
+
+#: Columns a query filter may address, in the protocol's vocabulary.
+_FILTER_COLUMNS = {
+    "spec_hash": "spec_hash",
+    "group": "scenario",
+    "scale": "scale",
+    "workload": "workload",
+    "algorithm": "algorithm",
+    "k": "k",
+    "n": "n",
+}
+
+
+class SqliteStore:
+    """WAL-mode SQLite implementation of the result-store protocol.
+
+    Construction never touches the filesystem; the database is opened
+    (and its schema created or migrated) on first use.  The default open
+    mode extends an existing record — ``overwrite=True`` deletes the
+    database (and its WAL sidecars) first, mirroring the JSONL store's
+    truncate semantics.  ``scale`` stamps each appended row with a
+    campaign scale label for the protocol's scale-filtered queries.
+    Usable as a context manager; ``close()`` is idempotent.
+
+    Fault-injection point ``sink.write`` (same point as the JSONL
+    store): ``error`` fails before anything reaches the database;
+    ``truncate`` — the mid-write SIGKILL stand-in — leaves the record
+    *uncommitted* and fails, so the torn write is exactly what WAL
+    recovery discards on the next open.
+    """
+
+    #: Forward-migration hooks: ``MIGRATIONS[v]`` upgrades a version-``v``
+    #: database to ``v + 1``.  Registered alongside each
+    #: :data:`SQLITE_SCHEMA_VERSION` bump; walked in order on open.
+    MIGRATIONS: ClassVar[Dict[int, Callable[[sqlite3.Connection], None]]] = {}
+
+    def __init__(
+        self,
+        path: "str | Path",
+        *,
+        overwrite: bool = False,
+        fsync: bool = False,
+        scale: Optional[str] = None,
+        batch: int = 1000,
+    ) -> None:
+        self.path = Path(path)
+        self.overwrite = overwrite
+        self.fsync = fsync
+        self.scale = scale
+        self.batch = max(1, int(batch))
+        self._conn: Optional[sqlite3.Connection] = None
+        self.count = 0
+        self._preexisting: Optional[int] = None
+        self._truncated = False
+
+    # -- connection / schema -------------------------------------------
+    def _connect(self, *, write: bool = False) -> sqlite3.Connection:
+        # Overwrite semantics mirror the JSONL store: the existing record
+        # is dropped lazily, on the first *write* — read-side access to an
+        # overwrite-mode store never destroys anything.
+        if write and self.overwrite and not self._truncated:
+            self.close()
+            if self.path.exists():
+                self.path.unlink()
+            for sidecar in ("-wal", "-shm"):
+                side = Path(str(self.path) + sidecar)
+                if side.exists():
+                    side.unlink()
+            self._truncated = True
+            self._preexisting = 0
+        if self._conn is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(self.path)
+            try:
+                conn.execute("PRAGMA journal_mode=WAL")
+                conn.execute(
+                    "PRAGMA synchronous=" + ("FULL" if self.fsync else "NORMAL")
+                )
+                self._ensure_schema(conn)
+            except BaseException:
+                conn.close()
+                raise
+            self._conn = conn
+            if self._preexisting is None:
+                self._preexisting = self._count_rows(conn)
+        return self._conn
+
+    def _ensure_schema(self, conn: sqlite3.Connection) -> None:
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS schema_version (version INTEGER NOT NULL)"
+        )
+        row = conn.execute("SELECT version FROM schema_version").fetchone()
+        if row is None:
+            conn.execute(_CREATE_RESULTS)
+            for statement in _INDEXES:
+                conn.execute(statement)
+            conn.execute(
+                "INSERT INTO schema_version (version) VALUES (?)",
+                (SQLITE_SCHEMA_VERSION,),
+            )
+            conn.commit()
+            return
+        version = int(row[0])
+        if version > SQLITE_SCHEMA_VERSION:
+            raise ReproError(
+                f"{self.path} has results-store schema v{version}, newer than"
+                f" this code's v{SQLITE_SCHEMA_VERSION}; upgrade the package"
+                " (or export the record back to JSONL with a newer build)"
+            )
+        while version < SQLITE_SCHEMA_VERSION:
+            migrate = self.MIGRATIONS.get(version)
+            if migrate is None:
+                raise ReproError(
+                    f"{self.path} has results-store schema v{version} and no"
+                    f" registered migration to v{version + 1}"
+                )
+            migrate(conn)
+            version += 1
+            conn.execute("UPDATE schema_version SET version = ?", (version,))
+            conn.commit()
+
+    @staticmethod
+    def _count_rows(conn: sqlite3.Connection) -> int:
+        return int(conn.execute("SELECT COUNT(*) FROM results").fetchone()[0])
+
+    # -- session accounting --------------------------------------------
+    @property
+    def preexisting(self) -> int:
+        """Rows the database held before this instance's first append."""
+        if self._preexisting is None:
+            if not self.path.exists() or self.overwrite:
+                return 0
+            self._connect()
+        return self._preexisting or 0
+
+    @property
+    def total(self) -> int:
+        """``preexisting + count`` — the record's size after this session."""
+        return self.preexisting + self.count
+
+    # -- write path ----------------------------------------------------
+    def _row(self, result) -> tuple:
+        from repro.results.store import spec_store_hash
+
+        spec = result.spec
+        return (
+            spec_store_hash(spec),
+            spec.to_json(),
+            spec.workload,
+            spec.group,
+            spec.algorithm,
+            spec.k,
+            spec.n,
+            self.scale,
+            result.total_routing,
+            result.total_rotations,
+            result.total_links_changed,
+            result.elapsed_seconds,
+        )
+
+    def write(self, result) -> None:
+        """Append one record durably (committed before returning)."""
+        from repro.errors import FaultInjected
+        from repro.reliability.faults import fire_fault
+
+        conn = self._connect(write=True)
+        spec = fire_fault("sink.write", context=result.spec.to_json())
+        if spec is not None and spec.mode == "truncate":
+            # Simulate a kill mid-transaction: the row is inserted but
+            # never committed — exactly what WAL recovery throws away.
+            conn.execute(_INSERT, self._row(result))
+            conn.rollback()
+            raise FaultInjected(
+                f"injected torn write at {self.path}: {spec.detail or spec.point}"
+            )
+        conn.execute(_INSERT, self._row(result))
+        conn.commit()
+        self.count += 1
+
+    def append(self, result) -> None:
+        """Protocol synonym of :meth:`write`."""
+        self.write(result)
+
+    def append_many(self, results: Iterable[Any]) -> int:
+        """Batched transactional ingest: ``batch`` rows per commit.
+
+        The high-throughput path for conversions and bulk recording —
+        bounded memory (one batch of rows held at a time), with
+        durability at batch granularity: a kill mid-batch loses at most
+        the uncommitted batch, never a committed one.
+        """
+        conn = self._connect(write=True)
+        appended = 0
+        rows: list[tuple] = []
+        for result in results:
+            rows.append(self._row(result))
+            if len(rows) >= self.batch:
+                conn.executemany(_INSERT, rows)
+                conn.commit()
+                appended += len(rows)
+                self.count += len(rows)
+                rows.clear()
+        if rows:
+            conn.executemany(_INSERT, rows)
+            conn.commit()
+            appended += len(rows)
+            self.count += len(rows)
+        return appended
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "SqliteStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> Optional[bool]:
+        self.close()
+        return None
+
+    # -- read path -----------------------------------------------------
+    @staticmethod
+    def _result_from_row(row: tuple):
+        from repro.scenarios.core import ScenarioResult
+        from repro.scenarios.spec import ScenarioSpec
+
+        spec_json, routing, rotations, links, elapsed = row
+        return ScenarioResult(
+            spec=ScenarioSpec.from_json(spec_json),
+            total_routing=routing,
+            total_rotations=rotations,
+            total_links_changed=links,
+            elapsed_seconds=elapsed,
+        )
+
+    _SELECT = (
+        "SELECT spec_json, total_routing, total_rotations,"
+        " total_links_changed, elapsed_seconds FROM results"
+    )
+
+    def __iter__(self) -> Iterator[Any]:
+        """Stream records in append order (a fresh cursor; O(1) memory)."""
+        if not self.path.exists():
+            return
+        cursor = self._connect().execute(self._SELECT + " ORDER BY id")
+        for row in cursor:
+            yield self._result_from_row(row)
+
+    def _where(self, filters: Dict[str, Any]) -> tuple[str, list]:
+        clauses, values = [], []
+        for name, value in filters.items():
+            if value is None:
+                continue
+            column = _FILTER_COLUMNS.get(name)
+            if column is None:
+                raise ReproError(
+                    f"unknown result-store filter {name!r}; choose from"
+                    f" {sorted(_FILTER_COLUMNS)}"
+                )
+            clauses.append(f"{column} = ?")
+            values.append(value)
+        return (" WHERE " + " AND ".join(clauses)) if clauses else "", values
+
+    def query(self, **filters: Any) -> Iterator[Any]:
+        """Filtered iteration, answered from the indexed columns."""
+        if not self.path.exists():
+            return
+        where, values = self._where(filters)
+        cursor = self._connect().execute(
+            self._SELECT + where + " ORDER BY id", values
+        )
+        for row in cursor:
+            yield self._result_from_row(row)
+
+    def count_records(self, **filters: Any) -> int:
+        """``SELECT COUNT(*)`` under the same filters as :meth:`query`."""
+        if not self.path.exists():
+            return 0
+        where, values = self._where(filters)
+        return int(
+            self._connect()
+            .execute("SELECT COUNT(*) FROM results" + where, values)
+            .fetchone()[0]
+        )
+
+    def schema_version(self) -> int:
+        """The layout version recorded in the database (current if new)."""
+        if not self.path.exists():
+            return SQLITE_SCHEMA_VERSION
+        row = (
+            self._connect()
+            .execute("SELECT version FROM schema_version")
+            .fetchone()
+        )
+        return int(row[0]) if row else SQLITE_SCHEMA_VERSION

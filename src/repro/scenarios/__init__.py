@@ -30,6 +30,8 @@ from repro.scenarios.spec import (
     specs_to_json,
 )
 from repro.scenarios.registry import (
+    ablation_cost_model_specs,
+    ablation_lazy_rebuild_specs,
     expand,
     kary_table_specs,
     register_scenario,
@@ -46,6 +48,7 @@ from repro.scenarios.core import (
 from repro.scenarios.sink import (
     JsonlResultSink,
     default_results_path,
+    iter_results_jsonl,
     read_results_jsonl,
     results_root,
 )
@@ -67,6 +70,8 @@ __all__ = [
     "kary_table_specs",
     "table8_specs",
     "remark10_specs",
+    "ablation_cost_model_specs",
+    "ablation_lazy_rebuild_specs",
     "register_scenario",
     "scenario_names",
     "expand",
@@ -75,6 +80,7 @@ __all__ = [
     "run_specs",
     "JsonlResultSink",
     "default_results_path",
+    "iter_results_jsonl",
     "read_results_jsonl",
     "results_root",
     "RESULT_CACHE_VERSION",

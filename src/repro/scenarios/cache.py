@@ -8,8 +8,8 @@ content key derived from exactly those fields, so re-running a campaign
 ``run_all`` grid — recomputes only cells whose work is genuinely new.
 
 **What is in the key** (see :func:`spec_cache_key`): workload, ``n``,
-``m``, ``seed``, algorithm, ``k``, the *resolved* engine and the initial
-topology, plus :data:`RESULT_CACHE_VERSION`.  ``group`` (provenance) and
+``m``, ``seed``, algorithm, ``k``, the *resolved* engine, the initial
+topology and the algorithm ``params``, plus :data:`RESULT_CACHE_VERSION`.  ``group`` (provenance) and
 ``cost_model`` (a reporting convention over the recorded raw totals) are
 deliberately excluded — the same cell reached through different campaigns
 is the same work.  ``engine=None`` and an explicit ``engine="flat"``
@@ -92,6 +92,7 @@ def _key_fields(spec: ScenarioSpec) -> dict[str, Any]:
         "k": spec.k,
         "engine": spec.resolved_engine(),
         "initial": spec.initial,
+        "params": dict(spec.params),
     }
 
 

@@ -176,12 +176,14 @@ def run_specs(
         and the returned list holds the cells that succeeded (still in
         spec order).  The default remains fail-fast.
     sink:
-        Optional result sink (anything with ``write(result)``, e.g.
-        :class:`repro.scenarios.sink.JsonlResultSink`).  Every completed
-        cell streams to the sink the moment it finishes — serially in
-        spec order, pooled in completion order — so a killed campaign
-        keeps every finished cell on disk.  Cache hits are written too,
-        so the sink file stays a complete campaign record.
+        Optional result sink (anything with ``write(result)`` — any
+        :class:`~repro.results.store.ResultStore` backend, e.g.
+        :class:`repro.results.JsonlStore` or
+        :class:`repro.results.SqliteStore`).  Every completed cell
+        streams to the sink the moment it finishes — serially in spec
+        order, pooled in completion order — so a killed campaign keeps
+        every finished cell on disk.  Cache hits are written too, so the
+        sink record stays a complete campaign record.
     traces:
         Optional pre-built traces keyed by ``(workload, n, m, seed)``,
         pre-seeded into the in-process trace memo — for callers holding a
@@ -200,11 +202,13 @@ def run_specs(
         (stale-cache escape hatch).
     resume:
         Crash-safe campaign resume: seed completed cells from the sink's
-        existing JSONL record (tolerant of a truncated tail — see
-        :func:`repro.scenarios.sink.read_results_jsonl`) and run only the
+        existing record — streamed through the store's own iterator for
+        any :class:`~repro.results.store.ResultStore` backend (for JSONL,
+        tolerant of a truncated tail; see
+        :func:`repro.results.iter_results_jsonl`) — and run only the
         remainder.  Requires a path-backed, append-mode sink; resumed
-        cells are returned in place but **not** re-written to the file,
-        so the record stays deduplicated.  Combined with the result
+        cells are returned in place but **not** re-written to the
+        record, so it stays deduplicated.  Combined with the result
         cache, a re-run after any interruption recomputes only cells
         that genuinely never finished.
     """
@@ -331,16 +335,25 @@ def run_specs(
 def _seed_resume(
     specs: Sequence[ScenarioSpec], sink: Optional[Any]
 ) -> dict[int, ScenarioResult]:
-    """Map spec indices to results recovered from the sink's JSONL file."""
+    """Map spec indices to results recovered from the sink's on-disk record.
+
+    Backend-independent: an iterable sink (any
+    :class:`~repro.results.store.ResultStore` — JSONL or SQLite) is
+    streamed directly, one record in memory at a time; a plain path-backed
+    sink falls back to the tolerant JSONL reader.  Prior results are
+    matched to pending specs by full-spec identity (``spec.to_json()``),
+    duplicate records claiming one cell each.
+    """
     from collections import deque
 
-    from repro.scenarios.sink import read_results_jsonl
+    from repro.results.jsonl import iter_results_jsonl
 
     path = getattr(sink, "path", None)
     if path is None:
         raise ExperimentError(
-            "resume=True needs a path-backed sink (e.g. JsonlResultSink)"
-            " so completed cells can be recovered from its file"
+            "resume=True needs a path-backed sink (e.g. JsonlResultSink"
+            " or SqliteStore) so completed cells can be recovered from"
+            " its record"
         )
     if getattr(sink, "overwrite", False):
         raise ExperimentError(
@@ -351,8 +364,9 @@ def _seed_resume(
     path = Path(path)
     if not path.exists():
         return resumed
+    records = iter(sink) if hasattr(sink, "__iter__") else iter_results_jsonl(path)
     prior: dict[str, Any] = {}
-    for result in read_results_jsonl(path):
+    for result in records:
         prior.setdefault(result.spec.to_json(), deque()).append(result)
     for index, cell in enumerate(specs):
         bucket = prior.get(cell.to_json())

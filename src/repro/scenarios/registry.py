@@ -29,6 +29,8 @@ __all__ = [
     "kary_table_specs",
     "table8_specs",
     "remark10_specs",
+    "ablation_cost_model_specs",
+    "ablation_lazy_rebuild_specs",
     "register_scenario",
     "scenario_names",
     "expand",
@@ -162,6 +164,74 @@ def remark10_specs(
     return specs
 
 
+def ablation_cost_model_specs(
+    scale: Optional[Scale] = None,
+    *,
+    engine: Optional[str] = None,
+    group: str = "ablation-cost-model",
+) -> list[ScenarioSpec]:
+    """Cells of the cost-model ablation (``bench_ablation_cost_model``):
+    3-SplayNet vs binary SplayNet on the two opposed workloads, each cell
+    recorded under both reporting conventions.
+
+    Raw totals are identical across the two ``cost_model`` variants of a
+    cell (and the cache computes them once); registering both makes the
+    reporting convention part of the stored record, the way the bench
+    reads the same run under four cost models.
+    """
+    scale = scale or get_scale()
+    n = 100
+    m = min(scale.m, 20_000)
+    specs: list[ScenarioSpec] = []
+    for workload in ("projector", "temporal-0.9"):
+        for algorithm in ("centroid-splaynet", "splaynet"):
+            for cost_model in ("routing", "unit_rotations"):
+                specs.append(
+                    ScenarioSpec(
+                        workload=workload,
+                        n=n,
+                        m=m,
+                        seed=scale.seed,
+                        algorithm=algorithm,
+                        k=2,
+                        engine=engine if algorithm == "centroid-splaynet" else None,
+                        cost_model=cost_model,
+                        group=group,
+                    )
+                )
+    return specs
+
+
+def ablation_lazy_rebuild_specs(
+    scale: Optional[Scale] = None,
+    *,
+    engine: Optional[str] = None,
+    alphas: Sequence[int] = (2_000, 10_000, 50_000),
+    group: str = "ablation-lazy-rebuild",
+) -> list[ScenarioSpec]:
+    """Cells of the lazy-rebuild ablation (``bench_ablation_lazy_rebuild``):
+    the fully-reactive 3-ary SplayNet against the partially-reactive
+    threshold rebuilder across the rebuild-budget axis ``alphas`` — the
+    first registered campaign to use per-cell ``params``.
+    """
+    scale = scale or get_scale()
+    n = 64
+    m = min(scale.m, 10_000)
+    specs: list[ScenarioSpec] = []
+    for workload in ("permutation", "temporal-0.5"):
+        common = dict(workload=workload, n=n, m=m, seed=scale.seed, group=group)
+        specs.append(
+            ScenarioSpec(algorithm="kary-splaynet", k=3, engine=engine, **common)
+        )
+        for alpha in alphas:
+            specs.append(
+                ScenarioSpec(
+                    algorithm="lazy", k=3, params={"alpha": alpha}, **common
+                )
+            )
+    return specs
+
+
 # ----------------------------------------------------------------------
 # the registry
 # ----------------------------------------------------------------------
@@ -209,6 +279,16 @@ register_scenario(
     lambda scale, engine: kary_table_specs(
         "zipf-1.2", scale, n=scale.uniform_n, engine=engine, group="zipf"
     ),
+)
+register_scenario(
+    # The ablation benches as first-class campaigns: their cells flow
+    # through the store/cache/resume machinery like any paper table.
+    "ablation-cost-model",
+    lambda scale, engine: ablation_cost_model_specs(scale, engine=engine),
+)
+register_scenario(
+    "ablation-lazy-rebuild",
+    lambda scale, engine: ablation_lazy_rebuild_specs(scale, engine=engine),
 )
 
 

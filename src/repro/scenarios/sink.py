@@ -1,207 +1,39 @@
-"""Streaming JSONL result sink for scenario runs.
+"""Compatibility shim over :mod:`repro.results` (the historical sink home).
 
-One :class:`ScenarioResult` per line, written (and flushed) as results are
-handed over.  ``run_specs`` streams every cell to the sink the moment it
-completes — serially in spec order, pooled in completion order — so a
-killed campaign keeps every completed cell on disk and downstream tooling
-can tail the file while it runs.  Files are opened in **append** mode, so
-re-running or resuming a campaign extends the record instead of silently
-truncating it (pass ``overwrite=True`` for a fresh file).  The
-conventional home for records is ``benchmarks/results/`` — resolved via
-:func:`results_root` against the repository root (or the
-``REPRO_RESULTS_DIR`` environment override), not the current working
-directory, so runs launched from anywhere land in one place.
-
-Crash-safety contract: each record is emitted as **one** ``write`` call
-of one complete line and flushed before ``write`` returns, so a process
-killed between records never tears the file — and a process killed *mid*
-record tears at most the final line.  :func:`read_results_jsonl` upholds
-the matching read guarantee: a truncated trailing line is skipped with a
-warning (never an exception), so the record of an interrupted campaign
-stays loadable and ``run_specs(..., resume=True)`` can seed from it.
+The streaming JSONL sink grew into the pluggable results subsystem at
+:mod:`repro.results`; this module keeps the long-standing import paths
+working.  :class:`JsonlResultSink` *is* :class:`repro.results.JsonlStore`
+(same class, same crash contract, same ``sink.write`` fault point), and
+``read_results_jsonl`` / ``results_root`` / ``default_results_path`` are
+the same callables re-exported.  New code should import from
+:mod:`repro.results` directly — it also offers the streaming
+:func:`~repro.results.iter_results_jsonl`, the SQLite backend, and
+:func:`~repro.results.open_store`.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import warnings
-from pathlib import Path
-from typing import Optional
+from repro.results.jsonl import (
+    JsonlStore,
+    iter_results_jsonl,
+    read_results_jsonl,
+)
+from repro.results.paths import (
+    RESULTS_DIR_ENV,
+    default_results_path,
+    results_root,
+)
 
-from repro.errors import FaultInjected
-from repro.reliability.faults import fire_fault
-from repro.scenarios.core import ScenarioResult
+#: Historical name of the JSONL store (same class, not a subclass — so
+#: ``isinstance`` checks and monkeypatches keep working either way).
+JsonlResultSink = JsonlStore
 
 __all__ = [
     "JsonlResultSink",
-    "read_results_jsonl",
+    "JsonlStore",
+    "RESULTS_DIR_ENV",
     "default_results_path",
+    "iter_results_jsonl",
+    "read_results_jsonl",
     "results_root",
 ]
-
-#: Environment override for the results directory.
-RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
-
-
-def results_root(start: Optional[Path] = None) -> Path:
-    """The directory result files (and the result cache) live under.
-
-    Resolution order:
-
-    1. the ``REPRO_RESULTS_DIR`` environment variable, verbatim;
-    2. the nearest ancestor of ``start`` (default: the current
-       directory) containing ``benchmarks/results`` — a checkout,
-       entered anywhere inside it;
-    3. the checkout this package was imported from (``src`` layout), if
-       it carries a ``benchmarks`` directory;
-    4. ``benchmarks/results`` relative to the current directory (the
-       historical fallback — only reached outside any checkout).
-    """
-    env = os.environ.get(RESULTS_DIR_ENV)
-    if env:
-        return Path(env)
-    cwd = start if start is not None else Path.cwd()
-    for base in (cwd, *cwd.parents):
-        candidate = base / "benchmarks" / "results"
-        if candidate.is_dir():
-            return candidate
-    # sink.py -> scenarios -> repro -> src -> <checkout root>
-    pkg_root = Path(__file__).resolve().parents[3]
-    if (pkg_root / "benchmarks").is_dir():
-        return pkg_root / "benchmarks" / "results"
-    return Path("benchmarks") / "results"
-
-
-def default_results_path(name: str, scale: str) -> Path:
-    """``<results_root>/scenario_<name>_<scale>.jsonl``."""
-    return results_root() / f"scenario_{name}_{scale}.jsonl"
-
-
-class JsonlResultSink:
-    """Append-ordered JSONL writer for :class:`ScenarioResult` records.
-
-    Opens lazily on the first ``write`` (so constructing a sink never
-    touches the filesystem), creates parent directories, emits each
-    record as a single complete-line ``write`` and flushes it.  The
-    default open mode is **append**: a second session on the same path
-    extends the record, keeping the class's crash-survivability promise
-    across re-runs and resumes (a torn partial line left by a killed
-    writer is truncated away before the first append, so the file stays
-    a sequence of whole records).  ``overwrite=True`` truncates instead;
-    ``fsync=True`` additionally forces each line to stable storage
-    (survives power loss, not just process death — at a per-line
-    ``fsync`` cost).  Usable as a context manager; ``close()`` is
-    idempotent.
-
-    Fault-injection point ``sink.write``: ``error`` fails the write
-    before anything reaches the file; ``truncate`` deliberately leaves a
-    torn partial line (the stand-in for a SIGKILL mid-``write``) and then
-    fails — exercised by the reliability suite to pin the tolerant read
-    path.
-    """
-
-    def __init__(
-        self,
-        path: "str | Path",
-        *,
-        overwrite: bool = False,
-        fsync: bool = False,
-    ) -> None:
-        self.path = Path(path)
-        self.overwrite = overwrite
-        self.fsync = fsync
-        self._handle = None
-        self.count = 0
-
-    def _repair_torn_tail(self) -> None:
-        """Truncate a partial trailing line left by a killed writer.
-
-        Append mode would otherwise glue the next record onto the torn
-        fragment, corrupting a line *mid*-file — beyond what the tolerant
-        reader forgives.  Trimming back to the last complete line keeps
-        the file a sequence of whole records; the torn cell is simply
-        recomputed by ``resume``.
-        """
-        try:
-            with self.path.open("rb+") as handle:
-                handle.seek(0, os.SEEK_END)
-                size = handle.tell()
-                if size == 0:
-                    return
-                handle.seek(size - 1)
-                if handle.read(1) == b"\n":
-                    return
-                handle.seek(0)
-                data = handle.read()
-                keep = data.rfind(b"\n") + 1  # 0 when no newline at all
-                handle.truncate(keep)
-        except FileNotFoundError:
-            return
-
-    def write(self, result: ScenarioResult) -> None:
-        if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            if not self.overwrite:
-                self._repair_torn_tail()
-            self._handle = self.path.open("w" if self.overwrite else "a")
-        line = json.dumps(result.to_dict(), sort_keys=True) + "\n"
-        spec = fire_fault("sink.write", context=result.spec.to_json())
-        if spec is not None and spec.mode == "truncate":
-            # Simulate a kill mid-write: half the line lands, no newline.
-            self._handle.write(line[: max(1, len(line) // 2)])
-            self._handle.flush()
-            raise FaultInjected(
-                f"injected torn write at {self.path}: {spec.detail or spec.point}"
-            )
-        self._handle.write(line)
-        self._handle.flush()
-        if self.fsync:
-            os.fsync(self._handle.fileno())
-        self.count += 1
-
-    def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
-
-    def __enter__(self) -> "JsonlResultSink":
-        return self
-
-    def __exit__(self, *exc_info: object) -> Optional[bool]:
-        self.close()
-        return None
-
-
-def read_results_jsonl(path: "str | Path") -> list[ScenarioResult]:
-    """Load a sink file back into result objects (round-trip of ``write``).
-
-    Tolerates the one corruption a killed writer can leave behind: a
-    **truncated trailing line** (partial JSON with or without its
-    newline) is skipped with a :class:`RuntimeWarning` instead of
-    raising, so the completed cells of an interrupted campaign stay
-    loadable.  Malformed JSON *before* the final line is not a crash
-    artifact — single-``write`` line appends cannot tear mid-file — so it
-    still raises :class:`json.JSONDecodeError`.
-    """
-    results: list[ScenarioResult] = []
-    lines = [
-        (number, line.strip())
-        for number, line in enumerate(Path(path).read_text().splitlines(), 1)
-        if line.strip()
-    ]
-    for position, (number, line) in enumerate(lines):
-        try:
-            data = json.loads(line)
-        except json.JSONDecodeError:
-            if position == len(lines) - 1:
-                warnings.warn(
-                    f"{path}: skipping truncated trailing line {number}"
-                    " (partial write from an interrupted run)",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                break
-            raise
-        results.append(ScenarioResult.from_dict(data))
-    return results

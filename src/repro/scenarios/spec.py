@@ -41,6 +41,7 @@ from repro.net.registry import (
     online_algorithms,
     static_algorithms,
 )
+from repro.net.spec import freeze_params
 from repro.parallel.tasks import SimulationTask
 
 __all__ = [
@@ -100,6 +101,12 @@ class ScenarioSpec:
     group:
         Free-form provenance tag (e.g. ``"table3"``) stamped by the
         registry so flat result streams stay attributable.
+    params:
+        Free-form algorithm parameters (JSON scalars), frozen to sorted
+        ``(name, value)`` pairs via :func:`repro.net.spec.freeze_params`
+        and forwarded to the network constructor — e.g. ``alpha`` for the
+        ``lazy`` rebuild threshold.  Part of the cell's identity: cells
+        differing only in ``params`` hash, cache and store separately.
     """
 
     workload: str
@@ -112,8 +119,10 @@ class ScenarioSpec:
     cost_model: str = "routing"
     initial: str = "complete"
     group: str = ""
+    params: tuple = ()
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "params", freeze_params(self.params))
         known = (
             online_algorithms() | static_algorithms() | set(ANALYTIC_ALGORITHMS)
         )
@@ -176,7 +185,12 @@ class ScenarioSpec:
             k=self.k,
             engine=self.resolved_engine(),
             initial=self.initial,
+            params=self.params,
         )
+
+    def params_dict(self) -> dict[str, Any]:
+        """The frozen params as a plain keyword mapping."""
+        return dict(self.params)
 
     def replace(self, **changes: Any) -> "ScenarioSpec":
         """A copy with the given fields changed (frozen-safe)."""
@@ -189,7 +203,9 @@ class ScenarioSpec:
     # -- JSON round-trip -----------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         """Plain-JSON mapping; inverse of :meth:`from_dict`."""
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        data["params"] = dict(self.params)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":

@@ -4,6 +4,11 @@ from __future__ import annotations
 
 import json
 import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
 
 import pytest
 
@@ -16,8 +21,27 @@ from repro.reliability.faults import (
     clear_fault_plan,
     inject_faults,
 )
+from repro.results import SqliteStore, open_store
 from repro.scenarios import JsonlResultSink, read_results_jsonl, run_specs
 from repro.scenarios.spec import ScenarioSpec
+
+#: Both results backends, drilled identically where the contract is shared.
+BACKENDS = ("jsonl", "sqlite")
+
+
+def _store_path(base: Path, backend: str, stem: str = "campaign") -> Path:
+    return base / f"{stem}.{'jsonl' if backend == 'jsonl' else 'sqlite'}"
+
+
+def _stored(backend: str, path: Path) -> list:
+    """Every committed record, read through the store protocol."""
+    if not path.exists():
+        return []
+    store = open_store(path, backend=backend)
+    try:
+        return list(store)
+    finally:
+        store.close()
 
 
 def _campaign(count: int = 6) -> list[ScenarioSpec]:
@@ -106,42 +130,54 @@ class TestResumeValidation:
 
 
 class TestKillAndResumeEquality:
-    """ISSUE acceptance: interrupted + resumed == uninterrupted, cell for cell."""
+    """ISSUE acceptance: interrupted + resumed == uninterrupted, cell for cell.
 
+    Parameterized over both results backends: the injected ``sink.write``
+    truncate fault tears a JSONL line mid-write and leaves a SQLite row
+    uncommitted — either way, resume must seed exactly the committed
+    cells and recompute the rest to cell-for-cell equality.
+    """
+
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("engine", ["object", "flat"])
-    def test_torn_sink_line_then_resume_serial(self, tmp_path, engine):
-        """Flavor 1: simulated SIGKILL tears the sink mid-line."""
+    def test_torn_sink_write_then_resume_serial(self, tmp_path, engine, backend):
+        """Flavor 1: simulated SIGKILL tears the store mid-write."""
         specs = [s.replace(engine=engine) for s in _campaign(6)]
         clean = run_specs(specs, cache=False)
 
-        path = tmp_path / "campaign.jsonl"
+        path = _store_path(tmp_path, backend)
         plan = FaultPlan(
             specs=(FaultSpec("sink.write", mode="truncate", at=(3,)),)
         )
-        sink = JsonlResultSink(path)
+        sink = open_store(path, backend=backend)
         with inject_faults(plan):
             with pytest.raises(FaultInjected, match="torn write"):
                 run_specs(specs, sink=sink, cache=False)
         sink.close()
-        # Two whole records landed; the third line is torn.
-        assert not path.read_text().endswith("\n")
-        with pytest.warns(RuntimeWarning, match="truncated trailing line"):
-            assert len(read_results_jsonl(path)) == 2
+        if backend == "jsonl":
+            # Two whole records landed; the third line is torn.
+            assert not path.read_text().endswith("\n")
+            with pytest.warns(RuntimeWarning, match="truncated trailing line"):
+                assert len(read_results_jsonl(path)) == 2
+        else:
+            # The faulted row was never committed: two rows survive.
+            assert len(_stored(backend, path)) == 2
 
-        with JsonlResultSink(path) as resumed_sink:
+        with open_store(path, backend=backend) as resumed_sink:
             resumed = run_specs(
                 specs, sink=resumed_sink, resume=True, cache=False
             )
         assert _summaries(resumed) == _summaries(clean)
-        # The repaired file now holds exactly one record per cell.
-        assert _summaries(read_results_jsonl(path)) == _summaries(clean)
+        # The repaired record now holds exactly one cell per spec.
+        assert _summaries(_stored(backend, path)) == _summaries(clean)
 
-    def test_killed_worker_then_resume_pooled(self, tmp_path):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_killed_worker_then_resume_pooled(self, tmp_path, backend):
         """Flavor 2: an injected worker crash aborts a pooled campaign."""
         specs = _campaign(6)
         clean = run_specs(specs, cache=False)
 
-        path = tmp_path / "pooled.jsonl"
+        path = _store_path(tmp_path, backend, "pooled")
         plan = FaultPlan(
             specs=(FaultSpec("pool.task", mode="kill", at=(2,)),),
             ledger=str(tmp_path / "ledger"),
@@ -149,7 +185,7 @@ class TestKillAndResumeEquality:
         os.environ[FAULTS_ENV] = plan.to_env()
         clear_fault_plan()
         config = ParallelConfig(jobs=2, retries=0, pool_respawns=2)
-        sink = JsonlResultSink(path)
+        sink = open_store(path, backend=backend)
         try:
             with pytest.raises(ExperimentError, match="failed after 1 attempt"):
                 run_specs(specs, config=config, sink=sink, cache=False)
@@ -158,11 +194,10 @@ class TestKillAndResumeEquality:
             del os.environ[FAULTS_ENV]
             clear_fault_plan()
         # How many cells landed before the abort is timing-dependent —
-        # possibly none (the sink file opens lazily on the first write).
-        survivors = read_results_jsonl(path) if path.exists() else []
-        assert len(survivors) < len(specs)
+        # possibly none (both stores open lazily on the first write).
+        assert len(_stored(backend, path)) < len(specs)
 
-        with JsonlResultSink(path) as resumed_sink:
+        with open_store(path, backend=backend) as resumed_sink:
             resumed = run_specs(
                 specs,
                 config=ParallelConfig(jobs=2),
@@ -171,16 +206,17 @@ class TestKillAndResumeEquality:
                 cache=False,
             )
         assert _summaries(resumed) == _summaries(clean)
-        recorded = read_results_jsonl(path)
+        recorded = _stored(backend, path)
         assert sorted(_summaries(recorded), key=repr) == sorted(
             _summaries(clean), key=repr
         )
 
-    def test_resumed_cells_are_not_recomputed(self, tmp_path):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_resumed_cells_are_not_recomputed(self, tmp_path, backend):
         """Cells already on disk are trusted verbatim, not re-run."""
         specs = _campaign(4)
-        path = tmp_path / "skip.jsonl"
-        with JsonlResultSink(path) as sink:
+        path = _store_path(tmp_path, backend, "skip")
+        with open_store(path, backend=backend) as sink:
             first = run_specs(specs[:2], sink=sink, cache=False)
         poisoned = FaultPlan(specs=(FaultSpec("pool.task", at=(1, 2)),))
         with inject_faults(poisoned):
@@ -188,9 +224,72 @@ class TestKillAndResumeEquality:
             # genuinely new cells do — and the plan fails exactly those,
             # proving resumed work is served from the record.
             with pytest.raises(ExperimentError):
-                with JsonlResultSink(path) as sink:
+                with open_store(path, backend=backend) as sink:
                     run_specs(specs, sink=sink, resume=True, cache=False)
-        with JsonlResultSink(path) as sink:
+        with open_store(path, backend=backend) as sink:
             resumed = run_specs(specs, sink=sink, resume=True, cache=False)
         assert _summaries(resumed[:2]) == _summaries(first)
         assert len(resumed) == 4
+
+
+class TestSqliteWalRecovery:
+    """A real SIGKILL mid-transaction: WAL recovery must seed resume."""
+
+    def test_sigkill_mid_transaction_then_resume(self, tmp_path):
+        """ISSUE acceptance: the killed writer's uncommitted row vanishes,
+        every committed row survives, and resume completes the campaign to
+        cell-for-cell equality with a clean run."""
+        path = tmp_path / "wal.sqlite"
+        src = Path(__file__).resolve().parents[2] / "src"
+        script = textwrap.dedent(
+            f"""
+            import os, signal
+            from repro.results import SqliteStore
+            from repro.results.sqlite import _INSERT
+            from repro.scenarios import run_specs
+            from repro.scenarios.spec import ScenarioSpec
+
+            specs = [
+                ScenarioSpec(workload="uniform", n=16, m=40, seed=seed,
+                             algorithm="kary-splaynet", k=2, group="resume-test")
+                for seed in range(6)
+            ]
+
+            class KilledMidTransaction(SqliteStore):
+                def write(self, result):
+                    if self.count == 2:
+                        # Start the third transaction, then die before
+                        # COMMIT — the row sits only in the WAL.
+                        conn = self._connect(write=True)
+                        conn.execute(_INSERT, self._row(result))
+                        os.kill(os.getpid(), signal.SIGKILL)
+                    super().write(result)
+
+            run_specs(specs, sink=KilledMidTransaction({str(path)!r}), cache=False)
+            raise SystemExit("unreachable: the store should have died")
+            """
+        )
+        env = dict(os.environ, PYTHONPATH=str(src))
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            cwd=tmp_path,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+        # WAL recovery on the next open: both committed rows, nothing else.
+        survivors = _stored("sqlite", path)
+        assert len(survivors) == 2
+
+        specs = _campaign(6)
+        clean = run_specs(specs, cache=False)
+        assert _summaries(survivors) == _summaries(clean[:2])
+        with SqliteStore(path) as sink:
+            resumed = run_specs(specs, sink=sink, resume=True, cache=False)
+            assert sink.preexisting == 2
+            assert sink.count == 4
+        assert _summaries(resumed) == _summaries(clean)
+        assert _summaries(_stored("sqlite", path)) == _summaries(clean)

@@ -1,0 +1,42 @@
+"""Shared helpers for the results-store suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.core import ScenarioResult
+from repro.scenarios.spec import ScenarioSpec
+
+
+def make_result(
+    seed: int,
+    *,
+    workload: str = "uniform",
+    algorithm: str = "kary-splaynet",
+    k: int = 2,
+    n: int = 16,
+    group: str = "store-test",
+    routing: int | None = None,
+) -> ScenarioResult:
+    """A small deterministic result cell (no simulation involved)."""
+    spec = ScenarioSpec(
+        workload=workload,
+        n=n,
+        m=40,
+        seed=seed,
+        algorithm=algorithm,
+        k=k,
+        group=group,
+    )
+    return ScenarioResult(
+        spec=spec,
+        total_routing=routing if routing is not None else 100 + seed,
+        total_rotations=10 + seed,
+        total_links_changed=20 + seed,
+        elapsed_seconds=0.0,
+    )
+
+
+@pytest.fixture
+def results():
+    return [make_result(seed) for seed in range(5)]

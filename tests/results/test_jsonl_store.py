@@ -1,0 +1,154 @@
+"""The JSONL backend: streaming reads, session accounting, queries."""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro.results import (
+    JsonlStore,
+    iter_results_jsonl,
+    open_store,
+    read_results_jsonl,
+    spec_store_hash,
+)
+
+from .conftest import make_result
+
+
+class TestStreamingIterator:
+    def test_yields_lazily_in_append_order(self, tmp_path, results):
+        path = tmp_path / "r.jsonl"
+        with JsonlStore(path) as store:
+            for result in results:
+                store.write(result)
+        iterator = iter_results_jsonl(path)
+        first = next(iterator)
+        assert first == results[0]
+        assert list(iterator) == results[1:]
+
+    def test_read_results_jsonl_matches_iterator(self, tmp_path, results):
+        path = tmp_path / "r.jsonl"
+        with JsonlStore(path) as store:
+            store.append_many(results)
+        assert read_results_jsonl(path) == list(iter_results_jsonl(path))
+
+    def test_truncated_trailing_line_warns_once(self, tmp_path, results):
+        path = tmp_path / "torn.jsonl"
+        with JsonlStore(path) as store:
+            store.append_many(results[:3])
+        text = path.read_text()
+        lines = text.splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n" + lines[2][:12])
+        with pytest.warns(RuntimeWarning, match="truncated trailing line"):
+            loaded = list(iter_results_jsonl(path))
+        assert loaded == results[:2]
+
+    def test_mid_file_corruption_raises(self, tmp_path, results):
+        path = tmp_path / "bad.jsonl"
+        with JsonlStore(path) as store:
+            store.append_many(results[:3])
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join([lines[0], "{oops", lines[2]]) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            list(iter_results_jsonl(path))
+
+    def test_blank_lines_are_ignored(self, tmp_path, results):
+        path = tmp_path / "blank.jsonl"
+        with JsonlStore(path) as store:
+            store.append_many(results[:2])
+        path.write_text(path.read_text().replace("\n", "\n\n", 1))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert list(iter_results_jsonl(path)) == results[:2]
+
+
+class TestSessionAccounting:
+    def test_fresh_store_counts_from_zero(self, tmp_path, results):
+        store = JsonlStore(tmp_path / "a.jsonl")
+        assert (store.preexisting, store.count, store.total) == (0, 0, 0)
+        store.write(results[0])
+        store.close()
+        assert (store.preexisting, store.count, store.total) == (0, 1, 1)
+
+    def test_append_session_reports_preexisting(self, tmp_path, results):
+        path = tmp_path / "a.jsonl"
+        with JsonlStore(path) as store:
+            store.append_many(results[:3])
+        with JsonlStore(path) as resumed:
+            resumed.write(results[3])
+            assert resumed.preexisting == 3
+            assert resumed.count == 1
+            assert resumed.total == 4
+
+    def test_preexisting_ignores_a_torn_tail(self, tmp_path, results):
+        path = tmp_path / "a.jsonl"
+        with JsonlStore(path) as store:
+            store.append_many(results[:3])
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n" + lines[2][:9])
+        store = JsonlStore(path)
+        assert store.preexisting == 2
+
+    def test_overwrite_session_has_no_preexisting(self, tmp_path, results):
+        path = tmp_path / "a.jsonl"
+        with JsonlStore(path) as store:
+            store.append_many(results[:3])
+        with JsonlStore(path, overwrite=True) as fresh:
+            assert fresh.preexisting == 0
+            fresh.write(results[0])
+            assert fresh.total == 1
+        assert read_results_jsonl(path) == results[:1]
+
+
+class TestQueries:
+    def test_query_by_spec_hash(self, tmp_path, results):
+        path = tmp_path / "q.jsonl"
+        with JsonlStore(path) as store:
+            store.append_many(results)
+        wanted = spec_store_hash(results[2].spec)
+        assert list(JsonlStore(path).query(spec_hash=wanted)) == [results[2]]
+
+    def test_query_by_coordinates(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        cells = [
+            make_result(1, algorithm="kary-splaynet", k=2),
+            make_result(2, algorithm="kary-splaynet", k=3),
+            make_result(3, algorithm="full-tree", k=3),
+        ]
+        with JsonlStore(path) as store:
+            store.append_many(cells)
+        store = JsonlStore(path)
+        assert list(store.query(algorithm="kary-splaynet")) == cells[:2]
+        assert list(store.query(k=3)) == cells[1:]
+        assert store.count_records(algorithm="full-tree") == 1
+        assert store.count_records() == 3
+
+    def test_scale_filter_matches_store_label(self, tmp_path, results):
+        path = tmp_path / "q.jsonl"
+        with JsonlStore(path, scale="smoke") as store:
+            store.append_many(results)
+        assert list(JsonlStore(path, scale="smoke").query(scale="smoke")) == results
+        assert list(JsonlStore(path, scale="smoke").query(scale="paper")) == []
+
+    def test_iterating_a_missing_file_yields_nothing(self, tmp_path):
+        assert list(JsonlStore(tmp_path / "absent.jsonl")) == []
+
+    def test_schema_version(self, tmp_path):
+        assert JsonlStore(tmp_path / "v.jsonl").schema_version() == 1
+
+
+class TestOpenStoreInference:
+    def test_jsonl_suffix_and_default(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "x.jsonl"), JsonlStore)
+        assert isinstance(open_store(tmp_path / "x.records"), JsonlStore)
+
+    def test_explicit_backend_overrides_suffix(self, tmp_path):
+        store = open_store(tmp_path / "x.sqlite", backend="jsonl")
+        assert isinstance(store, JsonlStore)
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown store backend"):
+            open_store(tmp_path / "x.jsonl", backend="parquet")

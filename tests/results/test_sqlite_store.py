@@ -1,0 +1,211 @@
+"""The SQLite backend: round-trips, WAL durability, schema versioning."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.errors import FaultInjected, ReproError
+from repro.reliability.faults import FaultPlan, FaultSpec, inject_faults
+from repro.results import SqliteStore, open_store, spec_store_hash
+from repro.results.sqlite import SQLITE_SCHEMA_VERSION
+
+from .conftest import make_result
+
+
+class TestRoundTrip:
+    def test_write_then_iterate_in_append_order(self, tmp_path, results):
+        path = tmp_path / "r.sqlite"
+        with SqliteStore(path) as store:
+            for result in results:
+                store.write(result)
+        assert list(SqliteStore(path)) == results
+
+    def test_append_many_batches(self, tmp_path, results):
+        path = tmp_path / "r.sqlite"
+        with SqliteStore(path, batch=2) as store:
+            assert store.append_many(results) == len(results)
+        assert list(SqliteStore(path)) == results
+
+    def test_duplicate_specs_keep_every_record(self, tmp_path):
+        path = tmp_path / "dup.sqlite"
+        first = make_result(1, routing=100)
+        second = make_result(1, routing=999)
+        with SqliteStore(path) as store:
+            store.append_many([first, second])
+        assert list(SqliteStore(path)) == [first, second]
+
+    def test_params_survive_the_round_trip(self, tmp_path):
+        from repro.scenarios.core import ScenarioResult
+        from repro.scenarios.spec import ScenarioSpec
+
+        spec = ScenarioSpec(
+            workload="permutation",
+            n=64,
+            m=100,
+            seed=0,
+            algorithm="lazy",
+            k=3,
+            params={"alpha": 2000},
+        )
+        cell = ScenarioResult(spec, 1, 2, 3, 0.0)
+        path = tmp_path / "p.sqlite"
+        with SqliteStore(path) as store:
+            store.write(cell)
+        (loaded,) = list(SqliteStore(path))
+        assert loaded.spec.params == (("alpha", 2000),)
+        assert loaded == cell
+
+    def test_open_store_infers_sqlite_suffixes(self, tmp_path):
+        for suffix in (".sqlite", ".sqlite3", ".db"):
+            assert isinstance(open_store(tmp_path / f"x{suffix}"), SqliteStore)
+
+
+class TestQueries:
+    def test_indexed_filters(self, tmp_path):
+        cells = [
+            make_result(1, algorithm="kary-splaynet", k=2, group="a"),
+            make_result(2, algorithm="kary-splaynet", k=3, group="a"),
+            make_result(3, algorithm="full-tree", k=3, group="b"),
+        ]
+        path = tmp_path / "q.sqlite"
+        with SqliteStore(path, scale="smoke") as store:
+            store.append_many(cells)
+        store = SqliteStore(path)
+        assert list(store.query(algorithm="kary-splaynet")) == cells[:2]
+        assert list(store.query(k=3)) == cells[1:]
+        assert list(store.query(group="b")) == cells[2:]
+        assert list(store.query(scale="smoke")) == cells
+        wanted = spec_store_hash(cells[1].spec)
+        assert list(store.query(spec_hash=wanted)) == [cells[1]]
+        assert store.count_records(group="a", k=2) == 1
+        assert store.count_records() == 3
+
+    def test_unknown_filter_rejected(self, tmp_path, results):
+        path = tmp_path / "q.sqlite"
+        with SqliteStore(path) as store:
+            store.append_many(results)
+        with pytest.raises(ReproError, match="unknown result-store filter"):
+            list(SqliteStore(path).query(color="red"))
+
+    def test_queries_against_a_missing_file(self, tmp_path):
+        store = SqliteStore(tmp_path / "absent.sqlite")
+        assert list(store) == []
+        assert store.count_records() == 0
+
+
+class TestDurability:
+    def test_wal_mode_is_active(self, tmp_path, results):
+        path = tmp_path / "wal.sqlite"
+        with SqliteStore(path) as store:
+            store.write(results[0])
+            mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+
+    def test_truncate_fault_leaves_record_uncommitted(self, tmp_path, results):
+        path = tmp_path / "fault.sqlite"
+        plan = FaultPlan(specs=(FaultSpec("sink.write", mode="truncate", at=(2,)),))
+        store = SqliteStore(path)
+        with inject_faults(plan):
+            store.write(results[0])
+            with pytest.raises(FaultInjected, match="torn write"):
+                store.write(results[1])
+        store.close()
+        # The faulted row was rolled back: only the first record survives.
+        assert list(SqliteStore(path)) == results[:1]
+
+    def test_error_fault_fires_before_any_insert(self, tmp_path, results):
+        path = tmp_path / "err.sqlite"
+        plan = FaultPlan(specs=(FaultSpec("sink.write", mode="error", at=(1,)),))
+        store = SqliteStore(path)
+        with inject_faults(plan):
+            with pytest.raises(FaultInjected):
+                store.write(results[0])
+        store.close()
+        assert list(SqliteStore(path)) == []
+
+    def test_overwrite_truncates_on_first_write_only(self, tmp_path, results):
+        path = tmp_path / "ow.sqlite"
+        with SqliteStore(path) as store:
+            store.append_many(results[:3])
+        # Read-side access to an overwrite store must not delete anything.
+        reader = SqliteStore(path, overwrite=True)
+        assert len(list(reader)) == 3
+        reader.close()
+        assert len(list(SqliteStore(path))) == 3
+        with SqliteStore(path, overwrite=True) as fresh:
+            fresh.write(results[4])
+            assert fresh.preexisting == 0
+        assert list(SqliteStore(path)) == [results[4]]
+
+    def test_session_accounting(self, tmp_path, results):
+        path = tmp_path / "acct.sqlite"
+        with SqliteStore(path) as store:
+            store.append_many(results[:3])
+        with SqliteStore(path) as resumed:
+            resumed.write(results[3])
+            assert resumed.preexisting == 3
+            assert resumed.count == 1
+            assert resumed.total == 4
+
+
+class TestSchemaVersioning:
+    def test_fresh_database_records_current_version(self, tmp_path, results):
+        path = tmp_path / "v.sqlite"
+        with SqliteStore(path) as store:
+            store.write(results[0])
+        assert SqliteStore(path).schema_version() == SQLITE_SCHEMA_VERSION
+
+    def test_newer_schema_is_refused(self, tmp_path, results):
+        path = tmp_path / "newer.sqlite"
+        with SqliteStore(path) as store:
+            store.write(results[0])
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE schema_version SET version = ?", (SQLITE_SCHEMA_VERSION + 7,)
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(ReproError, match="newer than"):
+            list(SqliteStore(path))
+
+    def test_missing_migration_is_refused(self, tmp_path, results, monkeypatch):
+        path = tmp_path / "old.sqlite"
+        with SqliteStore(path) as store:
+            store.write(results[0])
+        monkeypatch.setattr(
+            "repro.results.sqlite.SQLITE_SCHEMA_VERSION", SQLITE_SCHEMA_VERSION + 1
+        )
+        with pytest.raises(ReproError, match="no registered migration"):
+            list(SqliteStore(path))
+
+    def test_forward_migration_hook_walks_versions(
+        self, tmp_path, results, monkeypatch
+    ):
+        path = tmp_path / "mig.sqlite"
+        with SqliteStore(path) as store:
+            store.append_many(results[:2])
+        steps: list[int] = []
+
+        def migrate(conn: sqlite3.Connection) -> None:
+            steps.append(SQLITE_SCHEMA_VERSION)
+            conn.execute(
+                "ALTER TABLE results ADD COLUMN note TEXT DEFAULT ''"
+            )
+
+        monkeypatch.setattr(
+            "repro.results.sqlite.SQLITE_SCHEMA_VERSION", SQLITE_SCHEMA_VERSION + 1
+        )
+        monkeypatch.setitem(
+            SqliteStore.MIGRATIONS, SQLITE_SCHEMA_VERSION, migrate
+        )
+        migrated = SqliteStore(path)
+        assert list(migrated) == results[:2]
+        assert migrated.schema_version() == SQLITE_SCHEMA_VERSION + 1
+        assert steps == [SQLITE_SCHEMA_VERSION]
+        migrated.close()
+        # Reopening finds the stored version current: no second walk.
+        again = SqliteStore(path)
+        assert list(again) == results[:2]
+        assert steps == [SQLITE_SCHEMA_VERSION]

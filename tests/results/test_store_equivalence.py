@@ -1,0 +1,178 @@
+"""Backend equivalence: same campaign, same cells, either store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.presets import get_scale
+from repro.results import (
+    JsonlStore,
+    SqliteStore,
+    copy_results,
+    open_store,
+)
+from repro.scenarios import expand, run_specs
+from repro.scenarios.core import ScenarioResult
+
+from .conftest import make_result
+
+
+def _summaries(results) -> list[tuple]:
+    return [
+        (r.spec, r.total_routing, r.total_rotations, r.total_links_changed)
+        for r in results
+    ]
+
+
+class TestSameCampaignBothBackends:
+    def test_identical_result_sets(self, tmp_path):
+        """ISSUE acceptance: JsonlStore and SqliteStore record the same cells."""
+        specs = expand("table4", get_scale("smoke"))
+        jsonl = JsonlStore(tmp_path / "c.jsonl")
+        sqlite = SqliteStore(tmp_path / "c.sqlite")
+        with jsonl, sqlite:
+            first = run_specs(specs, sink=jsonl, cache=False)
+            second = run_specs(specs, sink=sqlite, cache=False)
+        assert _summaries(first) == _summaries(second)
+        assert _summaries(list(JsonlStore(tmp_path / "c.jsonl"))) == _summaries(
+            list(SqliteStore(tmp_path / "c.sqlite"))
+        )
+
+    def test_store_protocol_shape(self, tmp_path):
+        from repro.results import ResultStore
+
+        for store in (
+            JsonlStore(tmp_path / "p.jsonl"),
+            SqliteStore(tmp_path / "p.sqlite"),
+        ):
+            assert isinstance(store, ResultStore)
+
+
+class TestRoundTripConversion:
+    def test_quick_scale_campaign_round_trips(self, tmp_path):
+        """JSONL → SQLite → JSONL is lossless on a full quick-scale grid.
+
+        Conversion fidelity is what's under test, so the quick-scale
+        ``all`` spec list gets deterministic synthesized totals instead
+        of hours of simulation.
+        """
+        specs = expand("all", get_scale("quick"))
+        cells = [
+            ScenarioResult(
+                spec=spec,
+                total_routing=1000 + index,
+                total_rotations=index * 3,
+                total_links_changed=index * 5,
+                elapsed_seconds=0.0,
+            )
+            for index, spec in enumerate(specs)
+        ]
+        source = tmp_path / "all.jsonl"
+        with JsonlStore(source) as store:
+            store.append_many(cells)
+
+        via = tmp_path / "all.sqlite"
+        assert copy_results(source, via) == len(cells)
+        back = tmp_path / "back.jsonl"
+        assert copy_results(via, back) == len(cells)
+
+        assert list(JsonlStore(back)) == cells
+        assert list(SqliteStore(via)) == cells
+
+    def test_copy_results_accepts_stores_and_paths(self, tmp_path, results):
+        source = JsonlStore(tmp_path / "s.jsonl")
+        with source:
+            source.append_many(results)
+        dest = SqliteStore(tmp_path / "d.sqlite")
+        assert copy_results(source, dest) == len(results)
+        dest.close()
+        assert list(SqliteStore(tmp_path / "d.sqlite")) == results
+
+    def test_copy_overwrites_destination_by_default(self, tmp_path, results):
+        source = tmp_path / "s.jsonl"
+        with JsonlStore(source) as store:
+            store.append_many(results[:2])
+        dest = tmp_path / "d.sqlite"
+        with SqliteStore(dest) as stale:
+            stale.write(make_result(99))
+        copy_results(source, dest)
+        assert list(SqliteStore(dest)) == results[:2]
+
+
+class TestCliConversion:
+    def test_run_then_convert_and_back(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert (
+            main(
+                [
+                    "scenarios", "run", "table4", "--scale", "smoke",
+                    "--record", "--no-cache",
+                ]
+            )
+            == 0
+        )
+        jsonl_path = tmp_path / "scenario_table4_smoke.jsonl"
+        assert jsonl_path.exists()
+        assert (
+            main(["scenarios", "export", "table4", "--scale", "smoke", "--to", "sqlite"])
+            == 0
+        )
+        sqlite_path = tmp_path / "scenario_table4_smoke.sqlite"
+        assert sqlite_path.exists()
+        back = tmp_path / "roundtrip.jsonl"
+        assert (
+            main(
+                [
+                    "scenarios", "export", "table4", "--scale", "smoke",
+                    "--to", "jsonl", "--from", str(sqlite_path), "-o", str(back),
+                ]
+            )
+            == 0
+        )
+        original = list(open_store(jsonl_path))
+        converted = list(open_store(sqlite_path))
+        round_tripped = list(open_store(back))
+        assert original == converted == round_tripped
+        assert len(original) > 0
+
+    def test_sqlite_store_flag_records_to_sqlite(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert (
+            main(
+                [
+                    "scenarios", "run", "table4", "--scale", "smoke",
+                    "--record", "--store", "sqlite", "--no-cache",
+                ]
+            )
+            == 0
+        )
+        path = tmp_path / "scenario_table4_smoke.sqlite"
+        store = open_store(path)
+        assert isinstance(store, SqliteStore)
+        assert store.count_records() > 0
+
+    def test_conversion_without_source_record_errors(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert (
+            main(["scenarios", "export", "zipf", "--scale", "smoke", "--to", "sqlite"])
+            == 2
+        )
+        assert "no result record" in capsys.readouterr().err
+
+
+class TestResumeSummary:
+    def test_cli_resume_reports_preexisting(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        main(["scenarios", "run", "table4", "--scale", "smoke", "--record", "--no-cache"])
+        first = capsys.readouterr().out
+        assert "preexisting" in first
+        main(
+            [
+                "scenarios", "run", "table4", "--scale", "smoke",
+                "--record", "--resume", "--no-cache",
+            ]
+        )
+        second = capsys.readouterr().out
+        # Everything was already recorded: nothing written, all preexisting.
+        assert "(0 written" in second
