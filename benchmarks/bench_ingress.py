@@ -1,0 +1,69 @@
+"""Ingress gateway benchmark: socket serving vs. the in-process farm.
+
+Run as a script to emit a machine-readable JSON record (the acceptance
+gates are exact cost totals across every path — clean sessions, direct
+farm, both socket legs — and micro-batched socket dispatch >= 2x the
+throughput of forced batch-size-1 dispatch):
+
+    PYTHONPATH=src python benchmarks/bench_ingress.py \
+        --output benchmarks/results/BENCH_ingress.json
+
+One fixed keyed Zipf stream is served three ways: through an in-process
+ServeFarm (no socket), through the async ingress gateway over a UNIX
+socket with its micro-batching window enabled, and through the same
+gateway with batch_max=1 (every request its own farm pipe round trip).
+Latency p50/p99 are client-observed wall times from the constant-memory
+histogram.  The same measurement is exposed as
+``python -m repro bench-ingress`` and smoke-tested at toy scale in the
+tier-1 suite; this script is the full-scale record keeper for the perf
+trajectory under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments.ingressbench import (
+    ingress_benchmark,
+    write_ingress_record,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-n", "--nodes", type=int, default=256)
+    parser.add_argument("-k", type=int, default=4)
+    parser.add_argument("-m", "--requests", type=int, default=4_000)
+    parser.add_argument("--keys", type=int, default=8)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--zipf-alpha", type=float, default=1.2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--batch-window", type=float, default=0.002)
+    parser.add_argument("--batch-max", type=int, default=256)
+    parser.add_argument("--concurrency", type=int, default=256)
+    parser.add_argument("--output", default=None, help="also write JSON here")
+    args = parser.parse_args(argv)
+
+    record = ingress_benchmark(
+        n=args.nodes,
+        k=args.k,
+        m=args.requests,
+        keys=args.keys,
+        shards=args.shards,
+        zipf_alpha=args.zipf_alpha,
+        seed=args.seed,
+        batch_window=args.batch_window,
+        batch_max=args.batch_max,
+        concurrency=args.concurrency,
+    )
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if args.output:
+        write_ingress_record(record, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 1 if record.get("totals_match") is False else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,7 +62,20 @@ from repro.datastructures import (
     SherkKarySplayTree,
     SplayTree,
 )
-from repro.errors import FaultInjected, ReliabilityError, ReproError
+from repro.errors import (
+    FaultInjected,
+    IngressConnectionError,
+    IngressError,
+    IngressOverload,
+    IngressProtocolError,
+    ReliabilityError,
+    ReproError,
+)
+from repro.ingress import (
+    AsyncIngressClient,
+    IngressClient,
+    IngressServer,
+)
 from repro.net import (
     LatencyStats,
     NetworkSpec,
@@ -166,6 +179,10 @@ __all__ = [
     "FarmMetrics",
     "ShardRouter",
     "shard_for_key",
+    # socket ingress gateway (serving over the network)
+    "IngressServer",
+    "IngressClient",
+    "AsyncIngressClient",
     # core self-adjusting networks
     "KArySplayNet",
     "CentroidSplayNet",
@@ -274,5 +291,9 @@ __all__ = [
     "ReproError",
     "ReliabilityError",
     "FaultInjected",
+    "IngressError",
+    "IngressProtocolError",
+    "IngressConnectionError",
+    "IngressOverload",
     "__version__",
 ]

@@ -21,6 +21,10 @@ Subcommands:
   pass, plus the result-cache cold/warm trajectory
 * ``bench-servefarm`` — resident vs. marshalled vs. flat scalar serving,
   plus serve-farm shard scaling (aggregate req/s, p50/p99 latency)
+* ``serve`` — run the async socket ingress gateway in front of a serve
+  farm (``--shards N --port P``; SIGTERM drains gracefully)
+* ``bench-ingress`` — socket-path throughput/latency vs. the direct
+  in-process farm, micro-batched vs. batch-size-1 dispatch
 * ``bench-report`` — render ``benchmarks/results/BENCH_*.json`` into a
   markdown perf-trajectory table
 
@@ -361,6 +365,93 @@ def _cmd_bench_servefarm(args: argparse.Namespace) -> int:
     )
     if failed:
         print("error: serving-mode cost totals diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.ingress import IngressServer
+    from repro.serving.farm import ServeFarm
+
+    # Validate up front: a bad flag should be one clear line on stderr,
+    # not a traceback from deep inside multiprocessing or asyncio.
+    if args.shards < 1:
+        raise ReproError(f"--shards must be >= 1, got {args.shards}")
+    if not 0 <= args.port <= 65535:
+        raise ReproError(
+            f"--port must be in 0..65535 (0 = ephemeral), got {args.port}"
+        )
+    if args.nodes < 2:
+        raise ReproError(f"--nodes must be >= 2, got {args.nodes}")
+    if args.batch_window < 0:
+        raise ReproError(
+            f"--batch-window must be >= 0, got {args.batch_window}"
+        )
+    if args.batch_max < 1:
+        raise ReproError(f"--batch-max must be >= 1, got {args.batch_max}")
+
+    async def run() -> IngressServer:
+        farm = ServeFarm(
+            "kary-splaynet",
+            n=args.nodes,
+            k=args.k,
+            shards=args.shards,
+            engine=args.engine,
+        )
+        server = IngressServer(
+            farm,
+            host=args.host,
+            port=args.port,
+            batch_window=args.batch_window,
+            batch_max=args.batch_max,
+            default_deadline=args.deadline or None,
+        )
+        await server.start()
+        server.install_signal_handlers()
+        host, port = server.address
+        # Readiness line on stdout: scripts (and the CI smoke job) parse
+        # the bound port from it, so keep the format stable and flushed.
+        print(f"ingress listening on {host}:{port}", flush=True)
+        await server.serve_forever()
+        return server
+
+    server = asyncio.run(run())
+    print(
+        f"drained: {server.served} served, {server.overloaded} overloaded,"
+        f" {server.errors} errored",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_bench_ingress(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.ingressbench import (
+        ingress_benchmark,
+        write_ingress_record,
+    )
+
+    record = ingress_benchmark(
+        n=args.nodes,
+        k=args.k,
+        m=args.requests,
+        keys=args.keys,
+        shards=args.shards,
+        zipf_alpha=args.zipf_alpha,
+        seed=args.seed,
+        batch_window=args.batch_window,
+        batch_max=args.batch_max,
+        concurrency=args.concurrency,
+    )
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if args.output:
+        write_ingress_record(record, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if record.get("totals_match") is False:
+        print("error: ingress cost totals diverged", file=sys.stderr)
         return 1
     return 0
 
@@ -800,6 +891,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     benchs.add_argument("--output", default=None, help="also write JSON here")
     benchs.set_defaults(func=_cmd_bench_servefarm)
+
+    serve = sub.add_parser(
+        "serve",
+        help="socket ingress gateway in front of a serve farm",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=2,
+        help="serve-farm worker processes behind the gateway",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to bind (0 = ephemeral; the bound port is printed)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("-n", "--nodes", type=int, default=1024)
+    serve.add_argument("-k", type=int, default=4, help="tree arity")
+    serve.add_argument(
+        "--engine", choices=("object", "flat", "native"), default=None,
+        help="tree-engine backend for the workers (default: native,"
+             " degrading to flat without the kernel)",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.002,
+        help="micro-batch coalescing window per shard, seconds",
+    )
+    serve.add_argument(
+        "--batch-max", type=int, default=256,
+        help="max requests coalesced into one farm dispatch",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=0.0,
+        help="default per-request deadline, seconds (0 = none; expired"
+             " requests get an explicit OVERLOAD response)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    benchi = sub.add_parser(
+        "bench-ingress",
+        help="socket ingress vs. direct in-process farm (JSON output)",
+    )
+    benchi.add_argument("-n", "--nodes", type=int, default=256)
+    benchi.add_argument("-k", type=int, default=4, help="tree arity")
+    benchi.add_argument("-m", "--requests", type=int, default=4_000)
+    benchi.add_argument("--keys", type=int, default=8, help="session keys")
+    benchi.add_argument("--shards", type=int, default=2)
+    benchi.add_argument("--zipf-alpha", type=float, default=1.2)
+    benchi.add_argument("--seed", type=int, default=0)
+    benchi.add_argument(
+        "--batch-window", type=float, default=0.002,
+        help="micro-batch window for the batched socket leg, seconds",
+    )
+    benchi.add_argument(
+        "--batch-max", type=int, default=256,
+        help="max requests per coalesced dispatch (batched leg)",
+    )
+    benchi.add_argument(
+        "--concurrency", type=int, default=256,
+        help="client requests in flight at once (micro-batching needs"
+             " many in flight to coalesce)",
+    )
+    benchi.add_argument("--output", default=None, help="also write JSON here")
+    benchi.set_defaults(func=_cmd_bench_ingress)
 
     benchst = sub.add_parser(
         "bench-store",

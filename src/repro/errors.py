@@ -17,6 +17,10 @@ __all__ = [
     "EngineError",
     "ReliabilityError",
     "FaultInjected",
+    "IngressError",
+    "IngressProtocolError",
+    "IngressConnectionError",
+    "IngressOverload",
 ]
 
 
@@ -68,6 +72,37 @@ class ReliabilityError(ReproError):
     retry budget or timeout, the worker pool kept dying across respawns,
     a restored checkpoint failed its post-restore audit, or a resume was
     requested without a readable campaign record.
+    """
+
+
+class IngressError(ReproError):
+    """Base class for the socket ingress gateway (:mod:`repro.ingress`)."""
+
+
+class IngressProtocolError(IngressError):
+    """A malformed, truncated or version-mismatched wire frame.
+
+    Raised on either side of the connection when the length-prefixed
+    framing cannot be decoded: bad magic, unsupported protocol version,
+    unknown opcode/status, or a frame that ends mid-field.
+    """
+
+
+class IngressConnectionError(IngressError):
+    """The gateway connection failed (refused, reset, or closed mid-reply).
+
+    The *retryable* ingress failure: :class:`repro.ingress.IngressClient`
+    reconnects and re-sends under its
+    :class:`~repro.reliability.retry.RetryPolicy` when it sees this.
+    """
+
+
+class IngressOverload(IngressError):
+    """The server load-shed this request (explicit ``OVERLOAD`` response).
+
+    Sent when admission control rejects a request (too many in flight) or
+    its deadline expired while queued — never a silent drop.  The request
+    was *not* served; the caller may back off and resend.
     """
 
 

@@ -1,0 +1,37 @@
+"""Async socket ingress gateway in front of the serve farm.
+
+The serve farm (:mod:`repro.serving.farm`) is an in-process object: one
+Python process owns the worker pipes, and only that process can serve.
+This package puts a network front door on it —
+
+* :mod:`repro.ingress.protocol` — a tiny length-prefixed binary wire
+  protocol (versioned handshake, serve/metrics/ping ops);
+* :mod:`repro.ingress.server` — :class:`IngressServer`, an asyncio
+  server that accepts many concurrent connections, coalesces requests
+  into per-shard micro-batches (amortising the farm's pipe round trips),
+  applies backpressure via bounded per-shard queues, load-sheds with
+  explicit ``OVERLOAD`` responses under admission/deadline pressure, and
+  drains gracefully on SIGTERM;
+* :mod:`repro.ingress.client` — a blocking :class:`IngressClient` with
+  reconnect-and-retry under :class:`~repro.reliability.retry.RetryPolicy`
+  and an :class:`AsyncIngressClient` that multiplexes concurrent
+  requests over one connection.
+
+Start a server from the command line with ``repro serve --shards N
+--port P``; measure the socket path against the in-process farm with
+``repro bench-ingress``.
+"""
+
+from repro.ingress.client import (
+    AsyncIngressClient,
+    IngressClient,
+    default_retry_policy,
+)
+from repro.ingress.server import IngressServer
+
+__all__ = [
+    "AsyncIngressClient",
+    "IngressClient",
+    "IngressServer",
+    "default_retry_policy",
+]

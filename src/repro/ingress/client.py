@@ -1,0 +1,485 @@
+"""Clients for the ingress gateway: blocking and asyncio variants.
+
+:class:`IngressClient` is the simple one — a blocking socket, one request
+in flight, reconnect-and-retry on connection failure under a
+:class:`~repro.reliability.retry.RetryPolicy` (deterministic backoff, the
+repository's one retry implementation).  :class:`AsyncIngressClient`
+multiplexes many concurrent requests over a single connection by request
+id — the shape that makes server-side micro-batching visible, since many
+requests must be *in flight* for the gateway to coalesce them.
+
+Failure taxonomy (both clients):
+
+* :class:`~repro.errors.IngressConnectionError` — the connection refused,
+  reset, or closed mid-reply.  Transient and **retryable**: the blocking
+  client retries it automatically under its policy; the async client
+  fails the affected calls and reconnects on the next one.  A request
+  that died between send and reply *may have been served* — retrying is
+  at-least-once delivery, exactly like re-sending past any real gateway;
+* :class:`~repro.errors.IngressOverload` — the server explicitly shed
+  the request (admission control or expired deadline).  Not retried
+  automatically: the caller decides whether to back off and re-offer;
+* :class:`~repro.errors.IngressProtocolError` — framing/version breakage.
+  Never retried; it means the endpoints disagree about the protocol.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from typing import Any, Iterable, Optional
+
+from repro.errors import (
+    IngressConnectionError,
+    IngressError,
+    IngressOverload,
+)
+from repro.ingress import protocol
+from repro.net.session import LatencyStats
+from repro.network.protocols import BatchServeResult
+from repro.reliability.retry import RetryPolicy, call_with_retries
+
+__all__ = ["AsyncIngressClient", "IngressClient", "default_retry_policy"]
+
+
+def default_retry_policy() -> RetryPolicy:
+    """Reconnect-and-retry on connection failure only (3 tries total)."""
+    return RetryPolicy(retries=2, retry_on=(IngressConnectionError,))
+
+
+def _totals_result(totals: tuple[int, int, int, int]) -> BatchServeResult:
+    m, routing, rotations, links = totals
+    return BatchServeResult(m, routing, rotations, links, None, None)
+
+
+def _raise_for_status(response: protocol.Response) -> protocol.Response:
+    if response.status == protocol.STATUS_OVERLOAD:
+        raise IngressOverload(response.message)
+    if response.status == protocol.STATUS_ERROR:
+        raise IngressError(f"server error: {response.message}")
+    return response
+
+
+class IngressClient:
+    """Blocking gateway client: one request at a time, auto-reconnect.
+
+    >>> client = IngressClient(port=4217)             # doctest: +SKIP
+    >>> client.serve("tenant-7", 3, 901)              # doctest: +SKIP
+    >>> client.serve_batch("tenant-7", [1, 2], [8, 9])  # doctest: +SKIP
+    >>> client.metrics()["requests"]                  # doctest: +SKIP
+
+    ``path=`` connects over a UNIX socket instead of TCP.  The connection
+    opens lazily on first use; a failed round trip closes it, and the
+    retry policy (default: :func:`default_retry_policy`) reconnects and
+    re-sends — only for :class:`~repro.errors.IngressConnectionError`,
+    never for overload or server errors.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        *,
+        path: Optional[str] = None,
+        deadline: float = 0.0,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        if (port is None) == (path is None):
+            raise IngressError(
+                "pass exactly one of port= (TCP) or path= (UNIX socket)"
+            )
+        self.host = host
+        self.port = port
+        self.path = path
+        self.deadline = deadline
+        self.timeout = timeout
+        self.retry = default_retry_policy() if retry is None else retry
+        self.server_shards: Optional[int] = None
+        self._sock: Optional[socket.socket] = None
+        self._buffer = b""
+        self._next_id = 0
+
+    # -- connection management -----------------------------------------
+    def __enter__(self) -> "IngressClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        self._buffer = b""
+
+    def connect(self) -> None:
+        """Open the socket and run the handshake (no-op when connected)."""
+        if self._sock is not None:
+            return
+        try:
+            if self.path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(self.path)
+            else:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+        except OSError as exc:
+            raise IngressConnectionError(
+                f"cannot connect to ingress at {self._where()}: {exc}"
+            ) from exc
+        self._sock = sock
+        self._buffer = b""
+        try:
+            self._send_bytes(protocol.encode_handshake())
+            self.server_shards = protocol.decode_handshake(
+                self._recv_frame()
+            )
+        except IngressError:
+            self.close()
+            raise
+
+    def _where(self) -> str:
+        return self.path if self.path is not None else f"{self.host}:{self.port}"
+
+    def _send_bytes(self, data: bytes) -> None:
+        try:
+            self._sock.sendall(data)
+        except OSError as exc:
+            self.close()
+            raise IngressConnectionError(
+                f"ingress connection lost during send: {exc}"
+            ) from exc
+
+    def _recv_frame(self) -> bytes:
+        while True:
+            frames, self._buffer = protocol.split_frames(self._buffer)
+            if frames:
+                # One request in flight at a time: at most one frame can
+                # be pending, so the remainder buffer stays tiny.
+                self._buffer = b"".join(
+                    protocol.encode_frame(extra) for extra in frames[1:]
+                ) + self._buffer
+                return frames[0]
+            try:
+                chunk = self._sock.recv(65536)
+            except OSError as exc:
+                self.close()
+                raise IngressConnectionError(
+                    f"ingress connection lost during receive: {exc}"
+                ) from exc
+            if not chunk:
+                self.close()
+                raise IngressConnectionError(
+                    "ingress connection closed by server"
+                )
+            self._buffer += chunk
+
+    def _roundtrip(self, build_frame) -> protocol.Response:
+        """One request/response exchange under the retry policy."""
+
+        def attempt() -> protocol.Response:
+            self.connect()
+            self._next_id = (self._next_id + 1) & 0xFFFF_FFFF
+            request_id = self._next_id
+            self._send_bytes(build_frame(request_id))
+            response = protocol.decode_response(self._recv_frame())
+            if response.request_id != request_id:
+                self.close()
+                raise IngressConnectionError(
+                    f"response id {response.request_id} does not match"
+                    f" request id {request_id} (desynced connection)"
+                )
+            return response
+
+        return _raise_for_status(call_with_retries(attempt, self.retry))
+
+    # -- operations ----------------------------------------------------
+    def ping(self) -> bool:
+        """Round-trip liveness check (handshake included on first use)."""
+        self._roundtrip(
+            lambda rid: protocol.encode_request(protocol.OP_PING, rid)
+        )
+        return True
+
+    def serve(
+        self, key: str, u: int, v: int, *, deadline: Optional[float] = None
+    ) -> BatchServeResult:
+        """Serve one keyed request; returns its exact cost totals."""
+        return self.serve_batch(key, [u], [v], deadline=deadline)
+
+    def serve_batch(
+        self,
+        key: str,
+        sources,
+        targets,
+        *,
+        deadline: Optional[float] = None,
+    ) -> BatchServeResult:
+        """Serve one key's request batch; returns the batch totals."""
+        budget = self.deadline if deadline is None else deadline
+        response = self._roundtrip(
+            lambda rid: protocol.encode_request(
+                protocol.OP_SERVE_BATCH,
+                rid,
+                key=key,
+                sources=list(sources),
+                targets=list(targets),
+                deadline=budget,
+            )
+        )
+        return _totals_result(response.totals)
+
+    def metrics(self) -> dict:
+        """The server's aggregate metrics snapshot (see the protocol)."""
+        response = self._roundtrip(
+            lambda rid: protocol.encode_request(protocol.OP_METRICS, rid)
+        )
+        return dict(response.metrics)
+
+
+class AsyncIngressClient:
+    """Asyncio gateway client: many requests multiplexed per connection.
+
+    Every call coroutine registers a future keyed by request id, writes
+    its frame, and awaits its own response while a single reader task
+    resolves futures as frames arrive — so ``asyncio.gather`` over many
+    :meth:`serve` calls keeps the server's micro-batcher fed.  A dropped
+    connection fails every pending call with
+    :class:`~repro.errors.IngressConnectionError`; the next call
+    reconnects.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        *,
+        path: Optional[str] = None,
+        deadline: float = 0.0,
+    ) -> None:
+        if (port is None) == (path is None):
+            raise IngressError(
+                "pass exactly one of port= (TCP) or path= (UNIX socket)"
+            )
+        self.host = host
+        self.port = port
+        self.path = path
+        self.deadline = deadline
+        self.server_shards: Optional[int] = None
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+
+    async def __aenter__(self) -> "AsyncIngressClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        if self._writer is not None:
+            return
+        try:
+            if self.path is not None:
+                reader, writer = await asyncio.open_unix_connection(self.path)
+            else:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+        except OSError as exc:
+            raise IngressConnectionError(
+                f"cannot connect to ingress: {exc}"
+            ) from exc
+        self._reader, self._writer = reader, writer
+        writer.write(protocol.encode_handshake())
+        await writer.drain()
+        try:
+            head = await reader.readexactly(protocol.FRAME_HEADER_SIZE)
+            payload = await reader.readexactly(
+                protocol.decode_frame_length(head)
+            )
+        except (asyncio.IncompleteReadError, ConnectionError) as exc:
+            await self.close()
+            raise IngressConnectionError(
+                f"connection closed during handshake: {exc}"
+            ) from exc
+        self.server_shards = protocol.decode_handshake(payload)
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    async def close(self) -> None:
+        writer, self._writer, self._reader = self._writer, None, None
+        task, self._reader_task = self._reader_task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        if writer is not None:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+        self._fail_pending("connection closed")
+
+    def _fail_pending(self, reason: str) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(
+                    IngressConnectionError(
+                        f"ingress connection lost with request in flight:"
+                        f" {reason}"
+                    )
+                )
+
+    async def _read_loop(self) -> None:
+        reader = self._reader
+        try:
+            while True:
+                head = await reader.readexactly(protocol.FRAME_HEADER_SIZE)
+                payload = await reader.readexactly(
+                    protocol.decode_frame_length(head)
+                )
+                response = protocol.decode_response(payload)
+                future = self._pending.pop(response.request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            OSError,
+        ) as exc:
+            self._writer = None
+            self._fail_pending(str(exc) or "EOF")
+        except asyncio.CancelledError:
+            raise
+
+    async def _call(self, build_frame) -> protocol.Response:
+        await self.connect()
+        self._next_id = (self._next_id + 1) & 0xFFFF_FFFF
+        request_id = self._next_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            async with self._write_lock:
+                self._writer.write(build_frame(request_id))
+                await self._writer.drain()
+        except (ConnectionError, RuntimeError, AttributeError) as exc:
+            self._pending.pop(request_id, None)
+            await self.close()
+            raise IngressConnectionError(
+                f"ingress connection lost during send: {exc}"
+            ) from exc
+        return _raise_for_status(await future)
+
+    # -- operations ----------------------------------------------------
+    async def ping(self) -> bool:
+        await self._call(
+            lambda rid: protocol.encode_request(protocol.OP_PING, rid)
+        )
+        return True
+
+    async def serve(
+        self, key: str, u: int, v: int, *, deadline: Optional[float] = None
+    ) -> BatchServeResult:
+        return await self.serve_batch(key, [u], [v], deadline=deadline)
+
+    async def serve_batch(
+        self,
+        key: str,
+        sources,
+        targets,
+        *,
+        deadline: Optional[float] = None,
+    ) -> BatchServeResult:
+        budget = self.deadline if deadline is None else deadline
+        response = await self._call(
+            lambda rid: protocol.encode_request(
+                protocol.OP_SERVE_BATCH,
+                rid,
+                key=key,
+                sources=list(sources),
+                targets=list(targets),
+                deadline=budget,
+            )
+        )
+        return _totals_result(response.totals)
+
+    async def metrics(self) -> dict:
+        response = await self._call(
+            lambda rid: protocol.encode_request(protocol.OP_METRICS, rid)
+        )
+        return dict(response.metrics)
+
+    async def serve_stream(
+        self,
+        requests: Iterable[tuple[str, int, int]],
+        *,
+        concurrency: int = 64,
+        retry: Optional[RetryPolicy] = None,
+    ) -> tuple[BatchServeResult, LatencyStats]:
+        """Drive a keyed stream with bounded concurrency; aggregate totals.
+
+        Submits requests in order with at most ``concurrency`` in flight
+        (per-key ordering is preserved: one connection, FIFO queues the
+        whole way down).  Records client-observed per-request wall
+        latency into a :class:`~repro.net.session.LatencyStats`.  With a
+        ``retry`` policy, connection failures reconnect and re-send under
+        deterministic backoff — the retryable-state contract tested by
+        kill-the-server fault drills.
+        """
+        semaphore = asyncio.Semaphore(concurrency)
+        latency = LatencyStats()
+        totals = [0, 0, 0, 0]
+
+        async def one(key: str, u: int, v: int) -> None:
+            async with semaphore:
+                t0 = time.perf_counter()
+                if retry is None:
+                    result = await self.serve(key, u, v)
+                else:
+                    result = await self._retry_async(
+                        lambda: self.serve(key, u, v), retry
+                    )
+                latency.record(time.perf_counter() - t0)
+                totals[0] += result.m
+                totals[1] += result.total_routing
+                totals[2] += result.total_rotations
+                totals[3] += result.total_links_changed
+
+        await asyncio.gather(*(one(*request) for request in requests))
+        return (
+            BatchServeResult(
+                totals[0], totals[1], totals[2], totals[3], None, None
+            ),
+            latency,
+        )
+
+    async def _retry_async(self, attempt, policy: RetryPolicy):
+        """``call_with_retries`` for coroutines (asyncio sleep between)."""
+        tries = 0
+        while True:
+            try:
+                return await attempt()
+            except policy.retry_on:
+                tries += 1
+                if tries > policy.retries:
+                    raise
+                delay = policy.delay(tries)
+                if delay > 0:
+                    await asyncio.sleep(delay)

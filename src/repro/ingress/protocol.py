@@ -1,0 +1,429 @@
+"""Wire protocol of the ingress gateway: length-prefixed binary frames.
+
+The gateway speaks a deliberately tiny binary protocol — ``struct``-packed,
+no serialization library — so a client in any language (or a 20-line
+script) can drive a serve farm over a socket:
+
+* every frame is ``!I`` (payload byte length, big-endian u32) followed by
+  the payload; the length prefix is the only framing, so frames survive
+  arbitrary TCP segmentation;
+* the first frame each way is a **handshake**: magic ``b"RKSN"`` + the
+  protocol version (u16).  The server echoes its own handshake plus its
+  shard count; a magic or version mismatch is a loud
+  :class:`~repro.errors.IngressProtocolError` on both sides, never a
+  silently misparsed stream;
+* requests carry a client-chosen **request id** (u32) echoed verbatim in
+  the response, so one connection can pipeline many requests and match
+  answers out of order;
+* request ops: ``PING`` (liveness), ``SERVE`` (one keyed request),
+  ``SERVE_BATCH`` (one key's request batch), ``METRICS`` (aggregate farm
+  counters).  Responses are ``OK``, ``ERROR`` (message text) or
+  ``OVERLOAD`` (explicit load-shed — admission control or an expired
+  deadline; the request was not served);
+* serve requests carry a **deadline budget** (f64 seconds, 0 = none):
+  the server sheds the request with ``OVERLOAD`` instead of serving it
+  late when it has queued past its budget.
+
+Integers are unsigned big-endian throughout; keys are UTF-8 text (u16
+length prefix); node ids are u32; cost totals are u64 (they are sums of
+per-request costs and outgrow u32 on long streams).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import IngressProtocolError
+
+__all__ = [
+    "FRAME_HEADER_SIZE",
+    "HANDSHAKE_MAGIC",
+    "PROTOCOL_VERSION",
+    "OP_PING",
+    "OP_SERVE",
+    "OP_SERVE_BATCH",
+    "OP_METRICS",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "STATUS_OVERLOAD",
+    "MAX_FRAME_BYTES",
+    "Request",
+    "Response",
+    "decode_frame_length",
+    "encode_frame",
+    "split_frames",
+    "encode_handshake",
+    "decode_handshake",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+]
+
+#: Both sides send this before anything else; anything other than an
+#: exact match is not this protocol.
+HANDSHAKE_MAGIC = b"RKSN"
+
+#: Bumped on any wire-incompatible change; the handshake rejects
+#: mismatches explicitly instead of misparsing frames.
+PROTOCOL_VERSION = 1
+
+OP_PING = 1
+OP_SERVE = 2
+OP_SERVE_BATCH = 3
+OP_METRICS = 4
+_OPS = (OP_PING, OP_SERVE, OP_SERVE_BATCH, OP_METRICS)
+
+STATUS_OK = 0
+STATUS_ERROR = 1
+STATUS_OVERLOAD = 2
+_STATUSES = (STATUS_OK, STATUS_ERROR, STATUS_OVERLOAD)
+
+#: Upper bound on one frame's payload, enforced by both decoders: a
+#: corrupt length prefix must fail fast, not allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct("!I")
+_HANDSHAKE = struct.Struct("!4sHH")  # magic, version, shards (0 = client)
+_REQ_HEAD = struct.Struct("!IBd")  # request id, opcode, deadline seconds
+_RESP_HEAD = struct.Struct("!IB")  # request id, status
+_KEY_LEN = struct.Struct("!H")
+_PAIR = struct.Struct("!II")
+_BATCH_LEN = struct.Struct("!I")
+_SERVE_TOTALS = struct.Struct("!QQQQ")  # m, routing, rotations, links
+_METRICS_BODY = struct.Struct("!QQQQQQdd")
+# requests, routing, rotations, links, admitted, overloaded, p50, p99
+_MSG_LEN = struct.Struct("!I")
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+FRAME_HEADER_SIZE = _LEN.size
+
+
+def decode_frame_length(head: bytes) -> int:
+    """Decode a frame's length prefix, enforcing the payload cap."""
+    if len(head) != _LEN.size:
+        raise IngressProtocolError(
+            f"frame header is {len(head)} bytes, expected {_LEN.size}"
+        )
+    (length,) = _LEN.unpack(head)
+    if length > MAX_FRAME_BYTES:
+        raise IngressProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap"
+            " (corrupt or desynced stream)"
+        )
+    return length
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Prefix ``payload`` with its length — the complete wire form."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise IngressProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the"
+            f" {MAX_FRAME_BYTES}-byte cap"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+def split_frames(buffer: bytes) -> tuple[list[bytes], bytes]:
+    """Split a byte buffer into complete frame payloads + the remainder.
+
+    The incremental decoder both endpoints share: feed it everything read
+    so far, get back every complete payload and the unconsumed tail
+    (which may hold a partial frame).  A length prefix past
+    :data:`MAX_FRAME_BYTES` raises — a desynced or corrupt stream must
+    not look like a frame that merely has not finished arriving.
+    """
+    frames: list[bytes] = []
+    offset = 0
+    total = len(buffer)
+    while total - offset >= _LEN.size:
+        (length,) = _LEN.unpack_from(buffer, offset)
+        if length > MAX_FRAME_BYTES:
+            raise IngressProtocolError(
+                f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte"
+                " cap (corrupt or desynced stream)"
+            )
+        if total - offset - _LEN.size < length:
+            break
+        start = offset + _LEN.size
+        frames.append(bytes(buffer[start : start + length]))
+        offset = start + length
+    return frames, bytes(buffer[offset:])
+
+
+# ----------------------------------------------------------------------
+# handshake
+# ----------------------------------------------------------------------
+def encode_handshake(*, shards: int = 0) -> bytes:
+    """The handshake frame (client sends ``shards=0``; server its count)."""
+    return encode_frame(
+        _HANDSHAKE.pack(HANDSHAKE_MAGIC, PROTOCOL_VERSION, shards)
+    )
+
+
+def decode_handshake(payload: bytes) -> int:
+    """Validate a handshake payload; returns the peer's shard count."""
+    if len(payload) != _HANDSHAKE.size:
+        raise IngressProtocolError(
+            f"handshake frame is {len(payload)} bytes,"
+            f" expected {_HANDSHAKE.size}"
+        )
+    magic, version, shards = _HANDSHAKE.unpack(payload)
+    if magic != HANDSHAKE_MAGIC:
+        raise IngressProtocolError(
+            f"bad handshake magic {magic!r} (not an ingress endpoint)"
+        )
+    if version != PROTOCOL_VERSION:
+        raise IngressProtocolError(
+            f"protocol version mismatch: peer speaks {version},"
+            f" this side speaks {PROTOCOL_VERSION}"
+        )
+    return shards
+
+
+# ----------------------------------------------------------------------
+# requests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Request:
+    """One decoded client request frame."""
+
+    op: int
+    request_id: int
+    key: str = ""
+    sources: tuple[int, ...] = ()
+    targets: tuple[int, ...] = ()
+    #: Seconds the client allows this request to spend queued server-side
+    #: before it would rather be load-shed; 0.0 = no deadline.
+    deadline: float = 0.0
+
+
+@dataclass(frozen=True)
+class Response:
+    """One decoded server response frame."""
+
+    request_id: int
+    status: int
+    #: SERVE / SERVE_BATCH totals (m, routing, rotations, links).
+    totals: Optional[tuple[int, int, int, int]] = None
+    #: METRICS body (see :func:`encode_response`).
+    metrics: Optional[dict] = None
+    #: ERROR / OVERLOAD explanation.
+    message: str = ""
+
+
+def _pack_key(key: str) -> bytes:
+    data = key.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise IngressProtocolError(
+            f"session key of {len(data)} UTF-8 bytes exceeds the 65535-byte"
+            " key cap"
+        )
+    return _KEY_LEN.pack(len(data)) + data
+
+
+def _unpack_key(payload: bytes, offset: int) -> tuple[str, int]:
+    if len(payload) - offset < _KEY_LEN.size:
+        raise IngressProtocolError("frame ends inside a key length")
+    (length,) = _KEY_LEN.unpack_from(payload, offset)
+    offset += _KEY_LEN.size
+    if len(payload) - offset < length:
+        raise IngressProtocolError("frame ends inside a key")
+    return payload[offset : offset + length].decode("utf-8"), offset + length
+
+
+def _pack_text(text: str) -> bytes:
+    data = text.encode("utf-8")[: 0xFFFF_FFFF]
+    return _MSG_LEN.pack(len(data)) + data
+
+
+def _unpack_text(payload: bytes, offset: int) -> tuple[str, int]:
+    if len(payload) - offset < _MSG_LEN.size:
+        raise IngressProtocolError("frame ends inside a message length")
+    (length,) = _MSG_LEN.unpack_from(payload, offset)
+    offset += _MSG_LEN.size
+    if len(payload) - offset < length:
+        raise IngressProtocolError("frame ends inside a message")
+    return (
+        payload[offset : offset + length].decode("utf-8", "replace"),
+        offset + length,
+    )
+
+
+def encode_request(
+    op: int,
+    request_id: int,
+    *,
+    key: str = "",
+    sources: Sequence[int] = (),
+    targets: Sequence[int] = (),
+    deadline: float = 0.0,
+) -> bytes:
+    """Encode one request as a complete frame (length prefix included)."""
+    if op not in _OPS:
+        raise IngressProtocolError(f"unknown request opcode {op}")
+    head = _REQ_HEAD.pack(request_id & 0xFFFF_FFFF, op, max(0.0, deadline))
+    if op in (OP_PING, OP_METRICS):
+        return encode_frame(head)
+    if len(sources) != len(targets):
+        raise IngressProtocolError(
+            "serve sources and targets must be equal length"
+        )
+    parts = [head, _pack_key(key)]
+    if op == OP_SERVE:
+        if len(sources) != 1:
+            raise IngressProtocolError("SERVE carries exactly one request")
+        parts.append(_PAIR.pack(int(sources[0]), int(targets[0])))
+    else:
+        parts.append(_BATCH_LEN.pack(len(sources)))
+        parts.extend(
+            _PAIR.pack(int(u), int(v)) for u, v in zip(sources, targets)
+        )
+    return encode_frame(b"".join(parts))
+
+
+def decode_request(payload: bytes) -> Request:
+    """Decode one request payload (no length prefix)."""
+    if len(payload) < _REQ_HEAD.size:
+        raise IngressProtocolError(
+            f"request frame of {len(payload)} bytes is shorter than the"
+            f" {_REQ_HEAD.size}-byte header"
+        )
+    request_id, op, deadline = _REQ_HEAD.unpack_from(payload, 0)
+    if op not in _OPS:
+        raise IngressProtocolError(f"unknown request opcode {op}")
+    offset = _REQ_HEAD.size
+    if op in (OP_PING, OP_METRICS):
+        return Request(op=op, request_id=request_id, deadline=deadline)
+    key, offset = _unpack_key(payload, offset)
+    if op == OP_SERVE:
+        if len(payload) - offset != _PAIR.size:
+            raise IngressProtocolError("SERVE frame has a malformed pair")
+        u, v = _PAIR.unpack_from(payload, offset)
+        return Request(
+            op=op,
+            request_id=request_id,
+            key=key,
+            sources=(u,),
+            targets=(v,),
+            deadline=deadline,
+        )
+    if len(payload) - offset < _BATCH_LEN.size:
+        raise IngressProtocolError("frame ends inside a batch length")
+    (m,) = _BATCH_LEN.unpack_from(payload, offset)
+    offset += _BATCH_LEN.size
+    if len(payload) - offset != m * _PAIR.size:
+        raise IngressProtocolError(
+            f"SERVE_BATCH declares {m} pairs but carries"
+            f" {(len(payload) - offset) // _PAIR.size}"
+        )
+    sources = []
+    targets = []
+    for _ in range(m):
+        u, v = _PAIR.unpack_from(payload, offset)
+        offset += _PAIR.size
+        sources.append(u)
+        targets.append(v)
+    return Request(
+        op=op,
+        request_id=request_id,
+        key=key,
+        sources=tuple(sources),
+        targets=tuple(targets),
+        deadline=deadline,
+    )
+
+
+# ----------------------------------------------------------------------
+# responses
+# ----------------------------------------------------------------------
+def encode_response(
+    request_id: int,
+    status: int,
+    *,
+    totals: Optional[tuple[int, int, int, int]] = None,
+    metrics: Optional[dict] = None,
+    message: str = "",
+) -> bytes:
+    """Encode one response as a complete frame (length prefix included)."""
+    if status not in _STATUSES:
+        raise IngressProtocolError(f"unknown response status {status}")
+    head = _RESP_HEAD.pack(request_id & 0xFFFF_FFFF, status)
+    if status != STATUS_OK:
+        return encode_frame(head + _pack_text(message))
+    if metrics is not None:
+        body = _METRICS_BODY.pack(
+            metrics.get("requests", 0),
+            metrics.get("total_routing", 0),
+            metrics.get("total_rotations", 0),
+            metrics.get("total_links_changed", 0),
+            metrics.get("admitted", 0),
+            metrics.get("overloaded", 0),
+            metrics.get("latency_p50_seconds", 0.0),
+            metrics.get("latency_p99_seconds", 0.0),
+        )
+        return encode_frame(head + body)
+    if totals is not None:
+        return encode_frame(head + _SERVE_TOTALS.pack(*totals))
+    return encode_frame(head)  # PING: bare OK
+
+
+def decode_response(payload: bytes) -> Response:
+    """Decode one response payload (no length prefix).
+
+    Body shape is inferred from length: bare OK (ping), serve totals, or
+    the metrics block — the three OK bodies have distinct fixed sizes.
+    """
+    if len(payload) < _RESP_HEAD.size:
+        raise IngressProtocolError(
+            f"response frame of {len(payload)} bytes is shorter than the"
+            f" {_RESP_HEAD.size}-byte header"
+        )
+    request_id, status = _RESP_HEAD.unpack_from(payload, 0)
+    if status not in _STATUSES:
+        raise IngressProtocolError(f"unknown response status {status}")
+    body = payload[_RESP_HEAD.size :]
+    if status != STATUS_OK:
+        message, _ = _unpack_text(payload, _RESP_HEAD.size)
+        return Response(request_id=request_id, status=status, message=message)
+    if not body:
+        return Response(request_id=request_id, status=status)
+    if len(body) == _SERVE_TOTALS.size:
+        return Response(
+            request_id=request_id,
+            status=status,
+            totals=_SERVE_TOTALS.unpack(body),
+        )
+    if len(body) == _METRICS_BODY.size:
+        (
+            requests,
+            routing,
+            rotations,
+            links,
+            admitted,
+            overloaded,
+            p50,
+            p99,
+        ) = _METRICS_BODY.unpack(body)
+        return Response(
+            request_id=request_id,
+            status=status,
+            metrics={
+                "requests": requests,
+                "total_routing": routing,
+                "total_rotations": rotations,
+                "total_links_changed": links,
+                "admitted": admitted,
+                "overloaded": overloaded,
+                "latency_p50_seconds": p50,
+                "latency_p99_seconds": p99,
+            },
+        )
+    raise IngressProtocolError(
+        f"OK response body of {len(body)} bytes matches no known shape"
+    )

@@ -46,6 +46,17 @@ interpreted by the site):
                        relayed to the farm parent; ``kill`` hard-exits the
                        worker — the parent respawns it and replays its
                        journal; use a ledger so the kill stays fired)
+``ingress.accept``     as the ingress gateway accepts a connection
+                       (``error`` closes the socket before the handshake —
+                       a refused/reset connection the client's retry
+                       policy must absorb; ``kill`` hard-exits the server
+                       process)
+``ingress.dispatch``   around one coalesced micro-batch in an ingress
+                       dispatcher (context ``shard=N``; ``error`` raises
+                       :class:`FaultInjected`, answered to every affected
+                       client as an ``ERROR`` response; ``kill`` hard-exits
+                       the server mid-stream — clients see a dropped
+                       connection, the retryable state)
 =====================  ======================================================
 """
 

@@ -37,10 +37,11 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from itertools import islice
-from typing import Any, Iterable, Mapping, Optional, Union
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
 from repro.errors import ExperimentError, ReliabilityError
 from repro.net.session import DEFAULT_CHUNK, LatencyStats
@@ -125,10 +126,12 @@ def _worker_main(conn, spec_data: dict, shard_index: int) -> None:
     Messages in: ``("serve", batches, replay)`` with ``batches`` a list of
     ``(key, sources, targets)``; ``("status",)``; ``("metrics",)``;
     ``("close",)``.  Every reply is a tuple whose first element is
-    ``"ok"`` or ``"error"``; serve acks carry the batch totals, the wall
-    and CPU time spent serving (wall feeds the latency histogram, CPU
-    the contention-immune per-shard busy accounting), and the echoed
-    ``replay`` flag.
+    ``"ok"`` or ``"error"``; serve acks carry per-batch detail totals
+    (one ``(m, routing, rotations, links)`` 4-tuple per dispatched batch,
+    in order — the ingress gateway answers each coalesced client request
+    from exactly its own entry), the wall and CPU time spent serving
+    (wall feeds the latency histogram, CPU the contention-immune
+    per-shard busy accounting), and the echoed ``replay`` flag.
     """
     # Imports inside the worker: with the spawn start method this module
     # is re-imported fresh, and the kernel loads (or degrades to flat)
@@ -151,31 +154,24 @@ def _worker_main(conn, spec_data: dict, shard_index: int) -> None:
                         kill_process(fault)
                     started = time.perf_counter()
                     cpu_started = time.process_time()
-                    m = routing = rotations = links = 0
+                    details = []
                     for key, sources, targets in batches:
                         session = sessions.get(key)
                         if session is None:
                             session = open_session(spec_data)
                             sessions[key] = session
                         batch = session.serve_stream(sources, targets)
-                        m += batch.m
-                        routing += batch.total_routing
-                        rotations += batch.total_rotations
-                        links += batch.total_links_changed
+                        details.append(
+                            (
+                                batch.m,
+                                batch.total_routing,
+                                batch.total_rotations,
+                                batch.total_links_changed,
+                            )
+                        )
                     cpu = time.process_time() - cpu_started
                     elapsed = time.perf_counter() - started
-                    conn.send(
-                        (
-                            "ok",
-                            m,
-                            routing,
-                            rotations,
-                            links,
-                            elapsed,
-                            cpu,
-                            replay,
-                        )
-                    )
+                    conn.send(("ok", details, elapsed, cpu, replay))
                 except Exception as exc:  # noqa: BLE001 - relayed to parent
                     conn.send(("error", f"{type(exc).__name__}: {exc}"))
             elif command == "status":
@@ -278,8 +274,18 @@ class ServeFarm:
         self._procs: list[Optional[Any]] = [None] * shards
         self._conns: list[Optional[Any]] = [None] * shards
         self._closed = False
-        for shard in range(shards):
-            self._start_worker(shard)
+        # Shared-state guard for per-shard concurrent dispatch (see
+        # serve_grouped): aggregate metrics and the respawn budget are
+        # the only cross-shard state touched on the dispatch path.
+        self._metrics_lock = threading.Lock()
+        try:
+            for shard in range(shards):
+                self._start_worker(shard)
+        except BaseException:
+            # A later worker failing to spawn must not leak the earlier
+            # ones: close the partial farm before re-raising.
+            self.close()
+            raise
 
     # -- lifecycle -----------------------------------------------------
     def __enter__(self) -> "ServeFarm":
@@ -339,8 +345,10 @@ class ServeFarm:
     # -- fault recovery ------------------------------------------------
     def _respawn(self, shard: int) -> None:
         """Replace a dead worker and rebuild its state by journal replay."""
-        self.respawns += 1
-        if self.respawns > self.max_respawns:
+        with self._metrics_lock:
+            self.respawns += 1
+            spent = self.respawns
+        if spent > self.max_respawns:
             raise ReliabilityError(
                 f"serve farm gave up after {self.max_respawns} respawn(s):"
                 f" shard {shard} keeps dying"
@@ -393,10 +401,29 @@ class ServeFarm:
                 raise ReliabilityError(
                     f"serve farm shard {shard} failed: {reply[1]}"
                 )
-            _, m, routing, rotations, links, elapsed, cpu, replay = reply
+            _, details, elapsed, cpu, replay = reply
             if replay:  # stale ack from a pre-respawn replay: drop
                 continue
-            return m, routing, rotations, links, elapsed, cpu
+            return details, elapsed, cpu
+
+    def _collect_shard(self, shard: int, batches):
+        """Await one shard's ack and fold it into the aggregate state.
+
+        Returns the per-batch detail list.  Journal appends are per-shard
+        (disjoint between concurrent shard dispatches); the aggregate
+        metrics update takes the shared lock.
+        """
+        details, elapsed, cpu = self._await_ack(shard, batches)
+        m = sum(d[0] for d in details)
+        routing = sum(d[1] for d in details)
+        rotations = sum(d[2] for d in details)
+        links = sum(d[3] for d in details)
+        with self._metrics_lock:
+            self.metrics.record_batch(
+                shard, m, routing, rotations, links, elapsed, cpu
+            )
+        self._journal[shard].append(batches)
+        return details
 
     def _dispatch(
         self, grouped: Mapping[int, list[tuple[Any, list[int], list[int]]]]
@@ -410,18 +437,56 @@ class ServeFarm:
             self._send_serve(shard, batches)
         totals = [0, 0, 0, 0]
         for shard, batches in grouped.items():
-            m, routing, rotations, links, elapsed, cpu = self._await_ack(
+            for m, routing, rotations, links in self._collect_shard(
                 shard, batches
-            )
-            self.metrics.record_batch(
-                shard, m, routing, rotations, links, elapsed, cpu
-            )
-            self._journal[shard].append(batches)
-            totals[0] += m
-            totals[1] += routing
-            totals[2] += rotations
-            totals[3] += links
+            ):
+                totals[0] += m
+                totals[1] += routing
+                totals[2] += rotations
+                totals[3] += links
         return tuple(totals)  # type: ignore[return-value]
+
+    def serve_grouped(
+        self,
+        shard: int,
+        batches: Sequence[tuple[Any, list[int], list[int]]],
+    ) -> list[BatchServeResult]:
+        """Dispatch pre-grouped key batches to one shard, detail per batch.
+
+        ``batches`` is a list of ``(key, sources, targets)`` entries, every
+        key owned by ``shard`` (validated) — the ingress gateway's dispatch
+        primitive: one worker round trip serves the whole coalesced list,
+        and the returned :class:`BatchServeResult` per entry carries that
+        entry's exact totals, so each client request gets its own answer.
+
+        Thread safety: concurrent calls for *distinct* shards are safe
+        (each shard's pipe and journal are touched by one caller at a
+        time; the aggregate metrics and respawn budget are lock-guarded).
+        Concurrent calls for the same shard are not.
+        """
+        self._check_open()
+        batches = [
+            (key, [int(u) for u in sources], [int(v) for v in targets])
+            for key, sources, targets in batches
+        ]
+        for key, sources, targets in batches:
+            if len(sources) != len(targets):
+                raise ExperimentError(
+                    "serve_grouped sources and targets must be equal length"
+                )
+            if self.router.shard_of(key) != shard:
+                raise ExperimentError(
+                    f"key {key!r} routes to shard"
+                    f" {self.router.shard_of(key)}, not {shard}"
+                )
+        if not batches:
+            return []
+        self._send_serve(shard, batches)
+        details = self._collect_shard(shard, batches)
+        return [
+            BatchServeResult(m, routing, rotations, links, None, None)
+            for m, routing, rotations, links in details
+        ]
 
     # -- serving -------------------------------------------------------
     def serve(self, key: Any, u: int, v: int) -> None:

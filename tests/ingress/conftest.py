@@ -1,0 +1,22 @@
+"""Ingress-suite hygiene: no fault plan may leak between tests."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.reliability.faults import FAULTS_ENV, clear_fault_plan
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_fault_plan():
+    """Deactivate any plan (installed or env-adopted) around every test."""
+    clear_fault_plan()
+    saved = os.environ.pop(FAULTS_ENV, None)
+    yield
+    clear_fault_plan()
+    if saved is not None:
+        os.environ[FAULTS_ENV] = saved
+    else:
+        os.environ.pop(FAULTS_ENV, None)

@@ -154,3 +154,91 @@ class TestFarmApi:
         assert metrics.requests == 10
         assert metrics.busy_seconds == {0: pytest.approx(0.008)}
         assert metrics.windows == 1
+
+
+class TestStartupLeak:
+    def test_partial_spawn_failure_leaks_no_workers(self, monkeypatch):
+        """When a later worker fails to spawn, the constructor must tear
+        down the workers it already started instead of leaking them —
+        the regression where shard 0's process outlived the failed
+        ``ServeFarm(...)`` call with nobody holding a handle to it."""
+        real = ServeFarm._start_worker
+        spawned = []
+
+        def flaky(self, shard):
+            if shard == 1:
+                raise RuntimeError("spawn budget exhausted")
+            real(self, shard)
+            spawned.append((self._procs[shard], self._conns[shard]))
+
+        monkeypatch.setattr(ServeFarm, "_start_worker", flaky)
+        with pytest.raises(RuntimeError, match="spawn budget"):
+            ServeFarm("kary-splaynet", n=8, shards=2)
+        assert spawned, "shard 0 never started — the test proved nothing"
+        [(proc, conn)] = spawned
+        proc.join(timeout=10.0)
+        assert not proc.is_alive(), "shard 0 worker leaked past __init__"
+        assert conn.closed
+
+    def test_failed_constructor_farm_is_closed(self, monkeypatch):
+        def always_fail(self, shard):
+            raise OSError("cannot fork")
+
+        monkeypatch.setattr(ServeFarm, "_start_worker", always_fail)
+        with pytest.raises(OSError, match="fork"):
+            ServeFarm("kary-splaynet", n=8, shards=1)
+
+
+class TestServeGrouped:
+    """The ingress gateway's dispatch primitive: one round trip per
+    coalesced list, exact per-entry totals."""
+
+    def test_per_batch_results_match_individual_calls(self):
+        n, k = 32, 2
+        rng = random.Random(3)
+        pairs = [
+            (rng.randrange(1, n + 1), rng.randrange(1, n + 1))
+            for _ in range(30)
+        ]
+        with ServeFarm("kary-splaynet", n=n, k=k, shards=2) as farm:
+            key = "grouped-key"
+            shard = farm.router.shard_of(key)
+            batches = [
+                (key, [u for u, _ in pairs], [v for _, v in pairs]),
+            ]
+            [grouped] = farm.serve_grouped(shard, batches)
+            windows_after = farm.metrics.windows
+        session = open_session("kary-splaynet", n=n, k=k)
+        clean = session.serve_stream(pairs)
+        assert grouped.m == clean.m
+        assert grouped.total_routing == clean.total_routing
+        assert grouped.total_rotations == clean.total_rotations
+        assert grouped.total_links_changed == clean.total_links_changed
+        assert windows_after == 1  # the whole list cost one round trip
+
+    def test_multiple_keys_one_round_trip_with_per_key_totals(self):
+        n = 16
+        with ServeFarm("kary-splaynet", n=n, k=2, shards=1) as farm:
+            batches = [
+                ("a", [1, 2], [9, 10]),
+                ("b", [3], [11]),
+                ("a", [4], [12]),  # same key again: served in order
+            ]
+            results = farm.serve_grouped(0, batches)
+            assert [r.m for r in results] == [2, 1, 1]
+            assert farm.metrics.windows == 1
+            assert farm.metrics.requests == 4
+
+    def test_wrong_shard_key_is_rejected(self):
+        with ServeFarm("kary-splaynet", n=8, shards=2) as farm:
+            key = "some-key"
+            wrong = 1 - farm.router.shard_of(key)
+            with pytest.raises(ExperimentError, match="routes to shard"):
+                farm.serve_grouped(wrong, [(key, [1], [2])])
+
+    def test_mismatched_lengths_and_empty_list(self):
+        with ServeFarm("kary-splaynet", n=8, shards=1) as farm:
+            with pytest.raises(ExperimentError, match="equal length"):
+                farm.serve_grouped(0, [("a", [1, 2], [3])])
+            assert farm.serve_grouped(0, []) == []
+            assert farm.metrics.windows == 0

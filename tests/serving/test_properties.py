@@ -1,0 +1,157 @@
+"""Property tests for the serving substrate's two exactness contracts.
+
+* ``LatencyStats`` merge is *exact*: histogram state after merging any
+  split of a stream equals the state of recording the whole stream — the
+  property the farm relies on when it merges per-shard histograms into
+  one aggregate (and the ingress bench relies on client-side).
+* ``shard_for_key`` is *cross-process stable*: CRC-32 of the key's UTF-8
+  text, independent of ``PYTHONHASHSEED`` — the property that lets a
+  respawned worker (or a different host) route the same keys to the same
+  shards.  Pinned digests keep the function from silently changing.
+
+Needs hypothesis (installed in CI); skipped gracefully when absent.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import zlib
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.net.session import LatencyStats  # noqa: E402
+from repro.serving import shard_for_key  # noqa: E402
+
+# Latencies across the histogram's whole dynamic range, including the
+# sub-resolution and beyond-range extremes that clamp into end buckets.
+_latency = st.one_of(
+    st.floats(min_value=1e-10, max_value=1e4),
+    st.just(0.0),
+    st.just(1e9),
+)
+
+
+class TestLatencyStatsMergeExactness:
+    @given(
+        samples=st.lists(_latency, max_size=60),
+        cut=st.integers(min_value=0, max_value=60),
+        data=st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_merge_of_any_split_equals_the_whole(self, samples, cut, data):
+        cut = min(cut, len(samples))
+        whole = LatencyStats()
+        for s in samples:
+            whole.record(s)
+        left, right = LatencyStats(), LatencyStats()
+        for s in samples[:cut]:
+            left.record(s)
+        for s in samples[cut:]:
+            right.record(s)
+        left.merge(right)
+        assert left.total == whole.total == len(samples)
+        assert left.counts == whole.counts
+        if samples:
+            q = data.draw(st.floats(min_value=0.0, max_value=1.0))
+            assert left.percentile(q) == whole.percentile(q)
+
+    @given(samples=st.lists(_latency, min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_with_empty_is_identity(self, samples):
+        stats = LatencyStats()
+        for s in samples:
+            stats.record(s)
+        before = (list(stats.counts), stats.total)
+        stats.merge(LatencyStats())
+        assert (list(stats.counts), stats.total) == before
+
+    @given(
+        a=st.lists(_latency, max_size=30),
+        b=st.lists(_latency, max_size=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_is_commutative(self, a, b):
+        def stats_of(samples):
+            stats = LatencyStats()
+            for s in samples:
+                stats.record(s)
+            return stats
+
+        ab, ba = stats_of(a), stats_of(b)
+        ab.merge(stats_of(b))
+        ba.merge(stats_of(a))
+        assert ab.counts == ba.counts
+        assert ab.total == ba.total
+
+
+class TestShardForKeyStability:
+    # Frozen digests: changing the routing hash silently would strand
+    # every resident session on the wrong shard after an upgrade.
+    PINNED = {
+        ("tenant-7", 2): zlib.crc32(b"tenant-7") % 2,
+        ("tenant-7", 8): zlib.crc32(b"tenant-7") % 8,
+        ("", 3): zlib.crc32(b"") % 3,
+        ("clé-λ", 5): zlib.crc32("clé-λ".encode("utf-8")) % 5,
+    }
+
+    def test_pinned_digests(self):
+        for (key, shards), expected in self.PINNED.items():
+            assert shard_for_key(key, shards) == expected
+
+    @given(
+        key=st.text(max_size=64),
+        shards=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_property_is_crc32_of_utf8(self, key, shards):
+        assert shard_for_key(key, shards) == (
+            zlib.crc32(key.encode("utf-8")) % shards
+        )
+
+    @given(
+        key=st.one_of(st.text(max_size=32), st.integers()),
+        shards=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_in_range_and_deterministic(self, key, shards):
+        shard = shard_for_key(key, shards)
+        assert 0 <= shard < shards
+        assert shard == shard_for_key(key, shards)
+
+    def test_independent_of_pythonhashseed_across_processes(self):
+        """The digest a fresh interpreter computes under two different
+        hash seeds must match this process — builtin ``hash`` would
+        fail this for str keys."""
+        keys = ["tenant-7", "", "clé-λ", "a" * 50]
+        script = (
+            "import json,sys\n"
+            "from repro.serving import shard_for_key\n"
+            "keys = json.loads(sys.argv[1])\n"
+            "print(json.dumps([shard_for_key(k, 8) for k in keys]))\n"
+        )
+        import json
+
+        expected = [shard_for_key(k, 8) for k in keys]
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            "src",
+        )
+        for seed in ("0", "42"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+            out = subprocess.run(
+                [sys.executable, "-c", script, json.dumps(keys)],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            assert json.loads(out.stdout) == expected, (
+                f"shard routing drifted under PYTHONHASHSEED={seed}"
+            )

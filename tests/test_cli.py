@@ -162,6 +162,35 @@ class TestScenarios:
         assert "error:" in capsys.readouterr().err
 
 
+class TestServeValidation:
+    """Bad `repro serve` flags must be one clear error line and exit 2 —
+    never a traceback from inside multiprocessing or asyncio."""
+
+    @pytest.mark.parametrize(
+        "argv, needle",
+        [
+            (["serve", "--shards", "0"], "--shards must be >= 1"),
+            (["serve", "--shards", "-3"], "--shards must be >= 1"),
+            (["serve", "--port", "70000"], "--port must be in 0..65535"),
+            (["serve", "--port", "-1"], "--port must be in 0..65535"),
+            (["serve", "-n", "1"], "--nodes must be >= 2"),
+            (["serve", "--batch-window", "-0.5"], "--batch-window"),
+            (["serve", "--batch-max", "0"], "--batch-max must be >= 1"),
+        ],
+    )
+    def test_bad_flag_is_one_clear_error_line(self, argv, needle, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert needle in err
+        assert "Traceback" not in err
+
+    def test_non_integer_flag_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--shards", "two"])
+        assert excinfo.value.code == 2
+
+
 class TestErrors:
     def test_repro_error_exits_2(self, tmp_path, capsys):
         bad = tmp_path / "bad.csv"
