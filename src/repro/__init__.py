@@ -73,6 +73,8 @@ from repro.errors import (
 )
 from repro.ingress import (
     AsyncIngressClient,
+    BreakerConfig,
+    CircuitBreaker,
     IngressClient,
     IngressServer,
 )
@@ -91,6 +93,8 @@ from repro.net import (
 )
 from repro.serving import (
     FarmMetrics,
+    HealthConfig,
+    HealthMonitor,
     ServeFarm,
     ShardRouter,
     shard_for_key,
@@ -101,7 +105,15 @@ from repro.parallel import (
     parallel_map,
     run_sweep,
 )
-from repro.reliability import FaultPlan, inject_faults
+from repro.reliability import (
+    ChaosConfig,
+    FaultPlan,
+    RetryPolicy,
+    backoff_delays,
+    inject_faults,
+    run_chaos,
+    write_chaos_record,
+)
 from repro.results import (
     JsonlStore,
     ResultStore,
@@ -179,10 +191,14 @@ __all__ = [
     "FarmMetrics",
     "ShardRouter",
     "shard_for_key",
+    "HealthConfig",
+    "HealthMonitor",
     # socket ingress gateway (serving over the network)
     "IngressServer",
     "IngressClient",
     "AsyncIngressClient",
+    "BreakerConfig",
+    "CircuitBreaker",
     # core self-adjusting networks
     "KArySplayNet",
     "CentroidSplayNet",
@@ -270,9 +286,14 @@ __all__ = [
     "parallel_map",
     "SweepSpec",
     "run_sweep",
-    # reliability (fault injection, recovery)
+    # reliability (fault injection, retry, chaos soak)
     "FaultPlan",
     "inject_faults",
+    "RetryPolicy",
+    "backoff_delays",
+    "ChaosConfig",
+    "run_chaos",
+    "write_chaos_record",
     # results storage (pluggable campaign record backends)
     "ResultStore",
     "JsonlStore",

@@ -372,8 +372,9 @@ def _cmd_bench_servefarm(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.ingress import IngressServer
+    from repro.ingress import BreakerConfig, IngressServer
     from repro.serving.farm import ServeFarm
+    from repro.serving.health import HealthConfig
 
     # Validate up front: a bad flag should be one clear line on stderr,
     # not a traceback from deep inside multiprocessing or asyncio.
@@ -391,6 +392,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     if args.batch_max < 1:
         raise ReproError(f"--batch-max must be >= 1, got {args.batch_max}")
+    if args.max_respawns < 0:
+        raise ReproError(
+            f"--max-respawns must be >= 0, got {args.max_respawns}"
+        )
+    if args.checkpoint_every < 0:
+        raise ReproError(
+            f"--checkpoint-every must be >= 0 (0 = off),"
+            f" got {args.checkpoint_every}"
+        )
+    # HealthConfig / BreakerConfig validate their own deadlines, but do
+    # it here so the error surfaces before any worker is spawned.
+    health = HealthConfig(
+        interval=args.health_interval,
+        suspect_after=args.suspect_after,
+        down_after=args.down_after,
+    )
+    breaker = BreakerConfig(
+        failure_threshold=args.breaker_threshold,
+        reset_timeout=args.breaker_reset,
+    )
 
     async def run() -> IngressServer:
         farm = ServeFarm(
@@ -399,6 +420,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             k=args.k,
             shards=args.shards,
             engine=args.engine,
+            health=health,
+            max_respawns=args.max_respawns,
+            checkpoint_every=args.checkpoint_every or None,
         )
         server = IngressServer(
             farm,
@@ -407,6 +431,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batch_window=args.batch_window,
             batch_max=args.batch_max,
             default_deadline=args.deadline or None,
+            breaker=breaker,
         )
         await server.start()
         server.install_signal_handlers()
@@ -452,6 +477,46 @@ def _cmd_bench_ingress(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}", file=sys.stderr)
     if record.get("totals_match") is False:
         print("error: ingress cost totals diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.reliability.chaos import (
+        ChaosConfig,
+        run_chaos,
+        write_chaos_record,
+    )
+
+    config = ChaosConfig(
+        n=args.nodes,
+        k=args.k,
+        keys=args.keys,
+        shards=args.shards,
+        rounds=args.rounds,
+        requests_per_round=args.requests_per_round,
+        zipf_alpha=args.zipf_alpha,
+        seed=args.seed,
+        engine=args.engine,
+        faults_per_point=args.faults_per_point,
+        recovery_timeout=args.recovery_timeout,
+    )
+    # The seed is the replay handle: print it before anything can fail.
+    print(f"chaos soak: seed={config.seed} rounds={config.rounds}"
+          f" shards={config.shards}", file=sys.stderr)
+    report = run_chaos(config)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.output:
+        write_chaos_record(report, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if not report["passed"]:
+        print(
+            f"error: chaos invariants violated (replay with"
+            f" --seed {config.seed})",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
@@ -925,7 +990,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-request deadline, seconds (0 = none; expired"
              " requests get an explicit OVERLOAD response)",
     )
+    serve.add_argument(
+        "--health-interval", type=float, default=0.5,
+        help="worker heartbeat period, seconds",
+    )
+    serve.add_argument(
+        "--suspect-after", type=float, default=2.0,
+        help="heartbeat silence before a shard is marked suspect, seconds",
+    )
+    serve.add_argument(
+        "--down-after", type=float, default=5.0,
+        help="heartbeat silence before a shard is declared down and"
+             " proactively respawned, seconds",
+    )
+    serve.add_argument(
+        "--max-respawns", type=int, default=2,
+        help="worker respawn budget before the farm gives up loudly",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=0,
+        help="warm-standby cadence: snapshot each session every N"
+             " requests so recovery replays at most N (0 = replay-only)",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="consecutive shard failures that trip its circuit breaker",
+    )
+    serve.add_argument(
+        "--breaker-reset", type=float, default=1.0,
+        help="seconds an open breaker waits before half-open probing",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded chaos soak against a live `repro serve` process"
+             " (kills every shard under load; exits 1 on any invariant"
+             " violation)",
+    )
+    chaos.add_argument("-n", "--nodes", type=int, default=128)
+    chaos.add_argument("-k", type=int, default=4, help="tree arity")
+    chaos.add_argument("--keys", type=int, default=6, help="session keys")
+    chaos.add_argument("--shards", type=int, default=2)
+    chaos.add_argument(
+        "--rounds", type=int, default=2,
+        help="storm rounds, one shard SIGKILL each (round-robin: use"
+             " >= --shards to kill every shard at least once)",
+    )
+    chaos.add_argument(
+        "--requests-per-round", type=int, default=400,
+        help="client requests pumped across the lanes per round",
+    )
+    chaos.add_argument("--zipf-alpha", type=float, default=1.2)
+    chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="pins the workload and the fault schedule (the replay handle)",
+    )
+    chaos.add_argument(
+        "--engine", choices=("object", "flat", "native"), default=None,
+        help="tree-engine backend for the target's workers",
+    )
+    chaos.add_argument(
+        "--faults-per-point", type=int, default=2,
+        help="error-mode faults injected per fault point"
+             " (ingress.accept / ingress.dispatch / farm.serve)",
+    )
+    chaos.add_argument(
+        "--recovery-timeout", type=float, default=30.0,
+        help="seconds to wait for a killed shard to come back healthy",
+    )
+    chaos.add_argument("--output", default=None, help="also write JSON here")
+    chaos.set_defaults(func=_cmd_chaos)
 
     benchi = sub.add_parser(
         "bench-ingress",

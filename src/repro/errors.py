@@ -100,10 +100,17 @@ class IngressConnectionError(IngressError):
 class IngressOverload(IngressError):
     """The server load-shed this request (explicit ``OVERLOAD`` response).
 
-    Sent when admission control rejects a request (too many in flight) or
-    its deadline expired while queued — never a silent drop.  The request
-    was *not* served; the caller may back off and resend.
+    Sent when admission control rejects a request (too many in flight),
+    a shard's circuit breaker is open, or its deadline expired while
+    queued — never a silent drop.  The request was *not* served; the
+    caller may back off and resend.  :attr:`retry_after` carries the
+    server's suggested resubmission delay in seconds (0.0 = no hint,
+    e.g. for draining/admission sheds).
     """
+
+    def __init__(self, message: str = "", *, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class FaultInjected(ReliabilityError):

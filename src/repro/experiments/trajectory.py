@@ -8,11 +8,12 @@ table — the repo's performance trajectory at a glance — for
 
 The extraction is deliberately schema-free: any numeric key named
 ``speedup_*`` / ``scaling_*`` (formatted as a ratio), any
-``*requests_per_second*`` (formatted as throughput) and any
-``latency_p50/p99_seconds`` found anywhere in a record becomes a row, and
-any boolean ``*match*`` key becomes an equality check.  New benchmark
-records that follow the house conventions show up in the report without
-touching this module.
+``*requests_per_second*`` (formatted as throughput), any
+``latency_p50/p99_seconds``, any ``mean_time_to_*_seconds`` (the chaos
+soak's detection/recovery summary) and any ``rounds_survived`` found
+anywhere in a record becomes a row, and any boolean ``*match*`` key
+becomes an equality check.  New benchmark records that follow the house
+conventions show up in the report without touching this module.
 """
 
 from __future__ import annotations
@@ -84,6 +85,10 @@ def record_metrics(record: dict) -> list[tuple[str, str]]:
             rows.append((path, _format_throughput(value)))
         elif leaf in ("latency_p50_seconds", "latency_p99_seconds"):
             rows.append((path, f"{value * 1e6:.1f} us"))
+        elif leaf.startswith("mean_time_to") and leaf.endswith("_seconds"):
+            rows.append((path, f"{value * 1e3:.1f} ms"))
+        elif leaf == "rounds_survived":
+            rows.append((path, f"{int(value)} rounds"))
     return rows
 
 

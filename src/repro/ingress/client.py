@@ -17,8 +17,12 @@ Failure taxonomy (both clients):
   that died between send and reply *may have been served* — retrying is
   at-least-once delivery, exactly like re-sending past any real gateway;
 * :class:`~repro.errors.IngressOverload` — the server explicitly shed
-  the request (admission control or expired deadline).  Not retried
-  automatically: the caller decides whether to back off and re-offer;
+  the request (admission control, an open circuit breaker, or an
+  expired deadline).  Not retried by default; with
+  ``overload_retries=N`` the blocking client honors the server's
+  retry-after hint — it sleeps the hinted delay (capped) and resubmits,
+  up to ``N`` times, but only when a hint is present (breaker sheds);
+  hint-less sheds like "draining" still surface immediately;
 * :class:`~repro.errors.IngressProtocolError` — framing/version breakage.
   Never retried; it means the endpoints disagree about the protocol.
 """
@@ -55,7 +59,9 @@ def _totals_result(totals: tuple[int, int, int, int]) -> BatchServeResult:
 
 def _raise_for_status(response: protocol.Response) -> protocol.Response:
     if response.status == protocol.STATUS_OVERLOAD:
-        raise IngressOverload(response.message)
+        raise IngressOverload(
+            response.message, retry_after=response.retry_after
+        )
     if response.status == protocol.STATUS_ERROR:
         raise IngressError(f"server error: {response.message}")
     return response
@@ -85,10 +91,20 @@ class IngressClient:
         deadline: float = 0.0,
         timeout: float = 30.0,
         retry: Optional[RetryPolicy] = None,
+        overload_retries: int = 0,
+        max_retry_after: float = 5.0,
     ) -> None:
         if (port is None) == (path is None):
             raise IngressError(
                 "pass exactly one of port= (TCP) or path= (UNIX socket)"
+            )
+        if overload_retries < 0:
+            raise IngressError(
+                f"overload_retries must be >= 0, got {overload_retries}"
+            )
+        if max_retry_after <= 0:
+            raise IngressError(
+                f"max_retry_after must be > 0, got {max_retry_after}"
             )
         self.host = host
         self.port = port
@@ -96,6 +112,8 @@ class IngressClient:
         self.deadline = deadline
         self.timeout = timeout
         self.retry = default_retry_policy() if retry is None else retry
+        self.overload_retries = overload_retries
+        self.max_retry_after = max_retry_after
         self.server_shards: Optional[int] = None
         self._sock: Optional[socket.socket] = None
         self._buffer = b""
@@ -182,7 +200,14 @@ class IngressClient:
             self._buffer += chunk
 
     def _roundtrip(self, build_frame) -> protocol.Response:
-        """One request/response exchange under the retry policy."""
+        """One request/response exchange under the retry policy.
+
+        Connection failures retry under ``self.retry``.  OVERLOAD
+        responses carrying a retry-after hint additionally resubmit up
+        to ``overload_retries`` times, sleeping the hinted delay
+        (capped at ``max_retry_after``) between attempts — the polite
+        reaction to a circuit breaker's "come back in X seconds".
+        """
 
         def attempt() -> protocol.Response:
             self.connect()
@@ -198,7 +223,17 @@ class IngressClient:
                 )
             return response
 
-        return _raise_for_status(call_with_retries(attempt, self.retry))
+        overload_budget = self.overload_retries
+        while True:
+            try:
+                return _raise_for_status(
+                    call_with_retries(attempt, self.retry)
+                )
+            except IngressOverload as exc:
+                if overload_budget <= 0 or exc.retry_after <= 0.0:
+                    raise
+                overload_budget -= 1
+                time.sleep(min(exc.retry_after, self.max_retry_after))
 
     # -- operations ----------------------------------------------------
     def ping(self) -> bool:

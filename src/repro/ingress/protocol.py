@@ -17,9 +17,13 @@ script) can drive a serve farm over a socket:
   answers out of order;
 * request ops: ``PING`` (liveness), ``SERVE`` (one keyed request),
   ``SERVE_BATCH`` (one key's request batch), ``METRICS`` (aggregate farm
-  counters).  Responses are ``OK``, ``ERROR`` (message text) or
-  ``OVERLOAD`` (explicit load-shed — admission control or an expired
-  deadline; the request was not served);
+  counters plus a per-shard health/breaker trailer).  Responses are
+  ``OK``, ``ERROR`` (message text) or ``OVERLOAD`` (explicit load-shed —
+  admission control, a tripped circuit breaker or an expired deadline;
+  the request was not served).  ``ERROR``/``OVERLOAD`` bodies lead with
+  a **retry-after hint** (f64 seconds, 0 = none): how long the server
+  suggests waiting before resubmitting (e.g. a breaker's remaining open
+  window);
 * serve requests carry a **deadline budget** (f64 seconds, 0 = none):
   the server sheds the request with ``OVERLOAD`` instead of serving it
   late when it has queued past its budget.
@@ -68,7 +72,9 @@ HANDSHAKE_MAGIC = b"RKSN"
 
 #: Bumped on any wire-incompatible change; the handshake rejects
 #: mismatches explicitly instead of misparsing frames.
-PROTOCOL_VERSION = 1
+#: v2: retry-after hint on ERROR/OVERLOAD, per-shard health/breaker
+#: trailer (and served/errors counters) on METRICS.
+PROTOCOL_VERSION = 2
 
 OP_PING = 1
 OP_SERVE = 2
@@ -93,9 +99,20 @@ _KEY_LEN = struct.Struct("!H")
 _PAIR = struct.Struct("!II")
 _BATCH_LEN = struct.Struct("!I")
 _SERVE_TOTALS = struct.Struct("!QQQQ")  # m, routing, rotations, links
-_METRICS_BODY = struct.Struct("!QQQQQQdd")
-# requests, routing, rotations, links, admitted, overloaded, p50, p99
+_METRICS_BODY = struct.Struct("!QQQQQQQQdd")
+# requests, routing, rotations, links, admitted, served, overloaded,
+# errors, p50, p99 — followed by one _SHARD_TRAILER per shard
+_SHARD_TRAILER = struct.Struct("!IBBII")
+# pid, health code, breaker code, breaker opens, recoveries
+_RETRY_AFTER = struct.Struct("!d")
 _MSG_LEN = struct.Struct("!I")
+
+#: Health states on the wire (order matches escalation severity).
+_HEALTH_CODES = {"healthy": 0, "suspect": 1, "down": 2, "recovering": 3}
+_HEALTH_NAMES = {code: name for name, code in _HEALTH_CODES.items()}
+#: Circuit-breaker states on the wire.
+_BREAKER_CODES = {"closed": 0, "open": 1, "half_open": 2}
+_BREAKER_NAMES = {code: name for name, code in _BREAKER_CODES.items()}
 
 
 # ----------------------------------------------------------------------
@@ -215,6 +232,9 @@ class Response:
     metrics: Optional[dict] = None
     #: ERROR / OVERLOAD explanation.
     message: str = ""
+    #: Server's suggested resubmission delay in seconds (ERROR/OVERLOAD
+    #: only; 0.0 = no hint).
+    retry_after: float = 0.0
 
 
 def _pack_key(key: str) -> bytes:
@@ -349,13 +369,18 @@ def encode_response(
     totals: Optional[tuple[int, int, int, int]] = None,
     metrics: Optional[dict] = None,
     message: str = "",
+    retry_after: float = 0.0,
 ) -> bytes:
     """Encode one response as a complete frame (length prefix included)."""
     if status not in _STATUSES:
         raise IngressProtocolError(f"unknown response status {status}")
     head = _RESP_HEAD.pack(request_id & 0xFFFF_FFFF, status)
     if status != STATUS_OK:
-        return encode_frame(head + _pack_text(message))
+        return encode_frame(
+            head
+            + _RETRY_AFTER.pack(max(0.0, retry_after))
+            + _pack_text(message)
+        )
     if metrics is not None:
         body = _METRICS_BODY.pack(
             metrics.get("requests", 0),
@@ -363,11 +388,23 @@ def encode_response(
             metrics.get("total_rotations", 0),
             metrics.get("total_links_changed", 0),
             metrics.get("admitted", 0),
+            metrics.get("served", 0),
             metrics.get("overloaded", 0),
+            metrics.get("errors", 0),
             metrics.get("latency_p50_seconds", 0.0),
             metrics.get("latency_p99_seconds", 0.0),
         )
-        return encode_frame(head + body)
+        trailer = b"".join(
+            _SHARD_TRAILER.pack(
+                int(entry.get("pid") or 0) & 0xFFFF_FFFF,
+                _HEALTH_CODES.get(entry.get("health", "healthy"), 0),
+                _BREAKER_CODES.get(entry.get("breaker", "closed"), 0),
+                int(entry.get("breaker_opens", 0)) & 0xFFFF_FFFF,
+                int(entry.get("recoveries", 0)) & 0xFFFF_FFFF,
+            )
+            for entry in metrics.get("shards", ())
+        )
+        return encode_frame(head + body + trailer)
     if totals is not None:
         return encode_frame(head + _SERVE_TOTALS.pack(*totals))
     return encode_frame(head)  # PING: bare OK
@@ -389,8 +426,20 @@ def decode_response(payload: bytes) -> Response:
         raise IngressProtocolError(f"unknown response status {status}")
     body = payload[_RESP_HEAD.size :]
     if status != STATUS_OK:
-        message, _ = _unpack_text(payload, _RESP_HEAD.size)
-        return Response(request_id=request_id, status=status, message=message)
+        if len(body) < _RETRY_AFTER.size:
+            raise IngressProtocolError(
+                "frame ends inside a retry-after hint"
+            )
+        (retry_after,) = _RETRY_AFTER.unpack_from(body, 0)
+        message, _ = _unpack_text(
+            payload, _RESP_HEAD.size + _RETRY_AFTER.size
+        )
+        return Response(
+            request_id=request_id,
+            status=status,
+            message=message,
+            retry_after=max(0.0, retry_after),
+        )
     if not body:
         return Response(request_id=request_id, status=status)
     if len(body) == _SERVE_TOTALS.size:
@@ -399,17 +448,37 @@ def decode_response(payload: bytes) -> Response:
             status=status,
             totals=_SERVE_TOTALS.unpack(body),
         )
-    if len(body) == _METRICS_BODY.size:
+    extra = len(body) - _METRICS_BODY.size
+    if extra >= 0 and extra % _SHARD_TRAILER.size == 0:
         (
             requests,
             routing,
             rotations,
             links,
             admitted,
+            served,
             overloaded,
+            errors,
             p50,
             p99,
-        ) = _METRICS_BODY.unpack(body)
+        ) = _METRICS_BODY.unpack_from(body, 0)
+        shards = []
+        for offset in range(
+            _METRICS_BODY.size, len(body), _SHARD_TRAILER.size
+        ):
+            pid, health, breaker, opens, recoveries = (
+                _SHARD_TRAILER.unpack_from(body, offset)
+            )
+            shards.append(
+                {
+                    "shard": len(shards),
+                    "pid": pid,
+                    "health": _HEALTH_NAMES.get(health, "healthy"),
+                    "breaker": _BREAKER_NAMES.get(breaker, "closed"),
+                    "breaker_opens": opens,
+                    "recoveries": recoveries,
+                }
+            )
         return Response(
             request_id=request_id,
             status=status,
@@ -419,9 +488,12 @@ def decode_response(payload: bytes) -> Response:
                 "total_rotations": rotations,
                 "total_links_changed": links,
                 "admitted": admitted,
+                "served": served,
                 "overloaded": overloaded,
+                "errors": errors,
                 "latency_p50_seconds": p50,
                 "latency_p99_seconds": p99,
+                "shards": shards,
             },
         )
     raise IngressProtocolError(

@@ -21,6 +21,15 @@ sits between socket and farm:
   while it queues, the server answers an explicit ``OVERLOAD`` frame.
   Requests are never silently dropped: every admitted request is either
   served or answered with ``OVERLOAD``/``ERROR``;
+* **circuit breakers** — one :class:`~repro.ingress.breaker.CircuitBreaker`
+  per shard: consecutive dispatch failures or deadline misses trip it
+  open and requests for that shard are shed *immediately* with
+  ``OVERLOAD`` (carrying a retry-after hint of the remaining open
+  window) instead of queueing doomed work while the farm respawns the
+  worker; after ``reset_timeout`` a bounded probe budget tests the
+  shard before traffic fully resumes.  Breaker sheds happen before
+  admission, so ``admitted == served + overloaded + errors`` holds for
+  the post-admission population exactly as before;
 * **graceful drain** — on SIGTERM (see :meth:`install_signal_handlers`)
   the server stops accepting, answers everything already queued, closes
   the farm and wakes :meth:`serve_forever` — a clean exit, not a dropped
@@ -44,6 +53,7 @@ from typing import Any, Optional
 
 from repro.errors import ExperimentError, FaultInjected, IngressProtocolError
 from repro.ingress import protocol
+from repro.ingress.breaker import BreakerConfig, CircuitBreaker
 from repro.reliability.faults import fire_fault, kill_process
 from repro.serving.farm import ServeFarm
 
@@ -109,6 +119,7 @@ class IngressServer:
         max_inflight: int = 8192,
         default_deadline: Optional[float] = None,
         close_farm: bool = True,
+        breaker: Optional[BreakerConfig] = None,
     ) -> None:
         if batch_window < 0:
             raise ExperimentError(
@@ -142,11 +153,18 @@ class IngressServer:
         self.max_inflight = max_inflight
         self.default_deadline = default_deadline
         self.close_farm = close_farm
+        self.breaker_config = breaker or BreakerConfig()
+        #: Per-shard circuit breakers (created in :meth:`start`; touched
+        #: only from the event-loop thread).
+        self.breakers: list[CircuitBreaker] = []
         #: Ingress-level counters (event-loop thread only).
         self.admitted = 0
         self.served = 0
         self.overloaded = 0
         self.errors = 0
+        #: Requests shed by an open breaker (subset of ``overloaded``;
+        #: like admission-control sheds, they are never admitted).
+        self.breaker_shed = 0
         self.rejected_connections = 0
         self.inflight = 0
         self.address: Optional[Any] = None
@@ -166,6 +184,9 @@ class IngressServer:
         loop = asyncio.get_running_loop()
         self._stopped = asyncio.Event()
         shards = self.farm.shards
+        self.breakers = [
+            CircuitBreaker(self.breaker_config) for _ in range(shards)
+        ]
         self._queues = [
             asyncio.Queue(maxsize=self.queue_depth) for _ in range(shards)
         ]
@@ -342,6 +363,22 @@ class IngressServer:
                 f" (cap {self.max_inflight})",
             )
             return
+        shard = self.farm.router.shard_of(request.key)
+        breaker = self.breakers[shard]
+        # Checked after the inflight cap so an allowed half-open probe is
+        # always actually queued (its outcome balances the probe budget).
+        if not breaker.allow():
+            # Shed before admission: queueing at a sick shard converts
+            # requests into slow failures; tell the client when to come
+            # back instead.
+            self.breaker_shed += 1
+            await self._overload(
+                conn,
+                request.request_id,
+                f"circuit breaker open for shard {shard}",
+                retry_after=breaker.retry_after(),
+            )
+            return
         deadline = request.deadline or 0.0
         if deadline <= 0.0 and self.default_deadline is not None:
             deadline = self.default_deadline
@@ -352,7 +389,6 @@ class IngressServer:
         )
         self.inflight += 1
         self.admitted += 1
-        shard = self.farm.router.shard_of(request.key)
         # Bounded queue: when the shard is saturated this put() suspends,
         # and with it the connection's read loop — backpressure.
         await self._queues[shard].put(
@@ -360,13 +396,21 @@ class IngressServer:
         )
 
     async def _overload(
-        self, conn: _Connection, request_id: int, message: str
+        self,
+        conn: _Connection,
+        request_id: int,
+        message: str,
+        *,
+        retry_after: float = 0.0,
     ) -> None:
         self.overloaded += 1
         await self._send(
             conn,
             protocol.encode_response(
-                request_id, protocol.STATUS_OVERLOAD, message=message
+                request_id,
+                protocol.STATUS_OVERLOAD,
+                message=message,
+                retry_after=retry_after,
             ),
         )
 
@@ -382,12 +426,42 @@ class IngressServer:
 
     def _metrics_snapshot(self) -> dict:
         farm_metrics = self.farm.metrics
+        shards = self.farm.shards
+        # Farm-shaped stubs (tests) may lack the health/supervision
+        # surface; degrade to healthy/zero rather than demanding it.
+        pids = getattr(self.farm, "shard_pids", lambda: [None] * shards)()
+        states = getattr(
+            self.farm, "health_states", lambda: ["healthy"] * shards
+        )()
+        recoveries = getattr(
+            self.farm, "shard_recoveries", [0] * shards
+        )
+        shard_rows = []
+        for shard in range(shards):
+            breaker = (
+                self.breakers[shard]
+                if shard < len(self.breakers)
+                else CircuitBreaker(self.breaker_config)
+            )
+            shard_rows.append(
+                {
+                    "shard": shard,
+                    "pid": pids[shard] or 0,
+                    "health": states[shard],
+                    "breaker": breaker.state,
+                    "breaker_opens": breaker.opens,
+                    "recoveries": recoveries[shard],
+                }
+            )
         return {
             **farm_metrics.to_dict(),
             "admitted": self.admitted,
+            "served": self.served,
             "overloaded": self.overloaded,
+            "errors": self.errors,
             "latency_p50_seconds": farm_metrics.latency_p50,
             "latency_p99_seconds": farm_metrics.latency_p99,
+            "shards": shard_rows,
         }
 
     # -- per-shard micro-batching dispatch -----------------------------
@@ -425,11 +499,15 @@ class IngressServer:
         self, shard: int, batch: list[_Pending]
     ) -> None:
         loop = asyncio.get_running_loop()
+        breaker = self.breakers[shard]
         now = loop.time()
         live: list[_Pending] = []
         for item in batch:
             if item.expires_at is not None and now > item.expires_at:
                 self.inflight -= 1
+                # A deadline blown in the queue is the shard being slow:
+                # it counts against the breaker like a failure.
+                breaker.record_failure()
                 await self._overload(
                     item.conn,
                     item.request.request_id,
@@ -463,12 +541,14 @@ class IngressServer:
             for item in live:
                 self.inflight -= 1
                 self.errors += 1
+                breaker.record_failure()
                 await self._send(
                     item.conn,
                     protocol.encode_response(
                         item.request.request_id,
                         protocol.STATUS_ERROR,
                         message=f"{type(exc).__name__}: {exc}",
+                        retry_after=breaker.retry_after(),
                     ),
                 )
             return
@@ -477,6 +557,7 @@ class IngressServer:
         for item, result in zip(live, results):
             self.inflight -= 1
             self.served += 1
+            breaker.record_success()
             await self._send(
                 item.conn,
                 protocol.encode_response(

@@ -10,7 +10,13 @@ the *infrastructure* the same property:
   environment hook, so every recovery path below is pinned by tests that
   *cause* the failure;
 * :mod:`repro.reliability.retry` — the one bounded-retry /
-  exponential-backoff policy, shared by the pool paths;
+  exponential-backoff policy (optionally with seeded bounded jitter),
+  shared by the pool and ingress paths;
+* :mod:`repro.reliability.chaos` — the chaos soak harness
+  (``repro chaos``): seeded multi-round fault storms against a live
+  ``repro serve`` process under concurrent client load, gated on hard
+  end-state invariants (totals equal a clean run, no dropped admitted
+  request, every shard healthy at drain);
 * pool hardening lives in :mod:`repro.parallel.pool` (per-task timeouts,
   retry, ``BrokenProcessPool`` respawn-and-resubmit), campaign resume in
   :mod:`repro.scenarios.core` (``run_specs(resume=True)``), and session
@@ -23,6 +29,7 @@ corruption detected) and its subclass :class:`~repro.errors.FaultInjected`
 """
 
 from repro.errors import FaultInjected, ReliabilityError
+from repro.reliability.chaos import ChaosConfig, run_chaos, write_chaos_record
 from repro.reliability.faults import (
     FAULTS_ENV,
     FaultPlan,
@@ -37,6 +44,7 @@ from repro.reliability.retry import RetryPolicy, backoff_delays, call_with_retri
 
 __all__ = [
     "FAULTS_ENV",
+    "ChaosConfig",
     "FaultInjected",
     "FaultPlan",
     "FaultSpec",
@@ -49,4 +57,6 @@ __all__ = [
     "fire_fault",
     "inject_faults",
     "install_fault_plan",
+    "run_chaos",
+    "write_chaos_record",
 ]

@@ -64,7 +64,9 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import threading
+import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -165,22 +167,39 @@ class FaultPlan:
     worker that was then killed stays fired for the respawned worker.
     Without a ledger, counters are per-process (fine for single-process
     tests).
+
+    Markers live under ``ledger/<run_id>/`` so two drills sharing a
+    ledger directory never see each other's claims.  ``run_id`` is
+    auto-generated when a ledger is set, serialized with the plan (so
+    worker processes inheriting it via ``REPRO_FAULTS`` share the run's
+    namespace), and its subdirectory is removed by
+    :func:`inject_faults` on exit.
     """
 
     specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
     ledger: Optional[str] = None
+    run_id: str = ""
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "specs", tuple(self.specs))
+        if self.ledger is not None and not self.run_id:
+            object.__setattr__(self, "run_id", uuid.uuid4().hex[:12])
 
     def for_point(self, point: str) -> tuple[FaultSpec, ...]:
         return tuple(spec for spec in self.specs if spec.point == point)
+
+    def ledger_dir(self) -> Optional[Path]:
+        """This run's marker directory (``ledger/<run_id>``), or ``None``."""
+        if self.ledger is None:
+            return None
+        return Path(self.ledger) / self.run_id
 
     # -- JSON / environment round trip ---------------------------------
     def to_dict(self) -> dict[str, Any]:
         return {
             "specs": [spec.to_dict() for spec in self.specs],
             "ledger": self.ledger,
+            "run_id": self.run_id,
         }
 
     def to_json(self) -> str:
@@ -193,6 +212,7 @@ class FaultPlan:
                 FaultSpec.from_dict(item) for item in data.get("specs", ())
             ),
             ledger=data.get("ledger"),
+            run_id=data.get("run_id", ""),
         )
 
     @classmethod
@@ -265,12 +285,20 @@ def active_fault_plan() -> Optional[FaultPlan]:
 
 @contextmanager
 def inject_faults(plan: FaultPlan) -> Iterator[FaultPlan]:
-    """Context manager: activate ``plan``, deactivate on exit."""
+    """Context manager: activate ``plan``, deactivate on exit.
+
+    Exit also removes the run's ledger markers (``ledger/<run_id>/``),
+    so consecutive drills sharing a ledger directory start from a clean
+    invocation count.
+    """
     install_fault_plan(plan)
     try:
         yield plan
     finally:
         clear_fault_plan()
+        run_dir = plan.ledger_dir()
+        if run_dir is not None:
+            shutil.rmtree(run_dir, ignore_errors=True)
 
 
 def _next_index(plan: FaultPlan, spec: FaultSpec) -> int:
@@ -281,12 +309,12 @@ def _next_index(plan: FaultPlan, spec: FaultSpec) -> int:
     killed worker.  Without one it is a per-process counter.
     """
     key = (spec.point, spec.match)
-    if plan.ledger is None:
+    root = plan.ledger_dir()
+    if root is None:
         with _lock:
             index = _counters.get(key, 0) + 1
             _counters[key] = index
         return index
-    root = Path(plan.ledger)
     root.mkdir(parents=True, exist_ok=True)
     tag = f"{spec.point}.{spec.match}".replace(os.sep, "_").replace(" ", "_")
     index = 1

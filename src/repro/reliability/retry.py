@@ -4,11 +4,15 @@ One small policy object shared by every retry site in the repository (the
 pool's serial and process paths, and any caller wrapping a flaky external
 step).  Delays are deterministic — ``base * factor**attempt``, capped —
 because reproducibility is the house rule: a retried campaign must behave
-identically run to run, so there is no jitter by default.
+identically run to run, so there is no jitter by default.  When many
+clients retry in lockstep (the thundering-herd shape the ingress gateway
+sees after a shard failover), *seeded* jitter spreads them out without
+giving up reproducibility: the same seed always yields the same schedule.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple, Type, TypeVar
@@ -19,6 +23,26 @@ __all__ = ["RetryPolicy", "backoff_delays", "call_with_retries"]
 
 R = TypeVar("R")
 
+# Large odd multiplier decorrelates the per-attempt RNG streams derived
+# from one seed; any fixed odd constant works, reproducibility only needs
+# it to never change.
+_JITTER_STREAM_STRIDE = 1_000_003
+
+
+def _jittered(delay: float, jitter: float, seed: Optional[int], attempt: int) -> float:
+    """Spread ``delay`` uniformly over ``[delay*(1-j), delay*(1+j)]``.
+
+    Deterministic per ``(seed, attempt)`` so a reseeded rerun sleeps the
+    exact same schedule; clamped at zero so jitter never goes negative.
+    """
+    if jitter == 0 or delay == 0:
+        return delay
+    rng = random.Random(
+        attempt if seed is None else seed * _JITTER_STREAM_STRIDE + attempt
+    )
+    spread = delay * jitter
+    return max(0.0, delay - spread + rng.random() * 2 * spread)
+
 
 def backoff_delays(
     retries: int,
@@ -26,14 +50,25 @@ def backoff_delays(
     base: float = 0.05,
     factor: float = 2.0,
     cap: float = 2.0,
+    jitter: float = 0.0,
+    seed: Optional[int] = None,
 ) -> list[float]:
     """The sleep schedule for ``retries`` re-attempts: [base, base*factor, ...].
 
     Deterministic and capped; ``retries=0`` returns an empty schedule.
+    ``jitter`` (a fraction in ``[0, 1]``, default off) widens each capped
+    delay ``d`` to a seeded-uniform draw from ``[d*(1-jitter),
+    d*(1+jitter)]`` — the same ``seed`` always reproduces the same
+    schedule.
     """
     if retries < 0:
         raise ReliabilityError(f"retries must be >= 0, got {retries}")
-    return [min(cap, base * factor**i) for i in range(retries)]
+    if not 0.0 <= jitter <= 1.0:
+        raise ReliabilityError(f"jitter must be in [0, 1], got {jitter}")
+    return [
+        _jittered(min(cap, base * factor**i), jitter, seed, i + 1)
+        for i in range(retries)
+    ]
 
 
 @dataclass(frozen=True)
@@ -47,6 +82,10 @@ class RetryPolicy:
     base, factor, cap:
         Exponential-backoff schedule parameters (seconds); see
         :func:`backoff_delays`.
+    jitter, seed:
+        Seeded bounded jitter (default off).  ``jitter`` is the fraction
+        of each delay to spread over; ``seed`` pins the draw so reruns
+        sleep identically.
     retry_on:
         Exception classes considered transient.  Anything else fails
         immediately regardless of budget.  Default: every ``Exception``.
@@ -56,6 +95,8 @@ class RetryPolicy:
     base: float = 0.05
     factor: float = 2.0
     cap: float = 2.0
+    jitter: float = 0.0
+    seed: Optional[int] = None
     retry_on: Tuple[Type[BaseException], ...] = (Exception,)
 
     def __post_init__(self) -> None:
@@ -66,18 +107,26 @@ class RetryPolicy:
                 "backoff needs base >= 0, factor >= 1, cap >= 0; got "
                 f"base={self.base}, factor={self.factor}, cap={self.cap}"
             )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ReliabilityError(f"jitter must be in [0, 1], got {self.jitter}")
 
     def delays(self) -> list[float]:
         """The full deterministic sleep schedule for this policy."""
         return backoff_delays(
-            self.retries, base=self.base, factor=self.factor, cap=self.cap
+            self.retries,
+            base=self.base,
+            factor=self.factor,
+            cap=self.cap,
+            jitter=self.jitter,
+            seed=self.seed,
         )
 
     def delay(self, attempt: int) -> float:
         """Sleep before re-attempt number ``attempt`` (1-based)."""
         if attempt < 1:
             raise ReliabilityError(f"attempt is 1-based, got {attempt}")
-        return min(self.cap, self.base * self.factor ** (attempt - 1))
+        bare = min(self.cap, self.base * self.factor ** (attempt - 1))
+        return _jittered(bare, self.jitter, self.seed, attempt)
 
     def is_transient(self, exc: BaseException) -> bool:
         return isinstance(exc, self.retry_on)

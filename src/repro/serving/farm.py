@@ -18,19 +18,31 @@ Fault tolerance follows the PR 6 pool-hardening playbook:
   suite can kill a worker deterministically mid-campaign;
 * a dead worker (broken pipe on send or EOF on receive) is respawned and
   its state rebuilt by **journal replay**: the parent keeps every
-  acknowledged batch per shard and replays them — the serve discipline is
-  deterministic, so the rebuilt trees are cell-for-cell identical — then
-  re-sends the in-flight batch.  Replay acks are dropped, so nothing is
-  double counted.  Kill-style faults need a ledger-backed
-  :class:`~repro.reliability.faults.FaultPlan` (exactly as with
-  ``pool.task``) so the respawned worker does not re-fire the kill;
+  acknowledged batch per shard per key and replays them — the serve
+  discipline is deterministic, so the rebuilt trees are cell-for-cell
+  identical — then re-sends the in-flight batch.  Replay acks are
+  dropped, so nothing is double counted.  Kill-style faults need a
+  ledger-backed :class:`~repro.reliability.faults.FaultPlan` (exactly as
+  with ``pool.task``) so the respawned worker does not re-fire the kill;
 * the respawn budget (``max_respawns``) turns a crash loop into a loud
   :class:`~repro.errors.ReliabilityError` instead of a hang.
 
-The journal makes recovery exact at the cost of O(total requests) parent
-memory; campaigns that outgrow it should checkpoint per session
-(``open_session(checkpoint_every=...)`` inside the worker) and truncate —
-the benchmark and test campaigns here stay well inside it.
+Two layers on top of reactive replay (the self-healing subsystem):
+
+* **health supervision** (:mod:`repro.serving.health`): every worker runs
+  a heartbeat thread on a dedicated pipe; a supervisor thread in the
+  parent feeds a :class:`~repro.serving.health.HealthMonitor` and
+  *proactively* respawns a shard on heartbeat-pipe EOF (instant — the
+  worker died) or on a missed-beat deadline, before any dispatch has to
+  fail.  Per-shard locks make the proactive and reactive paths mutually
+  exclusive, and an epoch counter makes respawn idempotent when both
+  notice the same death.
+* **warm standby** (``checkpoint_every=N``): workers cut engine-
+  transferable :class:`~repro.net.session.SessionSnapshot` checkpoints
+  at batch boundaries every ``N`` requests per key and ship them in the
+  serve ack; the parent prunes the journal prefix each snapshot covers,
+  so a replacement worker restores from the latest snapshots and replays
+  **at most ~N requests per key** instead of the whole history.
 """
 
 from __future__ import annotations
@@ -47,6 +59,13 @@ from repro.errors import ExperimentError, ReliabilityError
 from repro.net.session import DEFAULT_CHUNK, LatencyStats
 from repro.net.spec import NetworkSpec
 from repro.network.protocols import BatchServeResult
+from repro.serving.health import (
+    DOWN,
+    HEALTHY,
+    RECOVERING,
+    HealthConfig,
+    HealthMonitor,
+)
 from repro.serving.router import ShardRouter
 
 __all__ = ["FarmMetrics", "ServeFarm"]
@@ -120,18 +139,46 @@ class FarmMetrics:
         }
 
 
-def _worker_main(conn, spec_data: dict, shard_index: int) -> None:
+def _heartbeat_loop(hb_conn, interval: float, stop) -> None:
+    """Worker-side liveness thread: one beat per ``interval`` seconds."""
+    seq = 0
+    while True:
+        try:
+            hb_conn.send(("beat", seq))
+        except (BrokenPipeError, OSError):  # parent gone
+            return
+        seq += 1
+        if stop.wait(interval):
+            return
+
+
+def _worker_main(
+    conn,
+    hb_conn,
+    spec_data: dict,
+    shard_index: int,
+    hb_interval: float,
+    checkpoint_every: Optional[int],
+) -> None:
     """One shard's serve loop: sessions owned here, commands via pipe.
 
     Messages in: ``("serve", batches, replay)`` with ``batches`` a list of
-    ``(key, sources, targets)``; ``("status",)``; ``("metrics",)``;
-    ``("close",)``.  Every reply is a tuple whose first element is
-    ``"ok"`` or ``"error"``; serve acks carry per-batch detail totals
-    (one ``(m, routing, rotations, links)`` 4-tuple per dispatched batch,
-    in order — the ingress gateway answers each coalesced client request
-    from exactly its own entry), the wall and CPU time spent serving
-    (wall feeds the latency histogram, CPU the contention-immune
-    per-shard busy accounting), and the echoed ``replay`` flag.
+    ``(key, sources, targets)``; ``("restore", [(key, snapshot,
+    covered)])``; ``("status",)``; ``("metrics",)``; ``("close",)``.
+    Every reply is a tuple whose first element is ``"ok"`` or ``"error"``;
+    serve acks carry per-batch detail totals (one ``(m, routing,
+    rotations, links)`` 4-tuple per dispatched batch, in order — the
+    ingress gateway answers each coalesced client request from exactly
+    its own entry), the wall and CPU time spent serving (wall feeds the
+    latency histogram, CPU the contention-immune per-shard busy
+    accounting), the echoed ``replay`` flag, and any warm-standby
+    snapshots cut this window (``[(key, SessionSnapshot, covered)]``
+    with ``covered`` the key's total served requests at the cut — always
+    a batch boundary, so the parent can prune its journal exactly).
+
+    Liveness is out of band: when ``hb_interval > 0`` a daemon thread
+    beats on ``hb_conn`` so a stuck or dead worker is visible to the
+    supervisor without touching the command pipe.
     """
     # Imports inside the worker: with the spawn start method this module
     # is re-imported fresh, and the kernel loads (or degrades to flat)
@@ -139,7 +186,18 @@ def _worker_main(conn, spec_data: dict, shard_index: int) -> None:
     from repro.net.session import open_session
     from repro.reliability.faults import fire_fault, kill_process
 
+    stop_beat = threading.Event()
+    if hb_conn is not None and hb_interval > 0:
+        threading.Thread(
+            target=_heartbeat_loop,
+            args=(hb_conn, hb_interval, stop_beat),
+            daemon=True,
+            name=f"repro-heartbeat-{shard_index}",
+        ).start()
+
     sessions: dict[Any, Any] = {}
+    served_total: dict[Any, int] = {}
+    since_snapshot: dict[Any, int] = {}
     try:
         while True:
             message = conn.recv()
@@ -155,6 +213,7 @@ def _worker_main(conn, spec_data: dict, shard_index: int) -> None:
                     started = time.perf_counter()
                     cpu_started = time.process_time()
                     details = []
+                    snapshots = []
                     for key, sources, targets in batches:
                         session = sessions.get(key)
                         if session is None:
@@ -169,10 +228,39 @@ def _worker_main(conn, spec_data: dict, shard_index: int) -> None:
                                 batch.total_links_changed,
                             )
                         )
+                        if checkpoint_every:
+                            total = served_total.get(key, 0) + batch.m
+                            served_total[key] = total
+                            since = since_snapshot.get(key, 0) + batch.m
+                            if since >= checkpoint_every:
+                                try:
+                                    snapshots.append(
+                                        (key, session.snapshot(), total)
+                                    )
+                                    since = 0
+                                except ExperimentError:
+                                    # Engine without snapshot support:
+                                    # degrade to replay-only recovery.
+                                    pass
+                            since_snapshot[key] = since
                     cpu = time.process_time() - cpu_started
                     elapsed = time.perf_counter() - started
-                    conn.send(("ok", details, elapsed, cpu, replay))
+                    conn.send(
+                        ("ok", details, elapsed, cpu, replay, snapshots)
+                    )
                 except Exception as exc:  # noqa: BLE001 - relayed to parent
+                    conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            elif command == "restore":
+                _, restores = message
+                try:
+                    for key, snapshot, covered in restores:
+                        session = open_session(spec_data)
+                        session.restore(snapshot)
+                        sessions[key] = session
+                        served_total[key] = covered
+                        since_snapshot[key] = 0
+                    conn.send(("ok", len(restores)))
+                except Exception as exc:  # noqa: BLE001 - relayed
                     conn.send(("error", f"{type(exc).__name__}: {exc}"))
             elif command == "status":
                 from repro.core.engine import native_available
@@ -204,6 +292,7 @@ def _worker_main(conn, spec_data: dict, shard_index: int) -> None:
                     )
                 )
             elif command == "close":
+                stop_beat.set()
                 conn.send(("ok",))
                 return
             else:  # pragma: no cover - protocol misuse
@@ -225,6 +314,7 @@ class ServeFarm:
     >>> farm.serve("user-7", 3, 60)          # doctest: +SKIP
     >>> farm.serve_stream(stream)            # (key, u, v) iterable
     >>> farm.metrics.latency_p99             # aggregate, incremental
+    >>> farm.health.states()                 # per-shard health
     >>> farm.close()
 
     Constructor arguments besides the farm knobs are exactly
@@ -232,6 +322,12 @@ class ServeFarm:
     :class:`~repro.net.spec.NetworkSpec`, a mapping, or an algorithm name
     plus keyword arguments.  One session is opened lazily per key in the
     owning worker.  Use as a context manager to guarantee teardown.
+
+    ``health`` configures heartbeat supervision (default on with
+    conservative deadlines; ``HealthConfig(enabled=False)`` restores the
+    unsupervised farm).  ``checkpoint_every=N`` turns on warm-standby
+    recovery: replay after a respawn is bounded by the checkpoint
+    cadence instead of the full journal.
     """
 
     def __init__(
@@ -241,6 +337,8 @@ class ServeFarm:
         shards: int = 2,
         window: int = DEFAULT_CHUNK,
         max_respawns: int = 2,
+        health: Optional[HealthConfig] = None,
+        checkpoint_every: Optional[int] = None,
         **kwargs: Any,
     ) -> None:
         if shards < 1:
@@ -250,6 +348,10 @@ class ServeFarm:
         if max_respawns < 0:
             raise ExperimentError(
                 f"max_respawns must be >= 0, got {max_respawns}"
+            )
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ExperimentError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
         from repro.net.registry import coerce_network_spec
 
@@ -264,20 +366,48 @@ class ServeFarm:
         self.shards = shards
         self.window = window
         self.max_respawns = max_respawns
+        self.checkpoint_every = checkpoint_every
         self.respawns = 0
+        self.replayed_requests = 0
+        self.recoveries = {"proactive": 0, "reactive": 0}
+        self.shard_recoveries = [0] * shards
         self.router = ShardRouter(shards)
         self.metrics = FarmMetrics()
-        self._journal: list[list[list[tuple[Any, list[int], list[int]]]]] = [
-            [] for _ in range(shards)
+        self.health_config = health or HealthConfig()
+        self.health: Optional[HealthMonitor] = (
+            HealthMonitor(shards, self.health_config)
+            if self.health_config.enabled
+            else None
+        )
+        #: Per shard: ``{key: [(sources, targets), ...]}`` — every
+        #: acknowledged batch not yet covered by a snapshot, in serve
+        #: order (order across keys is immaterial: sessions are
+        #: independent per key).
+        self._journal: list[dict[Any, list[tuple[list[int], list[int]]]]] = [
+            {} for _ in range(shards)
         ]
+        #: Per shard: requests covered by the stored snapshot per key.
+        self._journal_base: list[dict[Any, int]] = [{} for _ in range(shards)]
+        self._snapshots: list[dict[Any, Any]] = [{} for _ in range(shards)]
         self._ctx = _farm_context()
         self._procs: list[Optional[Any]] = [None] * shards
         self._conns: list[Optional[Any]] = [None] * shards
+        self._hb_conns: list[Optional[Any]] = [None] * shards
+        self._hb_graveyard: list[Any] = []
         self._closed = False
+        # Per-shard reentrant locks serialize everything that touches a
+        # shard's pipe + journal (dispatch, introspection, respawn), so
+        # the supervisor's proactive respawn and the dispatch path's
+        # reactive respawn are mutually exclusive.  Epochs make respawn
+        # idempotent when both notice the same death.
+        self._locks = [threading.RLock() for _ in range(shards)]
+        self._epochs = [0] * shards
         # Shared-state guard for per-shard concurrent dispatch (see
         # serve_grouped): aggregate metrics and the respawn budget are
         # the only cross-shard state touched on the dispatch path.
         self._metrics_lock = threading.Lock()
+        self._supervisor: Optional[threading.Thread] = None
+        self._stop_supervisor = threading.Event()
         try:
             for shard in range(shards):
                 self._start_worker(shard)
@@ -286,6 +416,13 @@ class ServeFarm:
             # ones: close the partial farm before re-raising.
             self.close()
             raise
+        if self.health is not None:
+            self._supervisor = threading.Thread(
+                target=self._supervise,
+                daemon=True,
+                name="repro-farm-supervisor",
+            )
+            self._supervisor.start()
 
     # -- lifecycle -----------------------------------------------------
     def __enter__(self) -> "ServeFarm":
@@ -302,22 +439,47 @@ class ServeFarm:
 
     def _start_worker(self, shard: int) -> None:
         parent_conn, child_conn = self._ctx.Pipe()
+        hb_parent = hb_child = None
+        hb_interval = 0.0
+        if self.health is not None:
+            # Dedicated one-way liveness pipe: worker writes, parent
+            # reads.  EOF on it is the fastest possible death signal.
+            hb_parent, hb_child = self._ctx.Pipe(duplex=False)
+            hb_interval = self.health_config.interval
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self._spec_data, shard),
+            args=(
+                child_conn,
+                hb_child,
+                self._spec_data,
+                shard,
+                hb_interval,
+                self.checkpoint_every,
+            ),
             daemon=True,
             name=f"repro-serve-shard-{shard}",
         )
         proc.start()
         child_conn.close()
+        if hb_child is not None:
+            hb_child.close()
         self._procs[shard] = proc
         self._conns[shard] = parent_conn
+        self._hb_conns[shard] = hb_parent
 
     def close(self) -> None:
         """Shut every worker down and join it (idempotent)."""
         if self._closed:
             return
         self._closed = True
+        self._stop_supervisor.set()
+        supervisor = self._supervisor
+        if (
+            supervisor is not None
+            and supervisor is not threading.current_thread()
+        ):
+            supervisor.join(timeout=5.0)
+        self._supervisor = None
         for shard in range(self.shards):
             conn = self._conns[shard]
             if conn is None:
@@ -329,6 +491,20 @@ class ServeFarm:
                 pass
             conn.close()
             self._conns[shard] = None
+        for shard in range(self.shards):
+            hb = self._hb_conns[shard]
+            if hb is not None:
+                try:
+                    hb.close()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+                self._hb_conns[shard] = None
+        for hb in self._hb_graveyard:
+            try:
+                hb.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._hb_graveyard.clear()
         for shard in range(self.shards):
             proc = self._procs[shard]
             if proc is not None:
@@ -342,43 +518,181 @@ class ServeFarm:
         if self._closed:
             raise ExperimentError("serve farm is closed")
 
-    # -- fault recovery ------------------------------------------------
-    def _respawn(self, shard: int) -> None:
-        """Replace a dead worker and rebuild its state by journal replay."""
-        with self._metrics_lock:
-            self.respawns += 1
-            spent = self.respawns
-        if spent > self.max_respawns:
-            raise ReliabilityError(
-                f"serve farm gave up after {self.max_respawns} respawn(s):"
-                f" shard {shard} keeps dying"
-            )
-        old_conn = self._conns[shard]
-        if old_conn is not None:
-            old_conn.close()
-        old_proc = self._procs[shard]
-        if old_proc is not None:
-            old_proc.join(timeout=5.0)
-            if old_proc.is_alive():  # pragma: no cover - defensive
-                old_proc.terminate()
-                old_proc.join(timeout=5.0)
-        self._start_worker(shard)
-        # Deterministic rebuild: replay every acknowledged batch in order.
-        # Replay acks carry replay=True and are not re-aggregated; a
-        # ledger-backed fault plan guarantees a fired kill stays fired.
-        conn = self._conns[shard]
-        for batches in self._journal[shard]:
+    # -- supervision ---------------------------------------------------
+    def _supervise(self) -> None:
+        """Supervisor thread: drain heartbeats, escalate missed deadlines.
+
+        Detection is two-speed: heartbeat-pipe EOF (the worker process
+        died) triggers an immediate proactive respawn, while silence on a
+        live pipe escalates through ``suspect`` to ``down`` on the
+        configured deadlines.  Both paths converge on
+        :meth:`_proactive_respawn`, which is epoch-guarded against the
+        dispatch path's reactive recovery.
+        """
+        from multiprocessing.connection import wait as _wait
+
+        config = self.health_config
+        timeout = min(config.interval, config.suspect_after / 2)
+        while not self._stop_supervisor.is_set():
+            current: dict[int, tuple[Any, int]] = {}
+            targets: list[Any] = []
+            for shard in range(self.shards):
+                conn = self._hb_conns[shard]
+                if conn is not None:
+                    current[id(conn)] = (conn, shard)
+                    targets.append(conn)
+            graveyard = list(self._hb_graveyard)
             try:
-                conn.send(("serve", batches, True))
-                reply = conn.recv()
-            except (BrokenPipeError, EOFError, OSError):
-                self._respawn(shard)  # budget-bounded recursion
-                return
-            if reply[0] == "error":
+                ready = _wait(targets + graveyard, timeout=timeout)
+            except OSError:  # pragma: no cover - pipe replaced mid-wait
+                continue
+            for conn in ready:
+                if self._stop_supervisor.is_set():
+                    return
+                entry = current.get(id(conn))
+                if entry is None or conn is not self._hb_conns[entry[1]]:
+                    # A pre-respawn pipe: drain it until EOF, then drop.
+                    try:
+                        conn.recv()
+                    except (EOFError, OSError):
+                        if conn in self._hb_graveyard:
+                            self._hb_graveyard.remove(conn)
+                        try:
+                            conn.close()
+                        except OSError:  # pragma: no cover
+                            pass
+                    continue
+                shard = entry[1]
+                try:
+                    conn.recv()
+                except (EOFError, OSError):
+                    # The worker died: EOF beats any deadline.  Declare
+                    # down and respawn before a dispatch can fail.
+                    self.health.mark(shard, DOWN)
+                    self._proactive_respawn(shard)
+                else:
+                    self.health.record_beat(shard)
+            for shard in self.health.observe():
+                self._proactive_respawn(shard)
+
+    def _proactive_respawn(self, shard: int) -> None:
+        """Supervisor-initiated recovery, idempotent against races."""
+        epoch = self._epochs[shard]
+        with self._locks[shard]:
+            if self._closed or self._epochs[shard] != epoch:
+                return  # the reactive path (or close) got there first
+            try:
+                self._respawn(shard, proactive=True)
+            except ReliabilityError:
+                # Budget exhausted: the shard stays down and the next
+                # dispatch raises the loud give-up error.
+                pass
+
+    def shard_pids(self) -> list[Optional[int]]:
+        """Current worker pid per shard (changes across respawns)."""
+        return [
+            proc.pid if proc is not None else None for proc in self._procs
+        ]
+
+    def health_states(self) -> list[str]:
+        """Per-shard health (all ``healthy`` when supervision is off)."""
+        if self.health is None:
+            return [HEALTHY] * self.shards
+        return self.health.states()
+
+    # -- fault recovery ------------------------------------------------
+    def _respawn(self, shard: int, *, proactive: bool = False) -> None:
+        """Replace a dead worker; rebuild its state from snapshots + journal.
+
+        Warm standby first: the replacement restores every key's latest
+        shipped snapshot, then replays only the journal suffix past each
+        snapshot — bounded by ``checkpoint_every`` requests per key.
+        Without checkpoints this degrades to full journal replay.
+        """
+        with self._locks[shard]:
+            with self._metrics_lock:
+                self.respawns += 1
+                spent = self.respawns
+            if spent > self.max_respawns:
+                if self.health is not None:
+                    self.health.mark(shard, DOWN)
                 raise ReliabilityError(
-                    f"serve farm shard {shard} failed during journal"
-                    f" replay: {reply[1]}"
+                    f"serve farm gave up after {self.max_respawns}"
+                    f" respawn(s): shard {shard} keeps dying"
                 )
+            if self.health is not None:
+                self.health.mark(shard, RECOVERING)
+            old_conn = self._conns[shard]
+            if old_conn is not None:
+                old_conn.close()
+            old_hb = self._hb_conns[shard]
+            if old_hb is not None:
+                # The supervisor may be mid-wait on this pipe: hand it
+                # to the graveyard instead of closing under its feet.
+                self._hb_conns[shard] = None
+                self._hb_graveyard.append(old_hb)
+            old_proc = self._procs[shard]
+            if old_proc is not None:
+                if old_proc.is_alive():
+                    # Proactive deadline-based respawn: the old worker
+                    # may be wedged rather than dead.
+                    old_proc.terminate()
+                old_proc.join(timeout=5.0)
+                if old_proc.is_alive():  # pragma: no cover - defensive
+                    old_proc.kill()
+                    old_proc.join(timeout=5.0)
+            self._start_worker(shard)
+            self._epochs[shard] += 1
+            # Deterministic rebuild: restore the latest snapshots, then
+            # replay the journal suffix per key in order.  Replay acks
+            # carry replay=True and are not re-aggregated; a ledger-
+            # backed fault plan guarantees a fired kill stays fired.
+            conn = self._conns[shard]
+            try:
+                restores = [
+                    (key, snapshot, self._journal_base[shard][key])
+                    for key, snapshot in self._snapshots[shard].items()
+                ]
+                if restores:
+                    conn.send(("restore", restores))
+                    reply = conn.recv()
+                    if reply[0] == "error":
+                        if self.health is not None:
+                            self.health.mark(shard, DOWN)
+                        raise ReliabilityError(
+                            f"serve farm shard {shard} failed snapshot"
+                            f" restore: {reply[1]}"
+                        )
+                for key, entries in self._journal[shard].items():
+                    if not entries:
+                        continue
+                    batches = [
+                        (key, sources, targets)
+                        for sources, targets in entries
+                    ]
+                    conn.send(("serve", batches, True))
+                    reply = conn.recv()
+                    if reply[0] == "error":
+                        if self.health is not None:
+                            self.health.mark(shard, DOWN)
+                        raise ReliabilityError(
+                            f"serve farm shard {shard} failed during"
+                            f" journal replay: {reply[1]}"
+                        )
+                    with self._metrics_lock:
+                        self.replayed_requests += sum(
+                            len(sources) for sources, _ in entries
+                        )
+            except (BrokenPipeError, EOFError, OSError):
+                self._respawn(shard, proactive=proactive)
+                return  # budget-bounded recursion finished the job
+            with self._metrics_lock:
+                self.recoveries[
+                    "proactive" if proactive else "reactive"
+                ] += 1
+                self.shard_recoveries[shard] += 1
+            if self.health is not None:
+                self.health.mark(shard, HEALTHY)
 
     # -- dispatch ------------------------------------------------------
     def _send_serve(self, shard: int, batches) -> None:
@@ -401,19 +715,51 @@ class ServeFarm:
                 raise ReliabilityError(
                     f"serve farm shard {shard} failed: {reply[1]}"
                 )
-            _, details, elapsed, cpu, replay = reply
+            _, details, elapsed, cpu, replay, snapshots = reply
             if replay:  # stale ack from a pre-respawn replay: drop
                 continue
-            return details, elapsed, cpu
+            return details, elapsed, cpu, snapshots
+
+    def _record_journal(self, shard: int, batches, snapshots) -> None:
+        """Append acknowledged batches; prune what snapshots now cover.
+
+        Snapshots are cut at batch boundaries in the worker and the
+        parent journals the same batches in the same order, so a
+        snapshot covering ``covered`` requests always lands on a prefix
+        of whole journal entries (checked, never assumed).
+        """
+        journal = self._journal[shard]
+        for key, sources, targets in batches:
+            journal.setdefault(key, []).append((sources, targets))
+        for key, snapshot, covered in snapshots:
+            base = self._journal_base[shard].get(key, 0)
+            need = covered - base
+            if need <= 0:
+                continue
+            entries = journal.get(key)
+            if not entries:
+                continue
+            dropped = 0
+            kept = 0
+            while kept < len(entries) and dropped < need:
+                nxt = len(entries[kept][0])
+                if dropped + nxt > need:
+                    break  # not a batch boundary: keep the old snapshot
+                dropped += nxt
+                kept += 1
+            if dropped == need:
+                del entries[:kept]
+                self._journal_base[shard][key] = covered
+                self._snapshots[shard][key] = snapshot
 
     def _collect_shard(self, shard: int, batches):
         """Await one shard's ack and fold it into the aggregate state.
 
-        Returns the per-batch detail list.  Journal appends are per-shard
-        (disjoint between concurrent shard dispatches); the aggregate
-        metrics update takes the shared lock.
+        Returns the per-batch detail list.  Journal updates are per-shard
+        (the caller holds the shard lock); the aggregate metrics update
+        takes the shared lock.
         """
-        details, elapsed, cpu = self._await_ack(shard, batches)
+        details, elapsed, cpu, snapshots = self._await_ack(shard, batches)
         m = sum(d[0] for d in details)
         routing = sum(d[1] for d in details)
         rotations = sum(d[2] for d in details)
@@ -422,7 +768,7 @@ class ServeFarm:
             self.metrics.record_batch(
                 shard, m, routing, rotations, links, elapsed, cpu
             )
-        self._journal[shard].append(batches)
+        self._record_journal(shard, batches, snapshots)
         return details
 
     def _dispatch(
@@ -432,18 +778,27 @@ class ServeFarm:
 
         All sends complete before the first receive, so shards serve the
         window concurrently; acknowledged batches enter the journal.
+        Involved shard locks are taken in sorted order (the supervisor
+        takes one at a time, so lock order cannot deadlock).
         """
-        for shard, batches in grouped.items():
-            self._send_serve(shard, batches)
-        totals = [0, 0, 0, 0]
-        for shard, batches in grouped.items():
-            for m, routing, rotations, links in self._collect_shard(
-                shard, batches
-            ):
-                totals[0] += m
-                totals[1] += routing
-                totals[2] += rotations
-                totals[3] += links
+        shards = sorted(grouped)
+        for shard in shards:
+            self._locks[shard].acquire()
+        try:
+            for shard in shards:
+                self._send_serve(shard, grouped[shard])
+            totals = [0, 0, 0, 0]
+            for shard in shards:
+                for m, routing, rotations, links in self._collect_shard(
+                    shard, grouped[shard]
+                ):
+                    totals[0] += m
+                    totals[1] += routing
+                    totals[2] += rotations
+                    totals[3] += links
+        finally:
+            for shard in reversed(shards):
+                self._locks[shard].release()
         return tuple(totals)  # type: ignore[return-value]
 
     def serve_grouped(
@@ -460,9 +815,9 @@ class ServeFarm:
         entry's exact totals, so each client request gets its own answer.
 
         Thread safety: concurrent calls for *distinct* shards are safe
-        (each shard's pipe and journal are touched by one caller at a
-        time; the aggregate metrics and respawn budget are lock-guarded).
-        Concurrent calls for the same shard are not.
+        (each shard's pipe and journal are guarded by that shard's lock;
+        the aggregate metrics and respawn budget are lock-guarded).
+        Concurrent calls for the same shard serialize on the shard lock.
         """
         self._check_open()
         batches = [
@@ -481,8 +836,9 @@ class ServeFarm:
                 )
         if not batches:
             return []
-        self._send_serve(shard, batches)
-        details = self._collect_shard(shard, batches)
+        with self._locks[shard]:
+            self._send_serve(shard, batches)
+            details = self._collect_shard(shard, batches)
         return [
             BatchServeResult(m, routing, rotations, links, None, None)
             for m, routing, rotations, links in details
@@ -547,9 +903,10 @@ class ServeFarm:
     # -- introspection -------------------------------------------------
     def _query(self, shard: int, command: str):
         self._check_open()
-        conn = self._conns[shard]
-        conn.send((command,))
-        reply = conn.recv()
+        with self._locks[shard]:
+            conn = self._conns[shard]
+            conn.send((command,))
+            reply = conn.recv()
         if reply[0] == "error":
             raise ReliabilityError(
                 f"serve farm shard {shard} failed {command}: {reply[1]}"

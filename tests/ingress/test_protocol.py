@@ -204,9 +204,29 @@ class TestResponseCodec:
             "total_rotations": 200,
             "total_links_changed": 900,
             "admitted": 101,
+            "served": 99,
             "overloaded": 1,
+            "errors": 1,
             "latency_p50_seconds": 0.001,
             "latency_p99_seconds": 0.01,
+            "shards": [
+                {
+                    "shard": 0,
+                    "pid": 4242,
+                    "health": "healthy",
+                    "breaker": "closed",
+                    "breaker_opens": 0,
+                    "recoveries": 0,
+                },
+                {
+                    "shard": 1,
+                    "pid": 4243,
+                    "health": "recovering",
+                    "breaker": "half_open",
+                    "breaker_opens": 3,
+                    "recoveries": 2,
+                },
+            ],
         }
         response = protocol.decode_response(
             _payload(
@@ -216,6 +236,43 @@ class TestResponseCodec:
             )
         )
         assert response.metrics == metrics
+
+    def test_metrics_without_shards_round_trips_empty_list(self):
+        metrics = {
+            "requests": 10,
+            "total_routing": 40,
+            "total_rotations": 20,
+            "total_links_changed": 90,
+            "admitted": 10,
+            "served": 10,
+            "overloaded": 0,
+            "errors": 0,
+            "latency_p50_seconds": 0.0,
+            "latency_p99_seconds": 0.0,
+        }
+        response = protocol.decode_response(
+            _payload(
+                protocol.encode_response(
+                    6, protocol.STATUS_OK, metrics=metrics
+                )
+            )
+        )
+        assert response.metrics == {**metrics, "shards": []}
+
+    def test_overload_carries_retry_after_hint(self):
+        response = protocol.decode_response(
+            _payload(
+                protocol.encode_response(
+                    4,
+                    protocol.STATUS_OVERLOAD,
+                    message="breaker open",
+                    retry_after=0.75,
+                )
+            )
+        )
+        assert response.status == protocol.STATUS_OVERLOAD
+        assert response.message == "breaker open"
+        assert response.retry_after == pytest.approx(0.75)
 
     def test_error_and_overload_carry_message(self):
         for status in (protocol.STATUS_ERROR, protocol.STATUS_OVERLOAD):

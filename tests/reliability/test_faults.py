@@ -186,8 +186,42 @@ class TestLedger:
                 fire_fault("c.d")
             with pytest.raises(FaultInjected):
                 fire_fault("a.b")
-        names = sorted(p.name for p in ledger.iterdir())
-        assert names == ["a.b..1", "a.b..2", "c.d..1"]
+            # Markers are namespaced under this run's id.
+            run_dir = plan.ledger_dir()
+            assert run_dir == ledger / plan.run_id
+            names = sorted(p.name for p in run_dir.iterdir())
+            assert names == ["a.b..1", "a.b..2", "c.d..1"]
+        # Teardown swept the run's markers away.
+        assert not run_dir.exists()
+
+    def test_run_id_round_trips_so_workers_share_the_namespace(self, tmp_path):
+        plan = FaultPlan(
+            specs=(FaultSpec("a.b", at=(1,)),), ledger=str(tmp_path / "ledger")
+        )
+        assert plan.run_id  # auto-generated alongside the ledger
+        clone = FaultPlan.from_env(plan.to_env())
+        assert clone == plan
+        assert clone.ledger_dir() == plan.ledger_dir()
+
+    def test_consecutive_drills_do_not_see_each_others_ledger(self, tmp_path):
+        """Regression: marker files used to accumulate across runs.
+
+        A second drill reusing the same ledger directory would find the
+        first drill's claims and count its own invocations from the
+        wrong index, silently skipping the fault it was asked to fire.
+        """
+        ledger = tmp_path / "ledger"
+
+        def drill() -> None:
+            plan = FaultPlan(
+                specs=(FaultSpec("a.b", at=(1,)),), ledger=str(ledger)
+            )
+            with inject_faults(plan):
+                with pytest.raises(FaultInjected):
+                    fire_fault("a.b")  # must be invocation 1, every drill
+
+        drill()
+        drill()
 
 
 class TestRetryPolicy:
@@ -212,6 +246,34 @@ class TestRetryPolicy:
             RetryPolicy(retries=-1)
         with pytest.raises(ReliabilityError):
             RetryPolicy(factor=0.5)
+        with pytest.raises(ReliabilityError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ReliabilityError):
+            backoff_delays(1, jitter=-0.1)
+
+    def test_jitter_defaults_off(self):
+        # No jitter argument → byte-identical to the classic schedule, so
+        # existing campaigns reproduce unchanged.
+        assert RetryPolicy(retries=3).delays() == backoff_delays(3)
+
+    def test_jitter_stays_within_bounds(self):
+        bare = backoff_delays(6, base=0.1, factor=2.0, cap=1.0)
+        for seed in range(20):
+            wobbled = backoff_delays(
+                6, base=0.1, factor=2.0, cap=1.0, jitter=0.5, seed=seed
+            )
+            for d, j in zip(bare, wobbled):
+                assert d * 0.5 <= j <= d * 1.5
+                assert j >= 0.0
+
+    def test_jitter_is_seed_stable(self):
+        kwargs = dict(base=0.1, factor=2.0, cap=1.0, jitter=0.3, seed=42)
+        first = backoff_delays(5, **kwargs)
+        assert backoff_delays(5, **kwargs) == first  # same seed, same sleeps
+        assert backoff_delays(5, **{**kwargs, "seed": 43}) != first
+        policy = RetryPolicy(retries=5, **kwargs)
+        assert policy.delays() == first
+        assert [policy.delay(i) for i in (1, 2, 3, 4, 5)] == first
 
     def test_is_transient_respects_retry_on(self):
         policy = RetryPolicy(retries=1, retry_on=(ValueError,))
